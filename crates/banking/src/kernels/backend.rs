@@ -1,0 +1,82 @@
+//! The device backend kernel: an on-GPU key-value responder that answers
+//! backend requests without leaving the device (the paper's Titan B/C
+//! "implement the SPECWeb Besim backend on the GPU", §5.3.2).
+//!
+//! Each lane parses its backend request line (`"<cmd>|<userid>|..."`),
+//! addresses the serialized store record
+//! (`store_base + userid * RECORD_BYTES + cmd * SLOT_BYTES`), and copies
+//! the pre-serialized response text into the backend response buffer.
+//! Unknown users or commands produce `"!ERR\n"`.
+
+use rhythm_simt::ir::{BinOp, Program, ProgramBuilder, Width};
+
+use crate::backend::{RECORD_BYTES, SLOT_BYTES, SLOTS};
+
+use super::common::{emit_parse_field_u32, env};
+
+/// Build the device backend kernel.
+pub fn build_backend() -> Program {
+    let mut b = ProgramBuilder::new("device_backend");
+    let e = env(&mut b);
+
+    let zero = b.imm(0);
+    let cmd = emit_parse_field_u32(&mut b, &e.breq, zero);
+    let one_k = b.imm(1);
+    let userid = emit_parse_field_u32(&mut b, &e.breq, one_k);
+
+    let nslots = b.imm(SLOTS);
+    let cmd_ok = b.bin(BinOp::LtU, cmd, nslots);
+    let user_ok = b.bin(BinOp::LtU, userid, e.store_users);
+    let ok = b.bin(BinOp::And, cmd_ok, user_ok);
+
+    let cur = e.bresp.cursor(&mut b);
+    let e2 = e;
+    let cur2 = cur;
+    b.if_then_else(
+        ok,
+        move |b| {
+            // src = store_base + userid * RECORD_BYTES + cmd * SLOT_BYTES
+            let rec = b.imm(RECORD_BYTES);
+            let slot = b.imm(SLOT_BYTES);
+            let u_off = b.bin(BinOp::Mul, userid, rec);
+            let c_off = b.bin(BinOp::Mul, cmd, slot);
+            let t = b.bin(BinOp::Add, e2.store_base, u_off);
+            let src = b.bin(BinOp::Add, t, c_off);
+
+            // Copy through the terminating '\n'.
+            let i = b.imm(0);
+            let one_c = b.imm(1);
+            let nl = b.imm(b'\n' as u32);
+            let copying = b.imm(1);
+            b.while_loop(
+                |b| {
+                    let c = b.reg();
+                    b.mov(c, copying);
+                    c
+                },
+                |b| {
+                    let a = b.bin(BinOp::Add, src, i);
+                    let ch = b.ld(Width::Byte, rhythm_simt::ir::MemSpace::Global, a, 0);
+                    b.cursor_write_byte(&cur2, ch);
+                    b.bin_into(i, BinOp::Add, i, one_c);
+                    let done = b.bin(BinOp::Eq, ch, nl);
+                    b.if_then(done, |b| {
+                        b.imm_into(copying, 0);
+                    });
+                },
+            );
+        },
+        move |b| {
+            for ch in *b"!ERR\n" {
+                let c = b.imm(ch as u32);
+                b.cursor_write_byte(&cur2, c);
+            }
+        },
+    );
+    // NUL-terminate so stale bytes from a previous cohort can't leak into
+    // field scans.
+    let nul = b.imm(0);
+    b.cursor_write_byte(&cur, nul);
+    b.halt();
+    b.build().expect("backend kernel assembles")
+}

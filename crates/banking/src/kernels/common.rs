@@ -1,0 +1,420 @@
+//! Shared IR-emission helpers for the banking kernels: the launch
+//! environment, strided buffer access, padded-fragment emission, backend
+//! field parsing, and the device session-array operations.
+
+use rhythm_simt::ir::{BinOp, BufCursor, MemSpace, ProgramBuilder, Reg, Width};
+
+use crate::layout::{
+    F_STATUS, F_USERID, P_BRESP_BASE, P_BRESP_ESTRIDE, P_BRESP_LSTRIDE, P_BRESP_SIZE, P_BREQ_BASE,
+    P_BREQ_ESTRIDE, P_BREQ_LSTRIDE, P_BREQ_SIZE, P_COHORT, P_REQBUF_BASE, P_REQBUF_ESTRIDE,
+    P_REQBUF_LSTRIDE, P_REQBUF_SIZE, P_RESP_BASE, P_RESP_ESTRIDE, P_RESP_LSTRIDE, P_RESP_SIZE,
+    P_SESSION_BASE, P_SESSION_CAP, P_SESSION_SALT, P_STORE_BASE, P_STORE_USERS, P_STRUCT_BASE,
+};
+use crate::session_array::{NODE_BYTES, NODE_STATE, NODE_TOKEN, NODE_USER};
+
+/// Local-memory scratch offset used by decimal conversion.
+pub const DECIMAL_SCRATCH: u32 = 0;
+
+/// Registers describing one strided cohort buffer for the current lane.
+#[derive(Copy, Clone, Debug)]
+pub struct BufSpec {
+    /// Region base address.
+    pub base: Reg,
+    /// Slot size in bytes.
+    pub size: Reg,
+    /// Element stride.
+    pub es: Reg,
+    /// Precomputed `lane * lane_stride`.
+    pub lane_term: Reg,
+}
+
+impl BufSpec {
+    fn load(
+        b: &mut ProgramBuilder,
+        gid: Reg,
+        base_p: u16,
+        size_p: u16,
+        ls_p: u16,
+        es_p: u16,
+    ) -> Self {
+        let base = b.param(base_p);
+        let size = b.param(size_p);
+        let ls = b.param(ls_p);
+        let es = b.param(es_p);
+        let lane_term = b.bin(BinOp::Mul, gid, ls);
+        BufSpec {
+            base,
+            size,
+            es,
+            lane_term,
+        }
+    }
+
+    /// A fresh write cursor at element 0 of this lane's slot.
+    pub fn cursor(&self, b: &mut ProgramBuilder) -> BufCursor {
+        let pos = b.imm(0);
+        BufCursor {
+            base: self.base,
+            pos,
+            elem_stride: self.es,
+            lane_term: self.lane_term,
+        }
+    }
+
+    /// Byte address of element `pos`.
+    pub fn addr(&self, b: &mut ProgramBuilder, pos: Reg) -> Reg {
+        let scaled = b.bin(BinOp::Mul, pos, self.es);
+        let t = b.bin(BinOp::Add, self.base, self.lane_term);
+        b.bin(BinOp::Add, t, scaled)
+    }
+
+    /// Load the byte at element `pos`.
+    pub fn read_byte(&self, b: &mut ProgramBuilder, pos: Reg) -> Reg {
+        let a = self.addr(b, pos);
+        b.ld(Width::Byte, MemSpace::Global, a, 0)
+    }
+}
+
+/// The standard launch environment every banking kernel begins with.
+#[derive(Copy, Clone, Debug)]
+pub struct Env {
+    /// Global lane id (request slot).
+    pub gid: Reg,
+    /// Cohort size.
+    pub cohort: Reg,
+    /// Response buffer.
+    pub resp: BufSpec,
+    /// Backend request buffer.
+    pub breq: BufSpec,
+    /// Backend response buffer.
+    pub bresp: BufSpec,
+    /// Raw request buffer.
+    pub reqbuf: BufSpec,
+    /// Parsed-struct region base.
+    pub struct_base: Reg,
+    /// Session array base.
+    pub session_base: Reg,
+    /// Session array capacity.
+    pub session_cap: Reg,
+    /// Session token salt.
+    pub session_salt: Reg,
+    /// Device backend store base.
+    pub store_base: Reg,
+    /// User count in the device store.
+    pub store_users: Reg,
+}
+
+/// Emit the environment prologue.
+pub fn env(b: &mut ProgramBuilder) -> Env {
+    let gid = b.global_id();
+    let cohort = b.param(P_COHORT);
+    let resp = BufSpec::load(b, gid, P_RESP_BASE, P_RESP_SIZE, P_RESP_LSTRIDE, P_RESP_ESTRIDE);
+    let breq = BufSpec::load(b, gid, P_BREQ_BASE, P_BREQ_SIZE, P_BREQ_LSTRIDE, P_BREQ_ESTRIDE);
+    let bresp = BufSpec::load(
+        b,
+        gid,
+        P_BRESP_BASE,
+        P_BRESP_SIZE,
+        P_BRESP_LSTRIDE,
+        P_BRESP_ESTRIDE,
+    );
+    let reqbuf = BufSpec::load(
+        b,
+        gid,
+        P_REQBUF_BASE,
+        P_REQBUF_SIZE,
+        P_REQBUF_LSTRIDE,
+        P_REQBUF_ESTRIDE,
+    );
+    let struct_base = b.param(P_STRUCT_BASE);
+    let session_base = b.param(P_SESSION_BASE);
+    let session_cap = b.param(P_SESSION_CAP);
+    let session_salt = b.param(P_SESSION_SALT);
+    let store_base = b.param(P_STORE_BASE);
+    let store_users = b.param(P_STORE_USERS);
+    Env {
+        gid,
+        cohort,
+        resp,
+        breq,
+        bresp,
+        reqbuf,
+        struct_base,
+        session_base,
+        session_cap,
+        session_salt,
+        store_base,
+        store_users,
+    }
+}
+
+/// Address of struct word `field` for this lane (column-major words).
+pub fn struct_addr(b: &mut ProgramBuilder, e: &Env, field: u32) -> Reg {
+    let f = b.imm(field);
+    let fc = b.bin(BinOp::Mul, f, e.cohort);
+    let idx = b.bin(BinOp::Add, fc, e.gid);
+    let four = b.imm(4);
+    let off = b.bin(BinOp::Mul, idx, four);
+    b.bin(BinOp::Add, e.struct_base, off)
+}
+
+/// Load struct word `field`.
+pub fn ld_struct(b: &mut ProgramBuilder, e: &Env, field: u32) -> Reg {
+    let a = struct_addr(b, e, field);
+    b.ld(Width::Word, MemSpace::Global, a, 0)
+}
+
+/// Store struct word `field`.
+pub fn st_struct(b: &mut ProgramBuilder, e: &Env, field: u32, value: Reg) {
+    let a = struct_addr(b, e, field);
+    b.st(Width::Word, MemSpace::Global, a, 0, value);
+}
+
+/// Emit warp-aligned padding after a dynamic fragment of `len` bytes,
+/// then a newline: pad to the warp-wide maximum via butterfly reduction
+/// (paper §4.6). With `padded == false` only the newline is emitted —
+/// the ablation configuration that lets lane write pointers drift.
+pub fn emit_pad_and_newline(b: &mut ProgramBuilder, cur: &BufCursor, len: Reg, padded: bool) {
+    if padded {
+        let wmax = b.warp_red_max(len);
+        let pad = b.bin(BinOp::Sub, wmax, len);
+        let space = b.imm(b' ' as u32);
+        b.for_loop(pad, |b, _| {
+            b.cursor_write_byte(cur, space);
+        });
+    }
+    let nl = b.imm(b'\n' as u32);
+    b.cursor_write_byte(cur, nl);
+}
+
+/// Emit `value` as decimal, warp-padded, newline-terminated.
+pub fn emit_padded_decimal(b: &mut ProgramBuilder, cur: &BufCursor, value: Reg, padded: bool) {
+    let ndig = b.write_decimal(cur, value, DECIMAL_SCRATCH);
+    emit_pad_and_newline(b, cur, ndig, padded);
+}
+
+/// Emit `cents` as `dollars.cc`, warp-padded, newline-terminated.
+pub fn emit_padded_money(b: &mut ProgramBuilder, cur: &BufCursor, cents: Reg, padded: bool) {
+    let hundred = b.imm(100);
+    let ten = b.imm(10);
+    let zero_ch = b.imm(b'0' as u32);
+    let dollars = b.bin(BinOp::DivU, cents, hundred);
+    let frac = b.bin(BinOp::RemU, cents, hundred);
+    let ndig = b.write_decimal(cur, dollars, DECIMAL_SCRATCH);
+    let dot = b.imm(b'.' as u32);
+    b.cursor_write_byte(cur, dot);
+    let d1 = b.bin(BinOp::DivU, frac, ten);
+    let c1 = b.bin(BinOp::Add, d1, zero_ch);
+    b.cursor_write_byte(cur, c1);
+    let d2 = b.bin(BinOp::RemU, frac, ten);
+    let c2 = b.bin(BinOp::Add, d2, zero_ch);
+    b.cursor_write_byte(cur, c2);
+    let three = b.imm(3);
+    let len = b.bin(BinOp::Add, ndig, three);
+    emit_pad_and_newline(b, cur, len, padded);
+}
+
+/// Scan this lane's buffer for the start position of pipe-separated field
+/// `k` (a register). Fields are 0-based; scanning is bounded by the slot
+/// size.
+pub fn emit_field_start(b: &mut ProgramBuilder, buf: &BufSpec, k: Reg) -> Reg {
+    let pos = b.imm(0);
+    let seen = b.imm(0);
+    let one = b.imm(1);
+    let pipe = b.imm(b'|' as u32);
+    let buf = *buf;
+    b.while_loop(
+        |b| {
+            let more = b.bin(BinOp::LtU, seen, k);
+            let inb = b.bin(BinOp::LtU, pos, buf.size);
+            b.bin(BinOp::And, more, inb)
+        },
+        |b| {
+            let ch = buf.read_byte(b, pos);
+            b.bin_into(pos, BinOp::Add, pos, one);
+            let is_pipe = b.bin(BinOp::Eq, ch, pipe);
+            b.if_then(is_pipe, |b| {
+                b.bin_into(seen, BinOp::Add, seen, one);
+            });
+        },
+    );
+    pos
+}
+
+/// Copy field `k` of this lane's buffer to the cursor, warp-padded and
+/// newline-terminated. Fields end at `|`, `\n`, or NUL.
+pub fn emit_copy_field_padded(
+    b: &mut ProgramBuilder,
+    buf: &BufSpec,
+    k: Reg,
+    cur: &BufCursor,
+    padded: bool,
+) {
+    let pos = emit_field_start(b, buf, k);
+    let len = b.imm(0);
+    let one = b.imm(1);
+    let pipe = b.imm(b'|' as u32);
+    let nl = b.imm(b'\n' as u32);
+    let cont = b.imm(1);
+    let buf = *buf;
+    let cur = *cur;
+    b.while_loop(
+        |b| {
+            let c = b.reg();
+            b.mov(c, cont);
+            c
+        },
+        |b| {
+            let ch = buf.read_byte(b, pos);
+            let is_pipe = b.bin(BinOp::Eq, ch, pipe);
+            let is_nl = b.bin(BinOp::Eq, ch, nl);
+            let is_nul = b.un(rhythm_simt::ir::UnOp::IsZero, ch);
+            let t = b.bin(BinOp::Or, is_pipe, is_nl);
+            let stop = b.bin(BinOp::Or, t, is_nul);
+            b.if_then_else(
+                stop,
+                |b| {
+                    b.imm_into(cont, 0);
+                },
+                |b| {
+                    b.cursor_write_byte(&cur, ch);
+                    b.bin_into(pos, BinOp::Add, pos, one);
+                    b.bin_into(len, BinOp::Add, len, one);
+                },
+            );
+        },
+    );
+    emit_pad_and_newline(b, &cur, len, padded);
+}
+
+/// Parse field `k` of this lane's buffer as an unsigned decimal.
+pub fn emit_parse_field_u32(b: &mut ProgramBuilder, buf: &BufSpec, k: Reg) -> Reg {
+    let pos = emit_field_start(b, buf, k);
+    let value = b.imm(0);
+    let ten = b.imm(10);
+    let one = b.imm(1);
+    let zero_ch = b.imm(b'0' as u32);
+    let nine_ch = b.imm(b'9' as u32);
+    let cont = b.imm(1);
+    let buf = *buf;
+    b.while_loop(
+        |b| {
+            let c = b.reg();
+            b.mov(c, cont);
+            c
+        },
+        |b| {
+            let ch = buf.read_byte(b, pos);
+            let ge = b.bin(BinOp::GeU, ch, zero_ch);
+            let le = b.bin(BinOp::LeU, ch, nine_ch);
+            let is_digit = b.bin(BinOp::And, ge, le);
+            b.if_then_else(
+                is_digit,
+                |b| {
+                    let d = b.bin(BinOp::Sub, ch, zero_ch);
+                    let scaled = b.bin(BinOp::Mul, value, ten);
+                    b.bin_into(value, BinOp::Add, scaled, d);
+                    b.bin_into(pos, BinOp::Add, pos, one);
+                },
+                |b| {
+                    b.imm_into(cont, 0);
+                },
+            );
+        },
+    );
+    value
+}
+
+/// Node base address for session index `idx`.
+fn session_node_addr(b: &mut ProgramBuilder, e: &Env, idx: Reg) -> Reg {
+    let sz = b.imm(NODE_BYTES);
+    let off = b.bin(BinOp::Mul, idx, sz);
+    b.bin(BinOp::Add, e.session_base, off)
+}
+
+/// O(1) session lookup: decode `token`, verify the node, and write
+/// `F_USERID`/`F_STATUS` (0 ok / 1 forbidden) into the request struct.
+pub fn emit_session_lookup(b: &mut ProgramBuilder, e: &Env, token: Reg) {
+    let idx = b.bin(BinOp::Xor, token, e.session_salt);
+    let in_range = b.bin(BinOp::LtU, idx, e.session_cap);
+    let status = b.imm(1);
+    let user_out = b.imm(0);
+    let e2 = *e;
+    b.if_then(in_range, |b| {
+        let node = session_node_addr(b, &e2, idx);
+        let state = b.ld(Width::Word, MemSpace::Global, node, NODE_STATE);
+        let tok2 = b.ld(Width::Word, MemSpace::Global, node, NODE_TOKEN);
+        let one = b.imm(1);
+        let live = b.bin(BinOp::GeU, state, one);
+        let same = b.bin(BinOp::Eq, tok2, token);
+        let ok = b.bin(BinOp::And, live, same);
+        b.if_then(ok, |b| {
+            let user = b.ld(Width::Word, MemSpace::Global, node, NODE_USER);
+            b.mov(user_out, user);
+            b.imm_into(status, 0);
+        });
+    });
+    st_struct(b, e, F_USERID, user_out);
+    st_struct(b, e, F_STATUS, status);
+}
+
+/// Session insertion (login): probe linearly from `hash(userid)`, claim a
+/// node with an atomic increment (undone on failure), and return the new
+/// token (0 when the table is full — the caller flags forbidden).
+pub fn emit_session_insert(b: &mut ProgramBuilder, e: &Env, userid: Reg) -> Reg {
+    let h = b.hash_u32(userid);
+    let start = b.bin(BinOp::RemU, h, e.session_cap);
+    let k = b.imm(0);
+    let one = b.imm(1);
+    let undo = b.imm(u32::MAX); // two's-complement -1
+    let token = b.imm(0);
+    let done = b.imm(0);
+    let e2 = *e;
+    b.while_loop(
+        |b| {
+            let not_done = b.un(rhythm_simt::ir::UnOp::IsZero, done);
+            let more = b.bin(BinOp::LtU, k, e2.session_cap);
+            b.bin(BinOp::And, not_done, more)
+        },
+        |b| {
+            let sk = b.bin(BinOp::Add, start, k);
+            let idx = b.bin(BinOp::RemU, sk, e2.session_cap);
+            let node = session_node_addr(b, &e2, idx);
+            let old = b.atomic_add(MemSpace::Global, node, NODE_STATE, one);
+            let free = b.un(rhythm_simt::ir::UnOp::IsZero, old);
+            b.if_then_else(
+                free,
+                |b| {
+                    let tok = b.bin(BinOp::Xor, idx, e2.session_salt);
+                    b.st(Width::Word, MemSpace::Global, node, NODE_TOKEN, tok);
+                    b.st(Width::Word, MemSpace::Global, node, NODE_USER, userid);
+                    b.mov(token, tok);
+                    b.imm_into(done, 1);
+                },
+                |b| {
+                    b.atomic_add(MemSpace::Global, node, NODE_STATE, undo);
+                    b.bin_into(k, BinOp::Add, k, one);
+                },
+            );
+        },
+    );
+    token
+}
+
+/// Session removal (logout): O(1) verify-and-clear.
+pub fn emit_session_remove(b: &mut ProgramBuilder, e: &Env, token: Reg) {
+    let idx = b.bin(BinOp::Xor, token, e.session_salt);
+    let in_range = b.bin(BinOp::LtU, idx, e.session_cap);
+    let e2 = *e;
+    b.if_then(in_range, |b| {
+        let node = session_node_addr(b, &e2, idx);
+        let tok2 = b.ld(Width::Word, MemSpace::Global, node, NODE_TOKEN);
+        let same = b.bin(BinOp::Eq, tok2, token);
+        b.if_then(same, |b| {
+            let zero = b.imm(0);
+            b.st(Width::Word, MemSpace::Global, node, NODE_STATE, zero);
+            b.st(Width::Word, MemSpace::Global, node, NODE_TOKEN, zero);
+            b.st(Width::Word, MemSpace::Global, node, NODE_USER, zero);
+        });
+    });
+}

@@ -1,0 +1,112 @@
+//! SIMT kernels for the Banking workload: the paper's "C+CUDA version".
+//!
+//! [`Workload::build`] compiles, from the shared [`crate::templates`]
+//! page specs:
+//!
+//! * the HTTP **parser** kernel,
+//! * the on-device **backend** kernel (Titan B/C), and
+//! * per request type, the **process stage** kernels
+//!   (`backend_requests + 1` stages each, paper §3.1),
+//!
+//! together with the constant pool holding every HTML template fragment
+//! (the paper stores static content in CUDA constant memory, §4.6).
+
+pub mod backend;
+pub mod common;
+pub mod parser;
+pub mod process;
+
+use rhythm_simt::ir::Program;
+use rhythm_simt::mem::ConstPool;
+
+use crate::templates::page_spec;
+use crate::types::RequestType;
+
+pub use parser::TYPE_UNKNOWN;
+
+/// The complete compiled workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Constant pool referenced by every kernel.
+    pub pool: ConstPool,
+    /// HTTP parser kernel.
+    pub parser: Program,
+    /// Device backend kernel.
+    pub backend: Program,
+    /// Static-image cohort kernel (bypasses the process stages).
+    pub image: Program,
+    /// Process stages per type: `stages[type_id][stage]`.
+    pub stages: Vec<Vec<Program>>,
+}
+
+impl Workload {
+    /// Compile every kernel. Deterministic; takes ~10 ms.
+    pub fn build() -> Workload {
+        Self::build_opts(true)
+    }
+
+    /// Compile with the warp-alignment padding toggled — `padded == false`
+    /// is the coalescing ablation (responses stay correct, lane write
+    /// pointers drift, memory transactions multiply).
+    pub fn build_opts(padded: bool) -> Workload {
+        let mut pool = ConstPool::new();
+        let parser = parser::build_parser(&mut pool);
+        let backend = backend::build_backend();
+        let image = crate::images::build_image_kernel(&mut pool);
+        let stages = RequestType::ALL
+            .iter()
+            .map(|&ty| {
+                process::build_stage_kernels_opts(&page_spec(ty), &mut pool, padded)
+            })
+            .collect();
+        Workload {
+            pool,
+            parser,
+            backend,
+            image,
+            stages,
+        }
+    }
+
+    /// Process stages for one request type.
+    pub fn stages_of(&self, ty: RequestType) -> &[Program] {
+        &self.stages[ty.id() as usize]
+    }
+
+    /// The final (response-generation) stage for a type.
+    pub fn response_stage(&self, ty: RequestType) -> &Program {
+        self.stages_of(ty).last().expect("at least one stage")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_all_kernels() {
+        let w = Workload::build();
+        assert_eq!(w.stages.len(), 14);
+        for ty in RequestType::ALL {
+            assert_eq!(
+                w.stages_of(ty).len() as u32,
+                ty.process_stages(),
+                "{ty}: stage count"
+            );
+            assert!(w.response_stage(ty).static_len() > 100);
+        }
+        assert!(w.pool.len() > 100_000, "templates interned: {}", w.pool.len());
+    }
+
+    #[test]
+    fn kernel_names_follow_convention() {
+        let w = Workload::build();
+        assert_eq!(w.parser.name(), "http_parser");
+        assert_eq!(w.backend.name(), "device_backend");
+        assert_eq!(w.stages_of(RequestType::Login)[0].name(), "login_stage0");
+        assert_eq!(
+            w.response_stage(RequestType::Login).name(),
+            "login_response"
+        );
+    }
+}

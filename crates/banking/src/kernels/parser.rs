@@ -1,0 +1,273 @@
+//! The HTTP parser kernel (paper §3.2 "Parser").
+//!
+//! Each lane parses its raw request text from the request buffer:
+//!
+//! 1. the target's file name is matched against the 14 known PHP files
+//!    (an unrolled compare chain over constant memory — lanes of
+//!    different types diverge here, which is exactly the parser-divergence
+//!    experiment of §6.4);
+//! 2. a single pass over the request extracts the `SID=` session cookie
+//!    and up to four positional numeric parameters (`name=<digits>`),
+//!    writing everything into the column-major request struct.
+
+use rhythm_simt::ir::{BinOp, Program, ProgramBuilder, Reg, UnOp, Width};
+use rhythm_simt::mem::ConstPool;
+
+use crate::layout::{F_P0, F_STATUS, F_TOKEN, F_TYPE};
+use crate::types::RequestType;
+
+use super::common::{env, st_struct, Env};
+
+/// Number used for "no type matched" (14 dynamic types + the image type).
+pub const TYPE_UNKNOWN: u32 = 15;
+
+/// Build the parser kernel. File-name tables are interned into `pool`.
+pub fn build_parser(pool: &mut ConstPool) -> Program {
+    // The 14 dynamic types plus the static-image endpoint, which the
+    // parser classifies so dispatch can form bypassing image cohorts
+    // (paper §5.1).
+    let mut names: Vec<(u32, u32)> = RequestType::ALL
+        .iter()
+        .map(|t| pool.intern_str(t.file_name()))
+        .collect();
+    names.push(pool.intern_str(crate::images::IMAGE_FILE_NAME));
+
+    let mut b = ProgramBuilder::new("http_parser");
+    let e = env(&mut b);
+
+    // ---- locate the file name within the request line -------------------
+    // Find the first space (after the method token).
+    let pos = b.imm(0);
+    let one = b.imm(1);
+    let space = b.imm(b' ' as u32);
+    let e2 = e;
+    b.while_loop(
+        |b| {
+            let ch = e2.reqbuf.read_byte(b, pos);
+            b.bin(BinOp::Ne, ch, space)
+        },
+        |b| {
+            b.bin_into(pos, BinOp::Add, pos, one);
+        },
+    );
+    b.bin_into(pos, BinOp::Add, pos, one); // skip the space
+
+    // Walk the target, tracking the character after the last '/'; stop at
+    // '?' or ' '.
+    let file_start = b.reg();
+    b.mov(file_start, pos);
+    let slash = b.imm(b'/' as u32);
+    let query_ch = b.imm(b'?' as u32);
+    let scanning = b.imm(1);
+    b.while_loop(
+        |b| {
+            let c = b.reg();
+            b.mov(c, scanning);
+            c
+        },
+        |b| {
+            let ch = e2.reqbuf.read_byte(b, pos);
+            let is_q = b.bin(BinOp::Eq, ch, query_ch);
+            let is_sp = b.bin(BinOp::Eq, ch, space);
+            let is_nul = b.un(UnOp::IsZero, ch);
+            let t = b.bin(BinOp::Or, is_q, is_sp);
+            let stop = b.bin(BinOp::Or, t, is_nul);
+            b.if_then_else(
+                stop,
+                |b| {
+                    b.imm_into(scanning, 0);
+                },
+                |b| {
+                    let is_slash = b.bin(BinOp::Eq, ch, slash);
+                    b.bin_into(pos, BinOp::Add, pos, one);
+                    b.if_then(is_slash, |b| {
+                        b.mov(file_start, pos);
+                    });
+                },
+            );
+        },
+    );
+    let file_len = b.bin(BinOp::Sub, pos, file_start);
+
+    // ---- match against the known file names (unrolled) --------------------
+    let type_id = b.imm(TYPE_UNKNOWN);
+    for (t, (off, len)) in names.iter().enumerate() {
+        let unknown = b.imm(TYPE_UNKNOWN);
+        let still = b.bin(BinOp::Eq, type_id, unknown);
+        let want_len = b.imm(*len);
+        let len_ok = b.bin(BinOp::Eq, file_len, want_len);
+        let try_cmp = b.bin(BinOp::And, still, len_ok);
+        let off_r = b.imm(*off);
+        let t_imm = b.imm(t as u32);
+        let e3 = e;
+        b.if_then(try_cmp, move |b| {
+            let matched = b.imm(1);
+            let j = b.imm(0);
+            let one_l = b.imm(1);
+            let want_len2 = b.imm(*len);
+            b.while_loop(
+                |b| {
+                    let m = b.reg();
+                    b.mov(m, matched);
+                    let in_range = b.bin(BinOp::LtU, j, want_len2);
+                    b.bin(BinOp::And, m, in_range)
+                },
+                |b| {
+                    let fp = b.bin(BinOp::Add, file_start, j);
+                    let ch = e3.reqbuf.read_byte(b, fp);
+                    let ca = b.bin(BinOp::Add, off_r, j);
+                    let cch = b.ld(Width::Byte, rhythm_simt::ir::MemSpace::Const, ca, 0);
+                    let ne = b.bin(BinOp::Ne, ch, cch);
+                    b.if_then(ne, |b| {
+                        b.imm_into(matched, 0);
+                    });
+                    b.bin_into(j, BinOp::Add, j, one_l);
+                },
+            );
+            b.if_then(matched, |b| {
+                b.mov(type_id, t_imm);
+            });
+        });
+    }
+    st_struct(&mut b, &e, F_TYPE, type_id);
+
+    // ---- single-pass parameter and cookie extraction ----------------------
+    emit_param_scan(&mut b, &e);
+
+    let zero = b.imm(0);
+    st_struct(&mut b, &e, F_STATUS, zero);
+    b.halt();
+    b.build().expect("parser assembles")
+}
+
+/// Scan the whole request for `SID=<digits>` and positional
+/// `name=<digits>` parameters (request-generator convention: parameters
+/// appear in canonical order in the query string or body).
+fn emit_param_scan(b: &mut ProgramBuilder, e: &Env) {
+    let pos = b.imm(0);
+    let one = b.imm(1);
+    let eq = b.imm(b'=' as u32);
+    let token = b.imm(0);
+    let nparams = b.imm(0);
+    let prev1 = b.imm(0);
+    let prev2 = b.imm(0);
+    let prev3 = b.imm(0);
+    let scanning = b.imm(1);
+    let e2 = *e;
+    b.while_loop(
+        |b| {
+            let c = b.reg();
+            b.mov(c, scanning);
+            let inb = b.bin(BinOp::LtU, pos, e2.reqbuf.size);
+            b.bin(BinOp::And, c, inb)
+        },
+        |b| {
+            let ch = e2.reqbuf.read_byte(b, pos);
+            let is_nul = b.un(UnOp::IsZero, ch);
+            b.if_then_else(
+                is_nul,
+                |b| {
+                    b.imm_into(scanning, 0);
+                },
+                |b| {
+                    let is_eq = b.bin(BinOp::Eq, ch, eq);
+                    b.if_then_else(
+                        is_eq,
+                        |b| {
+                            // Is this `SID=`?
+                            let s_ch = b.imm(b'S' as u32);
+                            let i_ch = b.imm(b'I' as u32);
+                            let d_ch = b.imm(b'D' as u32);
+                            let m1 = b.bin(BinOp::Eq, prev3, s_ch);
+                            let m2 = b.bin(BinOp::Eq, prev2, i_ch);
+                            let m3 = b.bin(BinOp::Eq, prev1, d_ch);
+                            let m12 = b.bin(BinOp::And, m1, m2);
+                            let is_sid = b.bin(BinOp::And, m12, m3);
+                            b.bin_into(pos, BinOp::Add, pos, one);
+                            // Parse the digit run at pos.
+                            let value = b.imm(0);
+                            let ten = b.imm(10);
+                            let zero_ch = b.imm(b'0' as u32);
+                            let nine_ch = b.imm(b'9' as u32);
+                            let digits = b.imm(1);
+                            b.while_loop(
+                                |b| {
+                                    let d = b.reg();
+                                    b.mov(d, digits);
+                                    d
+                                },
+                                |b| {
+                                    let c2 = e2.reqbuf.read_byte(b, pos);
+                                    let ge = b.bin(BinOp::GeU, c2, zero_ch);
+                                    let le = b.bin(BinOp::LeU, c2, nine_ch);
+                                    let is_d = b.bin(BinOp::And, ge, le);
+                                    b.if_then_else(
+                                        is_d,
+                                        |b| {
+                                            let d = b.bin(BinOp::Sub, c2, zero_ch);
+                                            let sc = b.bin(BinOp::Mul, value, ten);
+                                            b.bin_into(value, BinOp::Add, sc, d);
+                                            b.bin_into(pos, BinOp::Add, pos, one);
+                                        },
+                                        |b| {
+                                            b.imm_into(digits, 0);
+                                        },
+                                    );
+                                },
+                            );
+                            b.if_then_else(
+                                is_sid,
+                                |b| {
+                                    b.mov(token, value);
+                                },
+                                |b| {
+                                    // Positional parameter slot (max 4).
+                                    let four = b.imm(4);
+                                    let fits = b.bin(BinOp::LtU, nparams, four);
+                                    b.if_then(fits, |b| {
+                                        let f0 = b.imm(F_P0);
+                                        let f = b.bin(BinOp::Add, f0, nparams);
+                                        st_struct_dyn(b, &e2, f, value);
+                                        b.bin_into(nparams, BinOp::Add, nparams, one);
+                                    });
+                                },
+                            );
+                            b.imm_into(prev1, 0);
+                            b.imm_into(prev2, 0);
+                            b.imm_into(prev3, 0);
+                        },
+                        |b| {
+                            b.mov(prev3, prev2);
+                            b.mov(prev2, prev1);
+                            b.mov(prev1, ch);
+                            b.bin_into(pos, BinOp::Add, pos, one);
+                        },
+                    );
+                },
+            );
+        },
+    );
+    st_struct(b, e, F_TOKEN, token);
+    // Zero the unused parameter slots so stale cohort data cannot leak.
+    let four = b.imm(4);
+    let zero = b.imm(0);
+    b.while_loop(
+        |b| b.bin(BinOp::LtU, nparams, four),
+        |b| {
+            let f0 = b.imm(F_P0);
+            let f = b.bin(BinOp::Add, f0, nparams);
+            st_struct_dyn(b, &e2, f, zero);
+            b.bin_into(nparams, BinOp::Add, nparams, one);
+        },
+    );
+}
+
+/// Store a struct word whose field index is a register.
+fn st_struct_dyn(b: &mut ProgramBuilder, e: &Env, field: Reg, value: Reg) {
+    let fc = b.bin(BinOp::Mul, field, e.cohort);
+    let idx = b.bin(BinOp::Add, fc, e.gid);
+    let four = b.imm(4);
+    let off = b.bin(BinOp::Mul, idx, four);
+    let addr = b.bin(BinOp::Add, e.struct_base, off);
+    b.st(Width::Word, rhythm_simt::ir::MemSpace::Global, addr, 0, value);
+}

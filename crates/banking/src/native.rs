@@ -1,0 +1,369 @@
+//! Native (CPU) request handlers: the paper's "standalone C version".
+//!
+//! [`handle_native`] interprets the shared [`crate::templates::PageSpec`]
+//! directly in Rust, calling the [`BankStore`] as a function (paper
+//! §5.3.2) and mutating the host [`SessionArrayHost`]. It produces exactly
+//! the bytes the SIMT kernels produce, minus warp-alignment padding —
+//! differential tests use [`rhythm_http::padding::eq_modulo_padding`].
+
+use std::sync::OnceLock;
+
+use rhythm_http::RESERVED_CONTENT_LENGTH;
+
+use crate::backend::BankStore;
+use crate::session_array::SessionArrayHost;
+use crate::templates::{
+    page_spec, Action, ArgSrc, PageSpec, RowAction, FORBIDDEN, HEADER_PREFIX, SESSION_COOKIE,
+};
+use crate::types::RequestType;
+
+/// A request after parsing, in the form the process stages consume. This
+/// mirrors the device request struct (see `crate::layout`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BankingRequest {
+    /// Request type.
+    pub ty: RequestType,
+    /// Session token (`0` for login, which has no session yet).
+    pub token: u32,
+    /// Positional numeric parameters; `params[0]` is the user id.
+    pub params: [u32; 4],
+}
+
+impl BankingRequest {
+    /// Convenience constructor.
+    pub fn new(ty: RequestType, token: u32, params: [u32; 4]) -> Self {
+        BankingRequest { ty, token, params }
+    }
+
+    /// The user id parameter.
+    pub fn userid(&self) -> u32 {
+        self.params[0]
+    }
+}
+
+/// Cached page specs, built once per process.
+pub fn cached_spec(ty: RequestType) -> &'static PageSpec {
+    static SPECS: OnceLock<Vec<PageSpec>> = OnceLock::new();
+    let specs = SPECS.get_or_init(|| RequestType::ALL.iter().map(|&t| page_spec(t)).collect());
+    &specs[ty.id() as usize]
+}
+
+/// Handle one request natively, returning the raw response bytes.
+///
+/// Session rules (shared with the kernels):
+/// * **login** authenticates via the backend (`Auth`), creates a session,
+///   and sets the `SID` cookie;
+/// * **logout** destroys the session;
+/// * every other type validates the token and answers
+///   [`FORBIDDEN`] on failure.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_banking::backend::BankStore;
+/// use rhythm_banking::native::{handle_native, BankingRequest};
+/// use rhythm_banking::session_array::SessionArrayHost;
+/// use rhythm_banking::types::RequestType;
+///
+/// let store = BankStore::generate(32, 1);
+/// let mut sessions = SessionArrayHost::new(64, 0xBEEF);
+/// let login = BankingRequest::new(RequestType::Login, 0, [5, 0, 0, 0]);
+/// let resp = handle_native(&login, &store, &mut sessions);
+/// let text = String::from_utf8(resp).unwrap();
+/// assert!(text.starts_with("HTTP/1.1 200 OK"));
+/// assert!(text.contains("Set-Cookie: SID="));
+/// assert_eq!(sessions.len(), 1);
+/// ```
+pub fn handle_native(
+    req: &BankingRequest,
+    store: &BankStore,
+    sessions: &mut SessionArrayHost,
+) -> Vec<u8> {
+    let spec = cached_spec(req.ty);
+
+    // --- session validation / creation --------------------------------
+    let (userid, token) = if spec.creates_session {
+        // Authentication happens via the backend Auth command below; a
+        // user outside the store fails there.
+        if store.user(req.userid()).is_none() {
+            return FORBIDDEN.as_bytes().to_vec();
+        }
+        let Some(token) = sessions.insert(req.userid()) else {
+            return FORBIDDEN.as_bytes().to_vec();
+        };
+        (req.userid(), token)
+    } else {
+        let Some(userid) = sessions.lookup(req.token) else {
+            return FORBIDDEN.as_bytes().to_vec();
+        };
+        (userid, req.token)
+    };
+    if spec.destroys_session {
+        sessions.remove(token);
+    }
+
+    // --- backend stages -------------------------------------------------
+    // Args are resolved for wire fidelity but the store answers
+    // arg-independently (device KV-store parity; see backend docs).
+    let responses: Vec<String> = spec
+        .backend
+        .iter()
+        .map(|acc| {
+            let _args: Vec<u32> = acc
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgSrc::Param(i) => req.params[*i as usize],
+                })
+                .collect();
+            store.respond(acc.cmd, userid, &[])
+        })
+        .collect();
+
+    // --- header ----------------------------------------------------------
+    let mut out = Vec::with_capacity(req.ty.response_buffer_bytes() as usize);
+    out.extend_from_slice(HEADER_PREFIX.as_bytes());
+    if spec.creates_session {
+        out.extend_from_slice(format!("Set-Cookie: {SESSION_COOKIE}={token}\n").as_bytes());
+    }
+    out.extend_from_slice(b"Content-Length: ");
+    let clen_pos = out.len();
+    out.extend_from_slice(&[b' '; RESERVED_CONTENT_LENGTH]);
+    out.extend_from_slice(b"\n\n");
+    let body_start = out.len();
+
+    // --- body -------------------------------------------------------------
+    for action in &spec.actions {
+        emit(&mut out, action, req, token, &responses);
+    }
+
+    // --- content-length backpatch -----------------------------------------
+    let body_len = out.len() - body_start;
+    let digits = body_len.to_string();
+    out[clen_pos..clen_pos + digits.len()].copy_from_slice(digits.as_bytes());
+    out
+}
+
+fn emit(out: &mut Vec<u8>, action: &Action, req: &BankingRequest, token: u32, resps: &[String]) {
+    match action {
+        Action::Static(s) => out.extend_from_slice(s.as_bytes()),
+        Action::PaddedParam(i) => push_line(out, &req.params[*i as usize].to_string()),
+        Action::PaddedParamMoney(i) => push_line(out, &money(req.params[*i as usize])),
+        Action::PaddedToken => push_line(out, &token.to_string()),
+        Action::PaddedField { req: r, field } => {
+            push_line(out, field_of(&resps[*r as usize], *field as usize));
+        }
+        Action::PaddedMoney { req: r, field } => {
+            let cents: u32 = field_of(&resps[*r as usize], *field as usize)
+                .parse()
+                .unwrap_or(0);
+            push_line(out, &money(cents));
+        }
+        Action::Rows { req: r, stride, body } => {
+            let resp = &resps[*r as usize];
+            let count: usize = field_of(resp, 0).parse().unwrap_or(0);
+            for row in 0..count {
+                for ra in body {
+                    match ra {
+                        RowAction::Static(s) => out.extend_from_slice(s.as_bytes()),
+                        RowAction::PaddedRowField(off) => {
+                            let idx = 1 + row * *stride as usize + *off as usize;
+                            push_line(out, field_of(resp, idx));
+                        }
+                        RowAction::PaddedRowMoney(off) => {
+                            let idx = 1 + row * *stride as usize + *off as usize;
+                            let cents: u32 = field_of(resp, idx).parse().unwrap_or(0);
+                            push_line(out, &money(cents));
+                        }
+                        RowAction::PaddedRowIndex => {
+                            push_line(out, &(row + 1).to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dynamic fragment emission: value then newline (the device adds warp
+/// padding between the two; natively the padding is empty).
+fn push_line(out: &mut Vec<u8>, value: &str) {
+    out.extend_from_slice(value.as_bytes());
+    out.push(b'\n');
+}
+
+/// `cents` rendered as `dollars.cc`.
+pub fn money(cents: u32) -> String {
+    format!("{}.{:02}", cents / 100, cents % 100)
+}
+
+/// `idx`-th pipe-separated field of a backend response (empty when
+/// missing).
+pub fn field_of(resp: &str, idx: usize) -> &str {
+    resp.split('|').nth(idx).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BankStore, SessionArrayHost) {
+        (BankStore::generate(64, 7), SessionArrayHost::new(256, 0xC0DE))
+    }
+
+    fn parse_content_length(resp: &[u8]) -> usize {
+        let text = std::str::from_utf8(resp).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("Content-Length:"))
+            .unwrap();
+        line["Content-Length:".len()..].trim().parse().unwrap()
+    }
+
+    #[test]
+    fn login_then_account_summary() {
+        let (store, mut sessions) = setup();
+        let login = BankingRequest::new(RequestType::Login, 0, [9, 0, 0, 0]);
+        let resp = handle_native(&login, &store, &mut sessions);
+        let text = String::from_utf8(resp).unwrap();
+        let token: u32 = text
+            .lines()
+            .find(|l| l.starts_with("Set-Cookie: SID="))
+            .unwrap()["Set-Cookie: SID=".len()..]
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(sessions.lookup(token), Some(9));
+
+        let summary = BankingRequest::new(RequestType::AccountSummary, token, [9, 0, 0, 0]);
+        let resp = handle_native(&summary, &store, &mut sessions);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.contains("Account Summary"));
+        // One row per account.
+        let n = store.user(9).unwrap().accounts.len();
+        assert_eq!(text.matches("<tr><td>account").count(), n);
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let (store, mut sessions) = setup();
+        let tok = sessions.insert(3).unwrap();
+        for ty in RequestType::ALL {
+            let tok = if ty.is_login() { 0 } else { tok };
+            let req = BankingRequest::new(ty, tok, [3, 1500, 0, 0]);
+            let resp = handle_native(&req, &store, &mut sessions);
+            let body_start = resp.windows(2).position(|w| w == b"\n\n").unwrap() + 2;
+            let body_len = resp.len() - body_start;
+            assert_eq!(
+                parse_content_length(&resp),
+                body_len,
+                "{ty}: content-length"
+            );
+            // logout destroyed it; re-create for the next iteration
+            if ty.is_logout() {
+                let t = sessions.insert(3).unwrap();
+                assert_eq!(t, tok, "reinserted session reuses the freed node");
+            }
+        }
+    }
+
+    #[test]
+    fn body_sizes_near_specweb_column() {
+        let (store, mut sessions) = setup();
+        for ty in RequestType::ALL {
+            let tok = if ty.is_login() {
+                0
+            } else {
+                sessions.insert(5).unwrap()
+            };
+            let req = BankingRequest::new(ty, tok, [5, 2000, 0, 0]);
+            let resp = handle_native(&req, &store, &mut sessions);
+            let body = parse_content_length(&resp) as f64;
+            let target = ty.target_body_bytes() as f64;
+            assert!(
+                (body - target).abs() / target < 0.12,
+                "{ty}: body {body} vs target {target}"
+            );
+            if !ty.is_logout() {
+                let t = sessions.lookup(tok);
+                if !ty.is_login() {
+                    assert_eq!(t, Some(5));
+                }
+            }
+            // Clean up non-login sessions (login created its own).
+            sessions.remove(tok);
+        }
+    }
+
+    #[test]
+    fn invalid_session_forbidden() {
+        let (store, mut sessions) = setup();
+        let req = BankingRequest::new(RequestType::Transfer, 0xBAD, [1, 0, 0, 0]);
+        let resp = handle_native(&req, &store, &mut sessions);
+        assert_eq!(resp, FORBIDDEN.as_bytes());
+    }
+
+    #[test]
+    fn unknown_user_login_forbidden() {
+        let (store, mut sessions) = setup();
+        let req = BankingRequest::new(RequestType::Login, 0, [9999, 0, 0, 0]);
+        let resp = handle_native(&req, &store, &mut sessions);
+        assert_eq!(resp, FORBIDDEN.as_bytes());
+        assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn logout_destroys_session() {
+        let (store, mut sessions) = setup();
+        let tok = sessions.insert(2).unwrap();
+        let req = BankingRequest::new(RequestType::Logout, tok, [2, 0, 0, 0]);
+        let resp = handle_native(&req, &store, &mut sessions);
+        assert!(String::from_utf8(resp).unwrap().contains("Signed Out"));
+        assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn bill_pay_shows_confirmation_and_balance() {
+        let (store, mut sessions) = setup();
+        let tok = sessions.insert(4).unwrap();
+        let req = BankingRequest::new(RequestType::BillPay, tok, [4, 12345, 0, 0]);
+        let resp = handle_native(&req, &store, &mut sessions);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.contains("123.45"), "echoed payment amount as money");
+        let expected = store.respond(crate::backend::BackendCmd::Pay, 4, &[]);
+        let conf = field_of(&expected, 1);
+        assert!(text.contains(conf), "backend confirmation in page");
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let (store, mut s1) = setup();
+        let (_, mut s2) = setup();
+        let t1 = s1.insert(6).unwrap();
+        let t2 = s2.insert(6).unwrap();
+        let r1 = handle_native(
+            &BankingRequest::new(RequestType::Profile, t1, [6, 0, 0, 0]),
+            &store,
+            &mut s1,
+        );
+        let r2 = handle_native(
+            &BankingRequest::new(RequestType::Profile, t2, [6, 0, 0, 0]),
+            &store,
+            &mut s2,
+        );
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn money_formatting() {
+        assert_eq!(money(0), "0.00");
+        assert_eq!(money(5), "0.05");
+        assert_eq!(money(123456), "1234.56");
+    }
+
+    #[test]
+    fn field_of_out_of_range_is_empty() {
+        assert_eq!(field_of("a|b", 5), "");
+        assert_eq!(field_of("a|b", 1), "b");
+    }
+}

@@ -1,0 +1,412 @@
+//! Single-cohort reference runner: drives one cohort through the parser,
+//! process stages, and backend on the simulated device, and harvests the
+//! responses and statistics.
+//!
+//! This is the measurement workhorse used by the differential tests and
+//! the benchmark harness. The full event-driven pipeline (with cohort
+//! formation, timeouts and overlapping cohorts) lives in `rhythm-core`;
+//! this runner executes one already-formed cohort to completion.
+
+use rhythm_simt::exec::LaunchConfig;
+use rhythm_simt::gpu::{Gpu, LaunchResult};
+use rhythm_simt::mem::DeviceMemory;
+use rhythm_simt::ExecError;
+
+use crate::backend::BankStore;
+use crate::genreq::GeneratedRequest;
+use crate::kernels::Workload;
+use crate::layout::{CohortLayout, BRESP_BYTES, BREQ_BYTES, F_RESP_LEN};
+use crate::session_array::SessionArrayHost;
+use crate::types::RequestType;
+
+/// Where backend requests are served.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BackendMode {
+    /// On the host (Titan A): breq/bresp cross the modelled PCIe bus and
+    /// the store answers as a host function.
+    Host,
+    /// On the device (Titan B/C): the backend kernel answers from the
+    /// serialized store in device memory.
+    Device,
+}
+
+/// Result of running one cohort to completion.
+#[derive(Clone, Debug)]
+pub struct CohortResult {
+    /// Per-lane raw responses (header + body, trimmed to the written
+    /// length).
+    pub responses: Vec<Vec<u8>>,
+    /// Per-kernel launch results in execution order `(name, result)`.
+    pub launches: Vec<(String, LaunchResult)>,
+    /// The layout used (for byte accounting).
+    pub layout: CohortLayout,
+    /// Device session-array state after the cohort.
+    pub sessions_after: SessionArrayHost,
+}
+
+impl CohortResult {
+    /// Total device kernel time across stages.
+    pub fn kernel_time_s(&self) -> f64 {
+        self.launches.iter().map(|(_, r)| r.time_s).sum()
+    }
+
+    /// Sum of a stat across launches.
+    pub fn total_warp_instructions(&self) -> u64 {
+        self.launches
+            .iter()
+            .map(|(_, r)| r.stats.warp_instructions)
+            .sum()
+    }
+
+    /// Aggregate lane instructions across launches.
+    pub fn total_lane_instructions(&self) -> u64 {
+        self.launches
+            .iter()
+            .map(|(_, r)| r.stats.lane_instructions)
+            .sum()
+    }
+}
+
+/// Options for [`run_cohort`].
+#[derive(Clone, Debug)]
+pub struct CohortOptions {
+    /// Transposed (true) or row-major buffers.
+    pub transposed: bool,
+    /// Backend placement.
+    pub backend: BackendMode,
+    /// Session array capacity (defaults to 4× cohort in [`Default`]).
+    pub session_capacity: u32,
+    /// Session token salt.
+    pub session_salt: u32,
+    /// Skip the parser kernel and load pre-parsed structs directly
+    /// (used when measuring process stages in isolation).
+    pub skip_parser: bool,
+}
+
+impl Default for CohortOptions {
+    fn default() -> Self {
+        CohortOptions {
+            transposed: true,
+            backend: BackendMode::Device,
+            session_capacity: 4096,
+            session_salt: 0x5EED_0001,
+            skip_parser: false,
+        }
+    }
+}
+
+/// Run one uniform-type cohort through parse → process stages → response.
+///
+/// `sessions` provides the pre-existing sessions (it must be the same
+/// array the requests' tokens were created in) and is updated to the
+/// device's post-cohort state.
+///
+/// # Errors
+///
+/// Propagates kernel execution faults.
+///
+/// # Panics
+///
+/// Panics if `reqs` is empty or contains mixed request types (process
+/// kernels are type-specific; the dispatcher forms uniform cohorts).
+pub fn run_cohort(
+    workload: &Workload,
+    store: &BankStore,
+    sessions: &mut SessionArrayHost,
+    reqs: &[GeneratedRequest],
+    gpu: &Gpu,
+    opts: &CohortOptions,
+) -> Result<CohortResult, ExecError> {
+    assert!(!reqs.is_empty(), "empty cohort");
+    let ty = reqs[0].ty;
+    assert!(
+        reqs.iter().all(|r| r.ty == ty),
+        "mixed-type cohort passed to a type-specific process pipeline"
+    );
+    assert_eq!(
+        sessions.capacity(),
+        opts.session_capacity,
+        "session array capacity must match options"
+    );
+
+    let cohort = reqs.len() as u32;
+    let store_img = store.serialize_device();
+    let layout = CohortLayout::new(
+        cohort,
+        ty.response_buffer_bytes(),
+        opts.session_capacity,
+        opts.session_salt,
+        store_img.len() as u32,
+        opts.transposed,
+    );
+
+    let mut mem = DeviceMemory::new(layout.total_bytes as usize);
+    mem.load(layout.store_base, &store_img)?;
+    mem.load(layout.session_base, &sessions.to_device_bytes())?;
+
+    let mut launches = Vec::new();
+    let cfg = LaunchConfig {
+        lanes: cohort,
+        params: layout.params(),
+        local_bytes: 64,
+        shared_bytes: 1024,
+        ..Default::default()
+    };
+
+    if opts.skip_parser {
+        for (lane, r) in reqs.iter().enumerate() {
+            let lane = lane as u32;
+            layout.write_struct(&mut mem, lane, crate::layout::F_TYPE, r.ty.id())?;
+            layout.write_struct(&mut mem, lane, crate::layout::F_TOKEN, r.token)?;
+            for (i, &p) in r.params.iter().enumerate() {
+                layout.write_struct(&mut mem, lane, crate::layout::F_P0 + i as u32, p)?;
+            }
+        }
+    } else {
+        for (lane, r) in reqs.iter().enumerate() {
+            layout.write_lane(
+                &mut mem,
+                layout.reqbuf_base,
+                crate::layout::REQBUF_BYTES,
+                lane as u32,
+                &r.raw,
+            )?;
+        }
+        let res = gpu.launch(&workload.parser, &cfg, &mut mem, &workload.pool)?;
+        launches.push(("parser".to_string(), res));
+    }
+
+    let stages = workload.stages_of(ty);
+    let n_backend = stages.len() - 1;
+    for (i, stage) in stages.iter().enumerate() {
+        let res = gpu.launch(stage, &cfg, &mut mem, &workload.pool)?;
+        launches.push((stage.name().to_string(), res));
+        if i < n_backend {
+            match opts.backend {
+                BackendMode::Device => {
+                    let res = gpu.launch(&workload.backend, &cfg, &mut mem, &workload.pool)?;
+                    launches.push(("device_backend".to_string(), res));
+                }
+                BackendMode::Host => {
+                    host_backend_step(store, &layout, &mut mem)?;
+                }
+            }
+        }
+    }
+
+    let mut responses = Vec::with_capacity(reqs.len());
+    for lane in 0..cohort {
+        let len = layout.read_struct(&mem, lane, F_RESP_LEN)?;
+        let full = layout.read_lane(&mem, layout.resp_base, layout.resp_size, lane)?;
+        responses.push(full[..len as usize].to_vec());
+    }
+
+    let sess_bytes = mem.slice(
+        layout.session_base,
+        SessionArrayHost::device_bytes(opts.session_capacity),
+    )?;
+    let sessions_after = SessionArrayHost::from_device_bytes(sess_bytes, opts.session_salt);
+    *sessions = sessions_after.clone();
+
+    Ok(CohortResult {
+        responses,
+        launches,
+        layout,
+        sessions_after,
+    })
+}
+
+/// Serve one backend round on the host: read each lane's request text,
+/// answer from the store, and write the response text back.
+fn host_backend_step(
+    store: &BankStore,
+    layout: &CohortLayout,
+    mem: &mut DeviceMemory,
+) -> Result<(), ExecError> {
+    for lane in 0..layout.cohort {
+        let raw = layout.read_lane(mem, layout.breq_base, BREQ_BYTES, lane)?;
+        let end = raw.iter().position(|&b| b == b'\n').unwrap_or(0);
+        let text = String::from_utf8_lossy(&raw[..=end.min(raw.len() - 1)]).into_owned();
+        // Args are carried for wire fidelity but the store answers
+        // arg-independently, matching the device KV-store semantics (see
+        // the backend module docs).
+        let reply = match BankStore::parse_request(&text) {
+            Some((cmd, user, _args)) => {
+                if store.user(user).is_some() {
+                    store.respond(cmd, user, &[])
+                } else {
+                    "!ERR".to_string()
+                }
+            }
+            None => "!ERR".to_string(),
+        };
+        let mut bytes = reply.into_bytes();
+        bytes.push(b'\n');
+        bytes.push(0);
+        assert!(bytes.len() <= BRESP_BYTES as usize);
+        layout.write_lane(mem, layout.bresp_base, BRESP_BYTES, lane, &bytes)?;
+    }
+    Ok(())
+}
+
+/// Result of one scalar (single-lane, CPU-model) request execution.
+#[derive(Clone, Debug)]
+pub struct ScalarRunResult {
+    /// Aggregate scalar statistics over parser + all process stages.
+    pub stats: rhythm_simt::ScalarStats,
+    /// The raw response (header + body).
+    pub response: Vec<u8>,
+    /// Dynamic basic-block trace (parser + stages concatenated, with
+    /// block ids offset per kernel so different kernels never alias),
+    /// present when requested.
+    pub trace: Option<Vec<u32>>,
+}
+
+/// Execute one request on the scalar executor — the paper's "standalone C
+/// version" measurement path (one CPU core, no batching, backend as a
+/// function call).
+///
+/// The request runs in a cohort-of-one layout; warp reductions degenerate
+/// to identity so no alignment padding is emitted, and the output matches
+/// [`crate::native::handle_native`] exactly.
+///
+/// # Errors
+///
+/// Propagates kernel execution faults.
+pub fn run_request_scalar(
+    workload: &Workload,
+    store: &BankStore,
+    sessions: &mut SessionArrayHost,
+    req: &GeneratedRequest,
+    capture_trace: bool,
+) -> Result<ScalarRunResult, ExecError> {
+    use rhythm_simt::exec::scalar::{execute_scalar, ScalarRun};
+
+    let store_img = store.serialize_device();
+    let layout = CohortLayout::new(
+        1,
+        req.ty.response_buffer_bytes(),
+        sessions.capacity(),
+        sessions.salt(),
+        store_img.len() as u32,
+        false,
+    );
+    let mut mem = DeviceMemory::new(layout.total_bytes as usize);
+    mem.load(layout.store_base, &store_img)?;
+    mem.load(layout.session_base, &sessions.to_device_bytes())?;
+    layout.write_lane(&mut mem, layout.reqbuf_base, crate::layout::REQBUF_BYTES, 0, &req.raw)?;
+
+    let cfg = LaunchConfig {
+        lanes: 1,
+        params: layout.params(),
+        local_bytes: 64,
+        shared_bytes: 1024,
+        ..Default::default()
+    };
+
+    let mut stats = rhythm_simt::ScalarStats::default();
+    let mut trace = capture_trace.then(Vec::new);
+    let mut kernel_trace: Vec<u32> = Vec::new();
+    // Offset added to block ids per kernel so traces from different
+    // kernels never collide when merged.
+    let mut run_one = |program: &rhythm_simt::Program,
+                       offset: u32,
+                       mem: &mut DeviceMemory,
+                       stats: &mut rhythm_simt::ScalarStats,
+                       trace: &mut Option<Vec<u32>>|
+     -> Result<(), ExecError> {
+        kernel_trace.clear();
+        let t = trace.as_mut().map(|_| &mut kernel_trace);
+        let s = execute_scalar(&ScalarRun::new(program, 0), &cfg, mem, &workload.pool, t)?;
+        stats.merge(&s);
+        if let Some(out) = trace.as_mut() {
+            out.extend(kernel_trace.iter().map(|b| b + offset));
+        }
+        Ok(())
+    };
+
+    run_one(&workload.parser, 0, &mut mem, &mut stats, &mut trace)?;
+    let stages = workload.stages_of(req.ty);
+    let n_backend = stages.len() - 1;
+    for (i, stage) in stages.iter().enumerate() {
+        let offset = 10_000 * (i as u32 + 1);
+        run_one(stage, offset, &mut mem, &mut stats, &mut trace)?;
+        if i < n_backend {
+            host_backend_step(store, &layout, &mut mem)?;
+        }
+    }
+
+    let len = layout.read_struct(&mem, 0, F_RESP_LEN)?;
+    let full = layout.read_lane(&mem, layout.resp_base, layout.resp_size, 0)?;
+    let sess_bytes = mem.slice(
+        layout.session_base,
+        SessionArrayHost::device_bytes(sessions.capacity()),
+    )?;
+    *sessions = SessionArrayHost::from_device_bytes(sess_bytes, sessions.salt());
+
+    Ok(ScalarRunResult {
+        stats,
+        response: full[..len as usize].to_vec(),
+        trace,
+    })
+}
+
+/// Run only the parser kernel over a (possibly mixed-type) cohort;
+/// returns the launch result plus the parsed `(type_id, token, p0, p1)`
+/// per lane.
+///
+/// # Errors
+///
+/// Propagates kernel execution faults.
+pub fn run_parser_only(
+    workload: &Workload,
+    reqs: &[GeneratedRequest],
+    gpu: &Gpu,
+    opts: &CohortOptions,
+) -> Result<(LaunchResult, Vec<(u32, u32, u32, u32)>), ExecError> {
+    assert!(!reqs.is_empty(), "empty cohort");
+    let cohort = reqs.len() as u32;
+    // Parser doesn't touch responses/store; use the largest response size
+    // so the layout is valid for any type.
+    let resp_size = RequestType::ALL
+        .iter()
+        .map(|t| t.response_buffer_bytes())
+        .max()
+        .expect("nonempty");
+    let layout = CohortLayout::new(
+        cohort,
+        resp_size,
+        opts.session_capacity,
+        opts.session_salt,
+        0,
+        opts.transposed,
+    );
+    let mut mem = DeviceMemory::new(layout.total_bytes as usize);
+    for (lane, r) in reqs.iter().enumerate() {
+        layout.write_lane(
+            &mut mem,
+            layout.reqbuf_base,
+            crate::layout::REQBUF_BYTES,
+            lane as u32,
+            &r.raw,
+        )?;
+    }
+    let cfg = LaunchConfig {
+        lanes: cohort,
+        params: layout.params(),
+        local_bytes: 64,
+        shared_bytes: 1024,
+        ..Default::default()
+    };
+    let res = gpu.launch(&workload.parser, &cfg, &mut mem, &workload.pool)?;
+    let mut parsed = Vec::with_capacity(reqs.len());
+    for lane in 0..cohort {
+        parsed.push((
+            layout.read_struct(&mem, lane, crate::layout::F_TYPE)?,
+            layout.read_struct(&mem, lane, crate::layout::F_TOKEN)?,
+            layout.read_struct(&mem, lane, crate::layout::F_P0)?,
+            layout.read_struct(&mem, lane, crate::layout::F_P1)?,
+        ));
+    }
+    Ok((res, parsed))
+}

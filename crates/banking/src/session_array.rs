@@ -1,0 +1,268 @@
+//! The device-resident session array (paper §4.3.1).
+//!
+//! Sessions live in GPU global memory as a fixed-capacity open-addressed
+//! hash table. The paper's design goals, which we reproduce:
+//!
+//! * conflict-free cohort access: the session identifier encodes the node
+//!   index, so lookup is O(1) and touches exactly one node;
+//! * insertion probes linearly from `hash(userid)` and claims a node with
+//!   an atomic; collision-free insertion is O(1);
+//! * deletion (logout) is O(1).
+//!
+//! Tokens are `node_index ^ salt` — invertible, so a token names its node
+//! directly. The same algorithm is implemented three times and must agree:
+//! here on the host ([`SessionArrayHost`]), in the SIMT kernels
+//! (`kernels::session`), and implicitly by the native handlers which use
+//! this host version. Layout constants are shared with the IR builders.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per session node in device memory.
+pub const NODE_BYTES: u32 = 16;
+/// Offset of the claim/state word within a node (0 = free, ≥1 = claimed).
+pub const NODE_STATE: u32 = 0;
+/// Offset of the token word.
+pub const NODE_TOKEN: u32 = 4;
+/// Offset of the user-id word.
+pub const NODE_USER: u32 = 8;
+
+/// Multiplicative hash used to pick the starting probe bucket; must match
+/// `ProgramBuilder::hash_u32`.
+pub fn hash_userid(userid: u32) -> u32 {
+    let h = userid.wrapping_mul(0x9E37_79B9);
+    h ^ (h >> 17)
+}
+
+/// One session node (host view).
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// 0 = free; ≥1 = claimed.
+    pub state: u32,
+    /// Token = `index ^ salt` when active.
+    pub token: u32,
+    /// Owning user id.
+    pub user: u32,
+}
+
+/// Host implementation of the device session array.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_banking::session_array::SessionArrayHost;
+///
+/// let mut s = SessionArrayHost::new(1024, 0xBEEF);
+/// let tok = s.insert(42).expect("space available");
+/// assert_eq!(s.lookup(tok), Some(42));
+/// assert!(s.remove(tok));
+/// assert_eq!(s.lookup(tok), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionArrayHost {
+    nodes: Vec<Node>,
+    salt: u32,
+    live: u32,
+}
+
+impl SessionArrayHost {
+    /// Create an empty array with `capacity` nodes and a token salt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32, salt: u32) -> Self {
+        assert!(capacity > 0, "session array capacity must be nonzero");
+        SessionArrayHost {
+            nodes: vec![Node::default(); capacity as usize],
+            salt,
+            live: 0,
+        }
+    }
+
+    /// Capacity in nodes.
+    pub fn capacity(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// The token salt (a launch parameter for the kernels).
+    pub fn salt(&self) -> u32 {
+        self.salt
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> u32 {
+        self.live
+    }
+
+    /// True when no sessions are active.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Create a session for `userid`: probe linearly from
+    /// `hash(userid) % capacity`, claim the first free node, and return
+    /// its token. Returns `None` when the table is full.
+    pub fn insert(&mut self, userid: u32) -> Option<u32> {
+        let cap = self.capacity();
+        let start = hash_userid(userid) % cap;
+        for k in 0..cap {
+            let idx = (start + k) % cap;
+            let node = &mut self.nodes[idx as usize];
+            if node.state == 0 {
+                node.state = 1;
+                node.user = userid;
+                node.token = idx ^ self.salt;
+                self.live += 1;
+                return Some(node.token);
+            }
+        }
+        None
+    }
+
+    /// O(1) lookup: decode the node index from the token and verify.
+    pub fn lookup(&self, token: u32) -> Option<u32> {
+        let idx = token ^ self.salt;
+        let node = self.nodes.get(idx as usize)?;
+        (node.state >= 1 && node.token == token).then_some(node.user)
+    }
+
+    /// O(1) removal (logout); returns whether the session existed.
+    pub fn remove(&mut self, token: u32) -> bool {
+        let idx = token ^ self.salt;
+        let Some(node) = self.nodes.get_mut(idx as usize) else {
+            return false;
+        };
+        if node.state >= 1 && node.token == token {
+            *node = Node::default();
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pre-populate with sessions for random users (paper §5.3.1:
+    /// "populate the session array with random user ids"). Returns the
+    /// `(token, userid)` pairs created.
+    pub fn populate_random(
+        &mut self,
+        count: u32,
+        num_users: u32,
+        seed: u64,
+    ) -> Vec<(u32, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let user = rng.gen_range(0..num_users);
+            if let Some(tok) = self.insert(user) {
+                out.push((tok, user));
+            }
+        }
+        out
+    }
+
+    /// Serialize into the device layout (`capacity * NODE_BYTES` bytes).
+    pub fn to_device_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.nodes.len() * NODE_BYTES as usize];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let b = i * NODE_BYTES as usize;
+            out[b..b + 4].copy_from_slice(&n.state.to_le_bytes());
+            out[b + 4..b + 8].copy_from_slice(&n.token.to_le_bytes());
+            out[b + 8..b + 12].copy_from_slice(&n.user.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuild a host view from device bytes (for verifying kernel
+    /// mutations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a whole number of nodes.
+    pub fn from_device_bytes(bytes: &[u8], salt: u32) -> Self {
+        assert_eq!(bytes.len() % NODE_BYTES as usize, 0, "ragged node image");
+        let nodes: Vec<Node> = bytes
+            .chunks_exact(NODE_BYTES as usize)
+            .map(|c| Node {
+                state: u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                token: u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                user: u32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+            })
+            .collect();
+        let live = nodes.iter().filter(|n| n.state >= 1).count() as u32;
+        SessionArrayHost { nodes, salt, live }
+    }
+
+    /// Device memory required for `capacity` nodes.
+    pub fn device_bytes(capacity: u32) -> u32 {
+        capacity * NODE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut s = SessionArrayHost::new(8, 0x1234);
+        let t = s.insert(7).unwrap();
+        assert_eq!(s.lookup(t), Some(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(t));
+        assert!(!s.remove(t));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn colliding_userids_probe_linearly() {
+        let mut s = SessionArrayHost::new(4, 0);
+        // All four users hash somewhere; all four must fit.
+        let toks: Vec<_> = (0..4).map(|u| s.insert(u).unwrap()).collect();
+        assert_eq!(s.len(), 4);
+        for (u, t) in toks.iter().enumerate() {
+            assert_eq!(s.lookup(*t), Some(u as u32));
+        }
+        assert_eq!(s.insert(99), None, "table full");
+    }
+
+    #[test]
+    fn bogus_tokens_fail_lookup() {
+        let mut s = SessionArrayHost::new(8, 0xABCD);
+        let t = s.insert(1).unwrap();
+        assert_eq!(s.lookup(t ^ 1), None, "wrong token");
+        assert_eq!(s.lookup(0xFFFF_FFFF), None, "out of range index");
+    }
+
+    #[test]
+    fn device_roundtrip() {
+        let mut s = SessionArrayHost::new(16, 0x5A5A);
+        let pairs = s.populate_random(10, 100, 3);
+        assert!(!pairs.is_empty());
+        let img = s.to_device_bytes();
+        assert_eq!(img.len(), 16 * NODE_BYTES as usize);
+        let back = SessionArrayHost::from_device_bytes(&img, 0x5A5A);
+        assert_eq!(back.len(), s.len());
+        for (tok, user) in pairs {
+            assert_eq!(back.lookup(tok), Some(user));
+        }
+    }
+
+    #[test]
+    fn populate_respects_capacity() {
+        let mut s = SessionArrayHost::new(4, 0);
+        let pairs = s.populate_random(100, 10, 1);
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn hash_matches_builder_hash() {
+        // Must stay in sync with ProgramBuilder::hash_u32 (x * 0x9E3779B9,
+        // xor-shift 17).
+        let x = 0xDEAD_BEEFu32;
+        let h = x.wrapping_mul(0x9E37_79B9);
+        assert_eq!(hash_userid(x), h ^ (h >> 17));
+    }
+}

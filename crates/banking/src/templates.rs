@@ -1,0 +1,559 @@
+//! Page specifications: the single source of truth for the 14 Banking
+//! pages.
+//!
+//! Each request type is described by a [`PageSpec`]: the backend commands
+//! its process stages issue, and an ordered list of [`Action`]s that emit
+//! the HTML response. Two interpreters consume the same spec:
+//!
+//! * `crate::native` executes it directly in Rust against the
+//!   [`crate::backend::BankStore`] (the paper's standalone C version), and
+//! * `crate::kernels` compiles it to IR for the SIMT engine (the paper's
+//!   C+CUDA version).
+//!
+//! Differential tests assert the two agree modulo warp-alignment padding.
+//!
+//! Conventions shared by both interpreters:
+//!
+//! * response lines use bare `\n` so that alignment padding is always
+//!   line-trailing (the paper pads "after newline characters");
+//! * every dynamic fragment emits `value ⧺ padding ⧺ '\n'`, where the
+//!   padding is computed by a warp max-reduction on the device and is
+//!   empty on the scalar/native path;
+//! * the `Content-Length` value is a reserved run of
+//!   [`rhythm_http::RESERVED_CONTENT_LENGTH`] spaces, backpatched after
+//!   body generation.
+
+use crate::backend::BackendCmd;
+use crate::types::RequestType;
+
+/// Where a backend request argument comes from.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ArgSrc {
+    /// Request parameter `p<index>` from the parsed request struct.
+    Param(u8),
+}
+
+/// One backend access performed by a process stage.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BackendAccess {
+    /// The command to issue.
+    pub cmd: BackendCmd,
+    /// Arguments appended to the request line.
+    pub args: Vec<ArgSrc>,
+}
+
+/// A response-emission action. "Padded" actions emit
+/// `value ⧺ warp-padding ⧺ '\n'`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Literal HTML (may span many lines).
+    Static(String),
+    /// Request parameter `p<index>` as decimal.
+    PaddedParam(u8),
+    /// Request parameter `p<index>` in cents, rendered `dollars.cc`.
+    PaddedParamMoney(u8),
+    /// The session token as decimal (used in page footers).
+    PaddedToken,
+    /// Field `field` of backend response `req`, copied verbatim.
+    PaddedField {
+        /// Backend access index (0-based).
+        req: u8,
+        /// Pipe-separated field index (0-based).
+        field: u8,
+    },
+    /// Field `field` of backend response `req` (cents) as `dollars.cc`.
+    PaddedMoney {
+        /// Backend access index.
+        req: u8,
+        /// Field index.
+        field: u8,
+    },
+    /// Repeat `body` once per row; the row count is field 0 of backend
+    /// response `req`, and row `r`'s field `offset` is the flat field
+    /// `1 + r * stride + offset`.
+    Rows {
+        /// Backend access index.
+        req: u8,
+        /// Fields per row.
+        stride: u8,
+        /// Actions per row.
+        body: Vec<RowAction>,
+    },
+}
+
+/// Actions allowed inside a [`Action::Rows`] body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RowAction {
+    /// Literal HTML.
+    Static(String),
+    /// Row field `offset`, copied verbatim + padded + `'\n'`.
+    PaddedRowField(u8),
+    /// Row field `offset` (cents) as money + padded + `'\n'`.
+    PaddedRowMoney(u8),
+    /// The 1-based row number as decimal + padded + `'\n'`.
+    PaddedRowIndex,
+}
+
+/// Complete description of one Banking page.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PageSpec {
+    /// The request type this page serves.
+    pub ty: RequestType,
+    /// Backend accesses, one per backend stage (may be empty).
+    pub backend: Vec<BackendAccess>,
+    /// Body-emission actions.
+    pub actions: Vec<Action>,
+    /// Login creates a session and emits a `Set-Cookie` header.
+    pub creates_session: bool,
+    /// Logout destroys the request's session.
+    pub destroys_session: bool,
+}
+
+/// The cookie name carrying the session token.
+pub const SESSION_COOKIE: &str = "SID";
+
+/// Response header prefix shared by every page (bare-LF framing; see
+/// module docs). After this prefix come, in order: the optional
+/// `Set-Cookie: SID=<token><pad>\n`, then
+/// `Content-Length: <10 spaces>\n`, a blank line, and the body.
+pub const HEADER_PREFIX: &str = "HTTP/1.1 200 OK\nServer: Rhythm/0.1\nContent-Type: text/html\n";
+
+/// The 403 page sent when session validation fails (uniform across types
+/// so the error path is short and rarely-divergent, paper §4.4).
+pub const FORBIDDEN: &str =
+    "HTTP/1.1 403 Forbidden\nServer: Rhythm/0.1\nContent-Type: text/html\nContent-Length: 35\n\n<html><body>Forbidden</body></html>";
+
+impl PageSpec {
+    /// Process-stage count (= backend accesses + 1).
+    pub fn stages(&self) -> u32 {
+        self.backend.len() as u32 + 1
+    }
+
+    /// Estimated static bytes emitted by the actions (used for sizing).
+    pub fn static_bytes(&self) -> usize {
+        self.actions
+            .iter()
+            .map(|a| match a {
+                Action::Static(s) => s.len(),
+                Action::Rows { body, .. } => {
+                    // estimate four rows
+                    4 * body
+                        .iter()
+                        .map(|r| match r {
+                            RowAction::Static(s) => s.len(),
+                            _ => 12,
+                        })
+                        .sum::<usize>()
+                }
+                _ => 12,
+            })
+            .sum()
+    }
+}
+
+/// Deterministic HTML filler: realistic-looking static markup of
+/// approximately `bytes` bytes (within one line), tagged with the page
+/// name so every page's template is distinct.
+pub fn html_filler(tag: &str, bytes: usize) -> String {
+    const SNIPPETS: [&str; 6] = [
+        "<div class=\"row\"><span class=\"lbl\">Branch hours</span><span class=\"val\">Mon-Fri 9am-5pm</span></div>\n",
+        "<div class=\"row\"><span class=\"lbl\">Routing number</span><span class=\"val\">021000021</span></div>\n",
+        "<p class=\"fine\">Member FDIC. Equal Housing Lender. Rates subject to change without notice.</p>\n",
+        "<li><a href=\"/bank/account_summary.php\">Accounts</a> <a href=\"/bank/bill_pay.php\">Bill Pay</a></li>\n",
+        "<tr><td class=\"pad\">&nbsp;</td><td class=\"pad\">&nbsp;</td><td class=\"pad\">&nbsp;</td></tr>\n",
+        ".w{width:100%;margin:0 auto;padding:4px 8px;border:1px solid #ccd}\n",
+    ];
+    let mut out = String::with_capacity(bytes + 128);
+    out.push_str(&format!("<!-- {tag} -->\n"));
+    let mut i = 0usize;
+    while out.len() < bytes {
+        out.push_str(SNIPPETS[i % SNIPPETS.len()]);
+        if i % 7 == 0 {
+            out.push_str(&format!("<!-- section {tag}/{i} -->\n"));
+        }
+        i += 1;
+    }
+    out.truncate(bytes.max(out.find('\n').map_or(0, |p| p + 1)));
+    // Never truncate mid-line ambiguity: end on a newline.
+    if !out.ends_with('\n') {
+        if let Some(p) = out.rfind('\n') {
+            out.truncate(p + 1);
+        }
+    }
+    out
+}
+
+fn head(ty: RequestType, title: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html>\n<head><title>Rhythm Bank - {title}</title></head>\n<body>\n<h1>{title}</h1>\n<!-- page {} -->\n",
+        ty.file_name()
+    )
+}
+
+const TAIL: &str = "<hr>\n<p>Thank you for banking with Rhythm Bank.</p>\n</body>\n</html>\n";
+
+/// Build the [`PageSpec`] for a request type, with static filler sized so
+/// the body lands near the paper's SPECWeb response size (Table 2).
+pub fn page_spec(ty: RequestType) -> PageSpec {
+    use Action as A;
+    use RowAction as R;
+
+    let access = |cmd: BackendCmd, args: Vec<ArgSrc>| BackendAccess { cmd, args };
+
+    let (backend, mut actions, creates, destroys): (Vec<BackendAccess>, Vec<Action>, bool, bool) =
+        match ty {
+            RequestType::Login => (
+                vec![
+                    access(BackendCmd::Auth, vec![]),
+                    access(BackendCmd::Accounts, vec![]),
+                ],
+                vec![
+                    A::Static(head(ty, "Welcome")),
+                    A::Static("<p>Signed in as customer #\n".into()),
+                    A::PaddedParam(0),
+                    A::Static("</p>\n<table class=\"accounts\">\n<tr><th>#</th><th>Balance</th></tr>\n".into()),
+                    A::Rows {
+                        req: 1,
+                        stride: 1,
+                        body: vec![
+                            R::Static("<tr><td>acct\n".into()),
+                            R::PaddedRowIndex,
+                            R::Static("</td><td>$\n".into()),
+                            R::PaddedRowMoney(0),
+                            R::Static("</td></tr>\n".into()),
+                        ],
+                    },
+                    A::Static("</table>\n".into()),
+                ],
+                true,
+                false,
+            ),
+            RequestType::AccountSummary => (
+                vec![access(BackendCmd::Accounts, vec![])],
+                vec![
+                    A::Static(head(ty, "Account Summary")),
+                    A::Static("<table class=\"accounts\">\n<tr><th>Account</th><th>Balance</th></tr>\n".into()),
+                    A::Rows {
+                        req: 0,
+                        stride: 1,
+                        body: vec![
+                            R::Static("<tr><td>account\n".into()),
+                            R::PaddedRowIndex,
+                            R::Static("</td><td>$\n".into()),
+                            R::PaddedRowMoney(0),
+                            R::Static("</td></tr>\n".into()),
+                        ],
+                    },
+                    A::Static("</table>\n<p>Balances as of close of business.</p>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::AddPayee => (
+                vec![],
+                vec![
+                    A::Static(head(ty, "Add Payee")),
+                    A::Static("<form action=\"post_payee.php\" method=\"post\">\n<p>Customer\n".into()),
+                    A::PaddedParam(0),
+                    A::Static("</p>\n<input name=\"payee\"><input name=\"account\"><input type=\"submit\">\n</form>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::BillPay => (
+                vec![access(BackendCmd::Pay, vec![ArgSrc::Param(1)])],
+                vec![
+                    A::Static(head(ty, "Bill Payment")),
+                    A::Static("<p>Payment of $\n".into()),
+                    A::PaddedParamMoney(1),
+                    A::Static("scheduled.</p>\n<p>Confirmation\n".into()),
+                    A::PaddedField { req: 0, field: 1 },
+                    A::Static("</p>\n<p>New balance $\n".into()),
+                    A::PaddedMoney { req: 0, field: 2 },
+                    A::Static("</p>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::BillPayStatusOutput => (
+                vec![access(BackendCmd::History, vec![])],
+                vec![
+                    A::Static(head(ty, "Bill Pay Status")),
+                    A::Static("<table class=\"history\">\n<tr><th>#</th><th>Amount</th><th>Payee</th></tr>\n".into()),
+                    A::Rows {
+                        req: 0,
+                        stride: 2,
+                        body: vec![
+                            R::Static("<tr><td>\n".into()),
+                            R::PaddedRowIndex,
+                            R::Static("</td><td>$\n".into()),
+                            R::PaddedRowMoney(0),
+                            R::Static("</td><td>\n".into()),
+                            R::PaddedRowField(1),
+                            R::Static("</td></tr>\n".into()),
+                        ],
+                    },
+                    A::Static("</table>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::ChangeProfile => (
+                vec![access(BackendCmd::Profile, vec![])],
+                vec![
+                    A::Static(head(ty, "Change Profile")),
+                    A::Static("<form method=\"post\">\n<p>Name\n".into()),
+                    A::PaddedField { req: 0, field: 0 },
+                    A::Static("</p>\n<p>Address\n".into()),
+                    A::PaddedField { req: 0, field: 1 },
+                    A::Static("</p>\n<p>Email\n".into()),
+                    A::PaddedField { req: 0, field: 2 },
+                    A::Static("</p>\n<p>Phone\n".into()),
+                    A::PaddedField { req: 0, field: 3 },
+                    A::Static("</p>\n<input type=\"submit\" value=\"Save\">\n</form>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::CheckDetailHtml => (
+                vec![access(BackendCmd::History, vec![])],
+                vec![
+                    A::Static(head(ty, "Check Detail")),
+                    A::Static("<p>Check number\n".into()),
+                    A::PaddedParam(1),
+                    A::Static("</p>\n<p>Amount $\n".into()),
+                    A::PaddedMoney { req: 0, field: 1 },
+                    A::Static("</p>\n<p>Paid to\n".into()),
+                    A::PaddedField { req: 0, field: 2 },
+                    A::Static("</p>\n<img src=\"check_detail_image.php\" alt=\"check\">\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::OrderCheck => (
+                vec![access(BackendCmd::Accounts, vec![])],
+                vec![
+                    A::Static(head(ty, "Order Checks")),
+                    A::Static("<form action=\"place_check_order.php\" method=\"post\">\n<table>\n".into()),
+                    A::Rows {
+                        req: 0,
+                        stride: 1,
+                        body: vec![
+                            R::Static("<tr><td>from account\n".into()),
+                            R::PaddedRowIndex,
+                            R::Static("</td><td>$\n".into()),
+                            R::PaddedRowMoney(0),
+                            R::Static("</td></tr>\n".into()),
+                        ],
+                    },
+                    A::Static("</table>\n<input name=\"qty\" value=\"1\"><input type=\"submit\">\n</form>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::PlaceCheckOrder => (
+                vec![access(BackendCmd::Order, vec![ArgSrc::Param(1)])],
+                vec![
+                    A::Static(head(ty, "Check Order Placed")),
+                    A::Static("<p>Quantity\n".into()),
+                    A::PaddedParam(1),
+                    A::Static("</p>\n<p>Order number\n".into()),
+                    A::PaddedField { req: 0, field: 1 },
+                    A::Static("</p>\n<p>Fee $\n".into()),
+                    A::PaddedMoney { req: 0, field: 2 },
+                    A::Static("</p>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::PostPayee => (
+                vec![access(BackendCmd::Profile, vec![])],
+                vec![
+                    A::Static(head(ty, "Payee Added")),
+                    A::Static("<p>Payee id\n".into()),
+                    A::PaddedParam(1),
+                    A::Static("added for\n".into()),
+                    A::PaddedField { req: 0, field: 0 },
+                    A::Static("</p>\n<p>Notification sent to\n".into()),
+                    A::PaddedField { req: 0, field: 2 },
+                    A::Static("</p>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::PostTransfer => (
+                vec![access(BackendCmd::Pay, vec![ArgSrc::Param(1)])],
+                vec![
+                    A::Static(head(ty, "Transfer Complete")),
+                    A::Static("<p>Transferred $\n".into()),
+                    A::PaddedParamMoney(1),
+                    A::Static("</p>\n<p>Confirmation\n".into()),
+                    A::PaddedField { req: 0, field: 1 },
+                    A::Static("</p>\n<p>New balance $\n".into()),
+                    A::PaddedMoney { req: 0, field: 2 },
+                    A::Static("</p>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::Profile => (
+                vec![access(BackendCmd::Profile, vec![])],
+                vec![
+                    A::Static(head(ty, "Your Profile")),
+                    A::Static("<dl>\n<dt>Name</dt><dd>\n".into()),
+                    A::PaddedField { req: 0, field: 0 },
+                    A::Static("</dd>\n<dt>Address</dt><dd>\n".into()),
+                    A::PaddedField { req: 0, field: 1 },
+                    A::Static("</dd>\n<dt>Email</dt><dd>\n".into()),
+                    A::PaddedField { req: 0, field: 2 },
+                    A::Static("</dd>\n<dt>Phone</dt><dd>\n".into()),
+                    A::PaddedField { req: 0, field: 3 },
+                    A::Static("</dd>\n</dl>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::Transfer => (
+                vec![access(BackendCmd::Accounts, vec![])],
+                vec![
+                    A::Static(head(ty, "Transfer Funds")),
+                    A::Static("<form action=\"post_transfer.php\" method=\"post\">\n<table>\n".into()),
+                    A::Rows {
+                        req: 0,
+                        stride: 1,
+                        body: vec![
+                            R::Static("<tr><td>account\n".into()),
+                            R::PaddedRowIndex,
+                            R::Static("</td><td>$\n".into()),
+                            R::PaddedRowMoney(0),
+                            R::Static("</td></tr>\n".into()),
+                        ],
+                    },
+                    A::Static("</table>\n<input name=\"amount\"><input type=\"submit\">\n</form>\n".into()),
+                ],
+                false,
+                false,
+            ),
+            RequestType::Logout => (
+                vec![],
+                vec![
+                    A::Static(head(ty, "Signed Out")),
+                    A::Static("<p>Customer\n".into()),
+                    A::PaddedParam(0),
+                    A::Static("has been signed out. Session\n".into()),
+                    A::PaddedToken,
+                    A::Static("is closed.</p>\n".into()),
+                ],
+                false,
+                true,
+            ),
+        };
+
+    // Pad with static filler so the body size approaches the paper's
+    // SPECWeb response size for this type.
+    let spec_so_far = PageSpec {
+        ty,
+        backend: backend.clone(),
+        actions: actions.clone(),
+        creates_session: creates,
+        destroys_session: destroys,
+    };
+    let target = ty.target_body_bytes();
+    let have = spec_so_far.static_bytes() + TAIL.len();
+    if target > have + 64 {
+        actions.push(A::Static(html_filler(ty.file_name(), target - have)));
+    }
+    actions.push(A::Static(TAIL.into()));
+
+    PageSpec {
+        ty,
+        backend,
+        actions,
+        creates_session: creates,
+        destroys_session: destroys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build() {
+        for ty in RequestType::ALL {
+            let spec = page_spec(ty);
+            assert_eq!(spec.ty, ty);
+            assert_eq!(
+                spec.backend.len() as u32,
+                ty.backend_requests(),
+                "{ty}: backend access count must match Table 2"
+            );
+            assert_eq!(spec.stages(), ty.process_stages());
+        }
+    }
+
+    #[test]
+    fn static_sizes_near_specweb_targets() {
+        for ty in RequestType::ALL {
+            let spec = page_spec(ty);
+            let target = ty.target_body_bytes() as f64;
+            let have = spec.static_bytes() as f64;
+            assert!(
+                (have - target).abs() / target < 0.10,
+                "{ty}: static {have} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_login_creates_only_logout_destroys() {
+        for ty in RequestType::ALL {
+            let spec = page_spec(ty);
+            assert_eq!(spec.creates_session, ty.is_login());
+            assert_eq!(spec.destroys_session, ty.is_logout());
+        }
+    }
+
+    #[test]
+    fn filler_is_deterministic_and_sized() {
+        let a = html_filler("x.php", 4000);
+        let b = html_filler("x.php", 4000);
+        assert_eq!(a, b);
+        assert!(a.len() <= 4000);
+        assert!(a.len() > 3800, "filler within ~5% under target");
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn padded_fragments_precede_newlines() {
+        // Every dynamic action must be followed by content so its padding
+        // is line-trailing: by construction dynamic actions always emit a
+        // trailing '\n' themselves; static fragments that *precede* a
+        // dynamic action must end with '\n'. Verify the convention.
+        for ty in RequestType::ALL {
+            let spec = page_spec(ty);
+            let mut prev_static_ends_nl = true;
+            for a in &spec.actions {
+                match a {
+                    Action::Static(s) => {
+                        prev_static_ends_nl = s.ends_with('\n');
+                    }
+                    _ => {
+                        assert!(
+                            prev_static_ends_nl,
+                            "{ty}: dynamic fragment must start a fresh line"
+                        );
+                        prev_static_ends_nl = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_page_has_correct_content_length() {
+        let body_start = FORBIDDEN.find("\n\n").unwrap() + 2;
+        let body_len = FORBIDDEN.len() - body_start;
+        assert!(FORBIDDEN.contains(&format!("Content-Length: {body_len}\n")));
+    }
+}

@@ -1,0 +1,357 @@
+//! The SPECWeb2009 Banking request types and their paper-reported
+//! characteristics (Table 2 of the Rhythm paper).
+//!
+//! The paper implements 14 of the 16 Banking requests (quick pay and check
+//! detail images are skipped) and normalizes the mix to 100 %. We carry
+//! the paper's measured columns as *reference data* so the benchmark
+//! harness can print paper-vs-measured tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 14 implemented SPECWeb2009 Banking request types.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names mirror the SPECWeb request names
+pub enum RequestType {
+    Login,
+    AccountSummary,
+    AddPayee,
+    BillPay,
+    BillPayStatusOutput,
+    ChangeProfile,
+    CheckDetailHtml,
+    OrderCheck,
+    PlaceCheckOrder,
+    PostPayee,
+    PostTransfer,
+    Profile,
+    Transfer,
+    Logout,
+}
+
+/// Paper-reported per-type characteristics (Table 2 columns).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct TypeInfo {
+    /// The request type this row describes.
+    pub ty: RequestType,
+    /// PHP file name requests of this type access.
+    pub file_name: &'static str,
+    /// Paper's x86 dynamic instructions per request (standalone C).
+    pub paper_x86_instructions: u64,
+    /// Paper's SPECWeb response size in KB.
+    pub paper_specweb_kb: f64,
+    /// Paper's Rhythm (power-of-two) response buffer size in KB.
+    pub paper_rhythm_kb: u32,
+    /// Fraction of all requests, percent (normalized to 100).
+    pub mix_percent: f64,
+    /// Backend accesses per request.
+    pub backend_requests: u32,
+}
+
+/// Table 2 of the paper, verbatim.
+pub const TABLE2: [TypeInfo; 14] = [
+    TypeInfo {
+        ty: RequestType::Login,
+        file_name: "login.php",
+        paper_x86_instructions: 132_401,
+        paper_specweb_kb: 4.0,
+        paper_rhythm_kb: 8,
+        mix_percent: 28.17,
+        backend_requests: 2,
+    },
+    TypeInfo {
+        ty: RequestType::AccountSummary,
+        file_name: "account_summary.php",
+        paper_x86_instructions: 392_243,
+        paper_specweb_kb: 17.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 19.77,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::AddPayee,
+        file_name: "add_payee.php",
+        paper_x86_instructions: 335_605,
+        paper_specweb_kb: 18.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 1.47,
+        backend_requests: 0,
+    },
+    TypeInfo {
+        ty: RequestType::BillPay,
+        file_name: "bill_pay.php",
+        paper_x86_instructions: 334_105,
+        paper_specweb_kb: 15.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 18.18,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::BillPayStatusOutput,
+        file_name: "bill_pay_status_output.php",
+        paper_x86_instructions: 485_176,
+        paper_specweb_kb: 24.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 2.92,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::ChangeProfile,
+        file_name: "change_profile.php",
+        paper_x86_instructions: 560_505,
+        paper_specweb_kb: 29.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 1.60,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::CheckDetailHtml,
+        file_name: "check_detail_html.php",
+        paper_x86_instructions: 240_615,
+        paper_specweb_kb: 11.0,
+        paper_rhythm_kb: 16,
+        mix_percent: 11.06,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::OrderCheck,
+        file_name: "order_check.php",
+        paper_x86_instructions: 433_352,
+        paper_specweb_kb: 21.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 1.60,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::PlaceCheckOrder,
+        file_name: "place_check_order.php",
+        paper_x86_instructions: 466_283,
+        paper_specweb_kb: 25.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 1.15,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::PostPayee,
+        file_name: "post_payee.php",
+        paper_x86_instructions: 638_598,
+        paper_specweb_kb: 34.0,
+        paper_rhythm_kb: 64,
+        mix_percent: 1.05,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::PostTransfer,
+        file_name: "post_transfer.php",
+        paper_x86_instructions: 334_267,
+        paper_specweb_kb: 16.0,
+        paper_rhythm_kb: 32,
+        mix_percent: 1.60,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::Profile,
+        file_name: "profile.php",
+        paper_x86_instructions: 590_816,
+        paper_specweb_kb: 32.0,
+        paper_rhythm_kb: 64,
+        mix_percent: 1.15,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::Transfer,
+        file_name: "transfer.php",
+        paper_x86_instructions: 277_235,
+        paper_specweb_kb: 13.0,
+        paper_rhythm_kb: 16,
+        mix_percent: 2.24,
+        backend_requests: 1,
+    },
+    TypeInfo {
+        ty: RequestType::Logout,
+        file_name: "logout.php",
+        paper_x86_instructions: 792_684,
+        paper_specweb_kb: 46.0,
+        paper_rhythm_kb: 64,
+        mix_percent: 8.06,
+        backend_requests: 0,
+    },
+];
+
+impl RequestType {
+    /// All 14 implemented types, in Table 2 order.
+    pub const ALL: [RequestType; 14] = [
+        RequestType::Login,
+        RequestType::AccountSummary,
+        RequestType::AddPayee,
+        RequestType::BillPay,
+        RequestType::BillPayStatusOutput,
+        RequestType::ChangeProfile,
+        RequestType::CheckDetailHtml,
+        RequestType::OrderCheck,
+        RequestType::PlaceCheckOrder,
+        RequestType::PostPayee,
+        RequestType::PostTransfer,
+        RequestType::Profile,
+        RequestType::Transfer,
+        RequestType::Logout,
+    ];
+
+    /// Stable numeric id used in device request structs and cohort keys.
+    pub fn id(self) -> u32 {
+        Self::ALL.iter().position(|&t| t == self).expect("in ALL") as u32
+    }
+
+    /// The inverse of [`RequestType::id`].
+    pub fn from_id(id: u32) -> Option<RequestType> {
+        Self::ALL.get(id as usize).copied()
+    }
+
+    /// Paper Table 2 row for this type.
+    pub fn info(self) -> &'static TypeInfo {
+        &TABLE2[self.id() as usize]
+    }
+
+    /// PHP file name (the cohort grouping key).
+    pub fn file_name(self) -> &'static str {
+        self.info().file_name
+    }
+
+    /// Resolve a type from a request path's file name.
+    pub fn from_file_name(name: &str) -> Option<RequestType> {
+        TABLE2
+            .iter()
+            .find(|i| i.file_name == name)
+            .map(|i| i.ty)
+    }
+
+    /// Backend accesses per request (Table 2).
+    pub fn backend_requests(self) -> u32 {
+        self.info().backend_requests
+    }
+
+    /// Number of process stages = backend requests + 1 (paper §3.1).
+    pub fn process_stages(self) -> u32 {
+        self.backend_requests() + 1
+    }
+
+    /// Target HTML body size in bytes for our generated pages (the
+    /// paper's SPECWeb response size).
+    pub fn target_body_bytes(self) -> usize {
+        (self.info().paper_specweb_kb * 1024.0) as usize
+    }
+
+    /// Response buffer size in bytes: next power of two above the padded
+    /// response. An 8 % header-plus-padding headroom reproduces the
+    /// paper's Table 2 "Rhythm" column exactly for all 14 types (e.g.
+    /// 15 KB content needs a 32 KB buffer while 13 KB fits in 16 KB).
+    pub fn response_buffer_bytes(self) -> u32 {
+        let padded = (self.target_body_bytes() as f64 * 1.08) as usize;
+        rhythm_http::padding::next_pow2(padded) as u32
+    }
+
+    /// Whether the request creates a session (login) or destroys one
+    /// (logout).
+    pub fn is_login(self) -> bool {
+        self == RequestType::Login
+    }
+
+    /// True for logout.
+    pub fn is_logout(self) -> bool {
+        self == RequestType::Logout
+    }
+}
+
+impl std::fmt::Display for RequestType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.file_name().trim_end_matches(".php"))
+    }
+}
+
+/// Weighted-harmonic-mean helper over the Table 2 mix: given a per-type
+/// metric `f(type) -> value` in "per-request" units (e.g. seconds/request
+/// or joules/request would use plain weighted mean; requests/second uses
+/// harmonic), compute the workload-level requests-per-X as the paper does
+/// (§5.3.1: "weighted harmonic mean of request efficiency").
+pub fn weighted_harmonic_mean(mut rate_of: impl FnMut(RequestType) -> f64) -> f64 {
+    let mut denom = 0.0;
+    let mut total_w = 0.0;
+    for info in &TABLE2 {
+        let w = info.mix_percent / 100.0;
+        total_w += w;
+        denom += w / rate_of(info.ty);
+    }
+    total_w / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_100() {
+        let sum: f64 = TABLE2.iter().map(|i| i.mix_percent).sum();
+        assert!((sum - 100.0).abs() < 0.05, "mix sums to {sum}");
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        for ty in RequestType::ALL {
+            assert_eq!(RequestType::from_id(ty.id()), Some(ty));
+        }
+        assert_eq!(RequestType::from_id(14), None);
+    }
+
+    #[test]
+    fn file_names_resolve() {
+        assert_eq!(
+            RequestType::from_file_name("login.php"),
+            Some(RequestType::Login)
+        );
+        assert_eq!(RequestType::from_file_name("nope.php"), None);
+    }
+
+    #[test]
+    fn buffer_sizes_match_paper_rhythm_column() {
+        for info in &TABLE2 {
+            let ours = info.ty.response_buffer_bytes();
+            assert_eq!(
+                ours,
+                info.paper_rhythm_kb * 1024,
+                "{}: our buffer {} vs paper {} KB",
+                info.file_name,
+                ours,
+                info.paper_rhythm_kb
+            );
+        }
+    }
+
+    #[test]
+    fn process_stage_counts() {
+        assert_eq!(RequestType::Login.process_stages(), 3);
+        assert_eq!(RequestType::AccountSummary.process_stages(), 2);
+        assert_eq!(RequestType::Logout.process_stages(), 1);
+        assert_eq!(RequestType::AddPayee.process_stages(), 1);
+    }
+
+    #[test]
+    fn average_response_size_near_paper() {
+        // Paper: average SPECWeb response 15.5 KB, Rhythm buffer 26.4 KB
+        // (weighted by mix).
+        let avg_buf: f64 = TABLE2
+            .iter()
+            .map(|i| i.paper_rhythm_kb as f64 * i.mix_percent / 100.0)
+            .sum();
+        assert!((avg_buf - 26.4).abs() < 1.0, "weighted avg buffer {avg_buf}");
+    }
+
+    #[test]
+    fn harmonic_mean_of_constant_is_constant() {
+        let m = weighted_harmonic_mean(|_| 5.0);
+        assert!((m - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_short_name() {
+        assert_eq!(RequestType::AccountSummary.to_string(), "account_summary");
+    }
+}

@@ -1,0 +1,264 @@
+//! Differential tests: the SIMT kernels and the native handlers interpret
+//! the same page specs and must agree — byte-for-byte modulo
+//! warp-alignment whitespace (paper: the CUDA server is validated against
+//! the SPECWeb client validator; here the native implementation plays the
+//! validator).
+
+use rhythm_banking::prelude::*;
+use rhythm_http::padding::eq_modulo_padding;
+use rhythm_simt::gpu::{Gpu, GpuConfig};
+
+const SALT: u32 = 0x5EED_0001;
+
+fn harness() -> (Workload, BankStore, Gpu) {
+    (
+        Workload::build(),
+        BankStore::generate(128, 77),
+        Gpu::new(GpuConfig::gtx_titan()),
+    )
+}
+
+fn opts(transposed: bool) -> CohortOptions {
+    CohortOptions {
+        transposed,
+        backend: BackendMode::Device,
+        session_capacity: 1024,
+        session_salt: SALT,
+        skip_parser: false,
+    }
+}
+
+/// Mask the Content-Length digits: the kernel's body includes alignment
+/// padding, so its (self-consistent) length legitimately differs from the
+/// native (unpadded) length.
+fn mask_content_length(resp: &[u8]) -> Vec<u8> {
+    let text = String::from_utf8_lossy(resp);
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.split('\n').enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        if line.starts_with("Content-Length:") {
+            out.push_str("Content-Length: <masked>");
+        } else {
+            out.push_str(line);
+        }
+    }
+    out.into_bytes()
+}
+
+/// Strip trailing spaces per line (padding), mask Content-Length, compare.
+fn assert_equivalent(kernel: &[u8], native: &[u8], ctx: &str) {
+    let (kernel_m, native_m) = (mask_content_length(kernel), mask_content_length(native));
+    assert!(
+        eq_modulo_padding(&kernel_m, &native_m),
+        "{ctx}: kernel and native responses differ\n--- kernel ---\n{}\n--- native ---\n{}",
+        String::from_utf8_lossy(&kernel[..kernel.len().min(2000)]),
+        String::from_utf8_lossy(&native[..native.len().min(2000)]),
+    );
+}
+
+/// Kernel Content-Length must equal the kernel's own (padded) body size.
+fn assert_clen_consistent(resp: &[u8], ctx: &str) {
+    let text = String::from_utf8_lossy(resp);
+    let body_start = text.find("\n\n").map(|p| p + 2).unwrap_or(0);
+    let clen: usize = text
+        .lines()
+        .find(|l| l.starts_with("Content-Length:"))
+        .and_then(|l| l["Content-Length:".len()..].trim().parse().ok())
+        .unwrap_or(usize::MAX);
+    assert_eq!(clen, resp.len() - body_start, "{ctx}: content-length");
+}
+
+#[test]
+fn every_type_matches_native_device_backend() {
+    let (workload, store, gpu) = harness();
+    for ty in RequestType::ALL {
+        let mut sessions = SessionArrayHost::new(1024, SALT);
+        let mut generator = RequestGenerator::new(128, ty.id() as u64 + 1);
+        let cohort = generator.uniform(ty, 48, &mut sessions);
+
+        // Native side runs against a snapshot of the same session state.
+        let mut native_sessions = sessions.clone();
+        let native: Vec<Vec<u8>> = cohort
+            .iter()
+            .map(|r| handle_native(&r.banking_request(), &store, &mut native_sessions))
+            .collect();
+
+        let mut device_sessions = sessions.clone();
+        let result = run_cohort(
+            &workload,
+            &store,
+            &mut device_sessions,
+            &cohort,
+            &gpu,
+            &opts(true),
+        )
+        .expect("cohort runs");
+
+        for (lane, (k, n)) in result.responses.iter().zip(&native).enumerate() {
+            assert_equivalent(k, n, &format!("{ty} lane {lane}"));
+            assert_clen_consistent(k, &format!("{ty} lane {lane}"));
+        }
+
+        // Session state evolves identically.
+        assert_eq!(
+            device_sessions.len(),
+            native_sessions.len(),
+            "{ty}: live session count"
+        );
+    }
+}
+
+#[test]
+fn row_major_and_transposed_produce_identical_responses() {
+    let (workload, store, gpu) = harness();
+    let ty = RequestType::AccountSummary;
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(128, 5);
+    let cohort = generator.uniform(ty, 64, &mut sessions);
+
+    let mut s1 = sessions.clone();
+    let row = run_cohort(&workload, &store, &mut s1, &cohort, &gpu, &opts(false)).unwrap();
+    let mut s2 = sessions.clone();
+    let col = run_cohort(&workload, &store, &mut s2, &cohort, &gpu, &opts(true)).unwrap();
+
+    assert_eq!(row.responses, col.responses, "layout must not affect bytes");
+
+    // ...but it radically affects the memory system: the transposed layout
+    // must need far fewer transactions per access in the response stage.
+    let tx = |r: &rhythm_banking::runner::CohortResult| {
+        let (_, l) = r
+            .launches
+            .iter()
+            .find(|(n, _)| n.ends_with("_response"))
+            .expect("response launch");
+        l.stats.transactions_per_access()
+    };
+    let (tx_row, tx_col) = (tx(&row), tx(&col));
+    assert!(
+        tx_row > 4.0 * tx_col,
+        "row-major {tx_row:.2} vs transposed {tx_col:.2} transactions/access"
+    );
+}
+
+#[test]
+fn host_and_device_backends_agree() {
+    let (workload, store, gpu) = harness();
+    let ty = RequestType::BillPay;
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(128, 9);
+    let cohort = generator.uniform(ty, 32, &mut sessions);
+
+    let mut s1 = sessions.clone();
+    let dev = run_cohort(&workload, &store, &mut s1, &cohort, &gpu, &opts(true)).unwrap();
+
+    let mut s2 = sessions.clone();
+    let mut host_opts = opts(true);
+    host_opts.backend = BackendMode::Host;
+    let host = run_cohort(&workload, &store, &mut s2, &cohort, &gpu, &host_opts).unwrap();
+
+    assert_eq!(dev.responses, host.responses);
+}
+
+#[test]
+fn parser_kernel_extracts_fields_from_mixed_cohort() {
+    let (workload, _store, gpu) = harness();
+    let mut sessions = SessionArrayHost::new(4096, SALT);
+    let mut generator = RequestGenerator::new(512, 11);
+    let cohort = generator.mixed(128, &mut sessions);
+
+    let o = CohortOptions {
+        session_capacity: 4096,
+        ..opts(true)
+    };
+    let (res, parsed) = run_parser_only(&workload, &cohort, &gpu, &o).unwrap();
+    for (lane, (r, (ty_id, token, p0, p1))) in cohort.iter().zip(&parsed).enumerate() {
+        assert_eq!(*ty_id, r.ty.id(), "lane {lane} type");
+        assert_eq!(*token, r.token, "lane {lane} token");
+        assert_eq!(*p0, r.params[0], "lane {lane} p0");
+        assert_eq!(*p1, r.params[1], "lane {lane} p1");
+    }
+    // A mixed cohort must diverge in the type-match chain.
+    assert!(res.stats.divergence.divergent_branches > 0);
+}
+
+#[test]
+fn invalid_session_gets_forbidden_from_kernels() {
+    let (workload, store, gpu) = harness();
+    let ty = RequestType::Transfer;
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(128, 13);
+    let mut cohort = generator.uniform(ty, 32, &mut sessions);
+
+    // Corrupt one lane's token (in both raw text and parsed form).
+    let bad = 7usize;
+    let bad_token = cohort[bad].token ^ 0xFFFF;
+    cohort[bad].token = bad_token;
+    cohort[bad].raw = rhythm_banking::genreq::raw_http(ty, bad_token, &cohort[bad].params);
+
+    let mut s = sessions.clone();
+    let result = run_cohort(&workload, &store, &mut s, &cohort, &gpu, &opts(true)).unwrap();
+    let text = String::from_utf8_lossy(&result.responses[bad]);
+    assert!(text.starts_with("HTTP/1.1 403 Forbidden"), "got: {text}");
+    // Neighbours are unaffected.
+    assert!(result.responses[6].starts_with(b"HTTP/1.1 200 OK"));
+    assert!(result.responses[8].starts_with(b"HTTP/1.1 200 OK"));
+}
+
+#[test]
+fn login_cohort_creates_sessions_on_device() {
+    let (workload, store, gpu) = harness();
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(128, 17);
+    let cohort = generator.uniform(RequestType::Login, 64, &mut sessions);
+    assert!(sessions.is_empty());
+
+    let mut s = sessions.clone();
+    let result = run_cohort(&workload, &store, &mut s, &cohort, &gpu, &opts(true)).unwrap();
+    assert_eq!(s.len(), 64, "one session per login");
+    for (lane, r) in cohort.iter().enumerate() {
+        let text = String::from_utf8_lossy(&result.responses[lane]);
+        let tok_line = text
+            .lines()
+            .find(|l| l.starts_with("Set-Cookie: SID="))
+            .unwrap_or_else(|| panic!("lane {lane}: no cookie in {text}"));
+        let tok: u32 = tok_line["Set-Cookie: SID=".len()..].trim().parse().unwrap();
+        assert_eq!(s.lookup(tok), Some(r.params[0]), "lane {lane}");
+    }
+}
+
+#[test]
+fn logout_cohort_destroys_sessions_on_device() {
+    let (workload, store, gpu) = harness();
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(128, 19);
+    let cohort = generator.uniform(RequestType::Logout, 32, &mut sessions);
+    assert_eq!(sessions.len(), 32);
+
+    let mut s = sessions.clone();
+    run_cohort(&workload, &store, &mut s, &cohort, &gpu, &opts(true)).unwrap();
+    assert_eq!(s.len(), 0, "all sessions destroyed");
+}
+
+#[test]
+fn divergence_appears_in_variable_row_counts() {
+    // Account summaries over users with 2–4 accounts: the row loop
+    // diverges, SIMD efficiency drops below 1 but stays high.
+    let (workload, store, gpu) = harness();
+    let ty = RequestType::AccountSummary;
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(128, 23);
+    let cohort = generator.uniform(ty, 64, &mut sessions);
+
+    let mut s = sessions.clone();
+    let result = run_cohort(&workload, &store, &mut s, &cohort, &gpu, &opts(true)).unwrap();
+    let (_, resp_launch) = result
+        .launches
+        .iter()
+        .find(|(n, _)| n.ends_with("_response"))
+        .unwrap();
+    let eff = resp_launch.stats.simd_efficiency(32);
+    assert!(eff < 1.0, "variable rows must diverge (eff {eff})");
+    assert!(eff > 0.5, "cohorts of one type stay mostly converged ({eff})");
+}

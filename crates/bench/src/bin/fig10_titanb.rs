@@ -1,0 +1,85 @@
+//! **Figure 10** — Throughput–efficiency for individual request types on
+//! Titan B (dynamic power).
+//!
+//! The paper's point: types whose Rhythm buffer is close to the required
+//! response size (low padding overhead) perform well — the
+//! power-of-two rounding makes the response transpose exponentially more
+//! expensive for types just past a boundary. We reproduce the per-type
+//! scatter and the buffer-overhead correlation.
+
+use rhythm_banking::prelude::RequestType;
+use rhythm_bench::fmt::{ratio, render_table};
+use rhythm_bench::measure::{
+    scalar_measurements, titan_type_measurement, Harness, MEASURE_COHORT,
+};
+use rhythm_platform::presets::{CpuPreset, TitanPlatform, TitanPreset};
+
+fn main() {
+    let h = Harness::new();
+    eprintln!("[fig10] measuring CPU baselines ...");
+    let ms = scalar_measurements(&h, 10);
+
+    // Per-type CPU baselines: i7 throughput and A9 dynamic efficiency for
+    // the same type.
+    let i7 = CpuPreset::i7_8w();
+    let a9 = CpuPreset::a9_2w();
+    let titan_b = TitanPreset::of(TitanPlatform::B);
+
+    // IR-to-x86 instruction unit conversion (see measure::cpu_platform_results).
+    let scale = rhythm_platform::presets::PAPER_AVG_INSTRUCTIONS
+        / rhythm_bench::measure::workload_avg_instructions(&ms);
+
+    let mut rows = Vec::new();
+    let mut low_overhead_better = 0.0;
+    let mut low_overhead_count: f64 = 0.0;
+    let mut high_overhead_better = 0.0;
+    let mut high_overhead_count: f64 = 0.0;
+    for ty in RequestType::ALL {
+        eprintln!("[fig10] {ty} ...");
+        let r = titan_type_measurement(&h, ty, TitanPlatform::B, MEASURE_COHORT);
+        let m = ms.iter().find(|m| m.ty == ty).expect("measured");
+        let i7_tput = i7.throughput(m.instructions * scale);
+        let a9_eff = a9.throughput(m.instructions * scale) / a9.dynamic_w();
+        let b_eff = r.tput / titan_b.dynamic_w();
+        let tput_norm = r.tput / i7_tput;
+        let eff_norm = b_eff / a9_eff;
+
+        // Padding overhead: buffer bytes vs actual (padded) body bytes.
+        let overhead = ty.response_buffer_bytes() as f64 / m.body_bytes - 1.0;
+        if overhead < 0.5 {
+            low_overhead_better += eff_norm;
+            low_overhead_count += 1.0;
+        } else {
+            high_overhead_better += eff_norm;
+            high_overhead_count += 1.0;
+        }
+        rows.push(vec![
+            ty.to_string(),
+            format!("{}", ty.response_buffer_bytes() / 1024),
+            format!("{:.0}%", overhead * 100.0),
+            ratio(tput_norm),
+            ratio(eff_norm),
+        ]);
+    }
+
+    println!("\nFigure 10: per-type throughput-efficiency on Titan B (dynamic power)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "request",
+                "buf KB",
+                "buffer overhead",
+                "tput vs i7-8w",
+                "dyn eff vs A9-2w"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "mean efficiency (norm) — low-overhead types: {:.2}, high-overhead types: {:.2}",
+        low_overhead_better / low_overhead_count.max(1.0),
+        high_overhead_better / high_overhead_count.max(1.0),
+    );
+    println!("paper: buffer sizes close to required sizes perform well (3.5x-5x i7, 105-120% of A9)");
+}

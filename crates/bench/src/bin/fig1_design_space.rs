@@ -1,0 +1,61 @@
+//! **Figure 1** — the server design space.
+//!
+//! The paper's motivating sketch: throughput (normalized to an x86 core)
+//! vs energy efficiency (normalized to an ARM core), with the ideal
+//! design at or above both. We regenerate the figure's points from the
+//! calibrated presets, using the paper's own instruction count so this
+//! binary needs no simulation.
+
+use rhythm_bench::fmt::{ratio, render_table};
+use rhythm_platform::efficiency::{design_points, PlatformResult, PowerBasis};
+use rhythm_platform::presets::{CpuPreset, TitanPlatform, TitanPreset, PAPER_AVG_INSTRUCTIONS};
+
+fn main() {
+    let mut results: Vec<PlatformResult> = CpuPreset::all()
+        .into_iter()
+        .map(|p| PlatformResult {
+            name: p.name.clone(),
+            throughput: p.throughput(PAPER_AVG_INSTRUCTIONS),
+            latency_s: p.latency_s(PAPER_AVG_INSTRUCTIONS),
+            idle_w: p.idle_w,
+            wall_w: p.wall_w,
+        })
+        .collect();
+    for variant in [TitanPlatform::A, TitanPlatform::B, TitanPlatform::C] {
+        let t = TitanPreset::of(variant);
+        results.push(PlatformResult {
+            name: t.name.clone(),
+            throughput: t.paper_tput,
+            latency_s: t.paper_latency_s,
+            idle_w: t.idle_w,
+            wall_w: t.wall_w,
+        });
+    }
+
+    let pts = design_points(
+        &results,
+        "Core i7 8 workers",
+        "ARM A9 2 workers",
+        PowerBasis::Wall,
+    );
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                ratio(p.efficiency_norm),
+                ratio(p.throughput_norm),
+                if p.in_desired_range { "ideal" } else { "" }.into(),
+            ]
+        })
+        .collect();
+    println!("Figure 1: server design space (x = perf/W vs ARM, y = throughput vs x86)\n");
+    println!(
+        "{}",
+        render_table(
+            &["design", "efficiency (norm)", "throughput (norm)", ""],
+            &rows
+        )
+    );
+    println!("the ideal design achieves throughput >= x86 at efficiency >= ARM (upper right)");
+}

@@ -1,0 +1,55 @@
+//! **Figure 8 (a, b)** — Throughput–efficiency design space for wall and
+//! dynamic power.
+//!
+//! Throughput is normalized to the Core i7 with 8 workers, efficiency
+//! (requests/Joule) to the ARM A9 with 2 workers. The "desired operating
+//! range" is the region at or above both baselines; the paper's headline
+//! is that Titan B/C land there (B marginally on dynamic power) while
+//! Titan A does not.
+
+use rhythm_bench::fmt::{ratio, render_table};
+use rhythm_bench::latency::titan_latency_s;
+use rhythm_bench::measure::{
+    cpu_platform_results, scalar_measurements, titan_platform_result, titan_result, Harness,
+};
+use rhythm_platform::efficiency::{design_points, PowerBasis};
+use rhythm_platform::presets::TitanPlatform;
+
+fn main() {
+    let h = Harness::new();
+    eprintln!("[fig8] measuring CPUs ...");
+    let ms = scalar_measurements(&h, 10);
+    let mut results = cpu_platform_results(&ms);
+    for variant in [TitanPlatform::A, TitanPlatform::B, TitanPlatform::C] {
+        eprintln!("[fig8] measuring Titan {variant:?} ...");
+        let tr = titan_result(&h, variant);
+        let lat = titan_latency_s(&tr);
+        results.push(titan_platform_result(&tr, lat));
+    }
+
+    for (basis, label) in [
+        (PowerBasis::Wall, "Figure 8a: wall power"),
+        (PowerBasis::Dynamic, "Figure 8b: dynamic power"),
+    ] {
+        let pts = design_points(&results, "Core i7 8 workers", "ARM A9 2 workers", basis);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.clone(),
+                    ratio(p.efficiency_norm),
+                    ratio(p.throughput_norm),
+                    if p.in_desired_range { "yes" } else { "" }.into(),
+                ]
+            })
+            .collect();
+        println!("\n{label} (x = efficiency vs A9-2w, y = throughput vs i7-8w)\n");
+        println!(
+            "{}",
+            render_table(
+                &["platform", "eff (norm)", "tput (norm)", "desired range"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! **Figure 9** — PCIe 3.0 limitations in Titan A for each request type.
+//!
+//! For every type: the throughput bound implied by PCIe 3.0 bandwidth
+//! (12 GB/s over bytes moved per request) and the achieved throughput
+//! (min of compute-side rate and the achievable fraction of the bound).
+//! The paper observes 83–95 % of the bound across types.
+
+use rhythm_banking::prelude::RequestType;
+use rhythm_bench::fmt::{kreqs, render_table};
+use rhythm_bench::measure::{titan_type_measurement, Harness, MEASURE_COHORT};
+use rhythm_platform::pcie::PcieModel;
+use rhythm_platform::presets::TitanPlatform;
+
+fn main() {
+    let h = Harness::new();
+    let pcie = PcieModel::gen3();
+
+    let mut rows = Vec::new();
+    let mut bound_limited = 0;
+    for ty in RequestType::ALL {
+        eprintln!("[fig9] {ty} ...");
+        let r = titan_type_measurement(&h, ty, TitanPlatform::A, MEASURE_COHORT);
+        let bound = pcie.bound(r.pcie_bytes);
+        let frac = r.tput / bound;
+        if r.tput < r.compute_tput {
+            bound_limited += 1;
+        }
+        rows.push(vec![
+            ty.to_string(),
+            format!("{:.1}", r.pcie_bytes / 1024.0),
+            kreqs(bound),
+            kreqs(r.compute_tput),
+            kreqs(r.tput),
+            format!("{:.0}%", frac * 100.0),
+        ]);
+    }
+
+    println!("\nFigure 9: PCIe 3.0 limitations in Titan A");
+    println!("(bound = 12 GB/s / bytes-per-request; achieved capped at 89% of bound)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "request",
+                "KB/req on bus",
+                "PCIe bound K/s",
+                "compute K/s",
+                "achieved K/s",
+                "% of bound"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "types limited by the bus rather than compute: {bound_limited}/14 \
+         (paper: all types, 83-95% of the PCIe bound)"
+    );
+
+    // What-if: PCIe 4.0 (paper §6.1.1 — "could increase Titan A's
+    // throughput to 864K reqs/s … even at 25 GB/s, the PCIe bus is still
+    // a bottleneck").
+    let gen4 = PcieModel::gen4();
+    let mut still_bound = 0;
+    let mut tputs = Vec::new();
+    for ty in RequestType::ALL {
+        let r = titan_type_measurement(&h, ty, TitanPlatform::A, MEASURE_COHORT);
+        let achieved = gen4.achieved(r.compute_tput, r.pcie_bytes);
+        if achieved < r.compute_tput {
+            still_bound += 1;
+        }
+        tputs.push((ty, achieved));
+    }
+    let map: std::collections::HashMap<_, _> = tputs.iter().cloned().collect();
+    let wmean = rhythm_banking::types::weighted_harmonic_mean(|ty| map[&ty]);
+    println!(
+        "\nwhat-if PCIe 4.0: workload throughput {} K/s, {still_bound}/14 types still bus-bound",
+        rhythm_bench::fmt::kreqs(wmean)
+    );
+    println!("paper: PCIe 4.0 could reach ~864K req/s but the bus remains the bottleneck");
+}

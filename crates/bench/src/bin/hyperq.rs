@@ -1,0 +1,101 @@
+//! **§6.4 "HyperQ"** — single hardware work queue (GTX 690) vs 32 queues
+//! (GTX Titan).
+//!
+//! Rhythm keeps many cohorts in flight, each a stream of dependent
+//! kernels. With one hardware queue, kernels from different streams
+//! enqueued back-to-back create false dependencies and serialize; HyperQ
+//! removes them. We replay a realistic interleaved launch sequence
+//! through the stream scheduler and also run the full pipeline with 1 vs
+//! 32 device slots.
+
+use rhythm_bench::fmt::{render_table, time_s};
+use rhythm_bench::latency::{mixed_arrivals, MeasuredService};
+use rhythm_bench::measure::{titan_result, Harness};
+use rhythm_core::pipeline::{Pipeline, PipelineConfig};
+use rhythm_platform::presets::TitanPlatform;
+use rhythm_simt::streams::{schedule, StreamOp};
+
+fn main() {
+    // Part 1: the stream scheduler on an interleaved cohort launch trace.
+    // 8 cohorts in flight, each parse -> process -> response, enqueued
+    // round-robin as the event loop would.
+    let stages: [(&str, f64); 3] = [("parse", 60e-6), ("process", 500e-6), ("response", 150e-6)];
+    let mut ops = Vec::new();
+    for round in 0..3 {
+        for cohort in 0..8u32 {
+            let (label, dur) = stages[round];
+            ops.push(StreamOp {
+                stream: cohort,
+                duration_s: dur,
+                label,
+            });
+        }
+    }
+    let single = schedule(&ops, 1, 16);
+    let hyperq = schedule(&ops, 32, 16);
+
+    println!("§6.4: HyperQ ablation\n");
+    println!("-- stream scheduler (8 cohorts x 3 kernels, interleaved enqueue) --");
+    println!(
+        "{}",
+        render_table(
+            &["hw queues", "makespan", "false-dependency stalls"],
+            &[
+                vec![
+                    "1 (GTX 690)".into(),
+                    time_s(single.makespan_s),
+                    format!("{}", single.false_dependency_stalls)
+                ],
+                vec![
+                    "32 (Titan)".into(),
+                    time_s(hyperq.makespan_s),
+                    format!("{}", hyperq.false_dependency_stalls)
+                ],
+            ]
+        )
+    );
+    println!(
+        "speedup from HyperQ: {:.2}x\n",
+        single.makespan_s / hyperq.makespan_s
+    );
+
+    // Part 2: whole-pipeline effect with measured Titan B latencies.
+    let h = Harness::new();
+    eprintln!("[hyperq] measuring Titan B ...");
+    let tr = titan_result(&h, TitanPlatform::B);
+    let mut rows = Vec::new();
+    for slots in [1u32, 32] {
+        let service = MeasuredService::from_titan(&tr);
+        let config = PipelineConfig {
+            cohort_size: 4096,
+            read_batch: 4096,
+            formation_timeout_s: 20e-3,
+            reader_timeout_s: 10e-3,
+            // Mixed traffic over 14 types needs more contexts than the
+            // paper's single-type-in-isolation runs (8): rare types hold
+            // a context until their formation timeout.
+            pool_contexts: 16,
+            device_slots: slots,
+            parser_instances: 1,
+        };
+        let pipeline = Pipeline::new(service, config);
+        let arrivals = mixed_arrivals(400_000, tr.tput * 0.8, 3);
+        let r = pipeline.run(&arrivals);
+        rows.push(vec![
+            format!("{slots}"),
+            format!("{:.0}K", r.throughput() / 1e3),
+            time_s(r.latency.mean),
+            format!("{}", r.device_queue_peak),
+        ]);
+    }
+    println!("-- pipeline with measured Titan B kernels --");
+    println!(
+        "{}",
+        render_table(
+            &["device slots", "tput", "mean latency", "peak queued kernels"],
+            &rows
+        )
+    );
+    println!("paper: a single work queue created false dependencies among process kernels,");
+    println!("       limiting throughput on the GTX 690; the Titan's HyperQ (32 queues) fixed it");
+}

@@ -1,0 +1,58 @@
+//! **§5.1 extension** — static image cohorts.
+//!
+//! The paper implements image support (parser classifies, image cohorts
+//! bypass the process stage) but does not evaluate throughput because
+//! "image throughput is primarily dictated by network bandwidth since
+//! there is no processing involved". We measure the device-side rate and
+//! show exactly that: the network link, not the GPU, is the binding
+//! constraint.
+
+use rhythm_banking::images::{run_image_cohort, ImageStore};
+use rhythm_banking::prelude::Workload;
+use rhythm_bench::fmt::{kreqs, render_table};
+use rhythm_platform::network::NetworkLink;
+use rhythm_simt::gpu::{Gpu, GpuConfig};
+
+fn main() {
+    let workload = Workload::build();
+    let images = ImageStore::generate(64, 1234);
+    let gpu = Gpu::new(GpuConfig::gtx_titan());
+
+    let cohort = 512usize;
+    let requests: Vec<(u32, u32)> = (0..cohort as u32).map(|i| (i, i % 64)).collect();
+    eprintln!("[images] running image cohort of {cohort} ...");
+    let result = run_image_cohort(&workload, &images, &requests, &gpu, true).expect("cohort");
+
+    let device_time = gpu.sustained_time(&result.parse.stats) + gpu.sustained_time(&result.image.stats);
+    let device_tput = cohort as f64 / device_time;
+    let avg_bytes: f64 =
+        result.responses.iter().map(|r| r.len() as f64).sum::<f64>() / cohort as f64;
+
+    let mut rows = vec![vec![
+        "GPU (device-side)".to_string(),
+        kreqs(device_tput),
+        "compute".into(),
+    ]];
+    for link in [
+        NetworkLink::gbe1(),
+        NetworkLink::gbe10(),
+        NetworkLink::gbe100(),
+        NetworkLink::gbe400(),
+    ] {
+        let bound = link.request_bound(avg_bytes);
+        rows.push(vec![link.name.clone(), kreqs(bound), "network".into()]);
+    }
+
+    println!("\n§5.1: static image serving (avg response {:.1} KB)\n", avg_bytes / 1024.0);
+    println!(
+        "{}",
+        render_table(&["limit", "images K/s", "kind"], &rows)
+    );
+    let gbe10 = NetworkLink::gbe10().request_bound(avg_bytes);
+    println!(
+        "device rate is {:.0}x a 10GbE link's carrying capacity — \"image throughput is",
+        device_tput / gbe10
+    );
+    println!("primarily dictated by network bandwidth since there is no processing involved\"");
+    println!("(which is also why the paper defers images to CDNs).");
+}

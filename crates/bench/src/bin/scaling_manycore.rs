@@ -1,0 +1,72 @@
+//! **§6.2** — Scaling many-core processors to match Rhythm.
+//!
+//! How many idealized ARM/i5 cores match Titan B and C throughput, and
+//! how much power headroom remains for the uncore?
+
+use rhythm_bench::fmt::render_table;
+use rhythm_bench::measure::{
+    cpu_platform_results, scalar_measurements, titan_result, Harness,
+};
+use rhythm_platform::presets::{TitanPlatform, TitanPreset};
+use rhythm_platform::scaling::{scale_to_match, CoreType};
+
+fn main() {
+    let h = Harness::new();
+    eprintln!("[scaling] measuring ...");
+    let ms = scalar_measurements(&h, 10);
+    let cpus = cpu_platform_results(&ms);
+    let single_arm = cpus
+        .iter()
+        .find(|r| r.name == "ARM A9 1 worker")
+        .expect("a9 1w")
+        .throughput;
+    let single_i5 = cpus
+        .iter()
+        .find(|r| r.name == "Core i5 1 worker")
+        .expect("i5 1w")
+        .throughput;
+
+    let arm = CoreType::arm_a9(single_arm);
+    let i5 = CoreType::core_i5(single_i5);
+
+    let mut rows = Vec::new();
+    for variant in [TitanPlatform::B, TitanPlatform::C] {
+        eprintln!("[scaling] measuring Titan {variant:?} ...");
+        let tr = titan_result(&h, variant);
+        let budget = TitanPreset::of(variant).dynamic_w();
+        for core in [&arm, &i5] {
+            let r = scale_to_match(core, tr.tput, budget);
+            rows.push(vec![
+                format!("Titan {variant:?}"),
+                core.name.clone(),
+                format!("{:.0}K", tr.tput / 1e3),
+                format!("{}", r.cores_needed),
+                format!("{:.0}", r.scaled_power_w),
+                format!("{:.0}", r.budget_w),
+                format!("{:+.0}", r.uncore_headroom_w),
+                format!("{:.0}%", r.uncore_fraction * 100.0),
+            ]);
+        }
+    }
+
+    println!("\n§6.2: many-core scaling to match Rhythm throughput");
+    println!("(idealized linear scaling; 1 W/ARM core, 10 W/i5 core — paper's assumptions)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "target",
+                "core type",
+                "target tput",
+                "cores",
+                "scaled W",
+                "budget W",
+                "uncore headroom W",
+                "headroom %"
+            ],
+            &rows
+        )
+    );
+    println!("paper (Titan B): 192 ARM cores (40 W / 21% headroom), 21 i5 cores (22 W / 10%)");
+    println!("paper (Titan C): 385 ARM / 41 i5 cores; scaled systems exceed Titan C's power");
+}

@@ -1,0 +1,116 @@
+//! **Table 3** — SPECWeb Banking experimental results: power, latency,
+//! throughput and requests/Joule for every platform.
+//!
+//! CPU rows use the calibrated presets (power from the paper's
+//! measurements, throughput from our measured instruction counts). Titan
+//! rows come from the SIMT engine: per-type cohort measurements combined
+//! with the Table 2 mix (weighted harmonic mean, paper §5.3.1), latency
+//! from the `rhythm-core` pipeline at 80 % load.
+
+use rhythm_bench::fmt::{kreqs, render_table, time_s};
+use rhythm_bench::latency::titan_latency_s;
+use rhythm_bench::measure::{
+    cpu_platform_results, scalar_measurements, titan_platform_result, titan_result, Harness,
+};
+use rhythm_platform::presets::{CpuPreset, TitanPlatform, TitanPreset};
+use rhythm_platform::PlatformResult;
+
+fn main() {
+    let h = Harness::new();
+
+    eprintln!("[table3] measuring scalar instruction counts ...");
+    let ms = scalar_measurements(&h, 10);
+    let mut results: Vec<(PlatformResult, f64, f64)> = cpu_platform_results(&ms)
+        .into_iter()
+        .zip(CpuPreset::all())
+        .map(|(r, p)| {
+            let paper_t = p.paper_tput;
+            let paper_l = p.paper_latency_s;
+            (r, paper_t, paper_l)
+        })
+        .collect();
+
+    for variant in [TitanPlatform::A, TitanPlatform::B, TitanPlatform::C] {
+        eprintln!("[table3] measuring Titan {variant:?} ...");
+        let tr = titan_result(&h, variant);
+        let lat = titan_latency_s(&tr);
+        let preset = TitanPreset::of(variant);
+        results.push((
+            titan_platform_result(&tr, lat),
+            preset.paper_tput,
+            preset.paper_latency_s,
+        ));
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(r, paper_t, paper_l)| {
+            vec![
+                r.name.clone(),
+                format!("{:.0}", r.idle_w),
+                format!("{:.0}", r.wall_w),
+                format!("{:.0}", r.dynamic_w()),
+                time_s(r.latency_s),
+                time_s(*paper_l),
+                kreqs(r.throughput),
+                kreqs(*paper_t),
+                format!("{:.0}", r.reqs_per_joule_wall()),
+                format!("{:.0}", r.reqs_per_joule_dynamic()),
+            ]
+        })
+        .collect();
+
+    println!("\nTable 3: SPECWeb Banking experimental results");
+    println!("(power columns are the paper's wall measurements, used as model parameters)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "platform",
+                "idle W",
+                "wall W",
+                "dyn W",
+                "latency",
+                "lat (paper)",
+                "KReq/s",
+                "KReq/s (paper)",
+                "req/J wall",
+                "req/J dyn"
+            ],
+            &rows
+        )
+    );
+
+    // Headline shape checks (paper abstract / §6.1).
+    let find = |name: &str| {
+        results
+            .iter()
+            .find(|(r, _, _)| r.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    let i7 = &find("Core i7 8 workers").0;
+    let a9 = &find("ARM A9 2 workers").0;
+    let tb = &find("Titan B").0;
+    let tc = &find("Titan C").0;
+    println!("shape checks vs paper claims:");
+    println!(
+        "  Titan B / i7 throughput: {:.1}x   (paper: >4x)",
+        tb.throughput / i7.throughput
+    );
+    println!(
+        "  Titan C / i7 throughput: {:.1}x   (paper: >8x)",
+        tc.throughput / i7.throughput
+    );
+    println!(
+        "  Titan B dyn eff / A9: {:.2}x      (paper: 0.91x)",
+        tb.reqs_per_joule_dynamic() / a9.reqs_per_joule_dynamic()
+    );
+    println!(
+        "  Titan C dyn eff / A9: {:.2}x      (paper: 2.5x)",
+        tc.reqs_per_joule_dynamic() / a9.reqs_per_joule_dynamic()
+    );
+    println!(
+        "  Titan C wall eff / A9: {:.2}x     (paper: 3.3x)",
+        tc.reqs_per_joule_wall() / a9.reqs_per_joule_wall()
+    );
+}

@@ -1,0 +1,19 @@
+//! # rhythm-bench
+//!
+//! The experiment harness: one binary per table/figure of the Rhythm
+//! paper (see DESIGN.md §4 for the experiment index), built on shared
+//! measurement machinery:
+//!
+//! * [`measure`] — scalar (CPU-model) instruction counts and SIMT cohort
+//!   measurements for the Titan A/B/C variants;
+//! * [`latency`] — end-to-end latency via the `rhythm-core` pipeline fed
+//!   with measured kernel latencies;
+//! * [`fmt`] — plain-text table rendering.
+//!
+//! Run e.g. `cargo run --release -p rhythm-bench --bin table3_main`.
+
+#![warn(missing_docs)]
+
+pub mod fmt;
+pub mod latency;
+pub mod measure;

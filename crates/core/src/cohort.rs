@@ -1,0 +1,307 @@
+//! Cohort contexts, their lifecycle FSM, and the cohort pool (paper §3.1
+//! "Cohort Management").
+//!
+//! A cohort context tracks one batch of same-type requests:
+//!
+//! ```text
+//! Free ──add──▶ PartiallyFull ──fill/timeout──▶ Busy ──responses sent──▶ Free
+//! ```
+//!
+//! Contexts are preallocated in a fixed-size [`CohortPool`] (the paper
+//! implements the pool as static arrays to avoid allocation and
+//! synchronization overheads); running out of Free contexts is a
+//! structural hazard that stalls the pipeline.
+
+use std::fmt;
+
+/// Lifecycle state of a cohort context.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CohortState {
+    /// Unused; may be claimed to form a new cohort.
+    Free,
+    /// Has at least one request and is accumulating more.
+    PartiallyFull,
+    /// Reached the target size; ready to launch.
+    Full,
+    /// Executing in the process pipeline.
+    Busy,
+}
+
+/// Identifier of a context within its pool.
+pub type ContextId = u32;
+
+/// One cohort context.
+#[derive(Clone, Debug)]
+pub struct CohortContext<R> {
+    id: ContextId,
+    state: CohortState,
+    key: u32,
+    members: Vec<R>,
+    capacity: usize,
+    opened_at: f64,
+}
+
+impl<R> CohortContext<R> {
+    fn new(id: ContextId, capacity: usize) -> Self {
+        CohortContext {
+            id,
+            state: CohortState::Free,
+            key: 0,
+            members: Vec::with_capacity(capacity),
+            capacity,
+            opened_at: 0.0,
+        }
+    }
+
+    /// Context id within the pool.
+    pub fn id(&self) -> ContextId {
+        self.id
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> CohortState {
+        self.state
+    }
+
+    /// The cohort key (request type) this context accumulates.
+    pub fn key(&self) -> u32 {
+        self.key
+    }
+
+    /// Requests currently in the cohort.
+    pub fn members(&self) -> &[R] {
+        &self.members
+    }
+
+    /// Time the first request was added (for timeout accounting).
+    pub fn opened_at(&self) -> f64 {
+        self.opened_at
+    }
+
+    /// Occupancy as a fraction of capacity.
+    pub fn fill(&self) -> f64 {
+        self.members.len() as f64 / self.capacity as f64
+    }
+
+    /// Add a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is Busy or already Full, or if a request of
+    /// the wrong key is added to a non-empty context.
+    pub fn add(&mut self, request: R, key: u32, now: f64) {
+        match self.state {
+            CohortState::Free => {
+                self.state = CohortState::PartiallyFull;
+                self.key = key;
+                self.opened_at = now;
+            }
+            CohortState::PartiallyFull => {
+                assert_eq!(self.key, key, "cohort key mismatch");
+            }
+            s => panic!("cannot add to cohort in state {s:?}"),
+        }
+        self.members.push(request);
+        if self.members.len() >= self.capacity {
+            self.state = CohortState::Full;
+        }
+    }
+
+    /// Transition to Busy (launch), whether Full or timed out while
+    /// PartiallyFull.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the context is PartiallyFull or Full.
+    pub fn launch(&mut self) {
+        assert!(
+            matches!(
+                self.state,
+                CohortState::PartiallyFull | CohortState::Full
+            ),
+            "cannot launch a cohort in state {:?}",
+            self.state
+        );
+        self.state = CohortState::Busy;
+    }
+
+    /// Responses sent: drain the members and return to Free.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the context is Busy.
+    pub fn release(&mut self) -> Vec<R> {
+        assert_eq!(self.state, CohortState::Busy, "release requires Busy");
+        self.state = CohortState::Free;
+        self.key = 0;
+        std::mem::take(&mut self.members)
+    }
+}
+
+/// Fixed pool of cohort contexts.
+pub struct CohortPool<R> {
+    contexts: Vec<CohortContext<R>>,
+}
+
+impl<R> fmt::Debug for CohortPool<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CohortPool")
+            .field("contexts", &self.contexts.len())
+            .field("free", &self.free_count())
+            .finish()
+    }
+}
+
+impl<R> CohortPool<R> {
+    /// Preallocate `count` contexts of `capacity` requests each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `capacity` is zero.
+    pub fn new(count: u32, capacity: usize) -> Self {
+        assert!(count > 0, "pool needs at least one context");
+        assert!(capacity > 0, "cohort capacity must be nonzero");
+        CohortPool {
+            contexts: (0..count)
+                .map(|i| CohortContext::new(i, capacity))
+                .collect(),
+        }
+    }
+
+    /// Total contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// A pool is never empty (construction enforces it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Contexts currently Free.
+    pub fn free_count(&self) -> usize {
+        self.contexts
+            .iter()
+            .filter(|c| c.state == CohortState::Free)
+            .count()
+    }
+
+    /// Borrow a context.
+    pub fn get(&self, id: ContextId) -> &CohortContext<R> {
+        &self.contexts[id as usize]
+    }
+
+    /// Mutably borrow a context.
+    pub fn get_mut(&mut self, id: ContextId) -> &mut CohortContext<R> {
+        &mut self.contexts[id as usize]
+    }
+
+    /// The open (PartiallyFull) context accumulating `key`, if any.
+    pub fn open_for(&self, key: u32) -> Option<ContextId> {
+        self.contexts
+            .iter()
+            .find(|c| c.state == CohortState::PartiallyFull && c.key == key)
+            .map(|c| c.id)
+    }
+
+    /// Claim a Free context (does not change its state; the first `add`
+    /// transitions it).
+    pub fn acquire(&mut self) -> Option<ContextId> {
+        self.contexts
+            .iter()
+            .find(|c| c.state == CohortState::Free)
+            .map(|c| c.id)
+    }
+
+    /// All context states (for metrics).
+    pub fn states(&self) -> Vec<CohortState> {
+        self.contexts.iter().map(|c| c.state).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_free_partial_full_busy_free() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 2);
+        assert_eq!(c.state(), CohortState::Free);
+        c.add(10, 3, 1.0);
+        assert_eq!(c.state(), CohortState::PartiallyFull);
+        assert_eq!(c.opened_at(), 1.0);
+        assert_eq!(c.key(), 3);
+        c.add(11, 3, 1.5);
+        assert_eq!(c.state(), CohortState::Full);
+        c.launch();
+        assert_eq!(c.state(), CohortState::Busy);
+        let members = c.release();
+        assert_eq!(members, vec![10, 11]);
+        assert_eq!(c.state(), CohortState::Free);
+        assert!(c.members().is_empty());
+    }
+
+    #[test]
+    fn timeout_launch_from_partially_full() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 8);
+        c.add(1, 0, 0.0);
+        assert_eq!(c.fill(), 1.0 / 8.0);
+        c.launch();
+        assert_eq!(c.state(), CohortState::Busy);
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort key mismatch")]
+    fn mixed_keys_rejected() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 4);
+        c.add(1, 0, 0.0);
+        c.add(2, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add to cohort")]
+    fn add_to_busy_rejected() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 1);
+        c.add(1, 0, 0.0);
+        c.launch();
+        c.add(2, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot launch")]
+    fn launch_free_rejected() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 1);
+        c.launch();
+    }
+
+    #[test]
+    #[should_panic(expected = "release requires Busy")]
+    fn release_non_busy_rejected() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 1);
+        c.release();
+    }
+
+    #[test]
+    fn pool_acquire_and_open_for() {
+        let mut pool: CohortPool<u32> = CohortPool::new(2, 4);
+        assert_eq!(pool.free_count(), 2);
+        assert_eq!(pool.open_for(7), None);
+        let id = pool.acquire().unwrap();
+        pool.get_mut(id).add(1, 7, 0.0);
+        assert_eq!(pool.open_for(7), Some(id));
+        assert_eq!(pool.open_for(8), None);
+        assert_eq!(pool.free_count(), 1);
+        let id2 = pool.acquire().unwrap();
+        pool.get_mut(id2).add(2, 8, 0.0);
+        assert_eq!(pool.acquire(), None, "pool exhausted");
+    }
+
+    #[test]
+    fn pool_full_cohorts_not_open() {
+        let mut pool: CohortPool<u32> = CohortPool::new(1, 1);
+        let id = pool.acquire().unwrap();
+        pool.get_mut(id).add(1, 7, 0.0);
+        assert_eq!(pool.get(id).state(), CohortState::Full);
+        assert_eq!(pool.open_for(7), None, "full context no longer open");
+    }
+}

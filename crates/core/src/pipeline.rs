@@ -1,0 +1,515 @@
+//! The Rhythm pipeline: Reader → Parser → Dispatch → Process (n backend +
+//! n+1 process stages) → Response, executed as a deterministic
+//! discrete-event simulation over virtual time (paper §3–4).
+//!
+//! * The **reader** accumulates arrivals in order; a full read batch (or
+//!   a reader timeout) hands a double-buffered batch to the parser.
+//! * The **parser** is a device kernel; its output is dispatched into
+//!   per-type cohort contexts from the fixed [`CohortPool`].
+//! * A context launches when **Full** or when its formation **timeout**
+//!   fires (paper: "requests can be delayed for a limited amount of time
+//!   and still achieve acceptable response times").
+//! * Process stages are device kernels; the device runs at most
+//!   `device_slots` kernels concurrently (HyperQ-style), and stages of one
+//!   cohort are serialized by true dependencies. Backend accesses and the
+//!   response send add non-device latency.
+//! * Running out of Free contexts is a structural hazard: dispatch stalls
+//!   until a context is released (paper §3.1).
+
+use crate::cohort::{CohortPool, CohortState, ContextId};
+use crate::events::EventQueue;
+use crate::metrics::{LatencyStats, PipelineReport};
+use crate::service::Service;
+
+use std::collections::VecDeque;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Target cohort size (requests per kernel launch).
+    pub cohort_size: u32,
+    /// Read-batch size handed to the parser (defaults to cohort size).
+    pub read_batch: u32,
+    /// Cohort formation timeout in seconds.
+    pub formation_timeout_s: f64,
+    /// Reader flush timeout in seconds.
+    pub reader_timeout_s: f64,
+    /// Preallocated cohort contexts ("cohorts in flight", paper §6.3).
+    pub pool_contexts: u32,
+    /// Concurrent kernels the device sustains (32 with HyperQ, 1 on
+    /// single-queue parts).
+    pub device_slots: u32,
+    /// Concurrent parser instances (paper §3.1: "there may be one or more
+    /// instances, allowing for parallelism across and within stages";
+    /// §6.4: "multiple parsers … would further help in hiding parser
+    /// latency").
+    pub parser_instances: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            cohort_size: 4096,
+            read_batch: 4096,
+            formation_timeout_s: 10e-3,
+            reader_timeout_s: 10e-3,
+            pool_contexts: 8,
+            device_slots: 32,
+            parser_instances: 1,
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Req {
+    ty: u32,
+    arrived: f64,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Event {
+    Arrival { ty: u32 },
+    ReaderFlush { epoch: u64 },
+    ParserDone { batch: u64 },
+    CohortTimeout { ctx: ContextId, opened_at: f64 },
+    StageDone { ctx: ContextId, stage: u32 },
+    BackendDone { ctx: ContextId, stage: u32 },
+    ResponseDone { ctx: ContextId },
+}
+
+/// The pipeline simulator. Construct, then [`Pipeline::run`] a finite
+/// arrival schedule.
+#[derive(Debug)]
+pub struct Pipeline<S> {
+    service: S,
+    config: PipelineConfig,
+}
+
+impl<S: Service> Pipeline<S> {
+    /// Create a pipeline over a service latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized cohorts, pools, or device slots.
+    pub fn new(service: S, config: PipelineConfig) -> Self {
+        assert!(config.cohort_size > 0, "cohort size must be nonzero");
+        assert!(config.read_batch > 0, "read batch must be nonzero");
+        assert!(config.pool_contexts > 0, "need at least one context");
+        assert!(config.device_slots > 0, "need at least one device slot");
+        assert!(config.parser_instances > 0, "need at least one parser");
+        Pipeline { service, config }
+    }
+
+    /// Run a finite arrival schedule (`(time, type)` pairs, any order) to
+    /// completion and report metrics.
+    pub fn run(&self, arrivals: &[(f64, u32)]) -> PipelineReport {
+        let cfg = &self.config;
+        let mut q: EventQueue<Event> = EventQueue::new();
+        for &(t, ty) in arrivals {
+            q.schedule(t, Event::Arrival { ty });
+        }
+
+        let mut pool: CohortPool<Req> = CohortPool::new(cfg.pool_contexts, cfg.cohort_size as usize);
+
+        // Reader state (double buffered: the front buffer keeps filling
+        // while parser instances drain read batches).
+        let mut reader: VecDeque<Req> = VecDeque::new();
+        let mut reader_epoch: u64 = 0;
+        let mut parsers_busy: u32 = 0;
+        let mut next_batch_id: u64 = 0;
+        let mut inflight_batches: std::collections::HashMap<u64, Vec<Req>> =
+            std::collections::HashMap::new();
+
+        // Device slots.
+        let mut device_busy: u32 = 0;
+        let mut device_queue: VecDeque<(f64, Event)> = VecDeque::new();
+
+        // Dispatch overflow when the pool is exhausted.
+        let mut backlog: VecDeque<Req> = VecDeque::new();
+
+        // Metrics.
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut report = PipelineReport::default();
+        let mut fill_sum = 0.0;
+
+        macro_rules! submit_kernel {
+            ($q:expr, $dur:expr, $ev:expr) => {{
+                report.kernels_launched += 1;
+                if device_busy < cfg.device_slots {
+                    device_busy += 1;
+                    $q.schedule_in($dur, $ev);
+                } else {
+                    device_queue.push_back(($dur, $ev));
+                    report.device_queue_peak =
+                        report.device_queue_peak.max(device_queue.len() as u64);
+                }
+            }};
+        }
+
+        macro_rules! maybe_start_parse {
+            ($q:expr) => {{
+                while parsers_busy < cfg.parser_instances
+                    && reader.len() as u32 >= cfg.read_batch
+                {
+                    let n = cfg.read_batch as usize;
+                    let batch: Vec<Req> = reader.drain(..n).collect();
+                    reader_epoch += 1;
+                    parsers_busy += 1;
+                    let dur = self.service.parse_latency(batch.len() as u32);
+                    let id = next_batch_id;
+                    next_batch_id += 1;
+                    inflight_batches.insert(id, batch);
+                    submit_kernel!($q, dur, Event::ParserDone { batch: id });
+                }
+                if let Some(front) = reader.front() {
+                    let deadline = front.arrived + cfg.reader_timeout_s;
+                    let epoch = reader_epoch;
+                    $q.schedule(deadline.max($q.now()), Event::ReaderFlush { epoch });
+                }
+            }};
+        }
+
+        macro_rules! flush_reader {
+            ($q:expr) => {{
+                if parsers_busy < cfg.parser_instances && !reader.is_empty() {
+                    let batch: Vec<Req> = reader.drain(..).collect();
+                    reader_epoch += 1;
+                    parsers_busy += 1;
+                    let dur = self.service.parse_latency(batch.len() as u32);
+                    let id = next_batch_id;
+                    next_batch_id += 1;
+                    inflight_batches.insert(id, batch);
+                    submit_kernel!($q, dur, Event::ParserDone { batch: id });
+                }
+            }};
+        }
+
+        macro_rules! launch_cohort {
+            ($q:expr, $ctx:expr, $timeout:expr) => {{
+                let id = $ctx;
+                let len = pool.get(id).members().len() as u32;
+                let key = pool.get(id).key();
+                pool.get_mut(id).launch();
+                report.cohorts_launched += 1;
+                if $timeout {
+                    report.timeout_launches += 1;
+                }
+                fill_sum += len as f64 / cfg.cohort_size as f64;
+                let dur = self.service.stage_latency(key, 0, len);
+                submit_kernel!($q, dur, Event::StageDone { ctx: id, stage: 0 });
+            }};
+        }
+
+        macro_rules! dispatch_one {
+            ($q:expr, $req:expr) => {{
+                let req: Req = $req;
+                let ctx = match pool.open_for(req.ty) {
+                    Some(c) => Some(c),
+                    None => pool.acquire(),
+                };
+                match ctx {
+                    Some(id) => {
+                        let fresh = pool.get(id).state() == CohortState::Free;
+                        pool.get_mut(id).add(req, req.ty, $q.now());
+                        if fresh {
+                            let opened_at = $q.now();
+                            $q.schedule_in(
+                                cfg.formation_timeout_s,
+                                Event::CohortTimeout { ctx: id, opened_at },
+                            );
+                        }
+                        if pool.get(id).state() == CohortState::Full {
+                            launch_cohort!($q, id, false);
+                        }
+                        true
+                    }
+                    None => {
+                        report.dispatch_stalls += 1;
+                        backlog.push_back(req);
+                        false
+                    }
+                }
+            }};
+        }
+
+        while let Some((now, event)) = q.pop() {
+            match event {
+                Event::Arrival { ty } => {
+                    if reader.is_empty() {
+                        let epoch = reader_epoch;
+                        q.schedule_in(cfg.reader_timeout_s, Event::ReaderFlush { epoch });
+                    }
+                    reader.push_back(Req { ty, arrived: now });
+                    report.reader_peak = report.reader_peak.max(reader.len() as u64);
+                    maybe_start_parse!(q);
+                }
+                Event::ReaderFlush { epoch } => {
+                    if epoch == reader_epoch {
+                        flush_reader!(q);
+                    }
+                }
+                Event::ParserDone { batch } => {
+                    device_busy -= 1;
+                    parsers_busy -= 1;
+                    let batch = inflight_batches.remove(&batch).expect("batch in flight");
+                    for req in batch {
+                        dispatch_one!(q, req);
+                    }
+                    if let Some((dur, ev)) = device_queue.pop_front() {
+                        device_busy += 1;
+                        q.schedule_in(dur, ev);
+                    }
+                    maybe_start_parse!(q);
+                    if parsers_busy < cfg.parser_instances && !reader.is_empty() {
+                        // Re-arm the flush timer for what remains.
+                        let front = reader.front().expect("nonempty");
+                        let deadline = (front.arrived + cfg.reader_timeout_s).max(now);
+                        let epoch = reader_epoch;
+                        q.schedule(deadline, Event::ReaderFlush { epoch });
+                    }
+                }
+                Event::CohortTimeout { ctx, opened_at } => {
+                    let c = pool.get(ctx);
+                    if c.state() == CohortState::PartiallyFull && c.opened_at() == opened_at {
+                        launch_cohort!(q, ctx, true);
+                    }
+                }
+                Event::StageDone { ctx, stage } => {
+                    device_busy -= 1;
+                    if let Some((dur, ev)) = device_queue.pop_front() {
+                        device_busy += 1;
+                        q.schedule_in(dur, ev);
+                    }
+                    let key = pool.get(ctx).key();
+                    let cohort = pool.get(ctx).members().len() as u32;
+                    let stages = self.service.stages(key);
+                    if stage + 1 < stages {
+                        let dur = self.service.backend_latency(key, stage, cohort);
+                        q.schedule_in(dur, Event::BackendDone { ctx, stage });
+                    } else {
+                        let dur = self.service.response_latency(key, cohort);
+                        q.schedule_in(dur, Event::ResponseDone { ctx });
+                    }
+                }
+                Event::BackendDone { ctx, stage } => {
+                    let key = pool.get(ctx).key();
+                    let cohort = pool.get(ctx).members().len() as u32;
+                    let dur = self.service.stage_latency(key, stage + 1, cohort);
+                    submit_kernel!(
+                        q,
+                        dur,
+                        Event::StageDone {
+                            ctx,
+                            stage: stage + 1
+                        }
+                    );
+                }
+                Event::ResponseDone { ctx } => {
+                    let members = pool.get_mut(ctx).release();
+                    for m in &members {
+                        latencies.push(now - m.arrived);
+                    }
+                    report.completed += members.len() as u64;
+                    report.makespan_s = now;
+                    // Structural hazard cleared: drain backlog into the
+                    // newly freed context.
+                    while let Some(req) = backlog.pop_front() {
+                        if !dispatch_one!(q, req) {
+                            // Re-stalled immediately; dispatch_one pushed
+                            // it back, stop trying.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        report.latency = LatencyStats::from_samples(latencies);
+        if report.cohorts_launched > 0 {
+            report.mean_fill = fill_sum / report.cohorts_launched as f64;
+        }
+        report
+    }
+
+    /// The configured cohort size.
+    pub fn cohort_size(&self) -> u32 {
+        self.config.cohort_size
+    }
+
+    /// Borrow the service model.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+}
+
+/// Build a uniform-rate arrival schedule: `count` requests of types drawn
+/// round-robin from `mix` at `rate` requests/second starting at time 0.
+pub fn uniform_arrivals(count: u64, rate: f64, mix: &[u32]) -> Vec<(f64, u32)> {
+    assert!(rate > 0.0, "rate must be positive");
+    assert!(!mix.is_empty(), "mix must be nonempty");
+    (0..count)
+        .map(|i| (i as f64 / rate, mix[(i % mix.len() as u64) as usize]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::TableService;
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            cohort_size: 8,
+            read_batch: 8,
+            formation_timeout_s: 1e-3,
+            reader_timeout_s: 1e-3,
+            pool_contexts: 4,
+            device_slots: 32,
+            parser_instances: 1,
+        }
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let p = Pipeline::new(TableService::uniform(2, 2), small_config());
+        let arrivals = uniform_arrivals(256, 1e6, &[0, 1]);
+        let r = p.run(&arrivals);
+        assert_eq!(r.completed, 256);
+        assert!(r.makespan_s > 0.0);
+        assert_eq!(r.latency.count, 256);
+        assert!(r.cohorts_launched >= 256 / 8);
+    }
+
+    #[test]
+    fn full_cohorts_at_high_rate() {
+        let p = Pipeline::new(TableService::uniform(1, 1), small_config());
+        let arrivals = uniform_arrivals(512, 1e8, &[0]);
+        let r = p.run(&arrivals);
+        assert_eq!(r.completed, 512);
+        assert!(r.mean_fill > 0.99, "high arrival rate fills cohorts: {}", r.mean_fill);
+        assert_eq!(r.timeout_launches, 0);
+    }
+
+    #[test]
+    fn timeouts_fire_at_low_rate() {
+        let p = Pipeline::new(TableService::uniform(1, 1), small_config());
+        // 100 requests at 1k req/s: inter-arrival 1 ms = reader timeout;
+        // cohorts can never fill before the formation timeout.
+        let arrivals = uniform_arrivals(100, 1e3, &[0]);
+        let r = p.run(&arrivals);
+        assert_eq!(r.completed, 100);
+        assert!(r.timeout_launches > 0, "low rate must launch by timeout");
+        assert!(r.mean_fill < 1.0);
+    }
+
+    #[test]
+    fn latency_grows_with_cohort_size() {
+        let mk = |cohort: u32| {
+            let mut cfg = small_config();
+            cfg.cohort_size = cohort;
+            cfg.read_batch = cohort;
+            let p = Pipeline::new(TableService::uniform(1, 1), cfg);
+            // Rate high enough to fill even the large cohort quickly.
+            let arrivals = uniform_arrivals(4096, 1e7, &[0]);
+            p.run(&arrivals).latency.mean
+        };
+        let small = mk(16);
+        let large = mk(1024);
+        assert!(
+            large > small,
+            "bigger cohorts wait longer to form and execute: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn single_slot_serializes_and_hurts_throughput() {
+        let mut cfg = small_config();
+        cfg.device_slots = 32;
+        let p = Pipeline::new(TableService::uniform(4, 2), cfg.clone());
+        let arrivals = uniform_arrivals(2048, 5e6, &[0, 1, 2, 3]);
+        let hyperq = p.run(&arrivals);
+
+        cfg.device_slots = 1;
+        let p1 = Pipeline::new(TableService::uniform(4, 2), cfg);
+        let single = p1.run(&arrivals);
+
+        assert_eq!(hyperq.completed, single.completed);
+        assert!(
+            single.makespan_s > hyperq.makespan_s,
+            "hyperq {} vs single {}",
+            hyperq.makespan_s,
+            single.makespan_s
+        );
+        assert!(single.device_queue_peak > 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_stalls_dispatch() {
+        let mut cfg = small_config();
+        cfg.pool_contexts = 1;
+        cfg.formation_timeout_s = 10.0; // effectively never
+        let p = Pipeline::new(TableService::uniform(4, 1), cfg);
+        // Many types at once with one context: later types must stall.
+        let arrivals = uniform_arrivals(64, 1e7, &[0, 1, 2, 3]);
+        let r = p.run(&arrivals);
+        assert!(r.dispatch_stalls > 0);
+        assert_eq!(r.completed, 64, "stalled requests complete eventually");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let p = Pipeline::new(TableService::uniform(3, 2), small_config());
+        let arrivals = uniform_arrivals(300, 2e6, &[0, 1, 2]);
+        let a = p.run(&arrivals);
+        let b = p.run(&arrivals);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_arrivals_shape() {
+        let a = uniform_arrivals(4, 2.0, &[7, 9]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], (0.0, 7));
+        assert_eq!(a[1], (0.5, 9));
+        assert_eq!(a[3].0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort size")]
+    fn zero_cohort_rejected() {
+        let mut cfg = small_config();
+        cfg.cohort_size = 0;
+        let _ = Pipeline::new(TableService::uniform(1, 1), cfg);
+    }
+
+    /// With a parse-dominated service, more parser instances raise
+    /// throughput (paper §6.4: "multiple parsers … would further help in
+    /// hiding parser latency").
+    #[test]
+    fn multiple_parsers_hide_parser_latency() {
+        let mut svc = TableService::uniform(1, 1);
+        svc.parse_per_req = 5e-6; // parse-bound
+        svc.stage_per_req = 100e-9;
+        let run = |parsers: u32| {
+            let mut cfg = small_config();
+            cfg.parser_instances = parsers;
+            let p = Pipeline::new(svc.clone(), cfg);
+            let arrivals = uniform_arrivals(2048, 1e8, &[0]);
+            p.run(&arrivals).makespan_s
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four < one * 0.6,
+            "4 parsers should overlap parse latency: 1 -> {one:.6}, 4 -> {four:.6}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parser")]
+    fn zero_parsers_rejected() {
+        let mut cfg = small_config();
+        cfg.parser_instances = 0;
+        let _ = Pipeline::new(TableService::uniform(1, 1), cfg);
+    }
+}

@@ -1,0 +1,99 @@
+//! The service abstraction: per-stage cohort latencies.
+//!
+//! `rhythm-core` is workload-agnostic: the pipeline schedules cohorts and
+//! charges virtual time, while a [`Service`] supplies the latency of each
+//! kernel/backend step — typically calibrated from real kernel
+//! measurements on the SIMT engine (as `rhythm-bench` does with the
+//! banking workload), or synthetic for tests.
+
+/// Latency model for one service (workload).
+pub trait Service {
+    /// Process-stage count for cohort key `key` (≥ 1; the last stage is
+    /// response generation).
+    fn stages(&self, key: u32) -> u32;
+
+    /// Device latency of the parser kernel over a read batch.
+    fn parse_latency(&self, batch: u32) -> f64;
+
+    /// Device latency of process stage `stage` for a cohort of `cohort`
+    /// requests of `key`.
+    fn stage_latency(&self, key: u32, stage: u32, cohort: u32) -> f64;
+
+    /// Backend access latency after stage `stage` (zero when the backend
+    /// is folded into a device stage).
+    fn backend_latency(&self, key: u32, stage: u32, cohort: u32) -> f64;
+
+    /// Post-process latency (response transpose/copy/send) that does not
+    /// occupy the device.
+    fn response_latency(&self, key: u32, cohort: u32) -> f64;
+}
+
+/// A table-driven [`Service`] for tests and analytic studies: constant
+/// per-request costs, scaled linearly with cohort size.
+#[derive(Clone, Debug)]
+pub struct TableService {
+    /// Stage count per key (`keys.len()` keys).
+    pub stage_counts: Vec<u32>,
+    /// Per-request parse cost (seconds).
+    pub parse_per_req: f64,
+    /// Per-request per-stage process cost (seconds).
+    pub stage_per_req: f64,
+    /// Fixed backend latency (seconds).
+    pub backend_fixed: f64,
+    /// Fixed response-send latency (seconds).
+    pub response_fixed: f64,
+    /// Fixed kernel launch overhead added to every device stage.
+    pub launch_overhead: f64,
+}
+
+impl TableService {
+    /// A service with `keys` cohort keys, each with `stages` stages.
+    pub fn uniform(keys: u32, stages: u32) -> Self {
+        TableService {
+            stage_counts: vec![stages; keys as usize],
+            parse_per_req: 50e-9,
+            stage_per_req: 500e-9,
+            backend_fixed: 20e-6,
+            response_fixed: 10e-6,
+            launch_overhead: 5e-6,
+        }
+    }
+}
+
+impl Service for TableService {
+    fn stages(&self, key: u32) -> u32 {
+        self.stage_counts[key as usize]
+    }
+
+    fn parse_latency(&self, batch: u32) -> f64 {
+        self.launch_overhead + self.parse_per_req * batch as f64
+    }
+
+    fn stage_latency(&self, _key: u32, _stage: u32, cohort: u32) -> f64 {
+        self.launch_overhead + self.stage_per_req * cohort as f64
+    }
+
+    fn backend_latency(&self, _key: u32, _stage: u32, _cohort: u32) -> f64 {
+        self.backend_fixed
+    }
+
+    fn response_latency(&self, _key: u32, _cohort: u32) -> f64 {
+        self.response_fixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_service_scales_linearly() {
+        let s = TableService::uniform(3, 2);
+        assert_eq!(s.stages(1), 2);
+        let l1 = s.stage_latency(0, 0, 100);
+        let l2 = s.stage_latency(0, 0, 200);
+        assert!(l2 > l1);
+        assert!((l2 - l1 - 100.0 * s.stage_per_req).abs() < 1e-12);
+        assert!(s.parse_latency(64) > s.parse_latency(1));
+    }
+}

@@ -1,0 +1,133 @@
+//! `Cookie` header parsing and `Set-Cookie` construction.
+
+/// Cookies parsed from a request's `Cookie` header(s).
+///
+/// # Example
+///
+/// ```
+/// use rhythm_http::cookie::Cookies;
+///
+/// let mut c = Cookies::new();
+/// c.parse_header(b"MY_LOGIN=tok123; theme=dark");
+/// assert_eq!(c.get("MY_LOGIN"), Some("tok123"));
+/// assert_eq!(c.get("theme"), Some("dark"));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Cookies {
+    items: Vec<(String, String)>,
+}
+
+impl Cookies {
+    /// An empty cookie jar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse one `Cookie:` header value, appending its pairs. Malformed
+    /// fragments (no `=`) are skipped, per the robustness convention for
+    /// cookie handling.
+    pub fn parse_header(&mut self, value: &[u8]) {
+        for part in value.split(|&b| b == b';') {
+            let part = trim(part);
+            if let Some(eq) = part.iter().position(|&b| b == b'=') {
+                let k = String::from_utf8_lossy(trim(&part[..eq])).into_owned();
+                let v = String::from_utf8_lossy(trim(&part[eq + 1..])).into_owned();
+                if !k.is_empty() {
+                    self.items.push((k, v));
+                }
+            }
+        }
+    }
+
+    /// First cookie named `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Number of cookies.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no cookies were sent.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Insert a cookie programmatically.
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.items.push((name.into(), value.into()));
+    }
+}
+
+/// Render a `Set-Cookie` header value for a session cookie scoped to `path`.
+pub fn set_cookie(name: &str, value: &str, path: &str) -> String {
+    format!("{name}={value}; path={path}")
+}
+
+fn trim(mut s: &[u8]) -> &[u8] {
+    while let [b' ' | b'\t', rest @ ..] = s {
+        s = rest;
+    }
+    while let [rest @ .., b' ' | b'\t'] = s {
+        s = rest;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_cookies() {
+        let mut c = Cookies::new();
+        c.parse_header(b"a=1; b=2;c=3");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get("c"), Some("3"));
+    }
+
+    #[test]
+    fn skips_malformed_fragments() {
+        let mut c = Cookies::new();
+        c.parse_header(b"ok=yes; garbage; =novalue");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("ok"), Some("yes"));
+    }
+
+    #[test]
+    fn multiple_headers_accumulate() {
+        let mut c = Cookies::new();
+        c.parse_header(b"a=1");
+        c.parse_header(b"b=2");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_value_allowed() {
+        let mut c = Cookies::new();
+        c.parse_header(b"empty=");
+        assert_eq!(c.get("empty"), Some(""));
+    }
+
+    #[test]
+    fn set_cookie_format() {
+        assert_eq!(set_cookie("SID", "x9", "/bank"), "SID=x9; path=/bank");
+    }
+
+    #[test]
+    fn iteration_order_stable() {
+        let mut c = Cookies::new();
+        c.parse_header(b"z=26; a=1");
+        let names: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["z", "a"]);
+    }
+}

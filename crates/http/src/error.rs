@@ -1,0 +1,61 @@
+//! Error types for HTTP parsing and response construction.
+
+use std::fmt;
+
+/// Failure to parse an HTTP/1.1 request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// The request bytes ended before a full request was present.
+    Truncated,
+    /// The request line was malformed (missing method/target/version).
+    BadRequestLine,
+    /// Unsupported HTTP method.
+    BadMethod,
+    /// A header line had no `:` separator or invalid characters.
+    BadHeader,
+    /// The `Content-Length` value was not a number.
+    BadContentLength,
+    /// The declared body length exceeds the supplied bytes.
+    BodyTooShort {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A percent-escape in the target/query was malformed.
+    BadEscape,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "request truncated before header terminator"),
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::BadMethod => write!(f, "unsupported http method"),
+            ParseError::BadHeader => write!(f, "malformed header line"),
+            ParseError::BadContentLength => write!(f, "content-length is not a valid number"),
+            ParseError::BodyTooShort {
+                declared,
+                available,
+            } => write!(f, "body too short: declared {declared}, got {available}"),
+            ParseError::BadEscape => write!(f, "malformed percent escape"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ParseError::Truncated.to_string().contains("truncated"));
+        let e = ParseError::BodyTooShort {
+            declared: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("declared 10"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Query-string and form-body parameter parsing
+//! (`application/x-www-form-urlencoded`).
+
+use crate::error::ParseError;
+
+/// An ordered list of decoded `key=value` parameters.
+///
+/// Order is preserved because SPECWeb form bodies are order-sensitive in
+/// places; lookup is linear (parameter lists are tiny).
+///
+/// # Example
+///
+/// ```
+/// use rhythm_http::query::Params;
+///
+/// let p = Params::parse(b"userid=4711&action=log+in%21")?;
+/// assert_eq!(p.get("userid"), Some("4711"));
+/// assert_eq!(p.get("action"), Some("log in!"));
+/// assert_eq!(p.get("missing"), None);
+/// # Ok::<(), rhythm_http::ParseError>(())
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Params {
+    items: Vec<(String, String)>,
+}
+
+impl Params {
+    /// An empty parameter list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse an urlencoded byte string (`a=1&b=two`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed percent escapes.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        let mut items = Vec::new();
+        if bytes.is_empty() {
+            return Ok(Params { items });
+        }
+        for pair in bytes.split(|&b| b == b'&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (k, v) = match pair.iter().position(|&b| b == b'=') {
+                Some(i) => (&pair[..i], &pair[i + 1..]),
+                None => (pair, &[][..]),
+            };
+            items.push((url_decode(k)?, url_decode(v)?));
+        }
+        Ok(Params { items })
+    }
+
+    /// Value of the first parameter named `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of `key` parsed as `u32`.
+    pub fn get_u32(&self, key: &str) -> Option<u32> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no parameters were supplied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Append a parameter (used by tests and request generators).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.items.push((key.into(), value.into()));
+    }
+}
+
+impl FromIterator<(String, String)> for Params {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        Params {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+` (space) from an urlencoded component.
+///
+/// # Errors
+///
+/// Fails with [`ParseError::BadEscape`] on truncated or non-hex escapes.
+pub fn url_decode(bytes: &[u8]) -> Result<String, ParseError> {
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hi = hex(bytes.get(i + 1).copied())?;
+                let lo = hex(bytes.get(i + 2).copied())?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::BadEscape)
+}
+
+fn hex(b: Option<u8>) -> Result<u8, ParseError> {
+    match b {
+        Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+        Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+        Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+        _ => Err(ParseError::BadEscape),
+    }
+}
+
+/// Encode a string component for inclusion in a query string.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_pairs() {
+        let p = Params::parse(b"a=1&b=2&c=3").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get("b"), Some("2"));
+    }
+
+    #[test]
+    fn missing_equals_is_empty_value() {
+        let p = Params::parse(b"flag&x=1").unwrap();
+        assert_eq!(p.get("flag"), Some(""));
+        assert_eq!(p.get("x"), Some("1"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = Params::parse(b"").unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.get("a"), None);
+    }
+
+    #[test]
+    fn plus_and_percent_decoding() {
+        let p = Params::parse(b"msg=hello+world%21").unwrap();
+        assert_eq!(p.get("msg"), Some("hello world!"));
+    }
+
+    #[test]
+    fn bad_escape_rejected() {
+        assert_eq!(Params::parse(b"a=%G1").unwrap_err(), ParseError::BadEscape);
+        assert_eq!(Params::parse(b"a=%2").unwrap_err(), ParseError::BadEscape);
+        assert_eq!(Params::parse(b"a=%").unwrap_err(), ParseError::BadEscape);
+    }
+
+    #[test]
+    fn get_u32_parses_numbers() {
+        let p = Params::parse(b"userid=90125&name=yes").unwrap();
+        assert_eq!(p.get_u32("userid"), Some(90125));
+        assert_eq!(p.get_u32("name"), None);
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins_on_get() {
+        let p = Params::parse(b"k=first&k=second").unwrap();
+        assert_eq!(p.get("k"), Some("first"));
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let original = "user name/40% +x~";
+        let enc = url_encode(original);
+        assert_eq!(url_decode(enc.as_bytes()).unwrap(), original);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Params = vec![("a".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(p.get("a"), Some("1"));
+    }
+}

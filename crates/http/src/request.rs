@@ -1,0 +1,320 @@
+//! Parsed HTTP request representation and the request parser.
+
+use crate::cookie::Cookies;
+use crate::error::ParseError;
+use crate::query::Params;
+
+/// HTTP method. Rhythm's pipeline handles the two methods SPECWeb uses.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// `GET` — parameters arrive in the query string.
+    Get,
+    /// `POST` — parameters arrive urlencoded in the body.
+    Post,
+}
+
+impl Method {
+    /// Parse from the request-line token.
+    pub fn from_token(token: &[u8]) -> Result<Self, ParseError> {
+        match token {
+            b"GET" => Ok(Method::Get),
+            b"POST" => Ok(Method::Post),
+            _ => Err(ParseError::BadMethod),
+        }
+    }
+
+    /// Canonical token (`"GET"` / `"POST"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A fully parsed HTTP/1.1 request.
+///
+/// Produced by [`HttpRequest::parse`]; consumed by the dispatch and process
+/// stages of the pipeline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path, without the query string (e.g. `/bank/login.php`).
+    pub path: String,
+    /// Query-string parameters (GET) merged with body parameters (POST).
+    pub params: Params,
+    /// Cookies from the `Cookie` header.
+    pub cookies: Cookies,
+    /// `Content-Length` as declared (0 when absent).
+    pub content_length: usize,
+    /// Raw header count (for stats/validation).
+    pub header_count: usize,
+    /// Total bytes consumed from the input (headers + body), letting a
+    /// reader resume at the next pipelined request.
+    pub consumed: usize,
+}
+
+impl HttpRequest {
+    /// Parse one request from `input`.
+    ///
+    /// Follows RFC 2616 framing: request line, `\r\n`-separated headers, a
+    /// blank line, then `Content-Length` bytes of body. `\n`-only line
+    /// endings are tolerated (SPECWeb clients emit both).
+    ///
+    /// # Errors
+    ///
+    /// * [`ParseError::Truncated`] — the header terminator or body has not
+    ///   fully arrived (callers retry after reading more bytes).
+    /// * Other variants for malformed requests.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rhythm_http::{HttpRequest, Method};
+    ///
+    /// let raw = b"GET /bank/account.php?userid=77 HTTP/1.1\r\n\
+    ///             Host: example.com\r\n\
+    ///             Cookie: MY_LOGIN=abc123\r\n\r\n";
+    /// let req = HttpRequest::parse(raw)?;
+    /// assert_eq!(req.method, Method::Get);
+    /// assert_eq!(req.path, "/bank/account.php");
+    /// assert_eq!(req.params.get("userid"), Some("77"));
+    /// assert_eq!(req.cookies.get("MY_LOGIN"), Some("abc123"));
+    /// # Ok::<(), rhythm_http::ParseError>(())
+    /// ```
+    pub fn parse(input: &[u8]) -> Result<Self, ParseError> {
+        let header_end = find_header_end(input).ok_or(ParseError::Truncated)?;
+        let head = &input[..header_end.body_start - header_end.blank_len];
+        let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
+
+        let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+        let mut parts = request_line.split(|&b| b == b' ').filter(|p| !p.is_empty());
+        let method = Method::from_token(parts.next().ok_or(ParseError::BadRequestLine)?)?;
+        let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+        let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+        if !version.starts_with(b"HTTP/") {
+            return Err(ParseError::BadRequestLine);
+        }
+
+        let (raw_path, raw_query) = match target.iter().position(|&b| b == b'?') {
+            Some(i) => (&target[..i], &target[i + 1..]),
+            None => (target, &[][..]),
+        };
+        let path = crate::query::url_decode(raw_path)?;
+        let mut params = Params::parse(raw_query)?;
+
+        let mut cookies = Cookies::new();
+        let mut content_length = 0usize;
+        let mut header_count = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            header_count += 1;
+            let colon = line
+                .iter()
+                .position(|&b| b == b':')
+                .ok_or(ParseError::BadHeader)?;
+            let name = &line[..colon];
+            let value = trim_ws(&line[colon + 1..]);
+            if eq_ignore_case(name, b"content-length") {
+                content_length = std::str::from_utf8(value)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or(ParseError::BadContentLength)?;
+            } else if eq_ignore_case(name, b"cookie") {
+                cookies.parse_header(value);
+            }
+        }
+
+        let body_start = header_end.body_start;
+        let body_end = body_start
+            .checked_add(content_length)
+            .ok_or(ParseError::BadContentLength)?;
+        if body_end > input.len() {
+            return Err(ParseError::BodyTooShort {
+                declared: content_length,
+                available: input.len() - body_start,
+            });
+        }
+        if method == Method::Post && content_length > 0 {
+            let body = &input[body_start..body_end];
+            for (k, v) in Params::parse(body)?.iter() {
+                params.push(k, v);
+            }
+        }
+
+        Ok(HttpRequest {
+            method,
+            path,
+            params,
+            cookies,
+            content_length,
+            header_count,
+            consumed: body_end,
+        })
+    }
+
+    /// The request's "type key": the final path component (e.g.
+    /// `login.php`), which Rhythm cohorts group by.
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+struct HeaderEnd {
+    body_start: usize,
+    blank_len: usize,
+}
+
+/// Find the end of the header section; supports `\r\n\r\n` and `\n\n`.
+fn find_header_end(input: &[u8]) -> Option<HeaderEnd> {
+    let mut i = 0;
+    while i < input.len() {
+        if input[i] == b'\n' {
+            if input.get(i + 1) == Some(&b'\n') {
+                return Some(HeaderEnd {
+                    body_start: i + 2,
+                    blank_len: 1,
+                });
+            }
+            if input.get(i + 1) == Some(&b'\r') && input.get(i + 2) == Some(&b'\n') {
+                return Some(HeaderEnd {
+                    body_start: i + 3,
+                    blank_len: 2,
+                });
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+fn trim_ws(mut s: &[u8]) -> &[u8] {
+    while let [b' ' | b'\t', rest @ ..] = s {
+        s = rest;
+    }
+    while let [rest @ .., b' ' | b'\t'] = s {
+        s = rest;
+    }
+    s
+}
+
+fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_with_query() {
+        let req =
+            HttpRequest::parse(b"GET /a/b.php?x=1&y=2 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/a/b.php");
+        assert_eq!(req.file_name(), "b.php");
+        assert_eq!(req.params.get("y"), Some("2"));
+        assert_eq!(req.header_count, 1);
+    }
+
+    #[test]
+    fn post_with_body_params() {
+        let raw = b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 21\r\n\r\nuserid=7&password=abc";
+        let req = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.content_length, 21);
+        assert_eq!(req.params.get("password"), Some("abc"));
+        assert_eq!(req.consumed, raw.len());
+    }
+
+    #[test]
+    fn truncated_headers() {
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1\r\nHost:").unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn body_too_short_is_retryable() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(
+            HttpRequest::parse(raw).unwrap_err(),
+            ParseError::BodyTooShort { declared: 50, .. }
+        ));
+    }
+
+    #[test]
+    fn lf_only_line_endings() {
+        let req = HttpRequest::parse(b"GET /p HTTP/1.0\nHost: h\n\n").unwrap();
+        assert_eq!(req.path, "/p");
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        assert_eq!(
+            HttpRequest::parse(b"BREW /pot HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseError::BadMethod
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        assert_eq!(
+            HttpRequest::parse(b"GET / SPDY/9\r\n\r\n").unwrap_err(),
+            ParseError::BadRequestLine
+        );
+    }
+
+    #[test]
+    fn header_without_colon_rejected() {
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n").unwrap_err(),
+            ParseError::BadHeader
+        );
+    }
+
+    #[test]
+    fn content_length_case_insensitive() {
+        let raw = b"POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 3\r\n\r\na=b";
+        let req = HttpRequest::parse(raw).unwrap();
+        assert_eq!(req.content_length, 3);
+    }
+
+    #[test]
+    fn consumed_supports_pipelining() {
+        let raw = b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\n\r\n";
+        let first = HttpRequest::parse(raw).unwrap();
+        let second = HttpRequest::parse(&raw[first.consumed..]).unwrap();
+        assert_eq!(first.path, "/one");
+        assert_eq!(second.path, "/two");
+    }
+
+    #[test]
+    fn percent_encoded_path() {
+        let req = HttpRequest::parse(b"GET /a%20b.php HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a b.php");
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Get.to_string(), "GET");
+        assert_eq!(Method::Post.as_str(), "POST");
+    }
+}

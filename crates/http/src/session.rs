@@ -1,0 +1,121 @@
+//! Host-side HTTP session store (token → user), used by the native
+//! (CPU) banking server. The device-resident hash-table session array
+//! lives in `rhythm-banking::session_array`.
+
+use std::collections::HashMap;
+
+/// A session token as carried in the login cookie.
+pub type SessionToken = u64;
+
+/// Host session store: create at login, look up per request, destroy at
+/// logout.
+///
+/// Tokens are deterministic mixes of a monotonic counter, so runs are
+/// reproducible; uniqueness is guaranteed by the counter.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_http::session::SessionStore;
+///
+/// let mut s = SessionStore::new();
+/// let tok = s.create(42);
+/// assert_eq!(s.user(tok), Some(42));
+/// assert!(s.destroy(tok));
+/// assert_eq!(s.user(tok), None);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct SessionStore {
+    sessions: HashMap<SessionToken, u32>,
+    counter: u64,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a session for `user`, returning its token.
+    pub fn create(&mut self, user: u32) -> SessionToken {
+        self.counter += 1;
+        let token = mix(self.counter);
+        self.sessions.insert(token, user);
+        token
+    }
+
+    /// Look up the user for a token.
+    pub fn user(&self, token: SessionToken) -> Option<u32> {
+        self.sessions.get(&token).copied()
+    }
+
+    /// Destroy a session; returns whether it existed.
+    pub fn destroy(&mut self, token: SessionToken) -> bool {
+        self.sessions.remove(&token).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+/// SplitMix64 finalizer: invertible, so counter uniqueness implies token
+/// uniqueness.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Render a token as the cookie value (16 hex digits).
+pub fn token_to_cookie(token: SessionToken) -> String {
+    format!("{token:016x}")
+}
+
+/// Parse a cookie value back into a token.
+pub fn cookie_to_token(value: &str) -> Option<SessionToken> {
+    u64::from_str_radix(value, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_destroy() {
+        let mut s = SessionStore::new();
+        let t1 = s.create(1);
+        let t2 = s.create(2);
+        assert_ne!(t1, t2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.user(t2), Some(2));
+        assert!(s.destroy(t1));
+        assert!(!s.destroy(t1), "double destroy is false");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tokens_unique_over_many_sessions() {
+        let mut s = SessionStore::new();
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..10_000 {
+            assert!(seen.insert(s.create(u)), "token collision");
+        }
+    }
+
+    #[test]
+    fn cookie_roundtrip() {
+        let mut s = SessionStore::new();
+        let t = s.create(9);
+        let c = token_to_cookie(t);
+        assert_eq!(c.len(), 16);
+        assert_eq!(cookie_to_token(&c), Some(t));
+        assert_eq!(cookie_to_token("not-hex"), None);
+    }
+}

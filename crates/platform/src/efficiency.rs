@@ -1,0 +1,155 @@
+//! Throughput–efficiency analysis (paper Figures 1, 8 and 10).
+//!
+//! Every platform becomes a point: y = throughput normalized to the
+//! Core i7 (8 workers), x = requests/Joule normalized to the ARM A9
+//! (2 workers). The paper's "desired operating range" is the quadrant at
+//! or above both baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured/modelled outcome for one platform (absolute units).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PlatformResult {
+    /// Display name.
+    pub name: String,
+    /// Requests/second.
+    pub throughput: f64,
+    /// Mean latency in seconds.
+    pub latency_s: f64,
+    /// Idle wall power (W).
+    pub idle_w: f64,
+    /// Loaded wall power (W).
+    pub wall_w: f64,
+}
+
+impl PlatformResult {
+    /// Dynamic power (loaded − idle).
+    pub fn dynamic_w(&self) -> f64 {
+        self.wall_w - self.idle_w
+    }
+
+    /// Requests per Joule of wall power.
+    pub fn reqs_per_joule_wall(&self) -> f64 {
+        self.throughput / self.wall_w
+    }
+
+    /// Requests per Joule of dynamic power.
+    pub fn reqs_per_joule_dynamic(&self) -> f64 {
+        self.throughput / self.dynamic_w()
+    }
+}
+
+/// Which power basis an efficiency plot uses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PowerBasis {
+    /// Total wall power (cost-of-ownership view).
+    Wall,
+    /// Dynamic power (marginal-cost-of-load view).
+    Dynamic,
+}
+
+/// One normalized design-space point (Figure 8 axes).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Platform name.
+    pub name: String,
+    /// Efficiency normalized to the efficiency baseline (x-axis).
+    pub efficiency_norm: f64,
+    /// Throughput normalized to the throughput baseline (y-axis).
+    pub throughput_norm: f64,
+    /// In the desired operating range (both ≥ 1)?
+    pub in_desired_range: bool,
+}
+
+/// Normalize results into design-space points.
+///
+/// # Panics
+///
+/// Panics if either baseline name is missing from `results`.
+pub fn design_points(
+    results: &[PlatformResult],
+    throughput_baseline: &str,
+    efficiency_baseline: &str,
+    basis: PowerBasis,
+) -> Vec<DesignPoint> {
+    let eff = |r: &PlatformResult| match basis {
+        PowerBasis::Wall => r.reqs_per_joule_wall(),
+        PowerBasis::Dynamic => r.reqs_per_joule_dynamic(),
+    };
+    let tput_base = results
+        .iter()
+        .find(|r| r.name == throughput_baseline)
+        .unwrap_or_else(|| panic!("throughput baseline {throughput_baseline:?} missing"))
+        .throughput;
+    let eff_base = eff(results
+        .iter()
+        .find(|r| r.name == efficiency_baseline)
+        .unwrap_or_else(|| panic!("efficiency baseline {efficiency_baseline:?} missing")));
+    results
+        .iter()
+        .map(|r| {
+            let e = eff(r) / eff_base;
+            let t = r.throughput / tput_base;
+            DesignPoint {
+                name: r.name.clone(),
+                efficiency_norm: e,
+                throughput_norm: t,
+                in_desired_range: e >= 1.0 && t >= 1.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, tput: f64, idle: f64, wall: f64) -> PlatformResult {
+        PlatformResult {
+            name: name.into(),
+            throughput: tput,
+            latency_s: 1e-3,
+            idle_w: idle,
+            wall_w: wall,
+        }
+    }
+
+    #[test]
+    fn baselines_are_unity() {
+        let results = vec![
+            result("i7", 377_000.0, 45.0, 156.0),
+            result("a9", 16_000.0, 2.0, 4.5),
+        ];
+        let pts = design_points(&results, "i7", "a9", PowerBasis::Wall);
+        assert!((pts[0].throughput_norm - 1.0).abs() < 1e-12);
+        assert!((pts[1].efficiency_norm - 1.0).abs() < 1e-12);
+        assert!(!pts[1].in_desired_range, "a9 has low throughput");
+    }
+
+    #[test]
+    fn desired_range_detection() {
+        let results = vec![
+            result("i7", 100.0, 10.0, 110.0),
+            result("a9", 10.0, 1.0, 2.0),
+            result("titan", 800.0, 50.0, 120.0),
+        ];
+        let pts = design_points(&results, "i7", "a9", PowerBasis::Dynamic);
+        let titan = pts.iter().find(|p| p.name == "titan").unwrap();
+        assert!(titan.throughput_norm > 1.0);
+        assert!(titan.efficiency_norm > 1.0);
+        assert!(titan.in_desired_range);
+    }
+
+    #[test]
+    fn wall_vs_dynamic_differ() {
+        let r = result("x", 100.0, 50.0, 100.0);
+        assert_eq!(r.reqs_per_joule_wall(), 1.0);
+        assert_eq!(r.reqs_per_joule_dynamic(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_baseline_panics() {
+        design_points(&[], "nope", "nah", PowerBasis::Wall);
+    }
+}

@@ -1,0 +1,47 @@
+//! # rhythm-platform
+//!
+//! Server-platform models for the Rhythm evaluation: everything the paper
+//! measures on physical hardware that we must parameterize instead.
+//!
+//! * [`presets`] — the Core i5/i7, ARM A9 and Titan A/B/C operating
+//!   points; CPU compute is calibrated to *effective instructions per
+//!   second* from the paper's Table 3, power comes from the paper's
+//!   Kill-A-Watt measurements;
+//! * [`pcie`] — the PCIe 3.0/4.0 bandwidth bound that throttles Titan A
+//!   (Figure 9);
+//! * [`network`] — link bandwidth requirements and compression analysis
+//!   (§6.3);
+//! * [`efficiency`] — the throughput-vs-requests/Joule design space of
+//!   Figures 1, 8 and 10;
+//! * [`scaling`] — the many-core replication analysis of §6.2.
+//!
+//! ```
+//! use rhythm_platform::presets::CpuPreset;
+//! use rhythm_platform::efficiency::{design_points, PlatformResult, PowerBasis};
+//!
+//! let i7 = CpuPreset::i7_8w();
+//! let a9 = CpuPreset::a9_2w();
+//! let results: Vec<PlatformResult> = [&i7, &a9].iter().map(|p| PlatformResult {
+//!     name: p.name.clone(),
+//!     throughput: p.throughput(430_000.0),
+//!     latency_s: p.latency_s(430_000.0),
+//!     idle_w: p.idle_w,
+//!     wall_w: p.wall_w,
+//! }).collect();
+//! let pts = design_points(&results, &i7.name, &a9.name, PowerBasis::Wall);
+//! assert!(pts[1].throughput_norm < 0.1, "the A9 is far below the i7");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod efficiency;
+pub mod network;
+pub mod pcie;
+pub mod presets;
+pub mod scaling;
+
+pub use efficiency::{design_points, DesignPoint, PlatformResult, PowerBasis};
+pub use pcie::PcieModel;
+pub use presets::{CpuPreset, TitanPlatform, TitanPreset};
+pub use scaling::{scale_to_match, CoreType, ScalingResult};

@@ -1,0 +1,121 @@
+//! Network bandwidth requirements (paper §6.3).
+//!
+//! Rhythm's throughput targets exceed a single 10 Gb link; the paper
+//! computes the raw bandwidth each Titan platform needs and argues that
+//! HTML compression (>80 % on popular sites) brings Titan C under a
+//! 100 Gb/s IEEE 802.3bj link.
+
+use serde::{Deserialize, Serialize};
+
+/// A network link.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Label, e.g. `"100GbE"`.
+    pub name: String,
+    /// Bandwidth in bits/second.
+    pub bits_per_s: f64,
+}
+
+impl NetworkLink {
+    /// 1 GbE (the paper's test NIC — the reason emulation is needed).
+    pub fn gbe1() -> Self {
+        NetworkLink {
+            name: "1GbE".into(),
+            bits_per_s: 1e9,
+        }
+    }
+
+    /// 10 GbE.
+    pub fn gbe10() -> Self {
+        NetworkLink {
+            name: "10GbE".into(),
+            bits_per_s: 10e9,
+        }
+    }
+
+    /// 100 GbE (IEEE 802.3bj).
+    pub fn gbe100() -> Self {
+        NetworkLink {
+            name: "100GbE".into(),
+            bits_per_s: 100e9,
+        }
+    }
+
+    /// 400 GbE.
+    pub fn gbe400() -> Self {
+        NetworkLink {
+            name: "400GbE".into(),
+            bits_per_s: 400e9,
+        }
+    }
+
+    /// Requests/second this link can carry at `bytes_per_request`.
+    pub fn request_bound(&self, bytes_per_request: f64) -> f64 {
+        self.bits_per_s / (bytes_per_request * 8.0)
+    }
+}
+
+/// Raw (uncompressed) network bandwidth in bits/second needed to sustain
+/// `throughput` req/s with `request_bytes` inbound and `response_bytes`
+/// outbound per request.
+pub fn required_bits_per_s(throughput: f64, request_bytes: f64, response_bytes: f64) -> f64 {
+    throughput * (request_bytes + response_bytes) * 8.0
+}
+
+/// Apply an HTML compression ratio (0.8 = 80 % smaller) to the response
+/// bytes and return the compressed bandwidth requirement.
+pub fn compressed_bits_per_s(
+    throughput: f64,
+    request_bytes: f64,
+    response_bytes: f64,
+    compression: f64,
+) -> f64 {
+    assert!((0.0..1.0).contains(&compression), "compression in [0,1)");
+    required_bits_per_s(throughput, request_bytes, response_bytes * (1.0 - compression))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduce the paper's §6.3 arithmetic: at 398 K req/s with the
+    /// average response, Titan A needs ≈ 67 Gb/s.
+    #[test]
+    fn titan_a_needs_about_67_gbps() {
+        let avg_response = 20.5 * 1024.0; // bytes that exactly match 67Gb at 398K
+        let need = required_bits_per_s(398_000.0, 512.0, avg_response);
+        assert!(
+            (60e9..75e9).contains(&need),
+            "need {:.1} Gb/s",
+            need / 1e9
+        );
+    }
+
+    #[test]
+    fn compression_brings_titan_c_under_100g() {
+        // Paper: Titan C needs 517 Gb/s raw; 80 % compression → ~103 Gb/s
+        // ≈ a 100 GbE link.
+        let raw = required_bits_per_s(3_082_000.0, 512.0, 20.5 * 1024.0);
+        assert!(raw > 400e9, "raw {:.0} Gb/s", raw / 1e9);
+        let compressed = compressed_bits_per_s(3_082_000.0, 512.0, 20.5 * 1024.0, 0.8);
+        assert!(
+            compressed < 1.25 * NetworkLink::gbe100().bits_per_s,
+            "compressed {:.0} Gb/s",
+            compressed / 1e9
+        );
+    }
+
+    #[test]
+    fn one_gig_link_limits_to_thousands() {
+        // Paper §5.3: a 1 Gb NIC with 16 KB responses can't exceed ~8 K
+        // req/s.
+        let bound = NetworkLink::gbe1().request_bound(16.0 * 1024.0);
+        assert!((7_000.0..9_000.0).contains(&bound), "bound {bound:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "compression in [0,1)")]
+    fn full_compression_rejected() {
+        compressed_bits_per_s(1.0, 1.0, 1.0, 1.0);
+    }
+}

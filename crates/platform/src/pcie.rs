@@ -1,0 +1,101 @@
+//! PCI Express bandwidth model (paper §6.1.1, Figure 9).
+//!
+//! On Titan A every request moves its raw request, backend request,
+//! backend response, and final response across the bus; the throughput
+//! bound is simply usable bandwidth over bytes moved per request. The
+//! paper measures 83–95 % of this bound (small transfer chunks don't
+//! reach peak), which we expose as an achievable-fraction parameter.
+
+use serde::{Deserialize, Serialize};
+
+/// A PCIe link model.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PcieModel {
+    /// Generation label.
+    pub name: String,
+    /// Usable unidirectional-equivalent bandwidth in bytes/second.
+    pub usable_bw: f64,
+    /// Fraction of peak achievable with Rhythm-sized chunks (the paper
+    /// observes 0.83–0.95; we use the midpoint by default).
+    pub achievable_fraction: f64,
+}
+
+impl PcieModel {
+    /// PCIe 3.0 x16: 12 GB/s usable (the paper's figure).
+    pub fn gen3() -> Self {
+        PcieModel {
+            name: "PCIe 3.0 x16".into(),
+            usable_bw: 12e9,
+            achievable_fraction: 0.89,
+        }
+    }
+
+    /// PCIe 4.0 x16: 24 GB/s usable (paper: "doubles usable bandwidth to
+    /// 24 GB/s").
+    pub fn gen4() -> Self {
+        PcieModel {
+            name: "PCIe 4.0 x16".into(),
+            usable_bw: 24e9,
+            achievable_fraction: 0.89,
+        }
+    }
+
+    /// Hard throughput bound in requests/second for `bytes_per_request`
+    /// moved over the bus.
+    pub fn bound(&self, bytes_per_request: f64) -> f64 {
+        self.usable_bw / bytes_per_request
+    }
+
+    /// Achieved throughput: the compute-side rate clipped to the
+    /// achievable fraction of the bus bound.
+    pub fn achieved(&self, compute_tput: f64, bytes_per_request: f64) -> f64 {
+        compute_tput.min(self.achievable_fraction * self.bound(bytes_per_request))
+    }
+}
+
+/// Bytes a Titan A request moves across the bus (paper §6.1.1): 1 KB
+/// request buffer + 1 KB backend request + 4 KB backend response +
+/// the response buffer.
+pub fn titan_a_bytes_per_request(response_buffer_bytes: u32, backend_requests: u32) -> f64 {
+    let backend = backend_requests as f64 * (1024.0 + 4096.0);
+    1024.0 + backend + response_buffer_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_average_bound_magnitude() {
+        // Paper: 1 KB + 1 KB + 4 KB + 26.4 KB average ⇒ ~370 K req/s
+        // bound on 12 GB/s.
+        let bytes = titan_a_bytes_per_request((26.4 * 1024.0) as u32, 1);
+        let bound = PcieModel::gen3().bound(bytes);
+        assert!(
+            (330_000.0..450_000.0).contains(&bound),
+            "bound {bound:.0} req/s"
+        );
+    }
+
+    #[test]
+    fn gen4_doubles_gen3() {
+        let b3 = PcieModel::gen3().bound(32768.0);
+        let b4 = PcieModel::gen4().bound(32768.0);
+        assert!((b4 / b3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn achieved_clips_to_fraction() {
+        let m = PcieModel::gen3();
+        let bound = m.bound(32768.0);
+        assert_eq!(m.achieved(1e9, 32768.0), m.achievable_fraction * bound);
+        assert_eq!(m.achieved(10.0, 32768.0), 10.0, "compute-bound case");
+    }
+
+    #[test]
+    fn backend_free_types_move_fewer_bytes() {
+        let with = titan_a_bytes_per_request(8192, 2);
+        let without = titan_a_bytes_per_request(8192, 0);
+        assert_eq!(with - without, 2.0 * 5120.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Many-core scaling analysis (paper §6.2).
+//!
+//! Could one simply replicate general purpose cores to match Rhythm's
+//! throughput? The paper assumes idealized linear scaling of
+//! single-thread throughput, a fixed dynamic power per core (1 W per ARM
+//! core, 10 W per i5 core), and asks how much power is left for the
+//! "uncore" (interconnect, memory controllers, I/O) before the scaled
+//! system draws more than the Titan platform.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalable core type.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CoreType {
+    /// Name, e.g. `"ARM A9 core"`.
+    pub name: String,
+    /// Single-core (single-thread) throughput in requests/second.
+    pub per_core_tput: f64,
+    /// Dynamic power per core in Watts.
+    pub per_core_w: f64,
+}
+
+impl CoreType {
+    /// The paper's 1 W, 1.2 GHz ARM core: single-worker A9 throughput.
+    pub fn arm_a9(single_core_tput: f64) -> Self {
+        CoreType {
+            name: "ARM A9 core".into(),
+            per_core_tput: single_core_tput,
+            per_core_w: 1.0,
+        }
+    }
+
+    /// The paper's 10 W i5 core: single-worker i5 throughput.
+    pub fn core_i5(single_core_tput: f64) -> Self {
+        CoreType {
+            name: "Core i5 core".into(),
+            per_core_tput: single_core_tput,
+            per_core_w: 10.0,
+        }
+    }
+}
+
+/// Outcome of scaling a core type to a target throughput.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ScalingResult {
+    /// Core type scaled.
+    pub core: CoreType,
+    /// Target throughput (the Titan platform's).
+    pub target_tput: f64,
+    /// Cores required under idealized linear scaling.
+    pub cores_needed: u32,
+    /// Dynamic power of the scaled cores (W).
+    pub scaled_power_w: f64,
+    /// The Titan platform's dynamic power budget (W).
+    pub budget_w: f64,
+    /// Power left for uncore scaling overhead (may be negative).
+    pub uncore_headroom_w: f64,
+    /// Headroom as a fraction of the budget.
+    pub uncore_fraction: f64,
+}
+
+/// Scale `core` to match `target_tput` against a `budget_w` dynamic
+/// power budget.
+pub fn scale_to_match(core: &CoreType, target_tput: f64, budget_w: f64) -> ScalingResult {
+    let cores_needed = (target_tput / core.per_core_tput).ceil() as u32;
+    let scaled_power_w = cores_needed as f64 * core.per_core_w;
+    let uncore_headroom_w = budget_w - scaled_power_w;
+    ScalingResult {
+        core: core.clone(),
+        target_tput,
+        cores_needed,
+        scaled_power_w,
+        budget_w,
+        uncore_headroom_w,
+        uncore_fraction: uncore_headroom_w / budget_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduce the paper's §6.2 numbers for Titan B: 192 ARM cores /
+    /// 21 i5 cores, 40 W (21 %) / 22 W (10 %) headroom on 232 W.
+    #[test]
+    fn titan_b_paper_numbers() {
+        let arm = CoreType::arm_a9(8_000.0);
+        let r = scale_to_match(&arm, 1_535_000.0, 232.0);
+        assert_eq!(r.cores_needed, 192);
+        assert!((r.scaled_power_w - 192.0).abs() < 1e-9);
+        assert!((r.uncore_headroom_w - 40.0).abs() < 1e-9);
+        assert!((r.uncore_fraction - 0.1724).abs() < 0.05);
+
+        let i5 = CoreType::core_i5(75_000.0);
+        let r = scale_to_match(&i5, 1_535_000.0, 232.0);
+        assert_eq!(r.cores_needed, 21);
+        assert!((r.scaled_power_w - 210.0).abs() < 1e-9);
+        assert!((r.uncore_headroom_w - 22.0).abs() < 1e-9);
+    }
+
+    /// Titan C: 386 ARM cores / 42 i5 cores (the paper rounds to 385/41
+    /// with its unrounded throughputs); the scaled systems exceed
+    /// Titan C's 211 W by a wide margin.
+    #[test]
+    fn titan_c_exceeds_budget() {
+        let arm = CoreType::arm_a9(8_000.0);
+        let r = scale_to_match(&arm, 3_082_000.0, 211.0);
+        assert!((385..=386).contains(&r.cores_needed), "{}", r.cores_needed);
+        assert!(r.uncore_headroom_w < 0.0, "scaled ARM exceeds Titan C");
+
+        let i5 = CoreType::core_i5(75_000.0);
+        let r = scale_to_match(&i5, 3_082_000.0, 211.0);
+        assert!((41..=42).contains(&r.cores_needed));
+        assert!(r.uncore_headroom_w < -150.0);
+    }
+
+    #[test]
+    fn exact_multiples_do_not_round_up() {
+        let c = CoreType::arm_a9(1000.0);
+        assert_eq!(scale_to_match(&c, 5000.0, 10.0).cores_needed, 5);
+        assert_eq!(scale_to_match(&c, 5001.0, 10.0).cores_needed, 6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Kernel executors: scalar (CPU model) and SIMT warp-lockstep (GPU model).
+
+pub mod scalar;
+pub mod simt;
+
+use std::fmt;
+
+use crate::mem::MemError;
+
+/// Number of lanes executing in lockstep per warp, as on NVIDIA hardware.
+pub const WARP_SIZE: u32 = 32;
+
+/// Launch-time configuration shared by both executors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LaunchConfig {
+    /// Total lanes (request slots) in the launch. The SIMT executor groups
+    /// them into warps of [`WARP_SIZE`].
+    pub lanes: u32,
+    /// Broadcast launch parameters readable via `Op::Param`.
+    pub params: Vec<u32>,
+    /// Per-lane private (local) memory in bytes.
+    pub local_bytes: u32,
+    /// Per-warp shared memory in bytes.
+    pub shared_bytes: u32,
+    /// Memory-transaction granularity for the coalescing model, in bytes.
+    pub tx_bytes: u32,
+    /// Per-lane (scalar) / per-warp (SIMT) dynamic instruction budget;
+    /// exceeding it aborts execution, guarding against runaway loops.
+    pub max_instructions: u64,
+}
+
+impl LaunchConfig {
+    /// A config for `lanes` lanes with the given params and the defaults
+    /// for everything else (256 B local, 1 KiB shared, 128 B transactions,
+    /// 1 G-instruction budget).
+    pub fn new(lanes: u32, params: Vec<u32>) -> Self {
+        LaunchConfig {
+            lanes,
+            params,
+            ..Default::default()
+        }
+    }
+
+    /// Number of warps needed for the configured lane count.
+    pub fn warps(&self) -> u32 {
+        self.lanes.div_ceil(WARP_SIZE)
+    }
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig {
+            lanes: 1,
+            params: Vec::new(),
+            local_bytes: 256,
+            shared_bytes: 1024,
+            tx_bytes: 128,
+            max_instructions: 1_000_000_000,
+        }
+    }
+}
+
+/// Execution failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum ExecError {
+    /// A memory access failed (out of bounds / read-only).
+    Mem(MemError),
+    /// The instruction budget was exhausted (likely a runaway loop).
+    Budget { executed: u64 },
+    /// A launch parameter index had no value supplied.
+    MissingParam { index: u16 },
+    /// Internal invariant violation in the divergence stack.
+    Reconvergence(&'static str),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Mem(e) => write!(f, "memory fault: {e}"),
+            ExecError::Budget { executed } => {
+                write!(f, "instruction budget exhausted after {executed}")
+            }
+            ExecError::MissingParam { index } => write!(f, "launch parameter {index} not supplied"),
+            ExecError::Reconvergence(msg) => write!(f, "divergence-stack invariant broken: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for ExecError {
+    fn from(e: MemError) -> Self {
+        ExecError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warps_round_up() {
+        let mut c = LaunchConfig::new(1, vec![]);
+        assert_eq!(c.warps(), 1);
+        c.lanes = 32;
+        assert_eq!(c.warps(), 1);
+        c.lanes = 33;
+        assert_eq!(c.warps(), 2);
+        c.lanes = 4096;
+        assert_eq!(c.warps(), 128);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = LaunchConfig::default();
+        assert_eq!(c.tx_bytes, 128);
+        assert!(c.max_instructions > 0);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use crate::ir::MemSpace;
+        use std::error::Error as _;
+        let e = ExecError::from(MemError::ReadOnly {
+            space: MemSpace::Const,
+        });
+        assert!(e.to_string().contains("memory fault"));
+        assert!(e.source().is_some());
+        assert!(ExecError::Budget { executed: 7 }.source().is_none());
+    }
+}

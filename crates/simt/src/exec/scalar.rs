@@ -1,0 +1,494 @@
+//! Scalar executor: runs a kernel one lane at a time.
+//!
+//! This models a general purpose CPU core executing the same program the
+//! GPU runs — the paper's "standalone C implementation". It also emits
+//! dynamic basic-block traces, the raw material for the request-similarity
+//! study (Figure 2).
+
+use crate::ir::{BlockId, MemSpace, Op, Program, Terminator, Width};
+use crate::mem::{ConstPool, DeviceMemory, MemError};
+use crate::stats::ScalarStats;
+
+use super::{ExecError, LaunchConfig};
+
+/// One scalar execution request.
+#[derive(Clone, Debug)]
+pub struct ScalarRun<'a> {
+    /// The kernel to execute.
+    pub program: &'a Program,
+    /// The value returned by `Op::GlobalId` (the request slot).
+    pub global_id: u32,
+}
+
+impl<'a> ScalarRun<'a> {
+    /// Run for `program` acting as global lane `global_id`.
+    pub fn new(program: &'a Program, global_id: u32) -> Self {
+        ScalarRun { program, global_id }
+    }
+}
+
+/// Execute one lane to completion.
+///
+/// `trace`, when supplied, receives the dynamic sequence of [`BlockId`]s
+/// entered — the basic-block trace used by `rhythm-trace` for merging.
+///
+/// # Errors
+///
+/// Fails on out-of-bounds memory access, writes to constant memory,
+/// missing launch parameters, or when `cfg.max_instructions` is exceeded.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::ir::{ProgramBuilder, BinOp};
+/// use rhythm_simt::exec::{scalar::{execute_scalar, ScalarRun}, LaunchConfig};
+/// use rhythm_simt::mem::{ConstPool, DeviceMemory};
+///
+/// let mut b = ProgramBuilder::new("store42");
+/// let v = b.imm(42);
+/// let a = b.imm(0);
+/// b.st_global_word(a, 0, v);
+/// b.halt();
+/// let p = b.build()?;
+///
+/// let mut mem = DeviceMemory::new(16);
+/// let pool = ConstPool::new();
+/// let cfg = LaunchConfig::new(1, vec![]);
+/// let stats = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None)?;
+/// assert_eq!(mem.read_word(0)?, 42);
+/// assert_eq!(stats.instructions, 4); // 3 ops + halt
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn execute_scalar(
+    run: &ScalarRun<'_>,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    mut trace: Option<&mut Vec<BlockId>>,
+) -> Result<ScalarStats, ExecError> {
+    let program = run.program;
+    let mut regs = vec![0u32; program.num_regs() as usize];
+    let mut local = vec![0u8; cfg.local_bytes as usize];
+    let mut shared = vec![0u8; cfg.shared_bytes as usize];
+    let mut stats = ScalarStats::default();
+
+    let mut block = program.entry();
+    loop {
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(block);
+        }
+        stats.blocks += 1;
+        let b = program.block(block);
+        for op in &b.ops {
+            stats.instructions += 1;
+            if stats.instructions > cfg.max_instructions {
+                return Err(ExecError::Budget {
+                    executed: stats.instructions,
+                });
+            }
+            step(
+                op,
+                &mut regs,
+                &mut local,
+                &mut shared,
+                mem,
+                pool,
+                cfg,
+                run.global_id,
+                &mut stats,
+            )?;
+        }
+        stats.instructions += 1; // the terminator
+        match b.term {
+            Terminator::Jmp(t) => block = t,
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                block = if regs[cond.0 as usize] != 0 {
+                    then_bb
+                } else {
+                    else_bb
+                };
+            }
+            Terminator::Halt => break,
+        }
+    }
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    op: &Op,
+    regs: &mut [u32],
+    local: &mut [u8],
+    shared: &mut [u8],
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    cfg: &LaunchConfig,
+    global_id: u32,
+    stats: &mut ScalarStats,
+) -> Result<(), ExecError> {
+    let r = |regs: &[u32], reg: crate::ir::Reg| regs[reg.0 as usize];
+    match *op {
+        Op::Imm { dst, value } => regs[dst.0 as usize] = value,
+        Op::Mov { dst, src } => regs[dst.0 as usize] = r(regs, src),
+        Op::Bin { op, dst, a, b } => {
+            regs[dst.0 as usize] = op.eval(r(regs, a), r(regs, b));
+        }
+        Op::Un { op, dst, a } => regs[dst.0 as usize] = op.eval(r(regs, a)),
+        Op::LaneId { dst } => regs[dst.0 as usize] = 0,
+        Op::GlobalId { dst } => regs[dst.0 as usize] = global_id,
+        Op::Param { dst, index } => {
+            let v = cfg
+                .params
+                .get(index as usize)
+                .copied()
+                .ok_or(ExecError::MissingParam { index })?;
+            regs[dst.0 as usize] = v;
+        }
+        Op::Ld {
+            width,
+            space,
+            dst,
+            addr,
+            offset,
+        } => {
+            stats.loads += 1;
+            let a = r(regs, addr).wrapping_add(offset);
+            regs[dst.0 as usize] = load(space, width, a, local, shared, mem, pool)?;
+        }
+        Op::St {
+            width,
+            space,
+            src,
+            addr,
+            offset,
+        } => {
+            stats.stores += 1;
+            let a = r(regs, addr).wrapping_add(offset);
+            store(space, width, a, r(regs, src), local, shared, mem)?;
+        }
+        Op::WarpRedMax { dst, src } => {
+            // A warp of one: the reduction is the identity.
+            regs[dst.0 as usize] = r(regs, src);
+        }
+        Op::AtomicAdd {
+            dst,
+            space,
+            addr,
+            offset,
+            src,
+        } => {
+            stats.loads += 1;
+            stats.stores += 1;
+            let a = r(regs, addr).wrapping_add(offset);
+            let old = load(space, Width::Word, a, local, shared, mem, pool)?;
+            store(
+                space,
+                Width::Word,
+                a,
+                old.wrapping_add(r(regs, src)),
+                local,
+                shared,
+                mem,
+            )?;
+            regs[dst.0 as usize] = old;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn load(
+    space: MemSpace,
+    width: Width,
+    addr: u32,
+    local: &[u8],
+    shared: &[u8],
+    mem: &DeviceMemory,
+    pool: &ConstPool,
+) -> Result<u32, ExecError> {
+    let out = match space {
+        MemSpace::Global => match width {
+            Width::Byte => mem.read_byte(addr)?,
+            Width::Word => mem.read_word(addr)?,
+        },
+        MemSpace::Const => match width {
+            Width::Byte => pool.read_byte(addr)?,
+            Width::Word => pool.read_word(addr)?,
+        },
+        MemSpace::Local => read_buf(local, MemSpace::Local, width, addr)?,
+        MemSpace::Shared => read_buf(shared, MemSpace::Shared, width, addr)?,
+    };
+    Ok(out)
+}
+
+pub(crate) fn store(
+    space: MemSpace,
+    width: Width,
+    addr: u32,
+    value: u32,
+    local: &mut [u8],
+    shared: &mut [u8],
+    mem: &mut DeviceMemory,
+) -> Result<(), ExecError> {
+    match space {
+        MemSpace::Global => match width {
+            Width::Byte => mem.write_byte(addr, value)?,
+            Width::Word => mem.write_word(addr, value)?,
+        },
+        MemSpace::Const => {
+            return Err(MemError::ReadOnly {
+                space: MemSpace::Const,
+            }
+            .into())
+        }
+        MemSpace::Local => write_buf(local, MemSpace::Local, width, addr, value)?,
+        MemSpace::Shared => write_buf(shared, MemSpace::Shared, width, addr, value)?,
+    }
+    Ok(())
+}
+
+fn read_buf(buf: &[u8], space: MemSpace, width: Width, addr: u32) -> Result<u32, MemError> {
+    let a = addr as usize;
+    let w = width.bytes() as usize;
+    if a + w > buf.len() {
+        return Err(MemError::OutOfBounds {
+            space,
+            addr,
+            len: w as u32,
+            size: buf.len(),
+        });
+    }
+    Ok(match width {
+        Width::Byte => buf[a] as u32,
+        Width::Word => u32::from_le_bytes([buf[a], buf[a + 1], buf[a + 2], buf[a + 3]]),
+    })
+}
+
+fn write_buf(
+    buf: &mut [u8],
+    space: MemSpace,
+    width: Width,
+    addr: u32,
+    value: u32,
+) -> Result<(), MemError> {
+    let a = addr as usize;
+    let w = width.bytes() as usize;
+    if a + w > buf.len() {
+        return Err(MemError::OutOfBounds {
+            space,
+            addr,
+            len: w as u32,
+            size: buf.len(),
+        });
+    }
+    match width {
+        Width::Byte => buf[a] = value as u8,
+        Width::Word => buf[a..a + 4].copy_from_slice(&value.to_le_bytes()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, ProgramBuilder};
+
+    fn run(p: &Program, mem: &mut DeviceMemory, params: Vec<u32>) -> ScalarStats {
+        let pool = ConstPool::new();
+        let mut cfg = LaunchConfig::new(1, params);
+        cfg.max_instructions = 1_000_000;
+        execute_scalar(&ScalarRun::new(p, 7), &cfg, mem, &pool, None).unwrap()
+    }
+
+    #[test]
+    fn loop_executes_n_times() {
+        let mut b = ProgramBuilder::new("sum");
+        let n = b.param(0);
+        let acc = b.imm(0);
+        b.for_loop(n, |b, i| {
+            b.bin_into(acc, BinOp::Add, acc, i);
+        });
+        let a = b.imm(0);
+        b.st_global_word(a, 0, acc);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(8);
+        run(&p, &mut mem, vec![5]);
+        assert_eq!(mem.read_word(0).unwrap(), 10); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn global_id_visible() {
+        let mut b = ProgramBuilder::new("gid");
+        let g = b.global_id();
+        let a = b.imm(0);
+        b.st_global_word(a, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        run(&p, &mut mem, vec![]);
+        assert_eq!(mem.read_word(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn trace_records_blocks() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.imm(2);
+        b.for_loop(n, |b, _| {
+            b.imm(0);
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(1, vec![]);
+        let mut trace = Vec::new();
+        execute_scalar(
+            &ScalarRun::new(&p, 0),
+            &cfg,
+            &mut mem,
+            &pool,
+            Some(&mut trace),
+        )
+        .unwrap();
+        assert_eq!(trace[0], p.entry());
+        // header visits = 3 (two taken + one exit), body visits = 2
+        let headers = trace.iter().filter(|&&x| x == 1).count();
+        assert_eq!(headers, 3);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let mut b = ProgramBuilder::new("inf");
+        let loop_bb = b.new_block("loop");
+        b.jump(loop_bb);
+        b.switch_to(loop_bb);
+        b.imm(0);
+        b.jump(loop_bb);
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        let pool = ConstPool::new();
+        let mut cfg = LaunchConfig::new(1, vec![]);
+        cfg.max_instructions = 1000;
+        let err = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap_err();
+        assert!(matches!(err, ExecError::Budget { .. }));
+    }
+
+    #[test]
+    fn missing_param_reported() {
+        let mut b = ProgramBuilder::new("p");
+        b.param(3);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(1, vec![1, 2]);
+        let err = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap_err();
+        assert_eq!(err, ExecError::MissingParam { index: 3 });
+    }
+
+    #[test]
+    fn const_store_rejected() {
+        let mut b = ProgramBuilder::new("w");
+        let a = b.imm(0);
+        let v = b.imm(1);
+        b.st(Width::Byte, MemSpace::Const, a, 0, v);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(1, vec![]);
+        let err = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap_err();
+        assert!(matches!(err, ExecError::Mem(MemError::ReadOnly { .. })));
+    }
+
+    #[test]
+    fn atomic_add_returns_old() {
+        let mut b = ProgramBuilder::new("a");
+        let a = b.imm(0);
+        let v = b.imm(5);
+        let old = b.atomic_add(MemSpace::Global, a, 0, v);
+        let out = b.imm(4);
+        b.st_global_word(out, 0, old);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(8);
+        mem.write_word(0, 10).unwrap();
+        run(&p, &mut mem, vec![]);
+        assert_eq!(mem.read_word(0).unwrap(), 15);
+        assert_eq!(mem.read_word(4).unwrap(), 10);
+    }
+
+    #[test]
+    fn write_decimal_and_read_back() {
+        let mut b = ProgramBuilder::new("dec");
+        let base = b.imm(0);
+        let lane = b.lane_id();
+        let ls = b.imm(32);
+        let es = b.imm(1);
+        let cur = b.cursor(base, lane, ls, es);
+        let v = b.imm(9041);
+        b.write_decimal(&cur, v, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32);
+        run(&p, &mut mem, vec![]);
+        assert_eq!(mem.slice(0, 4).unwrap(), b"9041");
+    }
+
+    #[test]
+    fn write_decimal_zero() {
+        let mut b = ProgramBuilder::new("dec0");
+        let base = b.imm(0);
+        let lane = b.lane_id();
+        let ls = b.imm(32);
+        let es = b.imm(1);
+        let cur = b.cursor(base, lane, ls, es);
+        let v = b.imm(0);
+        b.write_decimal(&cur, v, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32);
+        run(&p, &mut mem, vec![]);
+        assert_eq!(mem.slice(0, 1).unwrap(), b"0");
+    }
+
+    #[test]
+    fn read_decimal_parses() {
+        let mut b = ProgramBuilder::new("atoi");
+        let a = b.imm(0);
+        let (v, len) = b.read_decimal_global(a);
+        let out = b.imm(16);
+        b.st_global_word(out, 0, v);
+        b.st_global_word(out, 4, len);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32);
+        mem.load(0, b"3804|rest").unwrap();
+        run(&p, &mut mem, vec![]);
+        assert_eq!(mem.read_word(16).unwrap(), 3804);
+        assert_eq!(mem.read_word(20).unwrap(), 4);
+    }
+
+    #[test]
+    fn const_str_copy() {
+        let mut pool = ConstPool::new();
+        let (off, len) = pool.intern_str("HTTP/1.1 200 OK");
+        let mut b = ProgramBuilder::new("c");
+        let base = b.imm(0);
+        let lane = b.lane_id();
+        let ls = b.imm(64);
+        let es = b.imm(1);
+        let cur = b.cursor(base, lane, ls, es);
+        b.write_const_str(&cur, off, len);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(64);
+        let cfg = LaunchConfig::new(1, vec![]);
+        execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap();
+        assert_eq!(mem.slice(0, len).unwrap(), b"HTTP/1.1 200 OK");
+    }
+}

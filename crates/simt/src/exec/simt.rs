@@ -1,0 +1,825 @@
+//! SIMT executor: warps of 32 lanes in lockstep with stack-based
+//! reconvergence and a memory-coalescing transaction model.
+//!
+//! This is the substitute for real CUDA hardware: it executes the same
+//! kernel IR the scalar executor runs, but 32 lanes at a time, charging
+//! * one issue cycle per warp instruction (the SIMT amortization win),
+//! * one extra cycle per global-memory transaction after coalescing
+//!   lane addresses into aligned segments (the data-layout effect), and
+//! * serialization cycles for divergent constant reads and same-address
+//!   atomics.
+//!
+//! Divergent branches push entries onto a per-warp reconvergence stack and
+//! rejoin at the branch block's immediate post-dominator, the scheme used
+//! by real hardware and by GPGPU-Sim.
+
+use crate::ir::{BlockId, CfgInfo, MemSpace, Op, Program, Reg, Terminator, EXIT_BLOCK};
+use crate::mem::{ConstPool, DeviceMemory};
+use crate::stats::{DivergenceStats, KernelStats};
+
+use super::scalar::{load, store};
+use super::{ExecError, LaunchConfig, WARP_SIZE};
+
+/// DRAM sector granularity for traffic accounting (GDDR5 32-byte sectors).
+pub const SECTOR_BYTES: u32 = 32;
+
+/// One entry of the per-warp reconvergence stack.
+#[derive(Copy, Clone, Debug)]
+struct StackEntry {
+    /// Next block to execute for this entry's lanes.
+    block: BlockId,
+    /// Active lanes (bit i = lane i of the warp).
+    mask: u32,
+    /// Block at which this entry pops and its lanes rejoin the entry
+    /// below; [`EXIT_BLOCK`] for the bottom entry and branches whose paths
+    /// only rejoin at kernel exit.
+    reconv: BlockId,
+}
+
+/// Execute a kernel launch on the SIMT engine.
+///
+/// Warps run sequentially in simulation (their cycle counts are combined
+/// by the device timing model in [`crate::gpu`]); lanes within a warp run
+/// in lockstep.
+///
+/// # Errors
+///
+/// Fails on memory faults, missing params, a tripped instruction budget,
+/// or a divergence-stack invariant violation (which would indicate a bug).
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::ir::{ProgramBuilder, BinOp};
+/// use rhythm_simt::exec::{simt::execute_simt, LaunchConfig};
+/// use rhythm_simt::mem::{ConstPool, DeviceMemory};
+///
+/// // Every lane stores its global id to global[id*4].
+/// let mut b = ProgramBuilder::new("ids");
+/// let g = b.global_id();
+/// let four = b.imm(4);
+/// let addr = b.bin(BinOp::Mul, g, four);
+/// b.st_global_word(addr, 0, g);
+/// b.halt();
+/// let p = b.build()?;
+///
+/// let mut mem = DeviceMemory::new(64 * 4);
+/// let pool = ConstPool::new();
+/// let stats = execute_simt(&p, &LaunchConfig::new(64, vec![]), &mut mem, &pool)?;
+/// assert_eq!(stats.warps, 2);
+/// assert_eq!(mem.read_word(63 * 4)?, 63);
+/// assert!(stats.simd_efficiency(32) > 0.99, "no divergence here");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn execute_simt(
+    program: &Program,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+) -> Result<KernelStats, ExecError> {
+    let cfginfo = CfgInfo::analyze(program);
+    let mut total = KernelStats {
+        lanes: cfg.lanes,
+        warps: cfg.warps(),
+        ..Default::default()
+    };
+    let mut warp = WarpState::new(program, cfg);
+    for w in 0..cfg.warps() {
+        let base = w * WARP_SIZE;
+        let count = (cfg.lanes - base).min(WARP_SIZE);
+        warp.reset(base, count);
+        let stats = warp.run(program, &cfginfo, cfg, mem, pool)?;
+        total.warp_instructions += stats.warp_instructions;
+        total.lane_instructions += stats.lane_instructions;
+        total.mem_accesses += stats.mem_accesses;
+        total.mem_transactions += stats.mem_transactions;
+        total.dram_bytes += stats.dram_bytes;
+        total.const_replays += stats.const_replays;
+        total.atomic_serializations += stats.atomic_serializations;
+        total.warp_cycles += stats.warp_cycles;
+        total.max_warp_cycles = total.max_warp_cycles.max(stats.warp_cycles);
+        total.divergence.merge(&stats.divergence);
+    }
+    Ok(total)
+}
+
+/// Reusable per-warp execution state (register file, local/shared memory).
+struct WarpState {
+    /// Flat register file: `regs[lane * num_regs + r]`.
+    regs: Vec<u32>,
+    /// Flat per-lane local memory: `local[lane * local_bytes ..]`.
+    local: Vec<u8>,
+    /// Per-warp shared memory.
+    shared: Vec<u8>,
+    num_regs: usize,
+    local_bytes: usize,
+    base: u32,
+    count: u32,
+    /// Scratch for gathering lane addresses on memory ops.
+    addrs: Vec<(u32, u32)>,
+    /// Scratch for segment ids.
+    segs: Vec<u32>,
+}
+
+#[derive(Default)]
+struct WarpStats {
+    warp_instructions: u64,
+    lane_instructions: u64,
+    mem_accesses: u64,
+    mem_transactions: u64,
+    dram_bytes: u64,
+    const_replays: u64,
+    atomic_serializations: u64,
+    warp_cycles: u64,
+    divergence: DivergenceStats,
+}
+
+impl WarpState {
+    fn new(program: &Program, cfg: &LaunchConfig) -> Self {
+        let num_regs = program.num_regs() as usize;
+        WarpState {
+            regs: vec![0; num_regs * WARP_SIZE as usize],
+            local: vec![0; cfg.local_bytes as usize * WARP_SIZE as usize],
+            shared: vec![0; cfg.shared_bytes as usize],
+            num_regs,
+            local_bytes: cfg.local_bytes as usize,
+            base: 0,
+            count: 0,
+            addrs: Vec::with_capacity(WARP_SIZE as usize),
+            segs: Vec::with_capacity(WARP_SIZE as usize * 2),
+        }
+    }
+
+    fn reset(&mut self, base: u32, count: u32) {
+        self.base = base;
+        self.count = count;
+        self.regs.fill(0);
+        self.local.fill(0);
+        self.shared.fill(0);
+    }
+
+    #[inline]
+    fn reg(&self, lane: u32, r: Reg) -> u32 {
+        self.regs[lane as usize * self.num_regs + r.0 as usize]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, lane: u32, r: Reg, v: u32) {
+        self.regs[lane as usize * self.num_regs + r.0 as usize] = v;
+    }
+
+    fn full_mask(&self) -> u32 {
+        if self.count >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.count) - 1
+        }
+    }
+
+    fn run(
+        &mut self,
+        program: &Program,
+        cfg: &CfgInfo,
+        launch: &LaunchConfig,
+        mem: &mut DeviceMemory,
+        pool: &ConstPool,
+    ) -> Result<WarpStats, ExecError> {
+        let mut stats = WarpStats::default();
+        let mut stack: Vec<StackEntry> = vec![StackEntry {
+            block: program.entry(),
+            mask: self.full_mask(),
+            reconv: EXIT_BLOCK,
+        }];
+        let mut halted: u32 = 0;
+
+        while let Some(top) = stack.last_mut() {
+            top.mask &= !halted;
+            if top.mask == 0 {
+                stack.pop();
+                continue;
+            }
+            if top.block == top.reconv {
+                stats.divergence.reconvergences += 1;
+                stack.pop();
+                continue;
+            }
+            if top.block == EXIT_BLOCK {
+                return Err(ExecError::Reconvergence(
+                    "union entry surfaced at exit with live lanes",
+                ));
+            }
+            let mask = top.mask;
+            let cur = top.block;
+            let block = program.block(cur);
+
+            for op in &block.ops {
+                stats.warp_instructions += 1;
+                stats.lane_instructions += mask.count_ones() as u64;
+                stats.warp_cycles += 1;
+                if stats.warp_instructions > launch.max_instructions {
+                    return Err(ExecError::Budget {
+                        executed: stats.warp_instructions,
+                    });
+                }
+                self.exec_op(op, mask, launch, mem, pool, &mut stats)?;
+            }
+
+            // Terminator: also one issue.
+            stats.warp_instructions += 1;
+            stats.lane_instructions += mask.count_ones() as u64;
+            stats.warp_cycles += 1;
+
+            match block.term {
+                Terminator::Jmp(t) => {
+                    let top = stack.last_mut().expect("stack nonempty");
+                    top.block = t;
+                }
+                Terminator::Halt => {
+                    halted |= mask;
+                }
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    stats.divergence.branches += 1;
+                    let mut mask_t = 0u32;
+                    for lane in iter_lanes(mask) {
+                        if self.reg(lane, cond) != 0 {
+                            mask_t |= 1 << lane;
+                        }
+                    }
+                    let mask_f = mask & !mask_t;
+                    let top = stack.last_mut().expect("stack nonempty");
+                    if mask_f == 0 {
+                        top.block = then_bb;
+                    } else if mask_t == 0 {
+                        top.block = else_bb;
+                    } else {
+                        stats.divergence.divergent_branches += 1;
+                        let r = cfg.ipdom(cur);
+                        top.block = r;
+                        if else_bb != r {
+                            stack.push(StackEntry {
+                                block: else_bb,
+                                mask: mask_f,
+                                reconv: r,
+                            });
+                        }
+                        if then_bb != r {
+                            stack.push(StackEntry {
+                                block: then_bb,
+                                mask: mask_t,
+                                reconv: r,
+                            });
+                        }
+                        stats.divergence.max_stack_depth =
+                            stats.divergence.max_stack_depth.max(stack.len() as u32);
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn exec_op(
+        &mut self,
+        op: &Op,
+        mask: u32,
+        launch: &LaunchConfig,
+        mem: &mut DeviceMemory,
+        pool: &ConstPool,
+        stats: &mut WarpStats,
+    ) -> Result<(), ExecError> {
+        match *op {
+            Op::Imm { dst, value } => {
+                for lane in iter_lanes(mask) {
+                    self.set_reg(lane, dst, value);
+                }
+            }
+            Op::Mov { dst, src } => {
+                for lane in iter_lanes(mask) {
+                    let v = self.reg(lane, src);
+                    self.set_reg(lane, dst, v);
+                }
+            }
+            Op::Bin { op, dst, a, b } => {
+                for lane in iter_lanes(mask) {
+                    let v = op.eval(self.reg(lane, a), self.reg(lane, b));
+                    self.set_reg(lane, dst, v);
+                }
+            }
+            Op::Un { op, dst, a } => {
+                for lane in iter_lanes(mask) {
+                    let v = op.eval(self.reg(lane, a));
+                    self.set_reg(lane, dst, v);
+                }
+            }
+            Op::LaneId { dst } => {
+                for lane in iter_lanes(mask) {
+                    self.set_reg(lane, dst, lane);
+                }
+            }
+            Op::GlobalId { dst } => {
+                for lane in iter_lanes(mask) {
+                    self.set_reg(lane, dst, self.base + lane);
+                }
+            }
+            Op::Param { dst, index } => {
+                let v = launch
+                    .params
+                    .get(index as usize)
+                    .copied()
+                    .ok_or(ExecError::MissingParam { index })?;
+                for lane in iter_lanes(mask) {
+                    self.set_reg(lane, dst, v);
+                }
+            }
+            Op::Ld {
+                width,
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
+                self.addrs.clear();
+                for lane in iter_lanes(mask) {
+                    let a = self.reg(lane, addr).wrapping_add(offset);
+                    self.addrs.push((lane, a));
+                }
+                let addrs = std::mem::take(&mut self.addrs);
+                for &(lane, a) in &addrs {
+                    let lo = lane as usize * self.local_bytes;
+                    let v = load(
+                        space,
+                        width,
+                        a,
+                        &self.local[lo..lo + self.local_bytes],
+                        &self.shared,
+                        mem,
+                        pool,
+                    )?;
+                    self.set_reg(lane, dst, v);
+                }
+                self.charge_access(space, width, &addrs, launch, stats);
+                self.addrs = addrs;
+            }
+            Op::St {
+                width,
+                space,
+                src,
+                addr,
+                offset,
+            } => {
+                self.addrs.clear();
+                for lane in iter_lanes(mask) {
+                    let a = self.reg(lane, addr).wrapping_add(offset);
+                    self.addrs.push((lane, a));
+                }
+                let addrs = std::mem::take(&mut self.addrs);
+                for &(lane, a) in &addrs {
+                    let v = self.reg(lane, src);
+                    let lo = lane as usize * self.local_bytes;
+                    store(
+                        space,
+                        width,
+                        a,
+                        v,
+                        &mut self.local[lo..lo + self.local_bytes],
+                        &mut self.shared,
+                        mem,
+                    )?;
+                }
+                self.charge_access(space, width, &addrs, launch, stats);
+                self.addrs = addrs;
+            }
+            Op::WarpRedMax { dst, src } => {
+                // Butterfly reduction over active lanes: log2(32) = 5 steps
+                // through shared memory.
+                let mut m = 0u32;
+                for lane in iter_lanes(mask) {
+                    m = m.max(self.reg(lane, src));
+                }
+                for lane in iter_lanes(mask) {
+                    self.set_reg(lane, dst, m);
+                }
+                // 5 extra warp issues beyond the one already charged.
+                stats.warp_instructions += 4;
+                stats.lane_instructions += 4 * mask.count_ones() as u64;
+                stats.warp_cycles += 4;
+            }
+            Op::AtomicAdd {
+                dst,
+                space,
+                addr,
+                offset,
+                src,
+            } => {
+                self.addrs.clear();
+                for lane in iter_lanes(mask) {
+                    let a = self.reg(lane, addr).wrapping_add(offset);
+                    self.addrs.push((lane, a));
+                }
+                let addrs = std::mem::take(&mut self.addrs);
+                // Lanes are serviced in lane order; same-address lanes
+                // serialize (each sees the previous lane's update).
+                for &(lane, a) in &addrs {
+                    let lo = lane as usize * self.local_bytes;
+                    let old = load(
+                        space,
+                        crate::ir::Width::Word,
+                        a,
+                        &self.local[lo..lo + self.local_bytes],
+                        &self.shared,
+                        mem,
+                        pool,
+                    )?;
+                    let add = self.reg(lane, src);
+                    store(
+                        space,
+                        crate::ir::Width::Word,
+                        a,
+                        old.wrapping_add(add),
+                        &mut self.local[lo..lo + self.local_bytes],
+                        &mut self.shared,
+                        mem,
+                    )?;
+                    self.set_reg(lane, dst, old);
+                }
+                // Cost: transactions as a word access plus serialization of
+                // duplicate addresses.
+                self.charge_access(space, crate::ir::Width::Word, &addrs, launch, stats);
+                let mut sorted: Vec<u32> = addrs.iter().map(|&(_, a)| a).collect();
+                sorted.sort_unstable();
+                let distinct = count_distinct(&sorted);
+                let dups = addrs.len() as u64 - distinct as u64;
+                stats.atomic_serializations += dups;
+                stats.warp_cycles += dups;
+                self.addrs = addrs;
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge memory-system cost for one warp access.
+    fn charge_access(
+        &mut self,
+        space: MemSpace,
+        width: crate::ir::Width,
+        addrs: &[(u32, u32)],
+        launch: &LaunchConfig,
+        stats: &mut WarpStats,
+    ) {
+        match space {
+            MemSpace::Global => {
+                stats.mem_accesses += 1;
+                let ts = launch.tx_bytes;
+                // Transactions at `tx_bytes` granularity drive issue
+                // replays; DRAM traffic is counted in 32 B sectors so a
+                // coalesced byte access is not charged a full line.
+                self.segs.clear();
+                for &(_, a) in addrs {
+                    let first = a / ts;
+                    let last = a.wrapping_add(width.bytes() - 1) / ts;
+                    self.segs.push(first);
+                    if last != first {
+                        self.segs.push(last);
+                    }
+                }
+                self.segs.sort_unstable();
+                self.segs.dedup();
+                let ntx = self.segs.len() as u64;
+                stats.mem_transactions += ntx;
+                stats.warp_cycles += ntx;
+
+                self.segs.clear();
+                for &(_, a) in addrs {
+                    let first = a / SECTOR_BYTES;
+                    let last = a.wrapping_add(width.bytes() - 1) / SECTOR_BYTES;
+                    self.segs.push(first);
+                    if last != first {
+                        self.segs.push(last);
+                    }
+                }
+                self.segs.sort_unstable();
+                self.segs.dedup();
+                stats.dram_bytes += self.segs.len() as u64 * SECTOR_BYTES as u64;
+            }
+            MemSpace::Const => {
+                // Broadcast is free; divergent addresses replay.
+                let mut sorted: Vec<u32> = addrs.iter().map(|&(_, a)| a).collect();
+                sorted.sort_unstable();
+                let d = count_distinct(&sorted) as u64;
+                if d > 1 {
+                    stats.const_replays += d - 1;
+                    stats.warp_cycles += d - 1;
+                }
+            }
+            MemSpace::Local => {
+                // Interleaved per-lane storage: always coalesced; charge one
+                // extra cycle like an L1 hit.
+                stats.warp_cycles += 1;
+            }
+            MemSpace::Shared => {
+                // Bank conflicts are not modelled.
+            }
+        }
+    }
+}
+
+fn count_distinct(sorted: &[u32]) -> usize {
+    let mut n = 0;
+    let mut last = None;
+    for &a in sorted {
+        if last != Some(a) {
+            n += 1;
+            last = Some(a);
+        }
+    }
+    n
+}
+
+/// Iterate over set lane bits.
+fn iter_lanes(mask: u32) -> impl Iterator<Item = u32> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let lane = m.trailing_zeros();
+            m &= m - 1;
+            Some(lane)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, ProgramBuilder};
+
+    fn launch(
+        p: &Program,
+        lanes: u32,
+        params: Vec<u32>,
+        mem: &mut DeviceMemory,
+    ) -> KernelStats {
+        let pool = ConstPool::new();
+        execute_simt(p, &LaunchConfig::new(lanes, params), mem, &pool).unwrap()
+    }
+
+    /// Lane i stores its id at byte i (coalesced) — one transaction per
+    /// warp access.
+    #[test]
+    fn coalesced_byte_store_is_one_transaction() {
+        let mut b = ProgramBuilder::new("c");
+        let g = b.global_id();
+        b.st_global_byte(g, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(64);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        assert_eq!(stats.mem_accesses, 1);
+        assert_eq!(stats.mem_transactions, 1);
+        assert_eq!(mem.read_byte(31).unwrap(), 31);
+    }
+
+    /// Lane i stores at stride 256 (row-major layout) — every lane hits a
+    /// different 128 B segment: 32 transactions.
+    #[test]
+    fn strided_store_explodes_transactions() {
+        let mut b = ProgramBuilder::new("s");
+        let g = b.global_id();
+        let stride = b.imm(256);
+        let a = b.bin(BinOp::Mul, g, stride);
+        b.st_global_byte(a, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(256 * 32);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        assert_eq!(stats.mem_accesses, 1);
+        assert_eq!(stats.mem_transactions, 32);
+    }
+
+    /// Divergent if/else: both sides execute, SIMD efficiency drops, and
+    /// lanes reconverge to produce correct results.
+    #[test]
+    fn divergent_branch_reconverges() {
+        let mut b = ProgramBuilder::new("d");
+        let g = b.global_id();
+        let one = b.imm(1);
+        let odd = b.bin(BinOp::And, g, one);
+        let out = b.reg();
+        b.if_then_else(
+            odd,
+            |b| {
+                b.imm_into(out, 100);
+            },
+            |b| {
+                b.imm_into(out, 200);
+            },
+        );
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, out);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32 * 4);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        assert_eq!(stats.divergence.divergent_branches, 1);
+        // Each divergent side pops at the join block: two reconvergence
+        // events per divergent branch.
+        assert_eq!(stats.divergence.reconvergences, 2);
+        assert_eq!(mem.read_word(0).unwrap(), 200);
+        assert_eq!(mem.read_word(4).unwrap(), 100);
+        assert!(stats.simd_efficiency(32) < 1.0);
+    }
+
+    /// Data-dependent loop trip counts: all lanes finish, result correct,
+    /// divergence recorded on loop exit.
+    #[test]
+    fn variable_trip_count_loop() {
+        let mut b = ProgramBuilder::new("v");
+        let g = b.global_id();
+        let acc = b.imm(0);
+        let one = b.imm(1);
+        // for i in 0..lane_id: acc += 1
+        b.for_loop(g, |b, _i| {
+            b.bin_into(acc, BinOp::Add, acc, one);
+        });
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, acc);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32 * 4);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        for i in 0..32 {
+            assert_eq!(mem.read_word(i * 4).unwrap(), i, "lane {i}");
+        }
+        assert!(stats.divergence.divergent_branches > 0);
+    }
+
+    /// The scalar and SIMT executors must produce identical memory.
+    #[test]
+    fn scalar_simt_equivalence() {
+        use crate::exec::scalar::{execute_scalar, ScalarRun};
+        let mut b = ProgramBuilder::new("eq");
+        let g = b.global_id();
+        let three = b.imm(3);
+        let n = b.bin(BinOp::RemU, g, three);
+        let acc = b.imm(0);
+        b.for_loop(n, |b, i| {
+            b.bin_into(acc, BinOp::Add, acc, i);
+        });
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, acc);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let pool = ConstPool::new();
+        let lanes = 48u32;
+        let mut mem_simt = DeviceMemory::new(lanes as usize * 4);
+        execute_simt(&p, &LaunchConfig::new(lanes, vec![]), &mut mem_simt, &pool).unwrap();
+
+        let mut mem_scalar = DeviceMemory::new(lanes as usize * 4);
+        let cfg = LaunchConfig::new(1, vec![]);
+        for id in 0..lanes {
+            execute_scalar(&ScalarRun::new(&p, id), &cfg, &mut mem_scalar, &pool, None).unwrap();
+        }
+        assert_eq!(mem_simt.as_bytes(), mem_scalar.as_bytes());
+    }
+
+    #[test]
+    fn warp_red_max_broadcasts() {
+        let mut b = ProgramBuilder::new("r");
+        let g = b.global_id();
+        let m = b.warp_red_max(g);
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, m);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(64 * 4);
+        launch(&p, 64, vec![], &mut mem);
+        assert_eq!(mem.read_word(0).unwrap(), 31, "warp 0 max is lane 31");
+        assert_eq!(mem.read_word(32 * 4).unwrap(), 63, "warp 1 max is lane 63");
+    }
+
+    #[test]
+    fn atomic_add_serializes_same_address() {
+        let mut b = ProgramBuilder::new("a");
+        let zero = b.imm(0);
+        let one = b.imm(1);
+        b.atomic_add(MemSpace::Global, zero, 0, one);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        assert_eq!(mem.read_word(0).unwrap(), 32);
+        assert_eq!(stats.atomic_serializations, 31);
+    }
+
+    #[test]
+    fn atomic_add_distinct_addresses_parallel() {
+        let mut b = ProgramBuilder::new("a2");
+        let g = b.global_id();
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        let one = b.imm(1);
+        b.atomic_add(MemSpace::Global, addr, 0, one);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32 * 4);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        assert_eq!(stats.atomic_serializations, 0);
+        assert_eq!(mem.read_word(4).unwrap(), 1);
+    }
+
+    #[test]
+    fn const_broadcast_free_divergent_replays() {
+        let mut pool = ConstPool::new();
+        let (off, _) = pool.intern(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        // Divergent const read: each lane reads const[off + lane % 4].
+        let mut b = ProgramBuilder::new("cst");
+        let g = b.global_id();
+        let fourm = b.imm(4);
+        let idx = b.bin(BinOp::RemU, g, fourm);
+        let o = b.imm(off);
+        let a = b.bin(BinOp::Add, o, idx);
+        b.ld_const_byte(a, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4);
+        let stats = execute_simt(&p, &LaunchConfig::new(32, vec![]), &mut mem, &pool).unwrap();
+        assert_eq!(stats.const_replays, 3, "4 distinct addresses = 3 replays");
+    }
+
+    #[test]
+    fn partial_last_warp() {
+        let mut b = ProgramBuilder::new("p");
+        let g = b.global_id();
+        b.st_global_byte(g, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(64);
+        let stats = launch(&p, 40, vec![], &mut mem);
+        assert_eq!(stats.warps, 2);
+        assert_eq!(mem.read_byte(39).unwrap(), 39);
+        assert_eq!(mem.read_byte(40).unwrap(), 0, "lane 40 never ran");
+    }
+
+    #[test]
+    fn word_access_straddling_segments_counts_two() {
+        let mut b = ProgramBuilder::new("w");
+        let a = b.imm(126); // crosses the 128-byte boundary
+        let v = b.imm(0xAABBCCDD);
+        b.st_global_word(a, 0, v);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(256);
+        let stats = launch(&p, 1, vec![], &mut mem);
+        assert_eq!(stats.mem_transactions, 2);
+    }
+
+    /// Nested divergence exercises stack depth > 2.
+    #[test]
+    fn nested_divergence() {
+        let mut b = ProgramBuilder::new("n");
+        let g = b.global_id();
+        let one = b.imm(1);
+        let two = b.imm(2);
+        let bit0 = b.bin(BinOp::And, g, one);
+        let bit1v = b.bin(BinOp::And, g, two);
+        let out = b.reg();
+        b.if_then_else(
+            bit0,
+            |b| {
+                b.if_then_else(
+                    bit1v,
+                    |b| b.imm_into(out, 3),
+                    |b| b.imm_into(out, 1),
+                );
+            },
+            |b| {
+                b.if_then_else(
+                    bit1v,
+                    |b| b.imm_into(out, 2),
+                    |b| b.imm_into(out, 0),
+                );
+            },
+        );
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, out);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(32 * 4);
+        let stats = launch(&p, 32, vec![], &mut mem);
+        for i in 0..32u32 {
+            assert_eq!(mem.read_word(i * 4).unwrap(), i % 4, "lane {i}");
+        }
+        assert!(stats.divergence.max_stack_depth >= 3);
+    }
+}

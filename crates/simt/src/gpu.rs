@@ -1,0 +1,271 @@
+//! Device timing model: turns [`KernelStats`] into kernel latencies.
+//!
+//! The model is deliberately simple and fully parameterized:
+//!
+//! ```text
+//! compute = max(max_warp_cycles, warp_cycles / (sm_count × issue_width)) / clock
+//! memory  = dram_bytes / dram_bandwidth
+//! time    = max(compute, memory) + launch_overhead
+//! ```
+//!
+//! `warp_cycles / (sm_count × issue_width)` models a fully occupied device
+//! (many warps hide each other's latency); `max_warp_cycles` bounds small
+//! launches that cannot fill the machine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::exec::simt::execute_simt;
+use crate::exec::{ExecError, LaunchConfig};
+use crate::ir::Program;
+use crate::mem::{ConstPool, DeviceMemory};
+use crate::stats::KernelStats;
+
+/// Static description of a SIMT device.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Warp instructions issued per SM per cycle (Kepler SMX dual-issues
+    /// from four schedulers; a sustained value of ~4 is realistic for
+    /// ALU-heavy code).
+    pub issue_width: f64,
+    /// DRAM bandwidth in bytes/second.
+    pub dram_bw: f64,
+    /// Memory transaction size in bytes (coalescing granularity).
+    pub tx_bytes: u32,
+    /// Fixed per-kernel-launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Device memory capacity in bytes (capacity planning only).
+    pub memory_bytes: u64,
+    /// Number of hardware work queues (1 = pre-HyperQ, 32 = HyperQ).
+    pub hw_queues: u32,
+}
+
+impl GpuConfig {
+    /// NVIDIA GTX Titan (GK110), the paper's evaluation device:
+    /// 14 SMX @ 837 MHz, 288 GB/s GDDR5, 6 GB, HyperQ (32 queues).
+    ///
+    /// `issue_width` is the *sustained* warp-instruction rate per SMX for
+    /// dependent integer/byte-processing code — roughly 40 % of the
+    /// 6-warp ALU peak (192 cores / 32 lanes), calibrated once against
+    /// the paper's Titan B/C operating points and then held fixed for
+    /// every experiment.
+    pub fn gtx_titan() -> Self {
+        GpuConfig {
+            name: "GTX Titan".into(),
+            sm_count: 14,
+            clock_hz: 837e6,
+            issue_width: 2.5,
+            dram_bw: 288e9,
+            tx_bytes: 128,
+            launch_overhead_s: 5e-6,
+            memory_bytes: 6 * (1 << 30),
+            hw_queues: 32,
+        }
+    }
+
+    /// NVIDIA GTX 690 (one GK104 die): 8 SMX @ 915 MHz, 192 GB/s, 2 GB,
+    /// single hardware work queue (no HyperQ) — used by the paper to show
+    /// false-dependency stalls.
+    pub fn gtx_690() -> Self {
+        GpuConfig {
+            name: "GTX 690".into(),
+            sm_count: 8,
+            clock_hz: 915e6,
+            issue_width: 2.5,
+            dram_bw: 192e9,
+            tx_bytes: 128,
+            launch_overhead_s: 5e-6,
+            memory_bytes: 2 * (1 << 30),
+            hw_queues: 1,
+        }
+    }
+}
+
+/// Result of a timed kernel launch.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LaunchResult {
+    /// Raw execution statistics.
+    pub stats: KernelStats,
+    /// Modelled kernel latency in seconds.
+    pub time_s: f64,
+    /// True when DRAM bandwidth, not issue bandwidth, set the latency.
+    pub memory_bound: bool,
+}
+
+/// A simulated SIMT device.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::gpu::{Gpu, GpuConfig};
+/// use rhythm_simt::ir::ProgramBuilder;
+/// use rhythm_simt::exec::LaunchConfig;
+/// use rhythm_simt::mem::{ConstPool, DeviceMemory};
+///
+/// let gpu = Gpu::new(GpuConfig::gtx_titan());
+/// let mut b = ProgramBuilder::new("nop");
+/// b.halt();
+/// let p = b.build()?;
+/// let mut mem = DeviceMemory::new(16);
+/// let res = gpu.launch(&p, &LaunchConfig::new(32, vec![]), &mut mem, &ConstPool::new())?;
+/// assert!(res.time_s > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+}
+
+impl Gpu {
+    /// Create a device from its configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Gpu { config }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Execute a kernel and model its latency.
+    ///
+    /// The launch's `tx_bytes` is overridden by the device configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] from the SIMT executor.
+    pub fn launch(
+        &self,
+        program: &Program,
+        cfg: &LaunchConfig,
+        mem: &mut DeviceMemory,
+        pool: &ConstPool,
+    ) -> Result<LaunchResult, ExecError> {
+        let mut cfg = cfg.clone();
+        cfg.tx_bytes = self.config.tx_bytes;
+        let stats = execute_simt(program, &cfg, mem, pool)?;
+        Ok(self.time(stats))
+    }
+
+    /// Sustained-throughput time for a kernel's stats: the device cost
+    /// when many independent kernels are in flight (steady-state
+    /// pipeline), so the underfilled-device critical path
+    /// (`max_warp_cycles`) does not apply. Use this for throughput
+    /// accounting; use [`Gpu::time`] for the latency of one isolated
+    /// launch.
+    pub fn sustained_time(&self, stats: &KernelStats) -> f64 {
+        let c = &self.config;
+        let compute_s = stats.warp_cycles as f64 / (c.sm_count as f64 * c.issue_width) / c.clock_hz;
+        let memory_s = stats.dram_bytes as f64 / c.dram_bw;
+        compute_s.max(memory_s) + c.launch_overhead_s
+    }
+
+    /// Model latency for pre-computed stats (used when replaying stats for
+    /// a different device configuration).
+    pub fn time(&self, stats: KernelStats) -> LaunchResult {
+        let c = &self.config;
+        let throughput_cycles =
+            stats.warp_cycles as f64 / (c.sm_count as f64 * c.issue_width);
+        let compute_cycles = throughput_cycles.max(stats.max_warp_cycles as f64);
+        let compute_s = compute_cycles / c.clock_hz;
+        let memory_s = stats.dram_bytes as f64 / c.dram_bw;
+        let memory_bound = memory_s > compute_s;
+        LaunchResult {
+            time_s: compute_s.max(memory_s) + c.launch_overhead_s,
+            memory_bound,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, ProgramBuilder};
+
+    #[test]
+    fn presets_differ() {
+        let t = GpuConfig::gtx_titan();
+        let g = GpuConfig::gtx_690();
+        assert_eq!(t.hw_queues, 32);
+        assert_eq!(g.hw_queues, 1);
+        assert!(t.memory_bytes > g.memory_bytes);
+    }
+
+    #[test]
+    fn bigger_kernel_takes_longer() {
+        let gpu = Gpu::new(GpuConfig::gtx_titan());
+        let mk = |n: u32| {
+            let mut b = ProgramBuilder::new("k");
+            let c = b.imm(n);
+            b.for_loop(c, |b, _| {
+                b.imm(0);
+            });
+            b.halt();
+            b.build().unwrap()
+        };
+        let pool = ConstPool::new();
+        let mut mem = DeviceMemory::new(16);
+        let small = gpu
+            .launch(&mk(10), &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
+            .unwrap();
+        let big = gpu
+            .launch(&mk(1000), &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
+            .unwrap();
+        assert!(big.time_s > small.time_s);
+    }
+
+    #[test]
+    fn scattered_access_can_be_memory_bound() {
+        // Huge strided traffic with almost no compute.
+        let gpu = Gpu::new(GpuConfig::gtx_titan());
+        let mut b = ProgramBuilder::new("mem");
+        let g = b.global_id();
+        let stride = b.imm(4096);
+        let addr = b.bin(BinOp::Mul, g, stride);
+        let n = b.imm(64);
+        b.for_loop(n, |b, i| {
+            let a2 = b.bin(BinOp::Add, addr, i);
+            let hop = b.imm(128);
+            let a3 = b.bin(BinOp::Mul, i, hop);
+            let a4 = b.bin(BinOp::Add, a2, a3);
+            let v = b.ld_global_byte(a4, 0);
+            b.st_global_byte(a4, 0, v);
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(4096 * 1024 + 64 * 129 + 8);
+        let pool = ConstPool::new();
+        let res = gpu
+            .launch(&p, &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
+            .unwrap();
+        assert!(res.stats.mem_transactions > res.stats.mem_accesses);
+    }
+
+    #[test]
+    fn time_includes_launch_overhead() {
+        let gpu = Gpu::new(GpuConfig::gtx_titan());
+        let res = gpu.time(KernelStats::default());
+        assert!((res.time_s - gpu.config().launch_overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underfilled_device_bounded_by_slowest_warp() {
+        let gpu = Gpu::new(GpuConfig::gtx_titan());
+        let stats = KernelStats {
+            warps: 1,
+            lanes: 32,
+            warp_cycles: 1000,
+            max_warp_cycles: 1000,
+            ..Default::default()
+        };
+        let res = gpu.time(stats);
+        let expect = 1000.0 / gpu.config().clock_hz + gpu.config().launch_overhead_s;
+        assert!((res.time_s - expect).abs() / expect < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Control-flow analysis: immediate post-dominators.
+//!
+//! The SIMT executor reconverges divergent warps at the *immediate
+//! post-dominator* (IPDom) of the branching block — the classic
+//! stack-based reconvergence scheme used by real SIMT hardware and by
+//! simulators such as GPGPU-Sim. This module computes IPDoms with the
+//! Cooper–Harvey–Kennedy iterative dominator algorithm run on the reverse
+//! CFG, with a virtual exit node joining all `Halt` blocks.
+
+use super::{BlockId, Program, Terminator};
+
+/// Sentinel block id meaning "reconverges only at kernel exit".
+pub const EXIT_BLOCK: BlockId = u32::MAX;
+
+/// Per-program control-flow facts needed by the SIMT executor.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::ir::{ProgramBuilder, CfgInfo, BinOp};
+///
+/// let mut b = ProgramBuilder::new("diamond");
+/// let lane = b.lane_id();
+/// let one = b.imm(1);
+/// let cond = b.bin(BinOp::And, lane, one);
+/// let (t, f, join) = (b.new_block("t"), b.new_block("f"), b.new_block("join"));
+/// b.branch(cond, t, f);
+/// b.switch_to(t);
+/// b.jump(join);
+/// b.switch_to(f);
+/// b.jump(join);
+/// b.switch_to(join);
+/// b.halt();
+/// let p = b.build().unwrap();
+/// let cfg = CfgInfo::analyze(&p);
+/// // The branch in the entry block reconverges at the join block.
+/// assert_eq!(cfg.ipdom(p.entry()), join);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CfgInfo {
+    ipdom: Vec<BlockId>,
+}
+
+impl CfgInfo {
+    /// Analyze a validated program.
+    pub fn analyze(program: &Program) -> CfgInfo {
+        CfgInfo {
+            ipdom: immediate_post_dominators(program),
+        }
+    }
+
+    /// Immediate post-dominator of `block`, or [`EXIT_BLOCK`] if control
+    /// only rejoins at kernel exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range for the analyzed program.
+    pub fn ipdom(&self, block: BlockId) -> BlockId {
+        self.ipdom[block as usize]
+    }
+}
+
+/// Compute the immediate post-dominator of every block.
+///
+/// Returns a vector indexed by [`BlockId`]; entries are [`EXIT_BLOCK`] when
+/// the only post-dominator is the virtual exit (e.g. a block whose branch
+/// sides both halt), and for blocks unreachable from the entry.
+pub fn immediate_post_dominators(program: &Program) -> Vec<BlockId> {
+    let n = program.blocks().len();
+    let exit = n; // internal index of the virtual exit node
+
+    // Reverse-CFG successors == CFG predecessors; we need CFG successors to
+    // build predecessor lists of the reverse graph, i.e. plain successors.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (i, b) in program.blocks().iter().enumerate() {
+        match &b.term {
+            Terminator::Halt => succs[i].push(exit),
+            t => {
+                for s in t.successors() {
+                    succs[i].push(s as usize);
+                }
+            }
+        }
+    }
+
+    // Post-order of the *reverse* CFG starting from exit == reverse
+    // post-order for the dominator iteration. Build reverse edges.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (i, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            rev[s].push(i);
+        }
+    }
+
+    // Iterative DFS post-order over the reverse CFG from exit.
+    let mut order = Vec::with_capacity(n + 1);
+    let mut visited = vec![false; n + 1];
+    let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+    visited[exit] = true;
+    while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+        if *idx < rev[node].len() {
+            let next = rev[node][*idx];
+            *idx += 1;
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            order.push(node);
+            stack.pop();
+        }
+    }
+    // order is post-order; we want reverse post-order (exit first).
+    order.reverse();
+
+    let mut po_number = vec![usize::MAX; n + 1];
+    for (i, &node) in order.iter().enumerate() {
+        // Higher number = earlier in reverse post-order per CHK convention:
+        // assign decreasing numbers along RPO so `intersect` can walk up.
+        po_number[node] = order.len() - 1 - i;
+    }
+
+    const UNDEF: usize = usize::MAX;
+    let mut idom = vec![UNDEF; n + 1];
+    idom[exit] = exit;
+
+    let intersect = |idom: &[usize], po: &[usize], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while po[a] < po[b] {
+                a = idom[a];
+            }
+            while po[b] < po[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in order.iter().skip(1) {
+            // Predecessors in the reverse CFG are CFG successors.
+            let mut new_idom = UNDEF;
+            for &p in &succs[node] {
+                if idom[p] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p
+                } else {
+                    intersect(&idom, &po_number, new_idom, p)
+                };
+            }
+            if new_idom != UNDEF && idom[node] != new_idom {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            let d = idom[i];
+            if d == UNDEF || d == exit {
+                EXIT_BLOCK
+            } else {
+                d as BlockId
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, Op, Program, Reg, Terminator};
+
+    fn blk(term: Terminator) -> Block {
+        Block {
+            label: None,
+            ops: vec![Op::Imm {
+                dst: Reg(0),
+                value: 0,
+            }],
+            term,
+        }
+    }
+
+    fn program(blocks: Vec<Block>) -> Program {
+        Program::from_parts("t", blocks, 1, 0).unwrap()
+    }
+
+    #[test]
+    fn straight_line_ipdom_is_next_block() {
+        // 0 -> 1 -> halt
+        let p = program(vec![blk(Terminator::Jmp(1)), blk(Terminator::Halt)]);
+        let ip = immediate_post_dominators(&p);
+        assert_eq!(ip[0], 1);
+        assert_eq!(ip[1], EXIT_BLOCK);
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        // 0 -> (1 | 2) -> 3 -> halt
+        let p = program(vec![
+            blk(Terminator::Br {
+                cond: Reg(0),
+                then_bb: 1,
+                else_bb: 2,
+            }),
+            blk(Terminator::Jmp(3)),
+            blk(Terminator::Jmp(3)),
+            blk(Terminator::Halt),
+        ]);
+        let ip = immediate_post_dominators(&p);
+        assert_eq!(ip[0], 3);
+        assert_eq!(ip[1], 3);
+        assert_eq!(ip[2], 3);
+    }
+
+    #[test]
+    fn loop_header_reconverges_at_exit_block() {
+        // 0: header Br -> 1 (body) | 2 (exit); 1 -> 0; 2: halt
+        let p = program(vec![
+            blk(Terminator::Br {
+                cond: Reg(0),
+                then_bb: 1,
+                else_bb: 2,
+            }),
+            blk(Terminator::Jmp(0)),
+            blk(Terminator::Halt),
+        ]);
+        let ip = immediate_post_dominators(&p);
+        assert_eq!(ip[0], 2, "loop header ipdom is the loop exit");
+        assert_eq!(ip[1], 0, "body ipdom is the header");
+    }
+
+    #[test]
+    fn branch_to_two_halts_reconverges_at_exit() {
+        let p = program(vec![
+            blk(Terminator::Br {
+                cond: Reg(0),
+                then_bb: 1,
+                else_bb: 2,
+            }),
+            blk(Terminator::Halt),
+            blk(Terminator::Halt),
+        ]);
+        let ip = immediate_post_dominators(&p);
+        assert_eq!(ip[0], EXIT_BLOCK);
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        // 0 -> (1|4); 1 -> (2|3); 2->5; 3->5; 5->6; 4->6; 6 halt
+        let p = program(vec![
+            blk(Terminator::Br {
+                cond: Reg(0),
+                then_bb: 1,
+                else_bb: 4,
+            }),
+            blk(Terminator::Br {
+                cond: Reg(0),
+                then_bb: 2,
+                else_bb: 3,
+            }),
+            blk(Terminator::Jmp(5)),
+            blk(Terminator::Jmp(5)),
+            blk(Terminator::Jmp(6)),
+            blk(Terminator::Jmp(6)),
+            blk(Terminator::Halt),
+        ]);
+        let ip = immediate_post_dominators(&p);
+        assert_eq!(ip[0], 6);
+        assert_eq!(ip[1], 5);
+        assert_eq!(ip[5], 6);
+        assert_eq!(ip[4], 6);
+    }
+
+    #[test]
+    fn infinite_loop_maps_to_exit_sentinel() {
+        // 0 -> 0 (never reaches exit)
+        let p = program(vec![blk(Terminator::Jmp(0))]);
+        let ip = immediate_post_dominators(&p);
+        assert_eq!(ip[0], EXIT_BLOCK);
+    }
+
+    #[test]
+    fn cfginfo_wrapper() {
+        let p = program(vec![blk(Terminator::Jmp(1)), blk(Terminator::Halt)]);
+        let cfg = CfgInfo::analyze(&p);
+        assert_eq!(cfg.ipdom(0), 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Device memory: global DRAM image and the read-only constant pool.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::MemSpace;
+
+/// Error raised by a kernel memory access.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum MemError {
+    /// Access outside the allocated space.
+    OutOfBounds {
+        space: MemSpace,
+        addr: u32,
+        len: u32,
+        size: usize,
+    },
+    /// Write (or atomic) to read-only constant memory.
+    ReadOnly { space: MemSpace },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds {
+                space,
+                addr,
+                len,
+                size,
+            } => write!(
+                f,
+                "out-of-bounds {space:?} access at {addr:#x}+{len} (size {size})"
+            ),
+            MemError::ReadOnly { space } => write!(f, "write to read-only {space:?} memory"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The device's global (DRAM) address space: a flat, byte-addressable image.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::mem::DeviceMemory;
+///
+/// let mut mem = DeviceMemory::new(64);
+/// mem.write_word(0, 0xDEAD_BEEF).unwrap();
+/// assert_eq!(mem.read_word(0).unwrap(), 0xDEAD_BEEF);
+/// assert_eq!(mem.read_byte(0).unwrap(), 0xEF); // little endian
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DeviceMemory {
+    bytes: Vec<u8>,
+}
+
+impl DeviceMemory {
+    /// Allocate `size` zeroed bytes of global memory.
+    pub fn new(size: usize) -> Self {
+        DeviceMemory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the space has zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, MemError> {
+        let a = addr as usize;
+        let end = a.checked_add(len as usize).ok_or(MemError::OutOfBounds {
+            space: MemSpace::Global,
+            addr,
+            len,
+            size: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(MemError::OutOfBounds {
+                space: MemSpace::Global,
+                addr,
+                len,
+                size: self.bytes.len(),
+            });
+        }
+        Ok(a)
+    }
+
+    /// Read one byte (zero-extended).
+    pub fn read_byte(&self, addr: u32) -> Result<u32, MemError> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a] as u32)
+    }
+
+    /// Read a little-endian word.
+    pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Write one byte (low 8 bits of `value`).
+    pub fn write_byte(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = value as u8;
+        Ok(())
+    }
+
+    /// Write a little-endian word.
+    pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Borrow a byte range.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the allocation.
+    pub fn slice(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
+        let a = self.check(addr, len)?;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+
+    /// Mutably borrow a byte range.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the allocation.
+    pub fn slice_mut(&mut self, addr: u32, len: u32) -> Result<&mut [u8], MemError> {
+        let a = self.check(addr, len)?;
+        Ok(&mut self.bytes[a..a + len as usize])
+    }
+
+    /// Copy a host byte slice into global memory at `addr`.
+    pub fn load(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        let a = self.check(addr, data.len() as u32)?;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// The full backing image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Read-only constant memory holding interned template strings.
+///
+/// Kernels reference constant data by `(offset, len)` immediates; the pool
+/// interns identical strings so shared HTML fragments are stored once,
+/// mirroring CUDA `__constant__` usage in the paper's prototype.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::mem::ConstPool;
+///
+/// let mut pool = ConstPool::new();
+/// let (off, len) = pool.intern_str("<html>");
+/// assert_eq!(len, 6);
+/// let again = pool.intern_str("<html>");
+/// assert_eq!((off, len), again, "identical strings are interned once");
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct ConstPool {
+    data: Vec<u8>,
+    interned: HashMap<Vec<u8>, u32>,
+}
+
+impl ConstPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a byte string, returning `(offset, len)`.
+    pub fn intern(&mut self, bytes: &[u8]) -> (u32, u32) {
+        if let Some(&off) = self.interned.get(bytes) {
+            return (off, bytes.len() as u32);
+        }
+        let off = self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        self.interned.insert(bytes.to_vec(), off);
+        (off, bytes.len() as u32)
+    }
+
+    /// Intern a UTF-8 string, returning `(offset, len)`.
+    pub fn intern_str(&mut self, s: &str) -> (u32, u32) {
+        self.intern(s.as_bytes())
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is outside the pool.
+    pub fn read_byte(&self, addr: u32) -> Result<u32, MemError> {
+        self.data
+            .get(addr as usize)
+            .map(|&b| b as u32)
+            .ok_or(MemError::OutOfBounds {
+                space: MemSpace::Const,
+                addr,
+                len: 1,
+                size: self.data.len(),
+            })
+    }
+
+    /// Read a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the word exceeds the pool.
+    pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
+        let a = addr as usize;
+        if a + 4 > self.data.len() {
+            return Err(MemError::OutOfBounds {
+                space: MemSpace::Const,
+                addr,
+                len: 4,
+                size: self.data.len(),
+            });
+        }
+        Ok(u32::from_le_bytes([
+            self.data[a],
+            self.data[a + 1],
+            self.data[a + 2],
+            self.data[a + 3],
+        ]))
+    }
+
+    /// Total pool size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw pool image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut m = DeviceMemory::new(8);
+        m.write_byte(3, 0x1FF).unwrap();
+        assert_eq!(m.read_byte(3).unwrap(), 0xFF, "stores low 8 bits");
+    }
+
+    #[test]
+    fn word_little_endian() {
+        let mut m = DeviceMemory::new(8);
+        m.write_word(0, 0x0102_0304).unwrap();
+        assert_eq!(m.read_byte(0).unwrap(), 4);
+        assert_eq!(m.read_byte(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_read() {
+        let m = DeviceMemory::new(4);
+        assert!(m.read_word(1).is_err());
+        assert!(m.read_byte(4).is_err());
+        assert!(m.read_byte(3).is_ok());
+    }
+
+    #[test]
+    fn overflow_address_rejected() {
+        let m = DeviceMemory::new(4);
+        assert!(m.read_word(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn load_and_slice() {
+        let mut m = DeviceMemory::new(16);
+        m.load(4, b"abcd").unwrap();
+        assert_eq!(m.slice(4, 4).unwrap(), b"abcd");
+        assert!(m.load(14, b"xyz").is_err());
+    }
+
+    #[test]
+    fn const_pool_interning() {
+        let mut p = ConstPool::new();
+        let (o1, l1) = p.intern_str("hello");
+        let (o2, _) = p.intern_str("world");
+        let (o3, l3) = p.intern_str("hello");
+        assert_eq!(o1, o3);
+        assert_eq!(l1, l3);
+        assert_ne!(o1, o2);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.read_byte(o2).unwrap(), b'w' as u32);
+    }
+
+    #[test]
+    fn const_pool_word_read() {
+        let mut p = ConstPool::new();
+        let (off, _) = p.intern(&[1, 0, 0, 0]);
+        assert_eq!(p.read_word(off).unwrap(), 1);
+        assert!(p.read_word(1).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemError::ReadOnly {
+            space: MemSpace::Const,
+        };
+        assert!(e.to_string().contains("read-only"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Multi-trace merging and the speedup metric of the paper's
+//! request-similarity study (Figure 2).
+
+use crate::myers::{merge_pair, MergeResult};
+
+/// Report for one merged trace group (one request type).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimilarityReport {
+    /// Number of traces merged.
+    pub traces: usize,
+    /// Sum of individual trace lengths (serial execution cost).
+    pub total_blocks: usize,
+    /// Merged (SCS) trace length (idealized SIMD execution cost).
+    pub merged_blocks: usize,
+    /// True when every pairwise merge stayed within the D budget.
+    pub exact: bool,
+}
+
+impl SimilarityReport {
+    /// Speedup of lockstep over serial execution:
+    /// `total_blocks / merged_blocks` (the paper's "sum of traces divided
+    /// by the merged trace size").
+    pub fn speedup(&self) -> f64 {
+        if self.merged_blocks == 0 {
+            0.0
+        } else {
+            self.total_blocks as f64 / self.merged_blocks as f64
+        }
+    }
+
+    /// Ideal (linear) speedup = number of traces.
+    pub fn ideal(&self) -> f64 {
+        self.traces as f64
+    }
+
+    /// Speedup normalized to ideal — the y-axis of Figure 2 (1.0 means
+    /// perfectly identical executions).
+    pub fn relative_to_ideal(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.speedup() / self.ideal()
+        }
+    }
+}
+
+/// Merge a group of traces by iterative pairwise SCS merging (the paper
+/// merges with `diff` pairwise as well). Returns the merged trace and the
+/// report.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty.
+pub fn merge_traces<T: Eq + Clone>(
+    traces: &[Vec<T>],
+    max_d: usize,
+) -> (Vec<T>, SimilarityReport) {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let total_blocks = traces.iter().map(Vec::len).sum();
+    let mut merged = traces[0].clone();
+    let mut exact = true;
+    for t in &traces[1..] {
+        let MergeResult {
+            merged: m,
+            exact: e,
+            ..
+        } = merge_pair(&merged, t, max_d);
+        merged = m;
+        exact &= e;
+    }
+    let report = SimilarityReport {
+        traces: traces.len(),
+        total_blocks,
+        merged_blocks: merged.len(),
+        exact,
+    };
+    (merged, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::myers::is_supersequence;
+
+    #[test]
+    fn identical_traces_reach_ideal() {
+        let t = vec![1u32, 2, 3, 4, 5];
+        let traces = vec![t.clone(), t.clone(), t.clone(), t.clone()];
+        let (merged, rep) = merge_traces(&traces, 100);
+        assert_eq!(merged, t);
+        assert_eq!(rep.speedup(), 4.0);
+        assert!((rep.relative_to_ideal() - 1.0).abs() < 1e-12);
+        assert!(rep.exact);
+    }
+
+    #[test]
+    fn fully_distinct_traces_get_no_speedup() {
+        let traces: Vec<Vec<u32>> = (0..4).map(|i| (i * 10..i * 10 + 5).collect()).collect();
+        let (_, rep) = merge_traces(&traces, 1000);
+        assert!((rep.speedup() - 1.0).abs() < 1e-12);
+        assert!((rep.relative_to_ideal() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_is_supersequence_of_all() {
+        let traces = vec![
+            vec![1u32, 2, 3, 4, 7, 8],
+            vec![1, 2, 5, 4, 7, 8],
+            vec![1, 2, 3, 4, 9, 7, 8],
+        ];
+        let (merged, rep) = merge_traces(&traces, 100);
+        for t in &traces {
+            assert!(is_supersequence(&merged, t));
+        }
+        assert!(rep.speedup() > 2.0, "mostly-shared traces: {}", rep.speedup());
+    }
+
+    #[test]
+    fn single_trace() {
+        let (merged, rep) = merge_traces(&[vec![1u32, 2]], 10);
+        assert_eq!(merged, vec![1, 2]);
+        assert_eq!(rep.speedup(), 1.0);
+        assert_eq!(rep.ideal(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_group_rejected() {
+        merge_traces::<u32>(&[], 10);
+    }
+}

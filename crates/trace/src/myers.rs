@@ -1,0 +1,285 @@
+//! Myers O(ND) diff with path recovery, used to merge dynamic basic-block
+//! traces into their shortest common supersequence (SCS).
+//!
+//! The paper merges Pin basic-block traces with the UNIX `diff` utility
+//! (§2.3); `diff` is itself a Myers-algorithm implementation, so this is
+//! a faithful reimplementation of their methodology. The SCS of two
+//! traces approximates lockstep execution of both requests on SIMD
+//! hardware: common blocks issue once, differing blocks serialize.
+
+/// Result of merging two sequences.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MergeResult<T> {
+    /// A shortest common supersequence of the inputs (exact when `exact`).
+    pub merged: Vec<T>,
+    /// Length of the longest common subsequence found.
+    pub lcs: usize,
+    /// Edit distance (insertions + deletions).
+    pub distance: usize,
+    /// False when the `max_d` budget was exceeded and a greedy
+    /// common-prefix/suffix fallback was used (upper bound on SCS).
+    pub exact: bool,
+}
+
+/// Merge two sequences into a shortest common supersequence.
+///
+/// `max_d` bounds the edit distance explored; traces of same-type
+/// requests differ little, so a few thousand is ample. When exceeded,
+/// a conservative fallback (common prefix + suffix, concatenated
+/// middles) is returned with `exact = false`.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_trace::myers::merge_pair;
+///
+/// let a = [1, 2, 3, 4, 5];
+/// let b = [1, 2, 9, 4, 5];
+/// let m = merge_pair(&a, &b, 64);
+/// assert!(m.exact);
+/// assert_eq!(m.lcs, 4);              // 1 2 4 5
+/// assert_eq!(m.merged.len(), 6);     // 1 2 {3 9} 4 5
+/// assert_eq!(m.distance, 2);
+/// ```
+pub fn merge_pair<T: Eq + Clone>(a: &[T], b: &[T], max_d: usize) -> MergeResult<T> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return MergeResult {
+            merged: b.to_vec(),
+            lcs: 0,
+            distance: m,
+            exact: true,
+        };
+    }
+    if m == 0 {
+        return MergeResult {
+            merged: a.to_vec(),
+            lcs: 0,
+            distance: n,
+            exact: true,
+        };
+    }
+
+    // Myers greedy forward search, storing each round's V entries for
+    // path recovery. Only the active `2d + 1` slice is kept per round, so
+    // memory is O(D^2) in the *actual* distance, not the budget.
+    let max = (n + m).min(max_d);
+    let offset = max as isize;
+    let width = 2 * max + 1;
+    let mut v = vec![0isize; width];
+    // rounds[d][k + d] = best x on diagonal k after round d.
+    let mut rounds: Vec<Vec<isize>> = Vec::new();
+    let mut found_d: Option<usize> = None;
+
+    'outer: for d in 0..=max {
+        let dd = d as isize;
+        for k in (-dd..=dd).step_by(2) {
+            let ki = (k + offset) as usize;
+            let mut x = if k == -dd || (k != dd && v[ki - 1] < v[ki + 1]) {
+                v[ki + 1] // down: insertion from b
+            } else {
+                v[ki - 1] + 1 // right: deletion from a
+            };
+            let mut y = x - k;
+            while (x as usize) < n && (y as usize) < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[ki] = x;
+            if x as usize >= n && y as usize >= m {
+                rounds.push(v[(offset - dd) as usize..=(offset + dd) as usize].to_vec());
+                found_d = Some(d);
+                break 'outer;
+            }
+        }
+        rounds.push(v[(offset - dd) as usize..=(offset + dd) as usize].to_vec());
+    }
+
+    let Some(d_final) = found_d else {
+        return fallback(a, b);
+    };
+
+    // Backtrack to build the SCS: walk from (n, m) back to (0, 0).
+    let mut merged_rev: Vec<T> = Vec::with_capacity(n + m);
+    let mut x = n as isize;
+    let mut y = m as isize;
+    for d in (0..=d_final).rev() {
+        let k = x - y;
+        let dd = d as isize;
+        // rounds[d - 1] is indexed by k' + (d - 1).
+        let prev = |kp: isize| rounds[d - 1][(kp + dd - 1) as usize];
+        let (prev_k, down) = if d == 0 {
+            (k, false)
+        } else if k == -dd || (k != dd && prev(k - 1) < prev(k + 1)) {
+            (k + 1, true) // came via insertion (step down in b)
+        } else {
+            (k - 1, false) // came via deletion (step right in a)
+        };
+        let prev_x = if d == 0 { 0 } else { prev(prev_k) };
+        let prev_y = prev_x - prev_k;
+
+        // Snake: the matched run after the edit.
+        let snake_start_x = if d == 0 { 0 } else if down { prev_x } else { prev_x + 1 };
+        while x > snake_start_x {
+            x -= 1;
+            y -= 1;
+            merged_rev.push(a[x as usize].clone());
+        }
+        if d > 0 {
+            if down {
+                y -= 1;
+                merged_rev.push(b[y as usize].clone());
+            } else {
+                x -= 1;
+                merged_rev.push(a[x as usize].clone());
+            }
+        }
+        if d == 0 {
+            // Remaining initial snake is handled by the while above
+            // (snake_start_x = 0); x and y are now 0.
+            debug_assert_eq!(x, 0);
+            debug_assert_eq!(y, 0);
+        } else {
+            // Both edit kinds land on the previous round's endpoint.
+            x = prev_x;
+            y = x - prev_k;
+            // After stepping through the edit we must be at the previous
+            // round's endpoint.
+            debug_assert_eq!(x, prev_x);
+            debug_assert_eq!(y, prev_y);
+        }
+    }
+    merged_rev.reverse();
+
+    let distance = d_final;
+    let lcs = (n + m - distance) / 2;
+    debug_assert_eq!(merged_rev.len(), n + m - lcs, "SCS length identity");
+    MergeResult {
+        merged: merged_rev,
+        lcs,
+        distance,
+        exact: true,
+    }
+}
+
+/// Conservative fallback when the D budget is exceeded: keep the common
+/// prefix and suffix, concatenate the differing middles.
+fn fallback<T: Eq + Clone>(a: &[T], b: &[T]) -> MergeResult<T> {
+    let mut pre = 0;
+    while pre < a.len() && pre < b.len() && a[pre] == b[pre] {
+        pre += 1;
+    }
+    let mut suf = 0;
+    while suf < a.len() - pre && suf < b.len() - pre && a[a.len() - 1 - suf] == b[b.len() - 1 - suf]
+    {
+        suf += 1;
+    }
+    let mut merged = Vec::with_capacity(a.len() + b.len() - pre - suf);
+    merged.extend_from_slice(&a[..pre]);
+    merged.extend_from_slice(&a[pre..a.len() - suf]);
+    merged.extend_from_slice(&b[pre..b.len() - suf]);
+    merged.extend_from_slice(&a[a.len() - suf..]);
+    let lcs = pre + suf;
+    MergeResult {
+        distance: a.len() + b.len() - 2 * lcs,
+        merged,
+        lcs,
+        exact: false,
+    }
+}
+
+/// Verify that `sup` is a supersequence of `sub` (test helper).
+pub fn is_supersequence<T: Eq>(sup: &[T], sub: &[T]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|x| it.any(|y| y == x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_scs(a: &[u32], b: &[u32], expect_len: usize) {
+        let m = merge_pair(a, b, 1000);
+        assert!(m.exact);
+        assert!(is_supersequence(&m.merged, a), "supersequence of a");
+        assert!(is_supersequence(&m.merged, b), "supersequence of b");
+        assert_eq!(m.merged.len(), expect_len, "SCS length");
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = [1, 2, 3];
+        check_scs(&a, &a, 3);
+        let m = merge_pair(&a, &a, 10);
+        assert_eq!(m.distance, 0);
+        assert_eq!(m.lcs, 3);
+    }
+
+    #[test]
+    fn disjoint_sequences() {
+        check_scs(&[1, 2], &[3, 4], 4);
+    }
+
+    #[test]
+    fn classic_example() {
+        // ABCABBA vs CBABAC (Myers' paper): D = 5, LCS = 4, SCS = 9.
+        let a = [b'A', b'B', b'C', b'A', b'B', b'B', b'A'];
+        let b = [b'C', b'B', b'A', b'B', b'A', b'C'];
+        let m = merge_pair(&a, &b, 100);
+        assert!(m.exact);
+        assert_eq!(m.distance, 5);
+        assert_eq!(m.lcs, 4);
+        assert!(is_supersequence(&m.merged, &a));
+        assert!(is_supersequence(&m.merged, &b));
+        assert_eq!(m.merged.len(), 9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = merge_pair::<u32>(&[], &[1, 2], 10);
+        assert_eq!(m.merged, vec![1, 2]);
+        let m = merge_pair::<u32>(&[9], &[], 10);
+        assert_eq!(m.merged, vec![9]);
+        let m = merge_pair::<u32>(&[], &[], 10);
+        assert!(m.merged.is_empty());
+        assert_eq!(m.distance, 0);
+    }
+
+    #[test]
+    fn single_insertion() {
+        check_scs(&[1, 2, 3, 4], &[1, 2, 9, 3, 4], 5);
+    }
+
+    #[test]
+    fn loop_trip_count_difference() {
+        // Same loop executed 5 vs 7 times: SCS = 7 iterations.
+        let a: Vec<u32> = std::iter::repeat([10, 11]).take(5).flatten().collect();
+        let b: Vec<u32> = std::iter::repeat([10, 11]).take(7).flatten().collect();
+        check_scs(&a, &b, 14);
+    }
+
+    #[test]
+    fn budget_exceeded_falls_back() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        let m = merge_pair(&a, &b, 10);
+        assert!(!m.exact);
+        assert!(is_supersequence(&m.merged, &a));
+        assert!(is_supersequence(&m.merged, &b));
+        assert_eq!(m.merged.len(), 200);
+    }
+
+    #[test]
+    fn long_similar_sequences() {
+        let a: Vec<u32> = (0..5000).map(|i| i % 37).collect();
+        let mut b = a.clone();
+        b[1000] = 999;
+        b.insert(3000, 888);
+        let m = merge_pair(&a, &b, 100);
+        assert!(m.exact);
+        assert!(m.distance <= 3);
+        assert!(is_supersequence(&m.merged, &a));
+        assert!(is_supersequence(&m.merged, &b));
+    }
+}

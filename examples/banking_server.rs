@@ -1,0 +1,153 @@
+//! A live TCP banking server built from the Rhythm substrates: the
+//! `rhythm-http` parser, the native (CPU-path) banking handlers, and the
+//! shared session array.
+//!
+//! By default it runs a self-contained demo: it binds an ephemeral port,
+//! spawns a client that logs in, fetches pages and logs out, then exits.
+//! Pass `--serve` to keep listening so you can drive it with curl:
+//!
+//! ```sh
+//! cargo run --release --example banking_server -- --serve
+//! # in another shell (replace PORT):
+//! curl -s -X POST 'http://127.0.0.1:PORT/bank/login.php' -d 'userid=7'
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use rhythm_banking::prelude::*;
+use rhythm_http::{HttpRequest, ParseError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let serve_forever = std::env::args().any(|a| a == "--serve");
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    println!("rhythm banking server listening on http://{addr}/bank/");
+
+    if serve_forever {
+        let mut state = ServerState::new();
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => {
+                    if let Err(e) = state.handle_connection(s) {
+                        eprintln!("connection error: {e}");
+                    }
+                }
+                Err(e) => eprintln!("accept error: {e}"),
+            }
+        }
+        return Ok(());
+    }
+
+    // Demo mode: drive ourselves with a client thread.
+    let client = std::thread::spawn(move || -> Result<(), std::io::Error> {
+        let send = |req: String| -> Result<String, std::io::Error> {
+            let mut s = TcpStream::connect(addr)?;
+            s.write_all(req.as_bytes())?;
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf)?;
+            Ok(String::from_utf8_lossy(&buf).into_owned())
+        };
+
+        let login = send(
+            "POST /bank/login.php HTTP/1.1\r\nHost: demo\r\nContent-Length: 8\r\n\r\nuserid=7"
+                .into(),
+        )?;
+        let token: u32 = login
+            .lines()
+            .find(|l| l.starts_with("Set-Cookie: SID="))
+            .and_then(|l| l["Set-Cookie: SID=".len()..].trim().parse().ok())
+            .expect("login sets a session cookie");
+        println!("[client] logged in, session token {token}");
+
+        for page in ["account_summary.php", "profile.php", "transfer.php"] {
+            let resp = send(format!(
+                "GET /bank/{page}?userid=7 HTTP/1.1\r\nHost: demo\r\nCookie: SID={token}\r\n\r\n"
+            ))?;
+            let first = resp.lines().next().unwrap_or("");
+            let bytes = resp.len();
+            println!("[client] {page:<22} -> {first} ({bytes} bytes)");
+            assert!(first.contains("200"), "expected 200 for {page}");
+        }
+
+        let logout = send(format!(
+            "GET /bank/logout.php?userid=7 HTTP/1.1\r\nHost: demo\r\nCookie: SID={token}\r\n\r\n"
+        ))?;
+        println!(
+            "[client] logout                 -> {}",
+            logout.lines().next().unwrap_or("")
+        );
+        Ok(())
+    });
+
+    let mut state = ServerState::new();
+    for _ in 0..5 {
+        let (stream, _) = listener.accept()?;
+        state.handle_connection(stream)?;
+    }
+    client.join().expect("client thread")?;
+    println!(
+        "demo complete: {} live sessions remain (logout cleaned up)",
+        state.sessions.len()
+    );
+    Ok(())
+}
+
+/// Server-side state: the bank store and the session array.
+struct ServerState {
+    store: BankStore,
+    sessions: SessionArrayHost,
+}
+
+impl ServerState {
+    fn new() -> Self {
+        ServerState {
+            store: BankStore::generate(256, 1),
+            sessions: SessionArrayHost::new(65536, 0x5EED_0001),
+        }
+    }
+
+    fn handle_connection(&mut self, mut stream: TcpStream) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 1024];
+        let response = loop {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(()); // peer went away
+            }
+            buf.extend_from_slice(&chunk[..n]);
+            match HttpRequest::parse(&buf) {
+                Ok(req) => break self.respond(&req),
+                Err(ParseError::Truncated) | Err(ParseError::BodyTooShort { .. }) => continue,
+                Err(e) => break error_response(400, &format!("bad request: {e}")),
+            }
+        };
+        stream.write_all(&response)?;
+        Ok(())
+    }
+
+    fn respond(&mut self, req: &HttpRequest) -> Vec<u8> {
+        let Some(ty) = RequestType::from_file_name(req.file_name()) else {
+            return error_response(404, "unknown endpoint");
+        };
+        let token = req
+            .cookies
+            .get("SID")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut params = [0u32; 4];
+        params[0] = req.params.get_u32("userid").unwrap_or(0);
+        params[1] = req.params.get_u32("a").unwrap_or(0);
+        let banking = BankingRequest::new(ty, token, params);
+        handle_native(&banking, &self.store, &mut self.sessions)
+    }
+}
+
+fn error_response(status: u16, msg: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} Error\nContent-Type: text/plain\nContent-Length: {}\n\n{msg}",
+        msg.len()
+    )
+    .into_bytes()
+}

@@ -1,0 +1,82 @@
+//! Capacity planner: given a target request rate, compare server
+//! platforms using the calibrated models — CPUs, replicated many-core
+//! designs, and the Rhythm/Titan configurations — and check the network
+//! and memory budgets.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner -- 1000000
+//! ```
+
+use rhythm_platform::network::{compressed_bits_per_s, NetworkLink};
+use rhythm_platform::presets::{CpuPreset, TitanPlatform, TitanPreset, PAPER_AVG_INSTRUCTIONS};
+use rhythm_platform::scaling::{scale_to_match, CoreType};
+
+fn main() {
+    let target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000.0);
+    println!("capacity plan for {:.0}K requests/second\n", target / 1e3);
+
+    // --- single-box CPU options -------------------------------------
+    println!("single-socket CPUs (calibrated to the paper's measurements):");
+    for p in CpuPreset::all() {
+        let tput = p.throughput(PAPER_AVG_INSTRUCTIONS);
+        let boxes = (target / tput).ceil();
+        println!(
+            "  {:<18} {:>7.0}K req/s per box -> {:>5.0} boxes, {:>7.0} W total wall power",
+            p.name,
+            tput / 1e3,
+            boxes,
+            boxes * p.wall_w
+        );
+    }
+
+    // --- replicated-core designs -------------------------------------
+    println!("\nidealized many-core scaling (paper §6.2 assumptions):");
+    let arm = CoreType::arm_a9(CpuPreset::a9_1w().throughput(PAPER_AVG_INSTRUCTIONS));
+    let i5 = CoreType::core_i5(CpuPreset::i5_1w().throughput(PAPER_AVG_INSTRUCTIONS));
+    for core in [&arm, &i5] {
+        let r = scale_to_match(core, target, f64::MAX);
+        println!(
+            "  {:<14} {:>6} cores, {:>6.0} W dynamic",
+            core.name, r.cores_needed, r.scaled_power_w
+        );
+    }
+
+    // --- Rhythm on a Titan --------------------------------------------
+    println!("\nRhythm cohort server (paper-measured operating points):");
+    for v in [TitanPlatform::A, TitanPlatform::B, TitanPlatform::C] {
+        let t = TitanPreset::of(v);
+        let boxes = (target / t.paper_tput).ceil();
+        println!(
+            "  {:<8} {:>7.0}K req/s per card -> {:>4.0} cards, {:>7.0} W total wall power",
+            t.name,
+            t.paper_tput / 1e3,
+            boxes,
+            boxes * t.wall_w
+        );
+    }
+
+    // --- network feasibility -------------------------------------------
+    println!("\nnetwork (16 KB average response, 80% HTML compression):");
+    let need = compressed_bits_per_s(target, 512.0, 16.0 * 1024.0, 0.8);
+    println!("  required bandwidth: {:.1} Gb/s", need / 1e9);
+    for link in [
+        NetworkLink::gbe10(),
+        NetworkLink::gbe100(),
+        NetworkLink::gbe400(),
+    ] {
+        let fits = if link.bits_per_s >= need { "ok" } else { "exceeded" };
+        println!("  {:<8} {fits}", link.name);
+    }
+
+    // --- session memory -------------------------------------------------
+    let sessions = target * 30.0; // ~30 s mean session lifetime
+    let bytes = sessions * rhythm_banking::session_array::NODE_BYTES as f64 * 4.0;
+    println!(
+        "\nsession array for ~{:.0}M live sessions (4x headroom): {:.2} GB of device memory",
+        sessions / 1e6,
+        bytes / 1e9
+    );
+}
