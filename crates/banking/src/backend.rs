@@ -126,7 +126,12 @@ const LAST_NAMES: [&str; 8] = [
     "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Perlman", "Thompson",
 ];
 const STREETS: [&str; 6] = [
-    "Maple Ave", "Oak St", "Elm Dr", "Birch Ln", "Cedar Ct", "Walnut Blvd",
+    "Maple Ave",
+    "Oak St",
+    "Elm Dr",
+    "Birch Ln",
+    "Cedar Ct",
+    "Walnut Blvd",
 ];
 const PAYEE_NAMES: [&str; 8] = [
     "Electric Company",
@@ -182,7 +187,7 @@ impl BankStore {
                 let accounts = (0..rng.gen_range(2..=4))
                     .map(|i| Account {
                         number: id * 10 + i,
-                        balance_cents: rng.gen_range(1_00..5_000_000_00),
+                        balance_cents: rng.gen_range(100..500_000_000),
                     })
                     .collect();
                 let payees = (0..rng.gen_range(2..=5))
@@ -193,7 +198,7 @@ impl BankStore {
                     .collect();
                 let txns = (0..rng.gen_range(2..=6))
                     .map(|_| Txn {
-                        amount_cents: rng.gen_range(1_00..5_000_00),
+                        amount_cents: rng.gen_range(100..500_000),
                         payee: PAYEE_NAMES[rng.gen_range(0..PAYEE_NAMES.len())].to_string(),
                     })
                     .collect();

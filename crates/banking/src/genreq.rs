@@ -50,7 +50,7 @@ fn is_post(ty: RequestType) -> bool {
 /// The type-specific second parameter, if any.
 fn second_param(ty: RequestType, rng: &mut StdRng) -> Option<u32> {
     match ty {
-        RequestType::BillPay | RequestType::PostTransfer => Some(rng.gen_range(1_00..5_000_00)),
+        RequestType::BillPay | RequestType::PostTransfer => Some(rng.gen_range(100..500_000)),
         RequestType::PlaceCheckOrder => Some(rng.gen_range(1..=5)),
         RequestType::CheckDetailHtml => Some(rng.gen_range(1000..9999)),
         RequestType::PostPayee => Some(rng.gen_range(1..=99)),
@@ -115,7 +115,11 @@ impl RequestGenerator {
     }
 
     /// Generate `count` requests following the Table 2 mix.
-    pub fn mixed(&mut self, count: usize, sessions: &mut SessionArrayHost) -> Vec<GeneratedRequest> {
+    pub fn mixed(
+        &mut self,
+        count: usize,
+        sessions: &mut SessionArrayHost,
+    ) -> Vec<GeneratedRequest> {
         (0..count)
             .map(|_| {
                 let ty = self.sample_type();

@@ -86,7 +86,10 @@ impl ImageStore {
     pub fn serialize_device(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.images.len() * IMAGE_SLOT_BYTES as usize];
         for (i, img) in self.images.iter().enumerate() {
-            assert!(img.len() + 4 <= IMAGE_SLOT_BYTES as usize, "image overflows slot");
+            assert!(
+                img.len() + 4 <= IMAGE_SLOT_BYTES as usize,
+                "image overflows slot"
+            );
             let base = i * IMAGE_SLOT_BYTES as usize;
             out[base..base + 4].copy_from_slice(&(img.len() as u32).to_le_bytes());
             out[base + 4..base + 4 + img.len()].copy_from_slice(img);
@@ -123,8 +126,9 @@ pub fn image_header(len: usize) -> String {
 /// `P_STORE_BASE` with `P_STORE_USERS` reinterpreted as the image count.
 pub fn build_image_kernel(pool: &mut ConstPool) -> Program {
     // Header prefix up to the Content-Length value, and the tail.
-    let (h_off, h_len) = pool
-        .intern_str("HTTP/1.1 200 OK\nServer: Rhythm/0.1\nContent-Type: image/jpeg\nContent-Length: ");
+    let (h_off, h_len) = pool.intern_str(
+        "HTTP/1.1 200 OK\nServer: Rhythm/0.1\nContent-Type: image/jpeg\nContent-Length: ",
+    );
     let (forb_off, forb_len) = pool.intern_str(crate::templates::FORBIDDEN);
 
     let mut b = ProgramBuilder::new("image_response");
@@ -323,8 +327,7 @@ mod tests {
         let workload = crate::kernels::Workload::build();
         let images = ImageStore::generate(2, 4);
         let gpu = Gpu::new(GpuConfig::gtx_titan());
-        let result =
-            run_image_cohort(&workload, &images, &[(1, 7)], &gpu, false).unwrap();
+        let result = run_image_cohort(&workload, &images, &[(1, 7)], &gpu, false).unwrap();
         assert!(result.responses[0].starts_with(b"HTTP/1.1 403"));
     }
 }

@@ -10,7 +10,7 @@
 
 use rhythm_simt::ir::{BinOp, Program, ProgramBuilder, Width};
 
-use crate::backend::{RECORD_BYTES, SLOT_BYTES, SLOTS};
+use crate::backend::{RECORD_BYTES, SLOTS, SLOT_BYTES};
 
 use super::common::{emit_parse_field_u32, env};
 

@@ -5,8 +5,8 @@
 use rhythm_simt::ir::{BinOp, BufCursor, MemSpace, ProgramBuilder, Reg, Width};
 
 use crate::layout::{
-    F_STATUS, F_USERID, P_BRESP_BASE, P_BRESP_ESTRIDE, P_BRESP_LSTRIDE, P_BRESP_SIZE, P_BREQ_BASE,
-    P_BREQ_ESTRIDE, P_BREQ_LSTRIDE, P_BREQ_SIZE, P_COHORT, P_REQBUF_BASE, P_REQBUF_ESTRIDE,
+    F_STATUS, F_USERID, P_BREQ_BASE, P_BREQ_ESTRIDE, P_BREQ_LSTRIDE, P_BREQ_SIZE, P_BRESP_BASE,
+    P_BRESP_ESTRIDE, P_BRESP_LSTRIDE, P_BRESP_SIZE, P_COHORT, P_REQBUF_BASE, P_REQBUF_ESTRIDE,
     P_REQBUF_LSTRIDE, P_REQBUF_SIZE, P_RESP_BASE, P_RESP_ESTRIDE, P_RESP_LSTRIDE, P_RESP_SIZE,
     P_SESSION_BASE, P_SESSION_CAP, P_SESSION_SALT, P_STORE_BASE, P_STORE_USERS, P_STRUCT_BASE,
 };
@@ -108,8 +108,22 @@ pub struct Env {
 pub fn env(b: &mut ProgramBuilder) -> Env {
     let gid = b.global_id();
     let cohort = b.param(P_COHORT);
-    let resp = BufSpec::load(b, gid, P_RESP_BASE, P_RESP_SIZE, P_RESP_LSTRIDE, P_RESP_ESTRIDE);
-    let breq = BufSpec::load(b, gid, P_BREQ_BASE, P_BREQ_SIZE, P_BREQ_LSTRIDE, P_BREQ_ESTRIDE);
+    let resp = BufSpec::load(
+        b,
+        gid,
+        P_RESP_BASE,
+        P_RESP_SIZE,
+        P_RESP_LSTRIDE,
+        P_RESP_ESTRIDE,
+    );
+    let breq = BufSpec::load(
+        b,
+        gid,
+        P_BREQ_BASE,
+        P_BREQ_SIZE,
+        P_BREQ_LSTRIDE,
+        P_BREQ_ESTRIDE,
+    );
     let bresp = BufSpec::load(
         b,
         gid,

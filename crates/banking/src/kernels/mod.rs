@@ -55,9 +55,7 @@ impl Workload {
         let image = crate::images::build_image_kernel(&mut pool);
         let stages = RequestType::ALL
             .iter()
-            .map(|&ty| {
-                process::build_stage_kernels_opts(&page_spec(ty), &mut pool, padded)
-            })
+            .map(|&ty| process::build_stage_kernels_opts(&page_spec(ty), &mut pool, padded))
             .collect();
         Workload {
             pool,
@@ -95,7 +93,11 @@ mod tests {
             );
             assert!(w.response_stage(ty).static_len() > 100);
         }
-        assert!(w.pool.len() > 100_000, "templates interned: {}", w.pool.len());
+        assert!(
+            w.pool.len() > 100_000,
+            "templates interned: {}",
+            w.pool.len()
+        );
     }
 
     #[test]

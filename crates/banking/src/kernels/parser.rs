@@ -269,5 +269,11 @@ fn st_struct_dyn(b: &mut ProgramBuilder, e: &Env, field: Reg, value: Reg) {
     let four = b.imm(4);
     let off = b.bin(BinOp::Mul, idx, four);
     let addr = b.bin(BinOp::Add, e.struct_base, off);
-    b.st(Width::Word, rhythm_simt::ir::MemSpace::Global, addr, 0, value);
+    b.st(
+        Width::Word,
+        rhythm_simt::ir::MemSpace::Global,
+        addr,
+        0,
+        value,
+    );
 }

@@ -203,7 +203,9 @@ fn compile_response_stage(spec: &PageSpec, pool: &mut ConstPool, padded: bool) -
     b.if_then_else(
         ok,
         move |b| {
-            emit_page(b, &e2, &spec2, header, set_cookie, clen, blank10, &actions, padded);
+            emit_page(
+                b, &e2, &spec2, header, set_cookie, clen, blank10, &actions, padded,
+            );
         },
         move |b| {
             let cur = e2.resp.cursor(b);
@@ -316,7 +318,13 @@ fn emit_page(
     st_struct(b, e, F_RESP_LEN, cur.pos);
 }
 
-fn emit_action(b: &mut ProgramBuilder, e: &Env, cur: &BufCursor, action: &CompiledAction, padded: bool) {
+fn emit_action(
+    b: &mut ProgramBuilder,
+    e: &Env,
+    cur: &BufCursor,
+    action: &CompiledAction,
+    padded: bool,
+) {
     match action {
         CompiledAction::Static(off, len) => b.write_const_str(cur, *off, *len),
         CompiledAction::PaddedParam(i) => {

@@ -229,12 +229,7 @@ impl CohortLayout {
     /// # Errors
     ///
     /// Propagates out-of-bounds access.
-    pub fn read_struct(
-        &self,
-        mem: &DeviceMemory,
-        lane: u32,
-        field: u32,
-    ) -> Result<u32, MemError> {
+    pub fn read_struct(&self, mem: &DeviceMemory, lane: u32, field: u32) -> Result<u32, MemError> {
         mem.read_word(self.struct_addr(lane, field))
     }
 

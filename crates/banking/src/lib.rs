@@ -55,15 +55,15 @@ pub mod types;
 pub mod prelude {
     pub use crate::backend::{BackendCmd, BankStore};
     pub use crate::genreq::{GeneratedRequest, RequestGenerator};
+    pub use crate::images::{run_image_cohort, ImageStore};
     pub use crate::kernels::Workload;
     pub use crate::layout::CohortLayout;
     pub use crate::native::{handle_native, BankingRequest};
+    pub use crate::quickpay::{handle_quickpay_native, run_quickpay_cohort, QuickPay};
     pub use crate::runner::{
         run_cohort, run_parser_only, run_request_scalar, BackendMode, CohortOptions,
         ScalarRunResult,
     };
     pub use crate::session_array::SessionArrayHost;
-    pub use crate::images::{run_image_cohort, ImageStore};
-    pub use crate::quickpay::{handle_quickpay_native, run_quickpay_cohort, QuickPay};
     pub use crate::types::{RequestType, TypeInfo, TABLE2};
 }

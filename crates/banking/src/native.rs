@@ -159,7 +159,11 @@ fn emit(out: &mut Vec<u8>, action: &Action, req: &BankingRequest, token: u32, re
                 .unwrap_or(0);
             push_line(out, &money(cents));
         }
-        Action::Rows { req: r, stride, body } => {
+        Action::Rows {
+            req: r,
+            stride,
+            body,
+        } => {
             let resp = &resps[*r as usize];
             let count: usize = field_of(resp, 0).parse().unwrap_or(0);
             for row in 0..count {
@@ -208,7 +212,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (BankStore, SessionArrayHost) {
-        (BankStore::generate(64, 7), SessionArrayHost::new(256, 0xC0DE))
+        (
+            BankStore::generate(64, 7),
+            SessionArrayHost::new(256, 0xC0DE),
+        )
     }
 
     fn parse_content_length(resp: &[u8]) -> usize {

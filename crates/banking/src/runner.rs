@@ -15,7 +15,7 @@ use rhythm_simt::ExecError;
 use crate::backend::BankStore;
 use crate::genreq::GeneratedRequest;
 use crate::kernels::Workload;
-use crate::layout::{CohortLayout, BRESP_BYTES, BREQ_BYTES, F_RESP_LEN};
+use crate::layout::{CohortLayout, BREQ_BYTES, BRESP_BYTES, F_RESP_LEN};
 use crate::session_array::SessionArrayHost;
 use crate::types::RequestType;
 
@@ -81,6 +81,11 @@ pub struct CohortOptions {
     /// Skip the parser kernel and load pre-parsed structs directly
     /// (used when measuring process stages in isolation).
     pub skip_parser: bool,
+    /// Warp-execution worker threads for this cohort's kernel launches:
+    /// `None` keeps the [`Gpu`]'s configured count; `Some(n)` overrides it
+    /// (`0` = one per available core, `1` = serial). Responses and stats
+    /// are bit-identical at any worker count.
+    pub workers: Option<u32>,
 }
 
 impl Default for CohortOptions {
@@ -91,7 +96,17 @@ impl Default for CohortOptions {
             session_capacity: 4096,
             session_salt: 0x5EED_0001,
             skip_parser: false,
+            workers: None,
         }
+    }
+}
+
+/// Apply a [`CohortOptions::workers`] override to a device handle,
+/// returning the device to launch on.
+fn effective_gpu<'a>(gpu: &'a Gpu, opts: &CohortOptions, slot: &'a mut Option<Gpu>) -> &'a Gpu {
+    match opts.workers {
+        None => gpu,
+        Some(w) => slot.insert(Gpu::new(gpu.config().clone().with_workers(w))),
     }
 }
 
@@ -128,6 +143,8 @@ pub fn run_cohort(
         opts.session_capacity,
         "session array capacity must match options"
     );
+    let mut gpu_slot = None;
+    let gpu = effective_gpu(gpu, opts, &mut gpu_slot);
 
     let cohort = reqs.len() as u32;
     let store_img = store.serialize_device();
@@ -294,7 +311,13 @@ pub fn run_request_scalar(
     let mut mem = DeviceMemory::new(layout.total_bytes as usize);
     mem.load(layout.store_base, &store_img)?;
     mem.load(layout.session_base, &sessions.to_device_bytes())?;
-    layout.write_lane(&mut mem, layout.reqbuf_base, crate::layout::REQBUF_BYTES, 0, &req.raw)?;
+    layout.write_lane(
+        &mut mem,
+        layout.reqbuf_base,
+        crate::layout::REQBUF_BYTES,
+        0,
+        &req.raw,
+    )?;
 
     let cfg = LaunchConfig {
         lanes: 1,
@@ -351,6 +374,9 @@ pub fn run_request_scalar(
     })
 }
 
+/// Per-lane parser output: `(type_id, token, p0, p1)`.
+pub type ParsedLane = (u32, u32, u32, u32);
+
 /// Run only the parser kernel over a (possibly mixed-type) cohort;
 /// returns the launch result plus the parsed `(type_id, token, p0, p1)`
 /// per lane.
@@ -363,8 +389,10 @@ pub fn run_parser_only(
     reqs: &[GeneratedRequest],
     gpu: &Gpu,
     opts: &CohortOptions,
-) -> Result<(LaunchResult, Vec<(u32, u32, u32, u32)>), ExecError> {
+) -> Result<(LaunchResult, Vec<ParsedLane>), ExecError> {
     assert!(!reqs.is_empty(), "empty cohort");
+    let mut gpu_slot = None;
+    let gpu = effective_gpu(gpu, opts, &mut gpu_slot);
     let cohort = reqs.len() as u32;
     // Parser doesn't touch responses/store; use the largest response size
     // so the layout is valid for any type.

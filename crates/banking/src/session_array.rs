@@ -145,12 +145,7 @@ impl SessionArrayHost {
     /// Pre-populate with sessions for random users (paper §5.3.1:
     /// "populate the session array with random user ids"). Returns the
     /// `(token, userid)` pairs created.
-    pub fn populate_random(
-        &mut self,
-        count: u32,
-        num_users: u32,
-        seed: u64,
-    ) -> Vec<(u32, u32)> {
+    pub fn populate_random(&mut self, count: u32, num_users: u32, seed: u64) -> Vec<(u32, u32)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(count as usize);
         for _ in 0..count {

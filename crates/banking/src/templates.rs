@@ -168,7 +168,7 @@ pub fn html_filler(tag: &str, bytes: usize) -> String {
     let mut i = 0usize;
     while out.len() < bytes {
         out.push_str(SNIPPETS[i % SNIPPETS.len()]);
-        if i % 7 == 0 {
+        if i.is_multiple_of(7) {
             out.push_str(&format!("<!-- section {tag}/{i} -->\n"));
         }
         i += 1;

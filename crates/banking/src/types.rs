@@ -218,10 +218,7 @@ impl RequestType {
 
     /// Resolve a type from a request path's file name.
     pub fn from_file_name(name: &str) -> Option<RequestType> {
-        TABLE2
-            .iter()
-            .find(|i| i.file_name == name)
-            .map(|i| i.ty)
+        TABLE2.iter().find(|i| i.file_name == name).map(|i| i.ty)
     }
 
     /// Backend accesses per request (Table 2).
@@ -341,7 +338,10 @@ mod tests {
             .iter()
             .map(|i| i.paper_rhythm_kb as f64 * i.mix_percent / 100.0)
             .sum();
-        assert!((avg_buf - 26.4).abs() < 1.0, "weighted avg buffer {avg_buf}");
+        assert!(
+            (avg_buf - 26.4).abs() < 1.0,
+            "weighted avg buffer {avg_buf}"
+        );
     }
 
     #[test]

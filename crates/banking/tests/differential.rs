@@ -25,6 +25,7 @@ fn opts(transposed: bool) -> CohortOptions {
         session_capacity: 1024,
         session_salt: SALT,
         skip_parser: false,
+        workers: None,
     }
 }
 
@@ -260,5 +261,8 @@ fn divergence_appears_in_variable_row_counts() {
         .unwrap();
     let eff = resp_launch.stats.simd_efficiency(32);
     assert!(eff < 1.0, "variable rows must diverge (eff {eff})");
-    assert!(eff > 0.5, "cohorts of one type stay mostly converged ({eff})");
+    assert!(
+        eff > 0.5,
+        "cohorts of one type stay mostly converged ({eff})"
+    );
 }

@@ -102,8 +102,7 @@ fn scalar_equals_cohort_modulo_padding() {
     let simt = run_cohort(&workload, &store, &mut s1, &cohort, &gpu, &opts).unwrap();
 
     let mut s2 = sessions.clone();
-    let scalar =
-        run_request_scalar(&workload, &store, &mut s2, &cohort[0], false).unwrap();
+    let scalar = run_request_scalar(&workload, &store, &mut s2, &cohort[0], false).unwrap();
 
     // Mask the content-length digits (padding changes the kernel's) and
     // compare lane 0.

@@ -1,0 +1,64 @@
+//! The warp worker pool is a simulation-speed knob only: a banking
+//! cohort must produce bit-identical responses, launch results (stats
+//! and modelled times), and session state at every worker count.
+
+use rhythm_banking::prelude::*;
+use rhythm_simt::gpu::{Gpu, GpuConfig};
+
+const SALT: u32 = 0x5EED_0001;
+
+fn run_with(workers: Option<u32>) -> (Vec<Vec<u8>>, String, Vec<u8>) {
+    let workload = Workload::build();
+    let store = BankStore::generate(256, 1);
+    let opts = CohortOptions {
+        session_capacity: 1024,
+        session_salt: SALT,
+        workers,
+        ..Default::default()
+    };
+    let mut sessions = SessionArrayHost::new(1024, SALT);
+    let mut generator = RequestGenerator::new(64, 2);
+    let reqs = generator.uniform(RequestType::AccountSummary, 96, &mut sessions);
+    let gpu = Gpu::new(GpuConfig::gtx_titan().with_workers(1));
+    let result = run_cohort(&workload, &store, &mut sessions, &reqs, &gpu, &opts).unwrap();
+    (
+        result.responses,
+        format!("{:?}", result.launches),
+        sessions.to_device_bytes(),
+    )
+}
+
+#[test]
+fn cohort_identical_across_worker_counts() {
+    let base = run_with(Some(1));
+    assert!(base.0[0].starts_with(b"HTTP/1.1 200 OK"));
+    for workers in [Some(2), Some(4), Some(0), None] {
+        let run = run_with(workers);
+        assert_eq!(run.0, base.0, "responses differ at workers={workers:?}");
+        assert_eq!(run.1, base.1, "launch stats differ at workers={workers:?}");
+        assert_eq!(run.2, base.2, "sessions differ at workers={workers:?}");
+    }
+}
+
+#[test]
+fn parser_only_identical_across_worker_counts() {
+    let workload = Workload::build();
+    let run_with = |workers: Option<u32>| {
+        let opts = CohortOptions {
+            session_capacity: 1024,
+            session_salt: SALT,
+            workers,
+            ..Default::default()
+        };
+        let mut sessions = SessionArrayHost::new(1024, SALT);
+        let mut generator = RequestGenerator::new(64, 5);
+        let reqs = generator.mixed(128, &mut sessions);
+        let gpu = Gpu::new(GpuConfig::gtx_titan().with_workers(1));
+        let (res, parsed) = run_parser_only(&workload, &reqs, &gpu, &opts).unwrap();
+        (format!("{res:?}"), parsed)
+    };
+    let base = run_with(Some(1));
+    for workers in [Some(2), Some(4)] {
+        assert_eq!(run_with(workers), base, "workers={workers:?}");
+    }
+}

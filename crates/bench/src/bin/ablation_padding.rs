@@ -88,8 +88,6 @@ fn main() {
         )
     );
     println!("padding costs a few percent of instructions (butterfly reductions + spaces)");
-    println!(
-        "and buys up to {worst_ratio:.1}x fewer memory transactions per access — the paper's"
-    );
+    println!("and buys up to {worst_ratio:.1}x fewer memory transactions per access — the paper's");
     println!("rationale for spending HTML whitespace on alignment (§4.3.2).");
 }

@@ -65,9 +65,9 @@ fn main() {
                 formation_timeout_s: 50e-3,
                 reader_timeout_s: 10e-3,
                 // Mixed traffic over 14 types needs more contexts than the
-            // paper's single-type-in-isolation runs (8): rare types hold
-            // a context until their formation timeout.
-            pool_contexts: 16,
+                // paper's single-type-in-isolation runs (8): rare types hold
+                // a context until their formation timeout.
+                pool_contexts: 16,
                 device_slots: 32,
                 parser_instances: 1,
             };
@@ -90,7 +90,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["cohort", "mean latency", "p99", "mean fill", "timeout launches"],
+            &[
+                "cohort",
+                "mean latency",
+                "p99",
+                "mean fill",
+                "timeout launches"
+            ],
             &rows
         )
     );

@@ -9,9 +9,7 @@
 
 use rhythm_banking::prelude::RequestType;
 use rhythm_bench::fmt::{ratio, render_table};
-use rhythm_bench::measure::{
-    scalar_measurements, titan_type_measurement, Harness, MEASURE_COHORT,
-};
+use rhythm_bench::measure::{scalar_measurements, titan_type_measurement, Harness, MEASURE_COHORT};
 use rhythm_platform::presets::{CpuPreset, TitanPlatform, TitanPreset};
 
 fn main() {
@@ -81,5 +79,7 @@ fn main() {
         low_overhead_better / low_overhead_count.max(1.0),
         high_overhead_better / high_overhead_count.max(1.0),
     );
-    println!("paper: buffer sizes close to required sizes perform well (3.5x-5x i7, 105-120% of A9)");
+    println!(
+        "paper: buffer sizes close to required sizes perform well (3.5x-5x i7, 105-120% of A9)"
+    );
 }

@@ -21,9 +21,8 @@ fn main() {
     // round-robin as the event loop would.
     let stages: [(&str, f64); 3] = [("parse", 60e-6), ("process", 500e-6), ("response", 150e-6)];
     let mut ops = Vec::new();
-    for round in 0..3 {
+    for &(label, dur) in &stages {
         for cohort in 0..8u32 {
-            let (label, dur) = stages[round];
             ops.push(StreamOp {
                 stream: cohort,
                 duration_s: dur,
@@ -92,7 +91,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["device slots", "tput", "mean latency", "peak queued kernels"],
+            &[
+                "device slots",
+                "tput",
+                "mean latency",
+                "peak queued kernels"
+            ],
             &rows
         )
     );

@@ -23,7 +23,8 @@ fn main() {
     eprintln!("[images] running image cohort of {cohort} ...");
     let result = run_image_cohort(&workload, &images, &requests, &gpu, true).expect("cohort");
 
-    let device_time = gpu.sustained_time(&result.parse.stats) + gpu.sustained_time(&result.image.stats);
+    let device_time =
+        gpu.sustained_time(&result.parse.stats) + gpu.sustained_time(&result.image.stats);
     let device_tput = cohort as f64 / device_time;
     let avg_bytes: f64 =
         result.responses.iter().map(|r| r.len() as f64).sum::<f64>() / cohort as f64;
@@ -43,11 +44,11 @@ fn main() {
         rows.push(vec![link.name.clone(), kreqs(bound), "network".into()]);
     }
 
-    println!("\n§5.1: static image serving (avg response {:.1} KB)\n", avg_bytes / 1024.0);
     println!(
-        "{}",
-        render_table(&["limit", "images K/s", "kind"], &rows)
+        "\n§5.1: static image serving (avg response {:.1} KB)\n",
+        avg_bytes / 1024.0
     );
+    println!("{}", render_table(&["limit", "images K/s", "kind"], &rows));
     let gbe10 = NetworkLink::gbe10().request_bound(avg_bytes);
     println!(
         "device rate is {:.0}x a 10GbE link's carrying capacity — \"image throughput is",

@@ -4,9 +4,7 @@
 //! how much power headroom remains for the uncore?
 
 use rhythm_bench::fmt::render_table;
-use rhythm_bench::measure::{
-    cpu_platform_results, scalar_measurements, titan_result, Harness,
-};
+use rhythm_bench::measure::{cpu_platform_results, scalar_measurements, titan_result, Harness};
 use rhythm_platform::presets::{TitanPlatform, TitanPreset};
 use rhythm_platform::scaling::{scale_to_match, CoreType};
 

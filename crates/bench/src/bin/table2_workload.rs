@@ -60,7 +60,11 @@ fn main() {
 
     // Shape check: Spearman-ish rank agreement between our counts and the
     // paper's across types.
-    let mut ours: Vec<(usize, f64)> = ms.iter().enumerate().map(|(i, m)| (i, m.instructions)).collect();
+    let mut ours: Vec<(usize, f64)> = ms
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (i, m.instructions))
+        .collect();
     let mut paper: Vec<(usize, f64)> = TABLE2
         .iter()
         .enumerate()

@@ -148,10 +148,11 @@ pub fn titan_type_measurement(
         session_capacity: 4 * cohort,
         session_salt: SALT,
         skip_parser: false,
+        workers: None,
     };
     let mut s = sessions.clone();
-    let result = run_cohort(&h.workload, &h.store, &mut s, &reqs, &h.gpu, &opts)
-        .expect("cohort run");
+    let result =
+        run_cohort(&h.workload, &h.store, &mut s, &reqs, &h.gpu, &opts).expect("cohort run");
 
     // Sustained (steady-state) kernel costs: with 8 cohorts in flight the
     // device pipeline is full, so throughput follows aggregate issue and
@@ -310,10 +311,8 @@ pub fn titan_platform_result(r: &TitanResult, latency_s: f64) -> PlatformResult 
 pub fn cpu_platform_results(ms: &[ScalarMeasurement]) -> Vec<PlatformResult> {
     use rhythm_platform::presets::{CpuPreset, PAPER_AVG_INSTRUCTIONS};
     let scale = PAPER_AVG_INSTRUCTIONS / workload_avg_instructions(ms);
-    let per_type: HashMap<RequestType, f64> = ms
-        .iter()
-        .map(|m| (m.ty, m.instructions * scale))
-        .collect();
+    let per_type: HashMap<RequestType, f64> =
+        ms.iter().map(|m| (m.ty, m.instructions * scale)).collect();
     CpuPreset::all()
         .into_iter()
         .map(|p| {

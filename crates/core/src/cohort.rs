@@ -115,10 +115,7 @@ impl<R> CohortContext<R> {
     /// Panics unless the context is PartiallyFull or Full.
     pub fn launch(&mut self) {
         assert!(
-            matches!(
-                self.state,
-                CohortState::PartiallyFull | CohortState::Full
-            ),
+            matches!(self.state, CohortState::PartiallyFull | CohortState::Full),
             "cannot launch a cohort in state {:?}",
             self.state
         );

@@ -19,7 +19,10 @@
 ///
 /// Panics if `len > max` (the "maximum" was not actually the maximum).
 pub fn align_pad(len: usize, max: usize) -> usize {
-    assert!(len <= max, "fragment ({len}) longer than cohort max ({max})");
+    assert!(
+        len <= max,
+        "fragment ({len}) longer than cohort max ({max})"
+    );
     max - len
 }
 

@@ -212,10 +212,7 @@ fn trim_ws(mut s: &[u8]) -> &[u8] {
 }
 
 fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+    a.eq_ignore_ascii_case(b)
 }
 
 #[cfg(test)]
@@ -224,8 +221,7 @@ mod tests {
 
     #[test]
     fn get_with_query() {
-        let req =
-            HttpRequest::parse(b"GET /a/b.php?x=1&y=2 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        let req = HttpRequest::parse(b"GET /a/b.php?x=1&y=2 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
         assert_eq!(req.method, Method::Get);
         assert_eq!(req.path, "/a/b.php");
         assert_eq!(req.file_name(), "b.php");
@@ -235,7 +231,8 @@ mod tests {
 
     #[test]
     fn post_with_body_params() {
-        let raw = b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 21\r\n\r\nuserid=7&password=abc";
+        let raw =
+            b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 21\r\n\r\nuserid=7&password=abc";
         let req = HttpRequest::parse(raw).unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.content_length, 21);

@@ -88,8 +88,7 @@ impl ResponseBuilder {
         );
         self.buf.extend_from_slice(b"Content-Length: ");
         self.clen_value_pos = Some(self.buf.len());
-        self.buf
-            .extend_from_slice(&[b' '; RESERVED_CONTENT_LENGTH]);
+        self.buf.extend_from_slice(&[b' '; RESERVED_CONTENT_LENGTH]);
         self.buf.extend_from_slice(b"\r\n");
         self
     }

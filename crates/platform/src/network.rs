@@ -71,7 +71,11 @@ pub fn compressed_bits_per_s(
     compression: f64,
 ) -> f64 {
     assert!((0.0..1.0).contains(&compression), "compression in [0,1)");
-    required_bits_per_s(throughput, request_bytes, response_bytes * (1.0 - compression))
+    required_bits_per_s(
+        throughput,
+        request_bytes,
+        response_bytes * (1.0 - compression),
+    )
 }
 
 #[cfg(test)]
@@ -84,11 +88,7 @@ mod tests {
     fn titan_a_needs_about_67_gbps() {
         let avg_response = 20.5 * 1024.0; // bytes that exactly match 67Gb at 398K
         let need = required_bits_per_s(398_000.0, 512.0, avg_response);
-        assert!(
-            (60e9..75e9).contains(&need),
-            "need {:.1} Gb/s",
-            need / 1e9
-        );
+        assert!((60e9..75e9).contains(&need), "need {:.1} Gb/s", need / 1e9);
     }
 
     #[test]

@@ -52,6 +52,7 @@ impl CpuPreset {
         instructions_per_request / (self.eff_ips / self.workers as f64)
     }
 
+    #[allow(clippy::too_many_arguments)] // one row of the calibration table
     fn calibrated(
         name: &str,
         workers: u32,
@@ -87,12 +88,30 @@ impl CpuPreset {
 
     /// Core i7-3770, four workers.
     pub fn i7_4w() -> Self {
-        Self::calibrated("Core i7 4 workers", 4, 4, 3.4, 331_000.0, 0.014, 45.0, 147.0)
+        Self::calibrated(
+            "Core i7 4 workers",
+            4,
+            4,
+            3.4,
+            331_000.0,
+            0.014,
+            45.0,
+            147.0,
+        )
     }
 
     /// Core i7-3770, eight workers (the paper's throughput baseline).
     pub fn i7_8w() -> Self {
-        Self::calibrated("Core i7 8 workers", 8, 4, 3.4, 377_000.0, 0.014, 45.0, 156.0)
+        Self::calibrated(
+            "Core i7 8 workers",
+            8,
+            4,
+            3.4,
+            377_000.0,
+            0.014,
+            45.0,
+            156.0,
+        )
     }
 
     /// ARM Cortex A9 (OMAP4460), one worker.

@@ -250,7 +250,12 @@ pub(crate) fn store(
     Ok(())
 }
 
-fn read_buf(buf: &[u8], space: MemSpace, width: Width, addr: u32) -> Result<u32, MemError> {
+pub(crate) fn read_buf(
+    buf: &[u8],
+    space: MemSpace,
+    width: Width,
+    addr: u32,
+) -> Result<u32, MemError> {
     let a = addr as usize;
     let w = width.bytes() as usize;
     if a + w > buf.len() {
@@ -267,7 +272,7 @@ fn read_buf(buf: &[u8], space: MemSpace, width: Width, addr: u32) -> Result<u32,
     })
 }
 
-fn write_buf(
+pub(crate) fn write_buf(
     buf: &mut [u8],
     space: MemSpace,
     width: Width,

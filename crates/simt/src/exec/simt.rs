@@ -12,12 +12,18 @@
 //! Divergent branches push entries onto a per-warp reconvergence stack and
 //! rejoin at the branch block's immediate post-dominator, the scheme used
 //! by real hardware and by GPGPU-Sim.
+//!
+//! Warps between barriers are independent, so [`execute_simt_workers`] can
+//! execute them concurrently on a host worker pool while keeping results
+//! bit-for-bit identical to the serial [`execute_simt`] path.
 
-use crate::ir::{BlockId, CfgInfo, MemSpace, Op, Program, Reg, Terminator, EXIT_BLOCK};
-use crate::mem::{ConstPool, DeviceMemory};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::ir::{BlockId, CfgInfo, MemSpace, Op, Program, Reg, Terminator, Width, EXIT_BLOCK};
+use crate::mem::{ConstPool, DeviceMemory, MemError, SharedMem};
 use crate::stats::{DivergenceStats, KernelStats};
 
-use super::scalar::{load, store};
+use super::scalar::{read_buf, write_buf};
 use super::{ExecError, LaunchConfig, WARP_SIZE};
 
 /// DRAM sector granularity for traffic accounting (GDDR5 32-byte sectors).
@@ -36,11 +42,12 @@ struct StackEntry {
     reconv: BlockId,
 }
 
-/// Execute a kernel launch on the SIMT engine.
+/// Execute a kernel launch on the SIMT engine, one warp at a time.
 ///
-/// Warps run sequentially in simulation (their cycle counts are combined
-/// by the device timing model in [`crate::gpu`]); lanes within a warp run
-/// in lockstep.
+/// Lanes within a warp run in lockstep; warps run sequentially on the
+/// calling thread (their cycle counts are combined by the device timing
+/// model in [`crate::gpu`]). Use [`execute_simt_workers`] to spread the
+/// warps over a host thread pool.
 ///
 /// # Errors
 ///
@@ -77,18 +84,116 @@ pub fn execute_simt(
     mem: &mut DeviceMemory,
     pool: &ConstPool,
 ) -> Result<KernelStats, ExecError> {
+    execute_simt_workers(program, cfg, mem, pool, 1)
+}
+
+/// Execute a kernel launch with its warps spread over `workers` host
+/// threads (`0` = one per available core, `1` = serial, identical to
+/// [`execute_simt`]).
+///
+/// Warps between barriers are independent, so they are handed to a worker
+/// pool through a dynamic (work-stealing) counter. Results are bit-for-bit
+/// identical to serial execution for well-formed cohort kernels:
+///
+/// * warps write disjoint lanes of global memory, which the lock-free
+///   [`SharedMem`] view supports without ordering constraints;
+/// * every [`KernelStats`] counter is a sum or max over per-warp values,
+///   so the deterministic per-warp merge order makes the totals exact;
+/// * cross-warp `AtomicAdd` to one address never loses updates (striped
+///   RMW locks), though the *old values* observed by racing warps — and
+///   racy non-atomic cross-warp accesses — depend on scheduling.
+///
+/// # Errors
+///
+/// Same failures as [`execute_simt`]. When several warps fault, the error
+/// of the lowest-numbered faulting warp is reported, independent of worker
+/// count. Unlike serial execution, warps numbered after a faulting warp
+/// may already have executed and written memory by the time the error is
+/// returned.
+pub fn execute_simt_workers(
+    program: &Program,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    workers: usize,
+) -> Result<KernelStats, ExecError> {
     let cfginfo = CfgInfo::analyze(program);
+    let nwarps = cfg.warps() as usize;
+    let workers = resolve_workers(workers).min(nwarps.max(1));
+    let gmem = mem.shared();
+
+    let mut per_warp: Vec<(u32, Result<WarpStats, ExecError>)> = if workers <= 1 {
+        let mut warp = WarpState::new(program, cfg);
+        let mut out = Vec::with_capacity(nwarps);
+        for w in 0..cfg.warps() {
+            let base = w * WARP_SIZE;
+            let count = (cfg.lanes - base).min(WARP_SIZE);
+            warp.reset(base, count);
+            let r = warp.run(program, &cfginfo, cfg, &gmem, pool);
+            let stop = r.is_err();
+            out.push((w, r));
+            if stop {
+                break;
+            }
+        }
+        out
+    } else {
+        // Dynamic self-scheduling: each worker claims the next unstarted
+        // warp. Claims are monotonic, so every warp below the highest
+        // claimed index runs to completion even if a later warp faults —
+        // which is what makes lowest-faulting-warp error selection
+        // deterministic.
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let outs: Vec<Vec<(u32, Result<WarpStats, ExecError>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let gmem = &gmem;
+                    let next = &next;
+                    let abort = &abort;
+                    let cfginfo = &cfginfo;
+                    s.spawn(move || {
+                        let mut warp = WarpState::new(program, cfg);
+                        let mut out = Vec::new();
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let w = next.fetch_add(1, Ordering::Relaxed);
+                            if w >= nwarps {
+                                break;
+                            }
+                            let w = w as u32;
+                            let base = w * WARP_SIZE;
+                            let count = (cfg.lanes - base).min(WARP_SIZE);
+                            warp.reset(base, count);
+                            let r = warp.run(program, cfginfo, cfg, gmem, pool);
+                            if r.is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            out.push((w, r));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("warp worker panicked"))
+                .collect()
+        });
+        let mut merged: Vec<_> = outs.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|&(w, _)| w);
+        merged
+    };
+
     let mut total = KernelStats {
         lanes: cfg.lanes,
         warps: cfg.warps(),
         ..Default::default()
     };
-    let mut warp = WarpState::new(program, cfg);
-    for w in 0..cfg.warps() {
-        let base = w * WARP_SIZE;
-        let count = (cfg.lanes - base).min(WARP_SIZE);
-        warp.reset(base, count);
-        let stats = warp.run(program, &cfginfo, cfg, mem, pool)?;
+    for (_, r) in per_warp.drain(..) {
+        let stats = r?;
         total.warp_instructions += stats.warp_instructions;
         total.lane_instructions += stats.lane_instructions;
         total.mem_accesses += stats.mem_accesses;
@@ -101,6 +206,17 @@ pub fn execute_simt(
         total.divergence.merge(&stats.divergence);
     }
     Ok(total)
+}
+
+/// Resolve a worker-count knob: `0` means one worker per available core.
+pub(crate) fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
 }
 
 /// Reusable per-warp execution state (register file, local/shared memory).
@@ -181,7 +297,7 @@ impl WarpState {
         program: &Program,
         cfg: &CfgInfo,
         launch: &LaunchConfig,
-        mem: &mut DeviceMemory,
+        gmem: &SharedMem<'_>,
         pool: &ConstPool,
     ) -> Result<WarpStats, ExecError> {
         let mut stats = WarpStats::default();
@@ -221,7 +337,7 @@ impl WarpState {
                         executed: stats.warp_instructions,
                     });
                 }
-                self.exec_op(op, mask, launch, mem, pool, &mut stats)?;
+                self.exec_op(op, mask, launch, gmem, pool, &mut stats)?;
             }
 
             // Terminator: also one issue.
@@ -287,7 +403,7 @@ impl WarpState {
         op: &Op,
         mask: u32,
         launch: &LaunchConfig,
-        mem: &mut DeviceMemory,
+        gmem: &SharedMem<'_>,
         pool: &ConstPool,
         stats: &mut WarpStats,
     ) -> Result<(), ExecError> {
@@ -350,13 +466,13 @@ impl WarpState {
                 let addrs = std::mem::take(&mut self.addrs);
                 for &(lane, a) in &addrs {
                     let lo = lane as usize * self.local_bytes;
-                    let v = load(
+                    let v = warp_load(
                         space,
                         width,
                         a,
                         &self.local[lo..lo + self.local_bytes],
                         &self.shared,
-                        mem,
+                        gmem,
                         pool,
                     )?;
                     self.set_reg(lane, dst, v);
@@ -380,14 +496,14 @@ impl WarpState {
                 for &(lane, a) in &addrs {
                     let v = self.reg(lane, src);
                     let lo = lane as usize * self.local_bytes;
-                    store(
+                    warp_store(
                         space,
                         width,
                         a,
                         v,
                         &mut self.local[lo..lo + self.local_bytes],
                         &mut self.shared,
-                        mem,
+                        gmem,
                     )?;
                 }
                 self.charge_access(space, width, &addrs, launch, stats);
@@ -422,28 +538,36 @@ impl WarpState {
                 }
                 let addrs = std::mem::take(&mut self.addrs);
                 // Lanes are serviced in lane order; same-address lanes
-                // serialize (each sees the previous lane's update).
+                // serialize (each sees the previous lane's update). Global
+                // adds go through the shared view's locked RMW so
+                // cross-warp atomics never lose updates under concurrent
+                // warp workers.
                 for &(lane, a) in &addrs {
-                    let lo = lane as usize * self.local_bytes;
-                    let old = load(
-                        space,
-                        crate::ir::Width::Word,
-                        a,
-                        &self.local[lo..lo + self.local_bytes],
-                        &self.shared,
-                        mem,
-                        pool,
-                    )?;
                     let add = self.reg(lane, src);
-                    store(
-                        space,
-                        crate::ir::Width::Word,
-                        a,
-                        old.wrapping_add(add),
-                        &mut self.local[lo..lo + self.local_bytes],
-                        &mut self.shared,
-                        mem,
-                    )?;
+                    let old = if space == MemSpace::Global {
+                        gmem.atomic_add_word(a, add)?
+                    } else {
+                        let lo = lane as usize * self.local_bytes;
+                        let old = warp_load(
+                            space,
+                            Width::Word,
+                            a,
+                            &self.local[lo..lo + self.local_bytes],
+                            &self.shared,
+                            gmem,
+                            pool,
+                        )?;
+                        warp_store(
+                            space,
+                            Width::Word,
+                            a,
+                            old.wrapping_add(add),
+                            &mut self.local[lo..lo + self.local_bytes],
+                            &mut self.shared,
+                            gmem,
+                        )?;
+                        old
+                    };
                     self.set_reg(lane, dst, old);
                 }
                 // Cost: transactions as a word access plus serialization of
@@ -527,6 +651,59 @@ impl WarpState {
     }
 }
 
+/// Lane load used by the warp executor: identical to the scalar path but
+/// global memory goes through the concurrent [`SharedMem`] view.
+fn warp_load(
+    space: MemSpace,
+    width: Width,
+    addr: u32,
+    local: &[u8],
+    shared: &[u8],
+    gmem: &SharedMem<'_>,
+    pool: &ConstPool,
+) -> Result<u32, ExecError> {
+    let out = match space {
+        MemSpace::Global => match width {
+            Width::Byte => gmem.read_byte(addr)?,
+            Width::Word => gmem.read_word(addr)?,
+        },
+        MemSpace::Const => match width {
+            Width::Byte => pool.read_byte(addr)?,
+            Width::Word => pool.read_word(addr)?,
+        },
+        MemSpace::Local => read_buf(local, MemSpace::Local, width, addr)?,
+        MemSpace::Shared => read_buf(shared, MemSpace::Shared, width, addr)?,
+    };
+    Ok(out)
+}
+
+/// Lane store counterpart of [`warp_load`].
+fn warp_store(
+    space: MemSpace,
+    width: Width,
+    addr: u32,
+    value: u32,
+    local: &mut [u8],
+    shared: &mut [u8],
+    gmem: &SharedMem<'_>,
+) -> Result<(), ExecError> {
+    match space {
+        MemSpace::Global => match width {
+            Width::Byte => gmem.write_byte(addr, value)?,
+            Width::Word => gmem.write_word(addr, value)?,
+        },
+        MemSpace::Const => {
+            return Err(MemError::ReadOnly {
+                space: MemSpace::Const,
+            }
+            .into())
+        }
+        MemSpace::Local => write_buf(local, MemSpace::Local, width, addr, value)?,
+        MemSpace::Shared => write_buf(shared, MemSpace::Shared, width, addr, value)?,
+    }
+    Ok(())
+}
+
 fn count_distinct(sorted: &[u32]) -> usize {
     let mut n = 0;
     let mut last = None;
@@ -558,12 +735,7 @@ mod tests {
     use super::*;
     use crate::ir::{BinOp, ProgramBuilder};
 
-    fn launch(
-        p: &Program,
-        lanes: u32,
-        params: Vec<u32>,
-        mem: &mut DeviceMemory,
-    ) -> KernelStats {
+    fn launch(p: &Program, lanes: u32, params: Vec<u32>, mem: &mut DeviceMemory) -> KernelStats {
         let pool = ConstPool::new();
         execute_simt(p, &LaunchConfig::new(lanes, params), mem, &pool).unwrap()
     }
@@ -783,6 +955,86 @@ mod tests {
         assert_eq!(stats.mem_transactions, 2);
     }
 
+    /// A divergence-heavy kernel with atomics must produce bit-identical
+    /// memory and stats at every worker count.
+    #[test]
+    fn parallel_workers_bit_identical() {
+        let mut b = ProgramBuilder::new("par");
+        let g = b.global_id();
+        let three = b.imm(3);
+        let n = b.bin(BinOp::RemU, g, three);
+        let acc = b.imm(0);
+        b.for_loop(n, |b, i| {
+            b.bin_into(acc, BinOp::Add, acc, i);
+        });
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, acc);
+        let one = b.imm(1);
+        b.atomic_add(MemSpace::Global, addr, 0, one);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let lanes = 300u32; // 10 warps, partial last warp
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(lanes, vec![]);
+
+        let mut mem1 = DeviceMemory::new(lanes as usize * 4);
+        let base = execute_simt_workers(&p, &cfg, &mut mem1, &pool, 1).unwrap();
+        for workers in [2usize, 4, 8] {
+            let mut memn = DeviceMemory::new(lanes as usize * 4);
+            let stats = execute_simt_workers(&p, &cfg, &mut memn, &pool, workers).unwrap();
+            assert_eq!(stats, base, "stats diverge at {workers} workers");
+            assert_eq!(
+                memn.as_bytes(),
+                mem1.as_bytes(),
+                "memory diverges at {workers} workers"
+            );
+        }
+    }
+
+    /// Faults report the lowest-numbered faulting warp regardless of
+    /// worker count.
+    #[test]
+    fn parallel_error_is_lowest_faulting_warp() {
+        let mut b = ProgramBuilder::new("oob");
+        let g = b.global_id();
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+
+        // Room for warp 0 only: every later warp faults, lane 32 first.
+        let cfg = LaunchConfig::new(256, vec![]);
+        let pool = ConstPool::new();
+        let mut mem1 = DeviceMemory::new(32 * 4);
+        let serial = execute_simt_workers(&p, &cfg, &mut mem1, &pool, 1).unwrap_err();
+        for workers in [2usize, 4] {
+            let mut memn = DeviceMemory::new(32 * 4);
+            let err = execute_simt_workers(&p, &cfg, &mut memn, &pool, workers).unwrap_err();
+            assert_eq!(err, serial, "error differs at {workers} workers");
+        }
+    }
+
+    /// `workers: 0` resolves to the machine's parallelism and still runs.
+    #[test]
+    fn auto_worker_count_executes() {
+        let mut b = ProgramBuilder::new("auto");
+        let g = b.global_id();
+        b.st_global_byte(g, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = DeviceMemory::new(128);
+        let pool = ConstPool::new();
+        let stats =
+            execute_simt_workers(&p, &LaunchConfig::new(128, vec![]), &mut mem, &pool, 0).unwrap();
+        assert_eq!(stats.warps, 4);
+        assert_eq!(mem.read_byte(127).unwrap(), 127);
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+
     /// Nested divergence exercises stack depth > 2.
     #[test]
     fn nested_divergence() {
@@ -796,18 +1048,10 @@ mod tests {
         b.if_then_else(
             bit0,
             |b| {
-                b.if_then_else(
-                    bit1v,
-                    |b| b.imm_into(out, 3),
-                    |b| b.imm_into(out, 1),
-                );
+                b.if_then_else(bit1v, |b| b.imm_into(out, 3), |b| b.imm_into(out, 1));
             },
             |b| {
-                b.if_then_else(
-                    bit1v,
-                    |b| b.imm_into(out, 2),
-                    |b| b.imm_into(out, 0),
-                );
+                b.if_then_else(bit1v, |b| b.imm_into(out, 2), |b| b.imm_into(out, 0));
             },
         );
         let four = b.imm(4);

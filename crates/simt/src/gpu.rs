@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::exec::simt::execute_simt;
+use crate::exec::simt::execute_simt_workers;
 use crate::exec::{ExecError, LaunchConfig};
 use crate::ir::Program;
 use crate::mem::{ConstPool, DeviceMemory};
@@ -43,6 +43,10 @@ pub struct GpuConfig {
     pub memory_bytes: u64,
     /// Number of hardware work queues (1 = pre-HyperQ, 32 = HyperQ).
     pub hw_queues: u32,
+    /// Host worker threads used to execute a launch's warps
+    /// (simulation-speed knob only — modelled latencies are unaffected):
+    /// `0` = one per available core, `1` = serial execution.
+    pub workers: u32,
 }
 
 impl GpuConfig {
@@ -65,6 +69,7 @@ impl GpuConfig {
             launch_overhead_s: 5e-6,
             memory_bytes: 6 * (1 << 30),
             hw_queues: 32,
+            workers: 0,
         }
     }
 
@@ -82,7 +87,14 @@ impl GpuConfig {
             launch_overhead_s: 5e-6,
             memory_bytes: 2 * (1 << 30),
             hw_queues: 1,
+            workers: 0,
         }
+    }
+
+    /// Same configuration with the warp-execution worker count replaced.
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = workers;
+        self
     }
 }
 
@@ -134,7 +146,10 @@ impl Gpu {
 
     /// Execute a kernel and model its latency.
     ///
-    /// The launch's `tx_bytes` is overridden by the device configuration.
+    /// The launch's `tx_bytes` is overridden by the device configuration,
+    /// and the warps execute on [`GpuConfig::workers`] host threads. The
+    /// result (memory image, stats, modelled time) is bit-identical at any
+    /// worker count; only the host wall-clock time changes.
     ///
     /// # Errors
     ///
@@ -148,7 +163,7 @@ impl Gpu {
     ) -> Result<LaunchResult, ExecError> {
         let mut cfg = cfg.clone();
         cfg.tx_bytes = self.config.tx_bytes;
-        let stats = execute_simt(program, &cfg, mem, pool)?;
+        let stats = execute_simt_workers(program, &cfg, mem, pool, self.config.workers as usize)?;
         Ok(self.time(stats))
     }
 
@@ -169,8 +184,7 @@ impl Gpu {
     /// a different device configuration).
     pub fn time(&self, stats: KernelStats) -> LaunchResult {
         let c = &self.config;
-        let throughput_cycles =
-            stats.warp_cycles as f64 / (c.sm_count as f64 * c.issue_width);
+        let throughput_cycles = stats.warp_cycles as f64 / (c.sm_count as f64 * c.issue_width);
         let compute_cycles = throughput_cycles.max(stats.max_warp_cycles as f64);
         let compute_s = compute_cycles / c.clock_hz;
         let memory_s = stats.dram_bytes as f64 / c.dram_bw;
@@ -245,6 +259,40 @@ mod tests {
             .launch(&p, &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
             .unwrap();
         assert!(res.stats.mem_transactions > res.stats.mem_accesses);
+    }
+
+    #[test]
+    fn launch_identical_across_worker_counts() {
+        let mk = |b: &mut ProgramBuilder| {
+            let g = b.global_id();
+            let four = b.imm(4);
+            let addr = b.bin(BinOp::Mul, g, four);
+            let n = b.imm(16);
+            b.for_loop(n, |b, i| {
+                let v = b.ld_global_word(addr, 0);
+                let v2 = b.bin(BinOp::Add, v, i);
+                b.st_global_word(addr, 0, v2);
+            });
+            b.halt();
+        };
+        let mut b = ProgramBuilder::new("k");
+        mk(&mut b);
+        let p = b.build().unwrap();
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(512, vec![]);
+
+        let run = |workers: u32| {
+            let gpu = Gpu::new(GpuConfig::gtx_titan().with_workers(workers));
+            let mut mem = DeviceMemory::new(512 * 4);
+            let res = gpu.launch(&p, &cfg, &mut mem, &pool).unwrap();
+            (res, mem)
+        };
+        let (r1, m1) = run(1);
+        for w in [2, 4] {
+            let (rn, mn) = run(w);
+            assert_eq!(rn, r1, "launch result differs at {w} workers");
+            assert_eq!(mn, m1, "memory differs at {w} workers");
+        }
     }
 
     #[test]

@@ -429,7 +429,13 @@ impl ProgramBuilder {
     ///
     /// `lane_stride` and `elem_stride` are layout parameters, typically
     /// loaded from launch params so one program serves both layouts.
-    pub fn cursor(&mut self, base: Reg, lane: Reg, lane_stride: Reg, elem_stride: Reg) -> BufCursor {
+    pub fn cursor(
+        &mut self,
+        base: Reg,
+        lane: Reg,
+        lane_stride: Reg,
+        elem_stride: Reg,
+    ) -> BufCursor {
         let lane_term = self.bin(BinOp::Mul, lane, lane_stride);
         let pos = self.imm(0);
         BufCursor {
@@ -632,7 +638,15 @@ mod tests {
     fn if_then_else_shapes_cfg() {
         let mut b = ProgramBuilder::new("k");
         let c = b.imm(1);
-        b.if_then_else(c, |b| { b.imm(10); }, |b| { b.imm(20); });
+        b.if_then_else(
+            c,
+            |b| {
+                b.imm(10);
+            },
+            |b| {
+                b.imm(20);
+            },
+        );
         b.halt();
         let p = b.build().unwrap();
         // entry + then + else + join = 4 blocks

@@ -147,13 +147,7 @@ impl BinOp {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
-            BinOp::DivU => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            BinOp::DivU => a.checked_div(b).unwrap_or(u32::MAX),
             BinOp::RemU => {
                 if b == 0 {
                     a

@@ -235,7 +235,13 @@ mod tests {
             term: Terminator::Jmp(9),
         };
         let err = Program::from_parts("k", vec![b], 0, 0).unwrap_err();
-        assert_eq!(err, ValidateError::BadTarget { block: 0, target: 9 });
+        assert_eq!(
+            err,
+            ValidateError::BadTarget {
+                block: 0,
+                target: 9
+            }
+        );
     }
 
     #[test]
@@ -296,7 +302,11 @@ mod tests {
 
     #[test]
     fn display_for_errors() {
-        let s = ValidateError::BadTarget { block: 1, target: 2 }.to_string();
+        let s = ValidateError::BadTarget {
+            block: 1,
+            target: 2,
+        }
+        .to_string();
         assert!(s.contains("block 1"));
     }
 }

@@ -67,5 +67,5 @@ pub mod transpose;
 pub use exec::{ExecError, LaunchConfig, WARP_SIZE};
 pub use gpu::{Gpu, GpuConfig, LaunchResult};
 pub use ir::{Program, ProgramBuilder};
-pub use mem::{ConstPool, DeviceMemory, MemError};
+pub use mem::{ConstPool, DeviceMemory, MemError, SharedMem};
 pub use stats::{DivergenceStats, KernelStats, ScalarStats};

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 
 use crate::ir::MemSpace;
 
@@ -155,6 +157,142 @@ impl DeviceMemory {
     /// The full backing image.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// A lock-free shared view over this image for concurrent warp
+    /// execution. While the view lives, all access goes through it; the
+    /// exclusive borrow guarantees no plain reads or writes race with the
+    /// view's atomic ones.
+    pub fn shared(&mut self) -> SharedMem<'_> {
+        SharedMem::new(&mut self.bytes)
+    }
+}
+
+/// Number of address stripes used to serialize read-modify-write
+/// (atomic-add) operations in a [`SharedMem`].
+const ATOMIC_STRIPES: usize = 64;
+
+/// Interior-mutability view of a [`DeviceMemory`] image that multiple warp
+/// workers can read and write concurrently without locks.
+///
+/// Plain loads and stores are `Relaxed` atomic byte operations: warps that
+/// touch disjoint lanes (the cohort layout guarantee) proceed completely
+/// lock-free, and racy programs yield unspecified *values* rather than
+/// undefined behavior. Read-modify-write operations
+/// ([`SharedMem::atomic_add_word`]) serialize through a striped lock table
+/// so cross-warp atomics never lose updates.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_simt::mem::DeviceMemory;
+///
+/// let mut mem = DeviceMemory::new(8);
+/// {
+///     let view = mem.shared();
+///     view.write_word(0, 41).unwrap();
+///     assert_eq!(view.atomic_add_word(0, 1).unwrap(), 41);
+/// }
+/// assert_eq!(mem.read_word(0).unwrap(), 42);
+/// ```
+pub struct SharedMem<'a> {
+    bytes: &'a [AtomicU8],
+    stripes: Vec<Mutex<()>>,
+}
+
+impl fmt::Debug for SharedMem<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedMem")
+            .field("len", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl<'a> SharedMem<'a> {
+    fn new(bytes: &'a mut [u8]) -> Self {
+        // SAFETY: `AtomicU8` has the same size and alignment as `u8`
+        // (guaranteed by its documentation), and the exclusive `&mut`
+        // borrow means no other plain reference can observe these bytes
+        // for the view's lifetime, so every access is atomic.
+        let bytes = unsafe { &*(bytes as *mut [u8] as *const [AtomicU8]) };
+        SharedMem {
+            bytes,
+            stripes: (0..ATOMIC_STRIPES).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the space has zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, MemError> {
+        let a = addr as usize;
+        let end = a.checked_add(len as usize).ok_or(MemError::OutOfBounds {
+            space: MemSpace::Global,
+            addr,
+            len,
+            size: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(MemError::OutOfBounds {
+                space: MemSpace::Global,
+                addr,
+                len,
+                size: self.bytes.len(),
+            });
+        }
+        Ok(a)
+    }
+
+    /// Read one byte (zero-extended).
+    pub fn read_byte(&self, addr: u32) -> Result<u32, MemError> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a].load(Ordering::Relaxed) as u32)
+    }
+
+    /// Read a little-endian word.
+    pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[a].load(Ordering::Relaxed),
+            self.bytes[a + 1].load(Ordering::Relaxed),
+            self.bytes[a + 2].load(Ordering::Relaxed),
+            self.bytes[a + 3].load(Ordering::Relaxed),
+        ]))
+    }
+
+    /// Write one byte (low 8 bits of `value`).
+    pub fn write_byte(&self, addr: u32, value: u32) -> Result<(), MemError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a].store(value as u8, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write a little-endian word.
+    pub fn write_word(&self, addr: u32, value: u32) -> Result<(), MemError> {
+        let a = self.check(addr, 4)?;
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.bytes[a + i].store(b, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Atomically add `value` to the word at `addr`, returning the old
+    /// value. Lost-update-free across warp workers: the read-modify-write
+    /// holds the stripe lock covering `addr`.
+    pub fn atomic_add_word(&self, addr: u32, value: u32) -> Result<u32, MemError> {
+        self.check(addr, 4)?;
+        let stripe = (addr as usize / 4) % ATOMIC_STRIPES;
+        let _guard = self.stripes[stripe].lock().expect("stripe lock poisoned");
+        let old = self.read_word(addr)?;
+        self.write_word(addr, old.wrapping_add(value))?;
+        Ok(old)
     }
 }
 
@@ -319,6 +457,42 @@ mod tests {
         let (off, _) = p.intern(&[1, 0, 0, 0]);
         assert_eq!(p.read_word(off).unwrap(), 1);
         assert!(p.read_word(1).is_err());
+    }
+
+    #[test]
+    fn shared_view_roundtrip_and_bounds() {
+        let mut m = DeviceMemory::new(8);
+        {
+            let v = m.shared();
+            v.write_word(0, 0x0102_0304).unwrap();
+            assert_eq!(v.read_word(0).unwrap(), 0x0102_0304);
+            assert_eq!(v.read_byte(3).unwrap(), 1);
+            assert!(v.read_word(5).is_err());
+            assert!(v.write_byte(8, 1).is_err());
+            assert_eq!(v.len(), 8);
+            assert!(!v.is_empty());
+        }
+        assert_eq!(
+            m.read_word(0).unwrap(),
+            0x0102_0304,
+            "writes land in the image"
+        );
+    }
+
+    #[test]
+    fn shared_atomic_add_no_lost_updates() {
+        let mut m = DeviceMemory::new(4);
+        let v = m.shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        v.atomic_add_word(0, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(v.read_word(0).unwrap(), 4000);
     }
 
     #[test]

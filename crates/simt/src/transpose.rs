@@ -119,7 +119,7 @@ pub fn build_transpose_kernel() -> Program {
 /// Panics unless `rows` and `cols` are nonzero multiples of [`TILE`].
 pub fn transpose_launch_lanes(rows: u32, cols: u32) -> u32 {
     assert!(
-        rows > 0 && cols > 0 && rows % TILE == 0 && cols % TILE == 0,
+        rows > 0 && cols > 0 && rows.is_multiple_of(TILE) && cols.is_multiple_of(TILE),
         "transpose dimensions must be nonzero multiples of {TILE} (got {rows}x{cols})"
     );
     (rows / TILE) * (cols / TILE) * TILE

@@ -93,7 +93,12 @@ fn underfilled_launches_cost_at_least_one_warp_critical_path() {
     let p = sample_program();
     let mut mem = DeviceMemory::new(4 * 32);
     let res = gpu
-        .launch(&p, &LaunchConfig::new(1, vec![]), &mut mem, &ConstPool::new())
+        .launch(
+            &p,
+            &LaunchConfig::new(1, vec![]),
+            &mut mem,
+            &ConstPool::new(),
+        )
         .unwrap();
     let expected_floor =
         res.stats.max_warp_cycles as f64 / gpu.config().clock_hz + gpu.config().launch_overhead_s;

@@ -80,8 +80,7 @@ proptest! {
             }
             false
         };
-        for b in 0..n {
-            let d = ip[b];
+        for (b, &d) in ip.iter().enumerate().take(n) {
             if d == EXIT_BLOCK {
                 continue;
             }

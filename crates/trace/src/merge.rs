@@ -51,10 +51,7 @@ impl SimilarityReport {
 /// # Panics
 ///
 /// Panics if `traces` is empty.
-pub fn merge_traces<T: Eq + Clone>(
-    traces: &[Vec<T>],
-    max_d: usize,
-) -> (Vec<T>, SimilarityReport) {
+pub fn merge_traces<T: Eq + Clone>(traces: &[Vec<T>], max_d: usize) -> (Vec<T>, SimilarityReport) {
     assert!(!traces.is_empty(), "need at least one trace");
     let total_blocks = traces.iter().map(Vec::len).sum();
     let mut merged = traces[0].clone();
@@ -112,7 +109,11 @@ mod tests {
         for t in &traces {
             assert!(is_supersequence(&merged, t));
         }
-        assert!(rep.speedup() > 2.0, "mostly-shared traces: {}", rep.speedup());
+        assert!(
+            rep.speedup() > 2.0,
+            "mostly-shared traces: {}",
+            rep.speedup()
+        );
     }
 
     #[test]

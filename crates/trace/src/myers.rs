@@ -120,7 +120,13 @@ pub fn merge_pair<T: Eq + Clone>(a: &[T], b: &[T], max_d: usize) -> MergeResult<
         let prev_y = prev_x - prev_k;
 
         // Snake: the matched run after the edit.
-        let snake_start_x = if d == 0 { 0 } else if down { prev_x } else { prev_x + 1 };
+        let snake_start_x = if d == 0 {
+            0
+        } else if down {
+            prev_x
+        } else {
+            prev_x + 1
+        };
         while x > snake_start_x {
             x -= 1;
             y -= 1;
@@ -254,8 +260,8 @@ mod tests {
     #[test]
     fn loop_trip_count_difference() {
         // Same loop executed 5 vs 7 times: SCS = 7 iterations.
-        let a: Vec<u32> = std::iter::repeat([10, 11]).take(5).flatten().collect();
-        let b: Vec<u32> = std::iter::repeat([10, 11]).take(7).flatten().collect();
+        let a: Vec<u32> = std::iter::repeat_n([10, 11], 5).flatten().collect();
+        let b: Vec<u32> = std::iter::repeat_n([10, 11], 7).flatten().collect();
         check_scs(&a, &b, 14);
     }
 

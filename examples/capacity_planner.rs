@@ -67,7 +67,11 @@ fn main() {
         NetworkLink::gbe100(),
         NetworkLink::gbe400(),
     ] {
-        let fits = if link.bits_per_s >= need { "ok" } else { "exceeded" };
+        let fits = if link.bits_per_s >= need {
+            "ok"
+        } else {
+            "exceeded"
+        };
         println!("  {:<8} {fits}", link.name);
     }
 

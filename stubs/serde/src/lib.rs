@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` — just enough surface for
+//! `use serde::{Deserialize, Serialize};` plus the derive markers.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types for
+//! forward compatibility but never serializes through serde in-tree, so
+//! the traits are empty markers and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods used in-tree).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods used in-tree).
+pub trait Deserialize<'de> {}

@@ -60,15 +60,8 @@ fn mixed_stream_groups_into_correct_cohorts() {
     let mut native_sessions = sessions.clone();
     let mut verified = 0usize;
     for (ty, cohort) in &groups {
-        let result = run_cohort(
-            &workload,
-            &store,
-            &mut device_sessions,
-            cohort,
-            &gpu,
-            &opts,
-        )
-        .unwrap_or_else(|e| panic!("{ty}: {e}"));
+        let result = run_cohort(&workload, &store, &mut device_sessions, cohort, &gpu, &opts)
+            .unwrap_or_else(|e| panic!("{ty}: {e}"));
         for (lane, req) in cohort.iter().enumerate() {
             let native = handle_native(&req.banking_request(), &store, &mut native_sessions);
             assert!(

@@ -152,7 +152,9 @@ fn sessions_interoperate_between_device_and_native() {
         .trim()
         .parse()
         .unwrap();
-    let userid = sessions.lookup(token).expect("device session valid on host");
+    let userid = sessions
+        .lookup(token)
+        .expect("device session valid on host");
     let req = BankingRequest::new(RequestType::Profile, token, [userid, 0, 0, 0]);
     let resp = handle_native(&req, &store, &mut sessions);
     assert!(resp.starts_with(b"HTTP/1.1 200 OK"));
