@@ -61,8 +61,8 @@ pub mod prelude {
     pub use crate::native::{handle_native, BankingRequest};
     pub use crate::quickpay::{handle_quickpay_native, run_quickpay_cohort, QuickPay};
     pub use crate::runner::{
-        run_cohort, run_parser_only, run_request_scalar, BackendMode, CohortOptions,
-        ScalarRunResult,
+        run_cohort, run_cohort_traced, run_parser_only, run_request_scalar, BackendMode,
+        CohortOptions, ScalarRunResult,
     };
     pub use crate::session_array::SessionArrayHost;
     pub use crate::types::{RequestType, TypeInfo, TABLE2};

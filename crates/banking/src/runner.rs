@@ -7,6 +7,7 @@
 //! formation, timeouts and overlapping cohorts) lives in `rhythm-core`;
 //! this runner executes one already-formed cohort to completion.
 
+use rhythm_obs::{s_to_us, ArgValue, Clock, NoopRecorder, Recorder};
 use rhythm_simt::exec::LaunchConfig;
 use rhythm_simt::gpu::{Gpu, LaunchResult};
 use rhythm_simt::mem::DeviceMemory;
@@ -132,6 +133,36 @@ pub fn run_cohort(
     gpu: &Gpu,
     opts: &CohortOptions,
 ) -> Result<CohortResult, ExecError> {
+    run_cohort_traced(workload, store, sessions, reqs, gpu, opts, &NoopRecorder)
+}
+
+/// [`run_cohort`] with tracing: in addition to the per-kernel and
+/// per-warp wall-time spans emitted by [`Gpu::launch_traced`], the
+/// cohort's kernels are laid out back-to-back on a **virtual-time**
+/// `device` track using each launch's modelled latency, so the timeline
+/// shows where the device time of one cohort goes (parser vs. process
+/// stages vs. backend rounds). Host-served backend rounds appear as
+/// instants (they spend no modelled device time).
+///
+/// The recorder is observational only — responses, launches, and session
+/// state are bit-identical to [`run_cohort`].
+///
+/// # Errors
+///
+/// Propagates kernel execution faults.
+///
+/// # Panics
+///
+/// Same conditions as [`run_cohort`].
+pub fn run_cohort_traced<R: Recorder + ?Sized>(
+    workload: &Workload,
+    store: &BankStore,
+    sessions: &mut SessionArrayHost,
+    reqs: &[GeneratedRequest],
+    gpu: &Gpu,
+    opts: &CohortOptions,
+    rec: &R,
+) -> Result<CohortResult, ExecError> {
     assert!(!reqs.is_empty(), "empty cohort");
     let ty = reqs[0].ty;
     assert!(
@@ -162,6 +193,25 @@ pub fn run_cohort(
     mem.load(layout.session_base, &sessions.to_device_bytes())?;
 
     let mut launches = Vec::new();
+    // Virtual device-time cursor: this runner executes one cohort's
+    // kernels back to back, so each launch's modelled latency extends the
+    // cursor and becomes a span on the `device` track.
+    let mut device_t = 0.0f64;
+    macro_rules! trace_launch {
+        ($name:expr, $res:expr) => {{
+            if rec.enabled() {
+                rec.span(
+                    Clock::Virtual,
+                    "device",
+                    $name,
+                    s_to_us(device_t),
+                    s_to_us($res.time_s),
+                    &[("requests", ArgValue::U64(cohort as u64))],
+                );
+            }
+            device_t += $res.time_s;
+        }};
+    }
     let cfg = LaunchConfig {
         lanes: cohort,
         params: layout.params(),
@@ -189,22 +239,35 @@ pub fn run_cohort(
                 &r.raw,
             )?;
         }
-        let res = gpu.launch(&workload.parser, &cfg, &mut mem, &workload.pool)?;
+        let res = gpu.launch_traced(&workload.parser, &cfg, &mut mem, &workload.pool, rec)?;
+        trace_launch!("parser", &res);
         launches.push(("parser".to_string(), res));
     }
 
     let stages = workload.stages_of(ty);
     let n_backend = stages.len() - 1;
     for (i, stage) in stages.iter().enumerate() {
-        let res = gpu.launch(stage, &cfg, &mut mem, &workload.pool)?;
+        let res = gpu.launch_traced(stage, &cfg, &mut mem, &workload.pool, rec)?;
+        trace_launch!(stage.name(), &res);
         launches.push((stage.name().to_string(), res));
         if i < n_backend {
             match opts.backend {
                 BackendMode::Device => {
-                    let res = gpu.launch(&workload.backend, &cfg, &mut mem, &workload.pool)?;
+                    let res =
+                        gpu.launch_traced(&workload.backend, &cfg, &mut mem, &workload.pool, rec)?;
+                    trace_launch!("device_backend", &res);
                     launches.push(("device_backend".to_string(), res));
                 }
                 BackendMode::Host => {
+                    if rec.enabled() {
+                        rec.instant(
+                            Clock::Virtual,
+                            "device",
+                            "host_backend",
+                            s_to_us(device_t),
+                            &[("requests", ArgValue::U64(cohort as u64))],
+                        );
+                    }
                     host_backend_step(store, &layout, &mut mem)?;
                 }
             }

@@ -3,11 +3,19 @@
 //! and modelled times), and session state at every worker count.
 
 use rhythm_banking::prelude::*;
+use rhythm_obs::{Recorder, TraceRecorder};
 use rhythm_simt::gpu::{Gpu, GpuConfig};
 
 const SALT: u32 = 0x5EED_0001;
 
 fn run_with(workers: Option<u32>) -> (Vec<Vec<u8>>, String, Vec<u8>) {
+    run_traced_with(workers, &rhythm_obs::NoopRecorder)
+}
+
+fn run_traced_with<R: Recorder + ?Sized>(
+    workers: Option<u32>,
+    rec: &R,
+) -> (Vec<Vec<u8>>, String, Vec<u8>) {
     let workload = Workload::build();
     let store = BankStore::generate(256, 1);
     let opts = CohortOptions {
@@ -20,7 +28,8 @@ fn run_with(workers: Option<u32>) -> (Vec<Vec<u8>>, String, Vec<u8>) {
     let mut generator = RequestGenerator::new(64, 2);
     let reqs = generator.uniform(RequestType::AccountSummary, 96, &mut sessions);
     let gpu = Gpu::new(GpuConfig::gtx_titan().with_workers(1));
-    let result = run_cohort(&workload, &store, &mut sessions, &reqs, &gpu, &opts).unwrap();
+    let result =
+        run_cohort_traced(&workload, &store, &mut sessions, &reqs, &gpu, &opts, rec).unwrap();
     (
         result.responses,
         format!("{:?}", result.launches),
@@ -37,6 +46,34 @@ fn cohort_identical_across_worker_counts() {
         assert_eq!(run.0, base.0, "responses differ at workers={workers:?}");
         assert_eq!(run.1, base.1, "launch stats differ at workers={workers:?}");
         assert_eq!(run.2, base.2, "sessions differ at workers={workers:?}");
+    }
+}
+
+/// Attaching the recorder is purely observational: responses, launch
+/// stats, and session bytes stay bit-identical to the untraced run at
+/// every worker count, and the exported Chrome trace is valid JSON with
+/// non-decreasing per-track timestamps.
+#[test]
+fn traced_cohort_identical_and_trace_valid() {
+    let untraced = run_with(Some(1));
+    for workers in [Some(1), Some(2), Some(4)] {
+        let rec = TraceRecorder::new();
+        let traced = run_traced_with(workers, &rec);
+        assert_eq!(
+            traced, untraced,
+            "tracing changed results at workers={workers:?}"
+        );
+        assert!(!rec.is_empty(), "recorder captured nothing");
+
+        let json = rec.chrome_json();
+        let check = rhythm_obs::validate_chrome_trace(&json)
+            .expect("exported trace must be valid Chrome JSON with monotone tracks");
+        assert!(check.events > 0);
+        assert!(
+            check.names.iter().any(|n| n.contains("warp")),
+            "per-warp SIMT spans missing from trace"
+        );
+        assert!(rec.histogram("warp_cycles").is_some());
     }
 }
 

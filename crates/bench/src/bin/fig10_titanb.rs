@@ -6,13 +6,57 @@
 //! power-of-two rounding makes the response transpose exponentially more
 //! expensive for types just past a boundary. We reproduce the per-type
 //! scatter and the buffer-overhead correlation.
+//!
+//! Flags:
+//!
+//! * `--trace <out.json>` — feed the per-type measurements into the
+//!   `rhythm-core` pipeline with the `rhythm-obs` recorder attached and
+//!   write a Chrome trace-event timeline (stage spans, cohort FSM
+//!   transitions, latency histograms) loadable in Perfetto.
 
 use rhythm_banking::prelude::RequestType;
 use rhythm_bench::fmt::{ratio, render_table};
-use rhythm_bench::measure::{scalar_measurements, titan_type_measurement, Harness, MEASURE_COHORT};
+use rhythm_bench::latency::pipeline_report_traced;
+use rhythm_bench::measure::{
+    scalar_measurements, titan_type_measurement, Harness, TitanResult, MEASURE_COHORT,
+};
+use rhythm_obs::TraceRecorder;
 use rhythm_platform::presets::{CpuPreset, TitanPlatform, TitanPreset};
 
+/// Run the mixed-traffic pipeline over the measured latencies with the
+/// recorder attached and export the Chrome trace.
+fn export_trace(path: &str, per_type: Vec<rhythm_bench::measure::TitanTypeResult>) {
+    use std::collections::HashMap;
+    let map: HashMap<RequestType, f64> = per_type.iter().map(|r| (r.ty, r.tput)).collect();
+    let result = TitanResult {
+        variant: TitanPlatform::B,
+        tput: rhythm_banking::types::weighted_harmonic_mean(|ty| map[&ty]),
+        per_type,
+    };
+    eprintln!("[fig10] tracing pipeline at 70% load ...");
+    let rec = TraceRecorder::new();
+    let report = pipeline_report_traced(&result, 0.7, 60_000, &rec);
+    let json = rec.chrome_json();
+    rhythm_obs::validate_chrome_trace(&json).expect("exported trace must be valid");
+    std::fs::write(path, &json).expect("write trace file");
+    println!("\n{}", rec.summary());
+    println!(
+        "trace written to {path} ({} bytes, {} requests completed); open it in Perfetto",
+        json.len(),
+        report.completed
+    );
+}
+
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            other => panic!("unknown flag {other:?} (expected --trace <path>)"),
+        }
+    }
+
     let h = Harness::new();
     eprintln!("[fig10] measuring CPU baselines ...");
     let ms = scalar_measurements(&h, 10);
@@ -28,6 +72,7 @@ fn main() {
         / rhythm_bench::measure::workload_avg_instructions(&ms);
 
     let mut rows = Vec::new();
+    let mut per_type = Vec::new();
     let mut low_overhead_better = 0.0;
     let mut low_overhead_count: f64 = 0.0;
     let mut high_overhead_better = 0.0;
@@ -58,6 +103,7 @@ fn main() {
             ratio(tput_norm),
             ratio(eff_norm),
         ]);
+        per_type.push(r);
     }
 
     println!("\nFigure 10: per-type throughput-efficiency on Titan B (dynamic power)\n");
@@ -82,4 +128,8 @@ fn main() {
     println!(
         "paper: buffer sizes close to required sizes perform well (3.5x-5x i7, 105-120% of A9)"
     );
+
+    if let Some(path) = trace_path {
+        export_trace(&path, per_type);
+    }
 }

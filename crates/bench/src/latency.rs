@@ -117,6 +117,19 @@ pub fn mixed_arrivals(count: u64, rate: f64, seed: u64) -> Vec<(f64, u32)> {
 
 /// Run the pipeline at a fraction of the measured throughput and report.
 pub fn pipeline_report(result: &TitanResult, load_fraction: f64, requests: u64) -> PipelineReport {
+    pipeline_report_traced(result, load_fraction, requests, &rhythm_obs::NoopRecorder)
+}
+
+/// [`pipeline_report`] with a [`Recorder`](rhythm_obs::Recorder): stage
+/// spans, cohort FSM transitions, and latency histograms land in `rec`
+/// (virtual-time clock). The returned report is identical to the
+/// untraced run.
+pub fn pipeline_report_traced<R: rhythm_obs::Recorder + ?Sized>(
+    result: &TitanResult,
+    load_fraction: f64,
+    requests: u64,
+    rec: &R,
+) -> PipelineReport {
     let service = MeasuredService::from_titan(result);
     let config = PipelineConfig {
         cohort_size: PAPER_COHORT,
@@ -132,7 +145,7 @@ pub fn pipeline_report(result: &TitanResult, load_fraction: f64, requests: u64) 
     };
     let pipeline = Pipeline::new(service, config);
     let arrivals = mixed_arrivals(requests, result.tput * load_fraction, 99);
-    pipeline.run(&arrivals)
+    pipeline.run_traced(&arrivals, rec)
 }
 
 /// Mean end-to-end latency at 80 % load — the Table 3 latency estimate.

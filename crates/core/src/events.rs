@@ -31,11 +31,15 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
+        // BinaryHeap is a max-heap; invert for earliest-first. `total_cmp`
+        // is a total order, so even a NaN timestamp (rejected at
+        // `schedule`, but belt-and-braces here) cannot corrupt the heap
+        // invariant the way `partial_cmp(..).unwrap_or(Equal)` could: a
+        // NaN compared Equal to *everything*, making the order
+        // non-transitive and silently breaking earliest-first delivery.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -182,6 +186,45 @@ mod tests {
     fn nan_rejected() {
         let mut q = EventQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_delay_rejected() {
+        // A NaN delay poisons `now + delay`; the push-time check catches
+        // it before it can reach the heap comparator.
+        let mut q = EventQueue::new();
+        q.schedule_in(f64::NAN, ());
+    }
+
+    /// Regression for the heap comparator: `partial_cmp(..).unwrap_or(Equal)`
+    /// was only a partial order — any NaN that slipped past the push
+    /// assert compared Equal to everything and silently corrupted
+    /// earliest-first delivery. `total_cmp` is total and antisymmetric on
+    /// every representable f64, so heap order survives adversarial values
+    /// like `-0.0`, subnormals, and infinities.
+    #[test]
+    fn comparator_is_a_total_order_on_odd_floats() {
+        let mut q = EventQueue::new();
+        // -0.0 passes the `time >= now` check at time zero and sorts
+        // before +0.0 under total_cmp (both deterministic).
+        for (i, &t) in [0.0, -0.0, f64::MIN_POSITIVE, 1e-300, f64::INFINITY, 2.0]
+            .iter()
+            .enumerate()
+        {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(
+                t.total_cmp(&last).is_ge(),
+                "pop order must be non-decreasing: {t} after {last}"
+            );
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 6);
     }
 
     #[test]

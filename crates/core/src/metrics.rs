@@ -21,11 +21,18 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Compute from raw samples (empty samples give zeroes).
+    ///
+    /// NaN samples carry no ordering information and are filtered out up
+    /// front — the statistics describe the remaining samples. (The old
+    /// implementation panicked from inside the sort comparator, leaving
+    /// the vector half-sorted in the unwind; validating before sorting
+    /// gives a well-defined result instead.)
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|s| !s.is_nan());
         if samples.is_empty() {
             return LatencyStats::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         let count = samples.len() as u64;
         let mean = samples.iter().sum::<f64>() / count as f64;
         let pct = |p: f64| -> f64 {
@@ -100,6 +107,32 @@ mod tests {
         assert!((s.mean - 500.5).abs() < 1e-9);
         assert_eq!(s.max, 1000.0);
         assert!((s.p50 - 500.0).abs() <= 1.0);
+    }
+
+    /// NaN samples are dropped before sorting instead of panicking from
+    /// inside the sort comparator; the statistics cover what remains.
+    #[test]
+    fn nan_samples_filtered_not_panicking() {
+        let s = LatencyStats::from_samples(vec![3.0, f64::NAN, 1.0, f64::NAN, 2.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(!s.p50.is_nan() && !s.p95.is_nan() && !s.p99.is_nan());
+
+        // All-NaN degenerates to the empty result, not a panic.
+        let s = LatencyStats::from_samples(vec![f64::NAN, f64::NAN]);
+        assert_eq!(s, LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample_statistics() {
+        let s = LatencyStats::from_samples(vec![7.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.max, 7.5);
     }
 
     #[test]

@@ -21,6 +21,8 @@ use crate::events::EventQueue;
 use crate::metrics::{LatencyStats, PipelineReport};
 use crate::service::Service;
 
+use rhythm_obs::{s_to_us, ArgValue, Clock, NoopRecorder, Recorder};
+
 use std::collections::VecDeque;
 
 /// Pipeline configuration.
@@ -102,7 +104,39 @@ impl<S: Service> Pipeline<S> {
 
     /// Run a finite arrival schedule (`(time, type)` pairs, any order) to
     /// completion and report metrics.
+    ///
+    /// Equivalent to [`Pipeline::run_traced`] with the no-op recorder;
+    /// both produce bit-identical reports because the recorder is purely
+    /// observational.
     pub fn run(&self, arrivals: &[(f64, u32)]) -> PipelineReport {
+        self.run_traced(arrivals, &NoopRecorder)
+    }
+
+    /// Run an arrival schedule while streaming trace events into `rec`.
+    ///
+    /// All timestamps are in the pipeline's **virtual** time
+    /// ([`Clock::Virtual`], microseconds). The recorder sees:
+    ///
+    /// * complete spans on per-stage tracks — `stage:reader` (batch
+    ///   accumulation), `stage:parser` (parse kernels, stamped when they
+    ///   actually claim a device slot), `stage:process` (process kernels),
+    ///   `stage:backend`, and `stage:response`;
+    /// * per-context tracks (`ctx0`, `ctx1`, ...) with nested
+    ///   `form`/`execute` spans and instant events for every cohort FSM
+    ///   transition (`Free→PartiallyFull`, `PartiallyFull→Full`,
+    ///   `Full→Busy`, `PartiallyFull→Busy (timeout)`, `Busy→Free`), each
+    ///   carrying the cohort fill at that moment;
+    /// * `backlog_depth` and `dispatch_stalls` gauges on the `dispatch`
+    ///   track and a `queued_kernels` gauge on the `device` track;
+    /// * `request_latency_s` and `cohort_fill` streaming histograms.
+    ///
+    /// The recorder cannot influence the simulation: the returned
+    /// [`PipelineReport`] is bit-identical to [`Pipeline::run`].
+    pub fn run_traced<R: Recorder + ?Sized>(
+        &self,
+        arrivals: &[(f64, u32)],
+        rec: &R,
+    ) -> PipelineReport {
         let cfg = &self.config;
         let mut q: EventQueue<Event> = EventQueue::new();
         for &(t, ty) in arrivals {
@@ -147,16 +181,106 @@ impl<S: Service> Pipeline<S> {
         let mut report = PipelineReport::default();
         let mut fill_sum = 0.0;
 
+        // A kernel span covers the device-slot occupancy [now, now + dur]:
+        // it is emitted at the moment a kernel actually claims a slot —
+        // immediately in `submit_kernel!` or later at a device-queue pop.
+        macro_rules! trace_kernel {
+            ($now:expr, $dur:expr, $ev:expr) => {{
+                if rec.enabled() {
+                    match $ev {
+                        Event::ParserDone { batch } => {
+                            let n = inflight_batches.get(batch).map_or(0, |b| b.len() as u64);
+                            rec.span(
+                                Clock::Virtual,
+                                "stage:parser",
+                                "parse",
+                                s_to_us($now),
+                                s_to_us($dur),
+                                &[("requests", ArgValue::U64(n))],
+                            );
+                        }
+                        Event::StageDone { ctx, stage } => {
+                            let cohort = pool.get(*ctx).members().len() as u64;
+                            rec.span(
+                                Clock::Virtual,
+                                "stage:process",
+                                &format!("stage {stage}"),
+                                s_to_us($now),
+                                s_to_us($dur),
+                                &[
+                                    ("ctx", ArgValue::U64(*ctx as u64)),
+                                    ("requests", ArgValue::U64(cohort)),
+                                ],
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }};
+        }
+
         macro_rules! submit_kernel {
             ($q:expr, $dur:expr, $ev:expr) => {{
+                let dur = $dur;
+                let ev = $ev;
                 report.kernels_launched += 1;
                 if device_busy < cfg.device_slots {
                     device_busy += 1;
-                    $q.schedule_in($dur, $ev);
+                    trace_kernel!($q.now(), dur, &ev);
+                    $q.schedule_in(dur, ev);
                 } else {
-                    device_queue.push_back(($dur, $ev));
+                    device_queue.push_back((dur, ev));
                     report.device_queue_peak =
                         report.device_queue_peak.max(device_queue.len() as u64);
+                    if rec.enabled() {
+                        rec.counter(
+                            Clock::Virtual,
+                            "device",
+                            "queued_kernels",
+                            s_to_us($q.now()),
+                            device_queue.len() as f64,
+                        );
+                    }
+                }
+            }};
+        }
+
+        // The two device-queue pop sites share this: a queued kernel
+        // finally claims a slot, so its span starts now.
+        macro_rules! pop_device_queue {
+            ($q:expr) => {{
+                if let Some((dur, ev)) = device_queue.pop_front() {
+                    device_busy += 1;
+                    trace_kernel!($q.now(), dur, &ev);
+                    $q.schedule_in(dur, ev);
+                    if rec.enabled() {
+                        rec.counter(
+                            Clock::Virtual,
+                            "device",
+                            "queued_kernels",
+                            s_to_us($q.now()),
+                            device_queue.len() as f64,
+                        );
+                    }
+                }
+            }};
+        }
+
+        // The reader span covers accumulation: first arrival of the batch
+        // to the moment it is handed to a parser instance.
+        macro_rules! trace_read_batch {
+            ($q:expr, $batch:expr) => {{
+                if rec.enabled() {
+                    if let Some(first) = $batch.first() {
+                        rec.span(
+                            Clock::Virtual,
+                            "stage:reader",
+                            "read batch",
+                            s_to_us(first.arrived),
+                            s_to_us($q.now() - first.arrived),
+                            &[("requests", ArgValue::U64($batch.len() as u64))],
+                        );
+                    }
                 }
             }};
         }
@@ -171,6 +295,7 @@ impl<S: Service> Pipeline<S> {
                     let dur = self.service.parse_latency(batch.len() as u32);
                     let id = next_batch_id;
                     next_batch_id += 1;
+                    trace_read_batch!($q, batch);
                     inflight_batches.insert(id, batch);
                     submit_kernel!($q, dur, Event::ParserDone { batch: id });
                 }
@@ -197,6 +322,7 @@ impl<S: Service> Pipeline<S> {
                     let dur = self.service.parse_latency(batch.len() as u32);
                     let id = next_batch_id;
                     next_batch_id += 1;
+                    trace_read_batch!($q, batch);
                     inflight_batches.insert(id, batch);
                     submit_kernel!($q, dur, Event::ParserDone { batch: id });
                 }
@@ -213,7 +339,36 @@ impl<S: Service> Pipeline<S> {
                 if $timeout {
                     report.timeout_launches += 1;
                 }
-                fill_sum += len as f64 / cfg.cohort_size as f64;
+                let fill = len as f64 / cfg.cohort_size as f64;
+                fill_sum += fill;
+                if rec.enabled() {
+                    let track = format!("ctx{id}");
+                    let ts = s_to_us($q.now());
+                    rec.end(Clock::Virtual, &track, ts); // close "form"
+                    let name = if $timeout {
+                        "PartiallyFull→Busy (timeout)"
+                    } else {
+                        "Full→Busy"
+                    };
+                    rec.instant(
+                        Clock::Virtual,
+                        &track,
+                        name,
+                        ts,
+                        &[("fill", ArgValue::F64(fill))],
+                    );
+                    rec.begin(
+                        Clock::Virtual,
+                        &track,
+                        "execute",
+                        ts,
+                        &[
+                            ("type", ArgValue::U64(key as u64)),
+                            ("requests", ArgValue::U64(len as u64)),
+                        ],
+                    );
+                    rec.sample("cohort_fill", fill);
+                }
                 let dur = self.service.stage_latency(key, 0, len);
                 submit_kernel!($q, dur, Event::StageDone { ctx: id, stage: 0 });
             }};
@@ -246,6 +401,36 @@ impl<S: Service> Pipeline<S> {
                                 },
                             );
                         }
+                        if rec.enabled() {
+                            let track = format!("ctx{id}");
+                            let ts = s_to_us($q.now());
+                            let full = pool.get(id).state() == CohortState::Full;
+                            let fill = pool.get(id).members().len() as f64 / cfg.cohort_size as f64;
+                            if fresh {
+                                rec.begin(
+                                    Clock::Virtual,
+                                    &track,
+                                    "form",
+                                    ts,
+                                    &[("type", ArgValue::U64(req.ty as u64))],
+                                );
+                            }
+                            let name = match (fresh, full) {
+                                (true, true) => "Free→Full",
+                                (true, false) => "Free→PartiallyFull",
+                                (false, true) => "PartiallyFull→Full",
+                                (false, false) => "",
+                            };
+                            if !name.is_empty() {
+                                rec.instant(
+                                    Clock::Virtual,
+                                    &track,
+                                    name,
+                                    ts,
+                                    &[("fill", ArgValue::F64(fill))],
+                                );
+                            }
+                        }
                         if pool.get(id).state() == CohortState::Full {
                             launch_cohort!($q, id, false);
                         }
@@ -257,6 +442,25 @@ impl<S: Service> Pipeline<S> {
                         } else {
                             report.dispatch_stalls += 1;
                             backlog.push_back(req);
+                        }
+                        if rec.enabled() {
+                            let ts = s_to_us($q.now());
+                            rec.counter(
+                                Clock::Virtual,
+                                "dispatch",
+                                "backlog_depth",
+                                ts,
+                                backlog.len() as f64,
+                            );
+                            if !$from_backlog {
+                                rec.counter(
+                                    Clock::Virtual,
+                                    "dispatch",
+                                    "dispatch_stalls",
+                                    ts,
+                                    report.dispatch_stalls as f64,
+                                );
+                            }
                         }
                         false
                     }
@@ -286,10 +490,7 @@ impl<S: Service> Pipeline<S> {
                     for req in batch {
                         dispatch_one!(q, req, false);
                     }
-                    if let Some((dur, ev)) = device_queue.pop_front() {
-                        device_busy += 1;
-                        q.schedule_in(dur, ev);
-                    }
+                    pop_device_queue!(q);
                     // Starts new parses if batches are ready, and re-arms
                     // the flush timer for whatever remains in the reader.
                     maybe_start_parse!(q);
@@ -304,18 +505,41 @@ impl<S: Service> Pipeline<S> {
                 }
                 Event::StageDone { ctx, stage } => {
                     device_busy -= 1;
-                    if let Some((dur, ev)) = device_queue.pop_front() {
-                        device_busy += 1;
-                        q.schedule_in(dur, ev);
-                    }
+                    pop_device_queue!(q);
                     let key = pool.get(ctx).key();
                     let cohort = pool.get(ctx).members().len() as u32;
                     let stages = self.service.stages(key);
                     if stage + 1 < stages {
                         let dur = self.service.backend_latency(key, stage, cohort);
+                        if rec.enabled() {
+                            rec.span(
+                                Clock::Virtual,
+                                "stage:backend",
+                                &format!("backend {stage}"),
+                                s_to_us(now),
+                                s_to_us(dur),
+                                &[
+                                    ("ctx", ArgValue::U64(ctx as u64)),
+                                    ("requests", ArgValue::U64(cohort as u64)),
+                                ],
+                            );
+                        }
                         q.schedule_in(dur, Event::BackendDone { ctx, stage });
                     } else {
                         let dur = self.service.response_latency(key, cohort);
+                        if rec.enabled() {
+                            rec.span(
+                                Clock::Virtual,
+                                "stage:response",
+                                "response",
+                                s_to_us(now),
+                                s_to_us(dur),
+                                &[
+                                    ("ctx", ArgValue::U64(ctx as u64)),
+                                    ("requests", ArgValue::U64(cohort as u64)),
+                                ],
+                            );
+                        }
                         q.schedule_in(dur, Event::ResponseDone { ctx });
                     }
                 }
@@ -337,6 +561,15 @@ impl<S: Service> Pipeline<S> {
                     for m in &members {
                         latencies.push(now - m.arrived);
                     }
+                    if rec.enabled() {
+                        let track = format!("ctx{ctx}");
+                        let ts = s_to_us(now);
+                        rec.end(Clock::Virtual, &track, ts); // close "execute"
+                        rec.instant(Clock::Virtual, &track, "Busy→Free", ts, &[]);
+                        for m in &members {
+                            rec.sample("request_latency_s", now - m.arrived);
+                        }
+                    }
                     report.completed += members.len() as u64;
                     report.makespan_s = now;
                     // Structural hazard cleared: drain backlog into the
@@ -348,6 +581,15 @@ impl<S: Service> Pipeline<S> {
                         if !dispatch_one!(q, req, true) {
                             break;
                         }
+                    }
+                    if rec.enabled() {
+                        rec.counter(
+                            Clock::Virtual,
+                            "dispatch",
+                            "backlog_depth",
+                            s_to_us(now),
+                            backlog.len() as f64,
+                        );
                     }
                 }
             }
@@ -496,6 +738,76 @@ mod tests {
         let a = p.run(&arrivals);
         let b = p.run(&arrivals);
         assert_eq!(a, b);
+    }
+
+    /// The recorder is observational: tracing a run must not change the
+    /// report in any field, at any rate, including under backlog stalls.
+    #[test]
+    fn tracing_does_not_change_report() {
+        use rhythm_obs::TraceRecorder;
+        let mut cfg = small_config();
+        cfg.pool_contexts = 1; // force dispatch stalls too
+        let p = Pipeline::new(TableService::uniform(4, 2), cfg);
+        let arrivals = uniform_arrivals(512, 5e6, &[0, 1, 2, 3]);
+        let untraced = p.run(&arrivals);
+        let rec = TraceRecorder::new();
+        let traced = p.run_traced(&arrivals, &rec);
+        assert_eq!(untraced, traced, "recorder must be invisible");
+        assert!(!rec.is_empty(), "trace recorded events");
+    }
+
+    /// The trace carries the full cohort lifecycle: stage spans, FSM
+    /// transitions with fill, gauges, and histograms — and exports as a
+    /// valid Chrome trace with per-track monotone timestamps.
+    #[test]
+    fn trace_contains_stages_fsm_and_histograms() {
+        use rhythm_obs::{validate_chrome_trace, TraceRecorder};
+        let mut cfg = small_config();
+        cfg.pool_contexts = 1;
+        let p = Pipeline::new(TableService::uniform(4, 2), cfg);
+        // Mixed rate: full launches, timeout launches, and stalls.
+        let mut arrivals = uniform_arrivals(256, 5e6, &[0, 1, 2, 3]);
+        arrivals.extend(
+            uniform_arrivals(8, 1e3, &[0])
+                .iter()
+                .map(|&(t, ty)| (t + 1.0, ty)),
+        );
+        let rec = TraceRecorder::new();
+        let report = p.run_traced(&arrivals, &rec);
+        assert_eq!(report.completed, 264);
+        assert!(
+            report.timeout_launches > 0,
+            "need a timeout launch in trace"
+        );
+        assert!(report.dispatch_stalls > 0, "need a stall in trace");
+
+        let check = validate_chrome_trace(&rec.chrome_json()).expect("valid Chrome trace");
+        for name in [
+            "read batch",
+            "parse",
+            "stage 0",
+            "response",
+            "form",
+            "execute",
+            "Free→PartiallyFull",
+            "PartiallyFull→Full",
+            "Full→Busy",
+            "PartiallyFull→Busy (timeout)",
+            "Busy→Free",
+        ] {
+            assert!(
+                check.names.iter().any(|n| n == name),
+                "trace missing {name:?}; has {:?}",
+                check.names
+            );
+        }
+        let lat = rec
+            .histogram("request_latency_s")
+            .expect("latency histogram");
+        assert_eq!(lat.count(), 264);
+        let fill = rec.histogram("cohort_fill").expect("fill histogram");
+        assert_eq!(fill.count(), report.cohorts_launched);
+        assert!(rec.summary().contains("histogram request_latency_s"));
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Chrome trace-event JSON export (loadable in Perfetto and
+//! `chrome://tracing`) and a dependency-free validator used by tests and
+//! the CI smoke step.
+//!
+//! The exporter maps the recorder's two clock domains to two trace
+//! *processes* — pid 1 "pipeline (virtual time)" and pid 2
+//! "host (wall time)" — and each track to a named *thread* within its
+//! process, so Perfetto renders one row per pipeline stage / cohort
+//! context / SIMT worker. Events are written sorted by track and
+//! timestamp, so per-track timestamps are non-decreasing by construction
+//! (a property the validator checks).
+
+use std::collections::BTreeMap;
+
+use crate::recorder::{Clock, OwnedArg, Phase, TraceRecorder};
+
+/// pid used for virtual-time (pipeline) tracks.
+pub const PID_VIRTUAL: u64 = 1;
+/// pid used for wall-time (host/SIMT worker) tracks.
+pub const PID_WALL: u64 = 2;
+
+fn pid_of(clock: Clock) -> u64 {
+    match clock {
+        Clock::Virtual => PID_VIRTUAL,
+        Clock::Wall => PID_WALL,
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format a finite f64 as JSON (JSON has no NaN/inf; callers guarantee
+/// finiteness, with a 0 fallback to keep the document well-formed).
+fn number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+fn arg_value(v: &OwnedArg, out: &mut String) {
+    match v {
+        OwnedArg::U64(n) => out.push_str(&format!("{n}")),
+        OwnedArg::F64(f) => number(*f, out),
+        OwnedArg::Str(s) => {
+            out.push('"');
+            escape(s, out);
+            out.push('"');
+        }
+    }
+}
+
+impl TraceRecorder {
+    /// Render the recorded events as a Chrome trace-event JSON document.
+    ///
+    /// Open the result in [Perfetto](https://ui.perfetto.dev) ("Open trace
+    /// file") or `chrome://tracing`.
+    pub fn chrome_json(&self) -> String {
+        let events = self.events();
+
+        // Assign tids per (clock, track) in sorted order (deterministic).
+        let mut tids: BTreeMap<(Clock, String), u64> = BTreeMap::new();
+        for e in &events {
+            let next = tids.len() as u64 + 1;
+            tids.entry((e.clock, e.track.clone())).or_insert(next);
+        }
+
+        let mut out = String::with_capacity(events.len() * 96 + 1024);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut emit = |s: &str, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(s);
+        };
+
+        // Metadata: process and thread names.
+        for (pid, name) in [
+            (PID_VIRTUAL, "pipeline (virtual time)"),
+            (PID_WALL, "host (wall time)"),
+        ] {
+            emit(
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+                &mut out,
+            );
+        }
+        for ((clock, track), tid) in &tids {
+            let pid = pid_of(*clock);
+            let mut line = String::new();
+            line.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\""
+            ));
+            escape(track, &mut line);
+            line.push_str("\"}}");
+            emit(&line, &mut out);
+        }
+
+        for e in &events {
+            let pid = pid_of(e.clock);
+            let tid = tids[&(e.clock, e.track.clone())];
+            let mut line = String::new();
+            let (ph, extra): (&str, String) = match &e.phase {
+                Phase::Span { dur_us } => {
+                    let mut d = String::new();
+                    number(*dur_us, &mut d);
+                    ("X", format!(",\"dur\":{d}"))
+                }
+                Phase::Begin => ("B", String::new()),
+                Phase::End => ("E", String::new()),
+                Phase::Instant => ("i", ",\"s\":\"t\"".to_string()),
+                Phase::Counter { .. } => ("C", String::new()),
+            };
+            line.push_str(&format!(
+                "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":"
+            ));
+            number(e.ts_us, &mut line);
+            line.push_str(extra.as_str());
+            line.push_str(",\"name\":\"");
+            escape(&e.name, &mut line);
+            line.push('"');
+            match &e.phase {
+                Phase::Counter { value } => {
+                    line.push_str(",\"args\":{\"value\":");
+                    number(*value, &mut line);
+                    line.push('}');
+                }
+                _ if !e.args.is_empty() => {
+                    line.push_str(",\"args\":{");
+                    for (i, (k, v)) in e.args.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        line.push('"');
+                        escape(k, &mut line);
+                        line.push_str("\":");
+                        arg_value(v, &mut line);
+                    }
+                    line.push('}');
+                }
+                _ => {}
+            }
+            line.push('}');
+            emit(&line, &mut out);
+        }
+        out.push_str("\n]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a minimal JSON reader, enough to check trace well-formedness
+// without external dependencies.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (validator-internal shape, exposed for tests).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion order not preserved).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not emitted by our exporter;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (full input must be one value plus whitespace).
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Non-metadata events.
+    pub events: usize,
+    /// Distinct `(pid, tid)` tracks carrying events.
+    pub tracks: usize,
+    /// Names seen on span/instant events (sorted, deduplicated).
+    pub names: Vec<String>,
+}
+
+/// Validate a Chrome trace-event JSON document: parses the JSON, checks
+/// the `traceEvents` shape, and checks that timestamps are non-decreasing
+/// within every `(pid, tid)` track.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse_json(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("missing traceEvents array".into()),
+    };
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut count = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue; // metadata carries no timeline timestamp
+        }
+        count += 1;
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))? as u64;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if !ts.is_finite() {
+            return Err(format!("event {i}: non-finite ts"));
+        }
+        if let Some(&prev) = last_ts.get(&(pid, tid)) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: ts {ts} decreases on track ({pid},{tid}) after {prev}"
+                ));
+            }
+        }
+        last_ts.insert((pid, tid), ts);
+        if matches!(ph, "X" | "B" | "i") {
+            if let Some(n) = e.get("name").and_then(Json::as_str) {
+                names.push(n.to_string());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    Ok(TraceCheck {
+        events: count,
+        tracks: last_ts.len(),
+        names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ArgValue, Recorder};
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let r = TraceRecorder::new();
+        r.span(
+            Clock::Virtual,
+            "stage:parser",
+            "parse",
+            10.0,
+            5.0,
+            &[
+                ("batch", ArgValue::U64(64)),
+                ("kind", ArgValue::Str("k\"x")),
+            ],
+        );
+        r.begin(
+            Clock::Virtual,
+            "ctx0",
+            "form",
+            0.0,
+            &[("fill", ArgValue::F64(0.25))],
+        );
+        r.end(Clock::Virtual, "ctx0", 4.0);
+        r.instant(Clock::Virtual, "ctx0", "launch", 4.0, &[]);
+        r.counter(Clock::Virtual, "dispatch", "backlog_depth", 2.0, 3.0);
+        r.span(Clock::Wall, "simt:w0", "warp 0", 0.0, 9.0, &[]);
+
+        let json = r.chrome_json();
+        let check = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(check.events, 6);
+        assert_eq!(check.tracks, 4, "parser, ctx0, dispatch + one wall track");
+        assert!(check.names.iter().any(|n| n == "parse"));
+        assert!(check.names.iter().any(|n| n == "warp 0"));
+    }
+
+    #[test]
+    fn validator_rejects_decreasing_timestamps() {
+        let bad = r#"{"traceEvents":[
+            {"ph":"X","pid":1,"tid":1,"ts":10,"dur":1,"name":"a"},
+            {"ph":"X","pid":1,"tid":1,"ts":5,"dur":1,"name":"b"}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_syntax_errors() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err(), "missing traceEvents");
+        assert!(parse_json("{\"a\":1} x").is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"s":"q\"\\\nA","b":true,"n":null}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("q\"\\\nA"));
+        match v.get("a") {
+            Some(Json::Arr(a)) => {
+                assert_eq!(a.len(), 3);
+                assert_eq!(a[2].as_f64(), Some(-300.0));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(v.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("n"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_trace() {
+        let r = TraceRecorder::new();
+        let check = validate_chrome_trace(&r.chrome_json()).expect("valid");
+        assert_eq!(check.events, 0);
+    }
+}

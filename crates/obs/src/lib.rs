@@ -1,0 +1,53 @@
+//! `rhythm-obs` — observability substrate for the Rhythm pipeline and
+//! SIMT interpreter.
+//!
+//! The crate has three layers, all dependency-free:
+//!
+//! * **[`Recorder`]** — a zero-cost-when-disabled sink for span, instant,
+//!   counter, and histogram events. Instrumented code is generic over
+//!   `R: Recorder + ?Sized`; with [`NoopRecorder`] every method is an
+//!   empty `#[inline(always)]` body and the traced path monomorphizes to
+//!   the untraced machine code. The trait is strictly observational, so a
+//!   recorder can never perturb results — the pipeline's `PipelineReport`
+//!   and the SIMT executor's responses stay bit-identical with tracing on
+//!   or off.
+//! * **[`StreamingHistogram`]** — HDR-style log-bucketed histograms
+//!   (O(1) per sample, mergeable, bounded relative quantile error) that
+//!   complement `rhythm-core`'s sorted-sample `LatencyStats`.
+//! * **Exporters** — [`TraceRecorder::chrome_json`] writes Chrome
+//!   trace-event JSON loadable in [Perfetto](https://ui.perfetto.dev) or
+//!   `chrome://tracing` (virtual-time pipeline tracks under pid 1, wall
+//!   -time host/SIMT tracks under pid 2), and
+//!   [`TraceRecorder::summary`] renders a plain-text report with every
+//!   histogram. [`validate_chrome_trace`] checks an exported document
+//!   (valid JSON, non-decreasing per-track timestamps) without external
+//!   dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use rhythm_obs::{ArgValue, Clock, Recorder, TraceRecorder, validate_chrome_trace};
+//!
+//! let rec = TraceRecorder::new();
+//! rec.span(Clock::Virtual, "stage:parser", "parse", 0.0, 12.5, &[
+//!     ("batch", ArgValue::U64(32)),
+//! ]);
+//! rec.sample("request_latency_s", 3.2e-3);
+//! let json = rec.chrome_json();
+//! assert!(validate_chrome_trace(&json).is_ok());
+//! println!("{}", rec.summary());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chrome;
+mod hist;
+mod recorder;
+mod summary;
+
+pub use chrome::{parse_json, validate_chrome_trace, Json, TraceCheck, PID_VIRTUAL, PID_WALL};
+pub use hist::StreamingHistogram;
+pub use recorder::{
+    s_to_us, ArgValue, Clock, NoopRecorder, OwnedArg, Phase, Recorder, TraceEvent, TraceRecorder,
+};

@@ -1,0 +1,111 @@
+//! Plain-text run summary: event/track totals plus every streaming
+//! histogram rendered with quantiles and an ASCII bucket chart.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::hist::StreamingHistogram;
+use crate::recorder::TraceRecorder;
+
+/// Render one histogram as indented text lines.
+fn render_hist(name: &str, h: &StreamingHistogram, out: &mut String) {
+    let _ = writeln!(out, "histogram {name}");
+    let _ = writeln!(
+        out,
+        "  count {}  rejected {}  mean {:.6e}  min {:.6e}  max {:.6e}",
+        h.count(),
+        h.rejected(),
+        h.mean(),
+        h.min(),
+        h.max()
+    );
+    let _ = writeln!(
+        out,
+        "  p50 {:.6e}  p90 {:.6e}  p99 {:.6e}  p999 {:.6e}",
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999)
+    );
+    let buckets = h.nonzero_buckets();
+    let peak = buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(0);
+    for (lo, hi, c) in buckets {
+        let width = if peak == 0 {
+            0
+        } else {
+            ((c as f64 / peak as f64) * 40.0).ceil() as usize
+        };
+        let _ = writeln!(
+            out,
+            "  [{lo:>12.4e}, {hi:>12.4e})  {c:>8}  {}",
+            "#".repeat(width)
+        );
+    }
+}
+
+impl TraceRecorder {
+    /// Render everything recorded so far as a human-readable report:
+    /// per-clock event and track counts followed by each histogram.
+    pub fn summary(&self) -> String {
+        let events = self.events();
+        let mut out = String::new();
+        let _ = writeln!(out, "== rhythm-obs run summary ==");
+        let _ = writeln!(out, "events: {}", events.len());
+        for clock in [crate::Clock::Virtual, crate::Clock::Wall] {
+            let tracks: BTreeSet<&str> = events
+                .iter()
+                .filter(|e| e.clock == clock)
+                .map(|e| e.track.as_str())
+                .collect();
+            let n = events.iter().filter(|e| e.clock == clock).count();
+            let _ = writeln!(
+                out,
+                "  {clock:?}: {n} events on {} tracks{}",
+                tracks.len(),
+                if tracks.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", tracks.into_iter().collect::<Vec<_>>().join(", "))
+                }
+            );
+        }
+        let hists = self.histograms();
+        if hists.is_empty() {
+            let _ = writeln!(out, "histograms: none");
+        } else {
+            for (name, h) in &hists {
+                render_hist(name, h, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::recorder::{Clock, Recorder, TraceRecorder};
+
+    #[test]
+    fn summary_lists_tracks_and_histograms() {
+        let r = TraceRecorder::new();
+        r.span(Clock::Virtual, "stage:parser", "parse", 0.0, 2.0, &[]);
+        r.span(Clock::Wall, "simt:w0", "warp 0", 0.0, 3.0, &[]);
+        for i in 1..=100 {
+            r.sample("request_latency_s", i as f64 * 1e-4);
+        }
+        let s = r.summary();
+        assert!(s.contains("stage:parser"), "{s}");
+        assert!(s.contains("simt:w0"), "{s}");
+        assert!(s.contains("histogram request_latency_s"), "{s}");
+        assert!(s.contains("p99"), "{s}");
+        assert!(s.contains('#'), "bucket chart rendered: {s}");
+    }
+
+    #[test]
+    fn empty_summary_is_well_formed() {
+        let r = TraceRecorder::new();
+        let s = r.summary();
+        assert!(s.contains("events: 0"), "{s}");
+        assert!(s.contains("histograms: none"), "{s}");
+    }
+}

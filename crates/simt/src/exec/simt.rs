@@ -19,6 +19,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
+
 use crate::ir::{BlockId, CfgInfo, MemSpace, Op, Program, Reg, Terminator, Width, EXIT_BLOCK};
 use crate::mem::{ConstPool, DeviceMemory, MemError, SharedMem};
 use crate::stats::{DivergenceStats, KernelStats};
@@ -117,6 +119,77 @@ pub fn execute_simt_workers(
     pool: &ConstPool,
     workers: usize,
 ) -> Result<KernelStats, ExecError> {
+    execute_simt_workers_traced(program, cfg, mem, pool, workers, &NoopRecorder)
+}
+
+/// Emit one per-warp wall-time span on the executing worker's track. The
+/// recorder only *observes* execution (the stats are copied out after the
+/// warp finishes), so traced and untraced runs stay bit-identical.
+fn trace_warp<R: Recorder + ?Sized>(
+    rec: &R,
+    worker: usize,
+    kernel: &str,
+    warp: u32,
+    start_us: f64,
+    result: &Result<WarpStats, ExecError>,
+) {
+    let dur_us = rec.wall_now_us() - start_us;
+    let track = format!("simt:w{worker}");
+    match result {
+        Ok(s) => {
+            rec.span(
+                Clock::Wall,
+                &track,
+                &format!("{kernel} warp {warp}"),
+                start_us,
+                dur_us,
+                &[
+                    ("warp", ArgValue::U64(warp as u64)),
+                    ("warp_instructions", ArgValue::U64(s.warp_instructions)),
+                    ("lane_instructions", ArgValue::U64(s.lane_instructions)),
+                    (
+                        "divergent_branches",
+                        ArgValue::U64(s.divergence.divergent_branches),
+                    ),
+                    ("warp_cycles", ArgValue::U64(s.warp_cycles)),
+                ],
+            );
+            rec.sample("warp_cycles", s.warp_cycles as f64);
+        }
+        Err(_) => {
+            rec.span(
+                Clock::Wall,
+                &track,
+                &format!("{kernel} warp {warp} (fault)"),
+                start_us,
+                dur_us,
+                &[("warp", ArgValue::U64(warp as u64))],
+            );
+        }
+    }
+}
+
+/// [`execute_simt_workers`] with per-warp tracing: each warp's execution
+/// becomes a wall-time span on its worker's track (`simt:w0`, `simt:w1`,
+/// ...) named `"<kernel> warp <w>"`, carrying instruction, divergence,
+/// and cycle counters as span args, plus a `warp_cycles` streaming
+/// histogram sample.
+///
+/// Tracing never touches execution state, so results are bit-identical to
+/// the untraced path at every worker count — only which worker track a
+/// warp's span lands on varies from run to run.
+///
+/// # Errors
+///
+/// Same failures as [`execute_simt_workers`].
+pub fn execute_simt_workers_traced<R: Recorder + ?Sized>(
+    program: &Program,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    workers: usize,
+    rec: &R,
+) -> Result<KernelStats, ExecError> {
     let cfginfo = CfgInfo::analyze(program);
     let nwarps = cfg.warps() as usize;
     let workers = resolve_workers(workers).min(nwarps.max(1));
@@ -129,7 +202,15 @@ pub fn execute_simt_workers(
             let base = w * WARP_SIZE;
             let count = (cfg.lanes - base).min(WARP_SIZE);
             warp.reset(base, count);
+            let start_us = if rec.enabled() {
+                rec.wall_now_us()
+            } else {
+                0.0
+            };
             let r = warp.run(program, &cfginfo, cfg, &gmem, pool);
+            if rec.enabled() {
+                trace_warp(rec, 0, program.name(), w, start_us, &r);
+            }
             let stop = r.is_err();
             out.push((w, r));
             if stop {
@@ -147,7 +228,7 @@ pub fn execute_simt_workers(
         let abort = AtomicBool::new(false);
         let outs: Vec<Vec<(u32, Result<WarpStats, ExecError>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let gmem = &gmem;
                     let next = &next;
                     let abort = &abort;
@@ -167,7 +248,15 @@ pub fn execute_simt_workers(
                             let base = w * WARP_SIZE;
                             let count = (cfg.lanes - base).min(WARP_SIZE);
                             warp.reset(base, count);
+                            let start_us = if rec.enabled() {
+                                rec.wall_now_us()
+                            } else {
+                                0.0
+                            };
                             let r = warp.run(program, cfginfo, cfg, gmem, pool);
+                            if rec.enabled() {
+                                trace_warp(rec, worker, program.name(), w, start_us, &r);
+                            }
                             if r.is_err() {
                                 abort.store(true, Ordering::Relaxed);
                             }
@@ -1014,6 +1103,53 @@ mod tests {
             let mut memn = DeviceMemory::new(32 * 4);
             let err = execute_simt_workers(&p, &cfg, &mut memn, &pool, workers).unwrap_err();
             assert_eq!(err, serial, "error differs at {workers} workers");
+        }
+    }
+
+    /// Tracing a launch must not change stats or memory, and must record
+    /// one wall-time span plus one `warp_cycles` sample per warp.
+    #[test]
+    fn traced_execution_bit_identical_and_records_warps() {
+        use rhythm_obs::TraceRecorder;
+        let mut b = ProgramBuilder::new("traced");
+        let g = b.global_id();
+        let three = b.imm(3);
+        let n = b.bin(BinOp::RemU, g, three);
+        let acc = b.imm(0);
+        b.for_loop(n, |b, i| {
+            b.bin_into(acc, BinOp::Add, acc, i);
+        });
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, acc);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let lanes = 300u32; // 10 warps, partial last warp
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(lanes, vec![]);
+        let mut mem_base = DeviceMemory::new(lanes as usize * 4);
+        let base = execute_simt_workers(&p, &cfg, &mut mem_base, &pool, 2).unwrap();
+
+        for workers in [1usize, 3] {
+            let rec = TraceRecorder::new();
+            let mut mem = DeviceMemory::new(lanes as usize * 4);
+            let traced =
+                execute_simt_workers_traced(&p, &cfg, &mut mem, &pool, workers, &rec).unwrap();
+            assert_eq!(traced, base, "tracing changed stats at {workers} workers");
+            assert_eq!(
+                mem.as_bytes(),
+                mem_base.as_bytes(),
+                "tracing changed memory"
+            );
+            let spans = rec
+                .events()
+                .iter()
+                .filter(|e| e.track.starts_with("simt:w") && e.name.contains("traced warp"))
+                .count();
+            assert_eq!(spans, 10, "one span per warp at {workers} workers");
+            let h = rec.histogram("warp_cycles").expect("warp cycle histogram");
+            assert_eq!(h.count(), 10);
         }
     }
 

@@ -12,9 +12,10 @@
 //! (many warps hide each other's latency); `max_warp_cycles` bounds small
 //! launches that cannot fill the machine.
 
+use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
-use crate::exec::simt::execute_simt_workers;
+use crate::exec::simt::execute_simt_workers_traced;
 use crate::exec::{ExecError, LaunchConfig};
 use crate::ir::Program;
 use crate::mem::{ConstPool, DeviceMemory};
@@ -161,10 +162,65 @@ impl Gpu {
         mem: &mut DeviceMemory,
         pool: &ConstPool,
     ) -> Result<LaunchResult, ExecError> {
+        self.launch_traced(program, cfg, mem, pool, &NoopRecorder)
+    }
+
+    /// [`Gpu::launch`] with tracing: one wall-time span per kernel on the
+    /// `simt:kernel` track (named after the program, carrying lane/warp
+    /// counts and the modelled device time as args), per-warp spans on
+    /// worker tracks via [`execute_simt_workers_traced`], and a
+    /// `kernel_time_s` histogram sample of the modelled latency.
+    ///
+    /// The recorder cannot perturb execution: results are bit-identical
+    /// to [`Gpu::launch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] from the SIMT executor.
+    pub fn launch_traced<R: Recorder + ?Sized>(
+        &self,
+        program: &Program,
+        cfg: &LaunchConfig,
+        mem: &mut DeviceMemory,
+        pool: &ConstPool,
+        rec: &R,
+    ) -> Result<LaunchResult, ExecError> {
         let mut cfg = cfg.clone();
         cfg.tx_bytes = self.config.tx_bytes;
-        let stats = execute_simt_workers(program, &cfg, mem, pool, self.config.workers as usize)?;
-        Ok(self.time(stats))
+        let start_us = if rec.enabled() {
+            rec.wall_now_us()
+        } else {
+            0.0
+        };
+        let stats = execute_simt_workers_traced(
+            program,
+            &cfg,
+            mem,
+            pool,
+            self.config.workers as usize,
+            rec,
+        )?;
+        let result = self.time(stats);
+        if rec.enabled() {
+            rec.span(
+                Clock::Wall,
+                "simt:kernel",
+                program.name(),
+                start_us,
+                rec.wall_now_us() - start_us,
+                &[
+                    ("lanes", ArgValue::U64(result.stats.lanes as u64)),
+                    ("warps", ArgValue::U64(result.stats.warps as u64)),
+                    ("modelled_time_s", ArgValue::F64(result.time_s)),
+                    (
+                        "memory_bound",
+                        ArgValue::Str(if result.memory_bound { "yes" } else { "no" }),
+                    ),
+                ],
+            );
+            rec.sample("kernel_time_s", result.time_s);
+        }
+        Ok(result)
     }
 
     /// Sustained-throughput time for a kernel's stats: the device cost

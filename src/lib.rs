@@ -12,6 +12,7 @@
 //! | [`banking`] | the SPECWeb2009 Banking workload (native + kernels) |
 //! | [`platform`] | platform/power/PCIe/network models |
 //! | [`trace`] | basic-block trace merging (Myers diff) |
+//! | [`obs`] | tracing recorder, streaming histograms, Perfetto export |
 //!
 //! See the repository README for a tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -37,6 +38,7 @@
 pub use rhythm_banking as banking;
 pub use rhythm_core as core;
 pub use rhythm_http as http;
+pub use rhythm_obs as obs;
 pub use rhythm_platform as platform;
 pub use rhythm_simt as simt;
 pub use rhythm_trace as trace;
