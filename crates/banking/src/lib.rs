@@ -47,6 +47,7 @@ pub mod layout;
 pub mod native;
 pub mod quickpay;
 pub mod runner;
+pub mod serve;
 pub mod session_array;
 pub mod templates;
 pub mod types;
@@ -64,6 +65,7 @@ pub mod prelude {
         run_cohort, run_cohort_traced, run_parser_only, run_request_scalar, BackendMode,
         CohortOptions, ScalarRunResult,
     };
+    pub use crate::serve::{banking_request_from_http, ScalarHandler, SimtHandler};
     pub use crate::session_array::SessionArrayHost;
     pub use crate::types::{RequestType, TypeInfo, TABLE2};
 }

@@ -1,0 +1,284 @@
+//! Network-facing cohort handlers: plug the Banking workload into
+//! `rhythm-net`'s front end.
+//!
+//! [`ScalarHandler`] answers each request with the native (CPU) handler —
+//! the paper's "standalone C version" serving path. [`SimtHandler`] runs
+//! each cohort through [`crate::runner::run_cohort`] on the simulated
+//! data-parallel device — the paper's GPU serving path. Both implement
+//! [`rhythm_net::CohortHandler`], so the same non-blocking TCP front end
+//! drives either.
+
+use rhythm_http::HttpRequest;
+use rhythm_net::CohortHandler;
+use rhythm_simt::gpu::Gpu;
+
+use crate::backend::BankStore;
+use crate::genreq::{raw_http, GeneratedRequest};
+use crate::kernels::Workload;
+use crate::native::{handle_native, BankingRequest};
+use crate::runner::{run_cohort, CohortOptions};
+use crate::session_array::SessionArrayHost;
+use crate::templates::SESSION_COOKIE;
+use crate::types::RequestType;
+
+/// Interpret a wire request as a Banking request: the page name selects
+/// the [`RequestType`], the `SID` cookie carries the session token, and
+/// `userid`/`a` parameters fill the positional params (the same fields
+/// [`crate::genreq::raw_http`] renders).
+///
+/// `None` for pages outside the 14 Banking types.
+pub fn banking_request_from_http(req: &HttpRequest) -> Option<BankingRequest> {
+    let ty = RequestType::from_file_name(req.file_name())?;
+    let token = req
+        .cookies
+        .get(SESSION_COOKIE)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut params = [0u32; 4];
+    params[0] = req.params.get_u32("userid").unwrap_or(0);
+    params[1] = req.params.get_u32("a").unwrap_or(0);
+    Some(BankingRequest::new(ty, token, params))
+}
+
+/// The scalar serving path: each cohort member is answered by
+/// [`handle_native`], one request at a time on the CPU. Cohort formation
+/// still batches requests (useful for comparing overheads), but execution
+/// is sequential.
+#[derive(Debug)]
+pub struct ScalarHandler {
+    store: BankStore,
+    sessions: SessionArrayHost,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl ScalarHandler {
+    /// A handler over `store`, with `sessions` as the live session table.
+    pub fn new(store: BankStore, sessions: SessionArrayHost) -> Self {
+        ScalarHandler {
+            store,
+            sessions,
+            served: 0,
+        }
+    }
+
+    /// The live session table (post-traffic state).
+    pub fn sessions(&self) -> &SessionArrayHost {
+        &self.sessions
+    }
+}
+
+impl CohortHandler for ScalarHandler {
+    fn classify(&self, req: &HttpRequest) -> Option<u32> {
+        banking_request_from_http(req).map(|b| b.ty.id())
+    }
+
+    fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {
+        requests
+            .iter()
+            .map(|r| match banking_request_from_http(r) {
+                Some(b) => {
+                    self.served += 1;
+                    handle_native(&b, &self.store, &mut self.sessions)
+                }
+                // Unreachable for dispatched cohorts (classify gated
+                // them), but a short vec would only cost a 500.
+                None => Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// The SIMT serving path: each cohort becomes one device run through
+/// parse → process → response kernels via [`run_cohort`] — the paper's
+/// end-to-end GPU pipeline behind a real socket front end.
+#[derive(Debug)]
+pub struct SimtHandler {
+    workload: Workload,
+    store: BankStore,
+    sessions: SessionArrayHost,
+    gpu: Gpu,
+    opts: CohortOptions,
+    /// Cohorts executed on the device.
+    pub cohorts: u64,
+    /// Requests served across all cohorts.
+    pub served: u64,
+    /// Modelled device kernel time accumulated across cohorts.
+    pub device_time_s: f64,
+    /// Cohorts that faulted on the device (answered with 500s).
+    pub faults: u64,
+}
+
+impl SimtHandler {
+    /// A device-backed handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions.capacity()` disagrees with
+    /// `opts.session_capacity` (the cohort runner requires them equal).
+    pub fn new(
+        workload: Workload,
+        store: BankStore,
+        sessions: SessionArrayHost,
+        gpu: Gpu,
+        opts: CohortOptions,
+    ) -> Self {
+        assert_eq!(
+            sessions.capacity(),
+            opts.session_capacity,
+            "session array capacity must match cohort options"
+        );
+        SimtHandler {
+            workload,
+            store,
+            sessions,
+            gpu,
+            opts,
+            cohorts: 0,
+            served: 0,
+            device_time_s: 0.0,
+            faults: 0,
+        }
+    }
+
+    /// The live session table (post-traffic state).
+    pub fn sessions(&self) -> &SessionArrayHost {
+        &self.sessions
+    }
+
+    /// Mean modelled device time per cohort, in seconds.
+    pub fn mean_cohort_device_s(&self) -> f64 {
+        if self.cohorts == 0 {
+            0.0
+        } else {
+            self.device_time_s / self.cohorts as f64
+        }
+    }
+}
+
+impl CohortHandler for SimtHandler {
+    fn classify(&self, req: &HttpRequest) -> Option<u32> {
+        banking_request_from_http(req).map(|b| b.ty.id())
+    }
+
+    fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {
+        // Re-render each wire request into the canonical ≤512 B slot text
+        // the parser kernel consumes. The front end guarantees a
+        // non-empty, single-key cohort, so the runner's uniformity
+        // requirements hold by construction.
+        let reqs: Vec<GeneratedRequest> = requests
+            .iter()
+            .filter_map(banking_request_from_http)
+            .map(|b| GeneratedRequest {
+                ty: b.ty,
+                token: b.token,
+                params: b.params,
+                raw: raw_http(b.ty, b.token, &b.params),
+            })
+            .collect();
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        match run_cohort(
+            &self.workload,
+            &self.store,
+            &mut self.sessions,
+            &reqs,
+            &self.gpu,
+            &self.opts,
+        ) {
+            Ok(result) => {
+                self.cohorts += 1;
+                self.served += reqs.len() as u64;
+                self.device_time_s += result.kernel_time_s();
+                result.responses
+            }
+            Err(_) => {
+                // A device fault answers the whole cohort with 500s (the
+                // front end pads the short vec) instead of killing the
+                // server.
+                self.faults += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhythm_simt::gpu::GpuConfig;
+
+    fn parse(raw: &[u8]) -> HttpRequest {
+        HttpRequest::parse(raw).expect("valid")
+    }
+
+    #[test]
+    fn http_maps_to_banking_request() {
+        let req =
+            parse(b"GET /bank/account_summary.php?userid=7 HTTP/1.1\r\nCookie: SID=99\r\n\r\n");
+        let b = banking_request_from_http(&req).expect("known page");
+        assert_eq!(b.ty, RequestType::AccountSummary);
+        assert_eq!(b.token, 99);
+        assert_eq!(b.params[0], 7);
+
+        let unknown = parse(b"GET /bank/nope.php HTTP/1.1\r\n\r\n");
+        assert!(banking_request_from_http(&unknown).is_none());
+    }
+
+    #[test]
+    fn scalar_handler_serves_login_and_summary() {
+        let store = BankStore::generate(16, 1);
+        let sessions = SessionArrayHost::new(64, 0xBEEF);
+        let mut h = ScalarHandler::new(store, sessions);
+
+        let login = parse(b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 8\r\n\r\nuserid=3");
+        let key = h.classify(&login).expect("login classifies");
+        assert_eq!(key, RequestType::Login.id());
+        let resp = h.execute(key, std::slice::from_ref(&login));
+        assert_eq!(resp.len(), 1);
+        let text = String::from_utf8(resp[0].clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        let token: u32 = text
+            .split("Set-Cookie: SID=")
+            .nth(1)
+            .and_then(|t| t.split_whitespace().next())
+            .and_then(|t| t.parse().ok())
+            .expect("login sets SID");
+
+        let raw = format!(
+            "GET /bank/account_summary.php?userid=3 HTTP/1.1\r\nCookie: SID={token}\r\n\r\n"
+        );
+        let summary = parse(raw.as_bytes());
+        let key = h.classify(&summary).expect("summary classifies");
+        let resp = h.execute(key, &[summary]);
+        assert!(resp[0].starts_with(b"HTTP/1.1 200 OK"));
+        assert_eq!(h.served, 2);
+    }
+
+    #[test]
+    fn simt_handler_matches_native_modulo_padding() {
+        let store = BankStore::generate(16, 1);
+        let opts = CohortOptions {
+            session_capacity: 64,
+            ..CohortOptions::default()
+        };
+        let mut h = SimtHandler::new(
+            Workload::build(),
+            store.clone(),
+            SessionArrayHost::new(64, opts.session_salt),
+            Gpu::new(GpuConfig::gtx_titan()),
+            opts,
+        );
+        let mut native_sessions = SessionArrayHost::new(64, h.opts.session_salt);
+
+        let login = parse(b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 8\r\n\r\nuserid=5");
+        let key = h.classify(&login).expect("classifies");
+        let device = h.execute(key, std::slice::from_ref(&login));
+        let b = banking_request_from_http(&login).unwrap();
+        let native = handle_native(&b, &store, &mut native_sessions);
+        assert!(rhythm_http::padding::eq_modulo_padding(&device[0], &native));
+        assert_eq!(h.cohorts, 1);
+        assert!(h.device_time_s > 0.0);
+    }
+}

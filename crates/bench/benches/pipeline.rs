@@ -64,10 +64,10 @@ fn bench_cohort_pool(c: &mut Criterion) {
             |mut pool| {
                 let id = pool.acquire().unwrap();
                 for i in 0..64 {
-                    pool.get_mut(id).add(i, 7, 0.0);
+                    pool.get_mut(id).add(i, 7, 0.0).unwrap();
                 }
-                pool.get_mut(id).launch();
-                std::hint::black_box(pool.get_mut(id).release());
+                pool.get_mut(id).launch().unwrap();
+                std::hint::black_box(pool.get_mut(id).release().unwrap());
                 pool
             },
             BatchSize::SmallInput,

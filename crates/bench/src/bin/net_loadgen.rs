@@ -1,0 +1,388 @@
+//! Closed-loop load generator for the networked cohort front end.
+//!
+//! Boots a `rhythm-net` server on an ephemeral port with the Banking
+//! workload (SIMT device path by default), drives it with keep-alive
+//! client threads — each logs in, then issues GET requests back-to-back,
+//! one outstanding request per client — and records throughput, latency
+//! percentiles, and the mean cohort fill into `BENCH_net.json`. A second
+//! overload run caps admitted connections below the client count and
+//! verifies the server sheds with `503` + `Retry-After` instead of
+//! panicking or queueing unboundedly.
+//!
+//! Flags:
+//!
+//! * `--smoke` — small CI run (a few hundred requests) asserting zero
+//!   sheds and zero errors at low load; skips the overload phase.
+//! * `--scalar` — serve with the native CPU handlers instead of the SIMT
+//!   device path.
+//! * `--clients <n>` / `--requests <n>` — closed-loop client count and
+//!   per-client request count.
+//! * `--out <path>` — result file (default `BENCH_net.json`).
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rhythm_banking::prelude::*;
+use rhythm_core::LatencyStats;
+use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats};
+use rhythm_simt::gpu::{Gpu, GpuConfig};
+
+const NUM_USERS: u32 = 1024;
+const SESSION_CAPACITY: u32 = 65536;
+const SESSION_SALT: u32 = 0x5EED_0001;
+
+struct Args {
+    smoke: bool,
+    scalar: bool,
+    clients: usize,
+    requests: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        smoke: false,
+        scalar: false,
+        clients: 16,
+        requests: 64,
+        out: "BENCH_net.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                parsed.smoke = true;
+                parsed.clients = 4;
+                parsed.requests = 48;
+            }
+            "--scalar" => parsed.scalar = true,
+            "--clients" => {
+                parsed.clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a positive integer")
+            }
+            "--requests" => {
+                parsed.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a positive integer")
+            }
+            "--out" => parsed.out = args.next().expect("--out needs a path"),
+            other => panic!(
+                "unknown flag {other:?} (expected --smoke, --scalar, --clients <n>, \
+                 --requests <n>, --out <path>)"
+            ),
+        }
+    }
+    parsed
+}
+
+fn simt_handler() -> SimtHandler {
+    let opts = CohortOptions {
+        session_capacity: SESSION_CAPACITY,
+        session_salt: SESSION_SALT,
+        ..CohortOptions::default()
+    };
+    SimtHandler::new(
+        Workload::build(),
+        BankStore::generate(NUM_USERS, 1),
+        SessionArrayHost::new(SESSION_CAPACITY, SESSION_SALT),
+        Gpu::new(GpuConfig::gtx_titan()),
+        opts,
+    )
+}
+
+fn scalar_handler() -> ScalarHandler {
+    ScalarHandler::new(
+        BankStore::generate(NUM_USERS, 1),
+        SessionArrayHost::new(SESSION_CAPACITY, SESSION_SALT),
+    )
+}
+
+/// What one closed-loop client saw.
+#[derive(Default)]
+struct ClientOutcome {
+    latencies_s: Vec<f64>,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+}
+
+/// One closed-loop client: connect, log in, then `requests` keep-alive
+/// GETs with exactly one request outstanding at a time.
+fn run_client(addr: SocketAddr, userid: u32, requests: usize) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    let Ok(mut conn) = TcpStream::connect(addr) else {
+        outcome.errors += 1;
+        return outcome;
+    };
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut carry = Vec::new();
+
+    let login = format!(
+        "POST /bank/login.php HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\nuserid={userid}",
+        format!("userid={userid}").len()
+    );
+    let t0 = Instant::now();
+    if send_request(&mut conn, login.as_bytes()).is_err() {
+        outcome.errors += 1;
+        return outcome;
+    }
+    let token = match read_response(&mut conn, &mut carry) {
+        Ok(resp) if resp.status == 200 => {
+            outcome.ok += 1;
+            outcome.latencies_s.push(t0.elapsed().as_secs_f64());
+            resp.header("Set-Cookie")
+                .and_then(|v| v.strip_prefix("SID=").map(|t| t.trim().to_string()))
+                .and_then(|t| t.parse::<u32>().ok())
+        }
+        Ok(resp) if resp.status == 503 => {
+            outcome.shed += 1;
+            return outcome;
+        }
+        _ => {
+            outcome.errors += 1;
+            return outcome;
+        }
+    };
+    let Some(token) = token else {
+        outcome.errors += 1;
+        return outcome;
+    };
+
+    let get = format!(
+        "GET /bank/account_summary.php?userid={userid} HTTP/1.1\r\nHost: loadgen\r\nCookie: SID={token}\r\n\r\n"
+    );
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        if send_request(&mut conn, get.as_bytes()).is_err() {
+            outcome.errors += 1;
+            return outcome;
+        }
+        match read_response(&mut conn, &mut carry) {
+            Ok(resp) if resp.status == 200 => {
+                outcome.ok += 1;
+                outcome.latencies_s.push(t0.elapsed().as_secs_f64());
+            }
+            Ok(resp) if resp.status == 503 => outcome.shed += 1,
+            _ => {
+                outcome.errors += 1;
+                return outcome;
+            }
+        }
+    }
+    outcome
+}
+
+struct LoadResult {
+    stats: NetStats,
+    latency: LatencyStats,
+    throughput_rps: f64,
+    wall_s: f64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    panicked_clients: u64,
+}
+
+/// Boot a server, run `clients` closed-loop clients to completion, stop
+/// the server, and aggregate.
+fn run_load<H: CohortHandler + Send + 'static>(
+    handler: H,
+    config: NetConfig,
+    clients: usize,
+    requests: usize,
+) -> (LoadResult, H) {
+    let server = NetServer::bind("127.0.0.1:0", config, handler).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let server_thread = std::thread::spawn(move || server.run(&flag));
+
+    let start = Instant::now();
+    let client_threads: Vec<_> = (0..clients)
+        .map(|i| std::thread::spawn(move || run_client(addr, (i as u32) % NUM_USERS, requests)))
+        .collect();
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut errors, mut panicked) = (0u64, 0u64, 0u64, 0u64);
+    for t in client_threads {
+        match t.join() {
+            Ok(mut outcome) => {
+                latencies.append(&mut outcome.latencies_s);
+                ok += outcome.ok;
+                shed += outcome.shed;
+                errors += outcome.errors;
+            }
+            Err(_) => panicked += 1,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    let (stats, handler) = server_thread.join().expect("server must not panic");
+
+    let result = LoadResult {
+        stats,
+        latency: LatencyStats::from_samples(latencies),
+        throughput_rps: ok as f64 / wall_s,
+        wall_s,
+        ok,
+        shed,
+        errors,
+        panicked_clients: panicked,
+    };
+    (result, handler)
+}
+
+/// Overload phase: more clients than admitted connections; the excess
+/// must be shed with `503`, with zero panics on either side.
+fn run_overload(scalar: bool) -> LoadResult {
+    let config = NetConfig {
+        max_connections: 2,
+        cohort_size: 4,
+        fill_timeout: Duration::from_millis(1),
+        ..NetConfig::default()
+    };
+    let clients = 8;
+    let requests = 8;
+    if scalar {
+        run_load(scalar_handler(), config, clients, requests).0
+    } else {
+        run_load(simt_handler(), config, clients, requests).0
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let path = if args.scalar { "scalar" } else { "simt" };
+    let config = NetConfig {
+        cohort_size: args.clients.clamp(2, 32),
+        fill_timeout: Duration::from_millis(2),
+        ..NetConfig::default()
+    };
+    eprintln!(
+        "[net_loadgen] {path} path: {} clients x {} requests, cohort_size {}",
+        args.clients, args.requests, config.cohort_size
+    );
+
+    let (load, fill, device_cohorts) = if args.scalar {
+        let (load, _h) = run_load(
+            scalar_handler(),
+            config.clone(),
+            args.clients,
+            args.requests,
+        );
+        (load, 0.0, 0u64)
+    } else {
+        let (load, h) = run_load(simt_handler(), config.clone(), args.clients, args.requests);
+        let fill = h.mean_cohort_device_s();
+        (load, fill, h.cohorts)
+    };
+
+    let expected = (args.clients * (args.requests + 1)) as u64;
+    println!(
+        "served {}/{} requests in {:.2}s  ->  {:.0} req/s",
+        load.ok, expected, load.wall_s, load.throughput_rps
+    );
+    println!(
+        "latency ms: mean {:.2}  p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        load.latency.mean * 1e3,
+        load.latency.p50 * 1e3,
+        load.latency.p95 * 1e3,
+        load.latency.p99 * 1e3,
+        load.latency.max * 1e3
+    );
+    println!(
+        "cohorts: {} launched ({} full, {} by timeout), {:.2} requests/launch, mean fill {:.2}",
+        load.stats.cohorts,
+        load.stats.full_launches,
+        load.stats.timeout_launches,
+        load.stats.mean_requests_per_launch(),
+        load.stats.mean_fill()
+    );
+
+    assert_eq!(load.panicked_clients, 0, "client threads must not panic");
+    assert_eq!(load.errors, 0, "no protocol errors at steady load");
+    assert_eq!(load.ok, expected, "every request must be answered 200");
+    if !args.scalar {
+        assert!(
+            load.stats.mean_requests_per_launch() > 1.0,
+            "SIMT path must batch: mean requests/launch {:.3} <= 1",
+            load.stats.mean_requests_per_launch()
+        );
+    }
+    if args.smoke {
+        assert_eq!(load.shed, 0, "no shedding at smoke load");
+        assert_eq!(load.stats.shed_503, 0, "no 503s at smoke load");
+        assert_eq!(
+            load.stats.fsm_rejections, 0,
+            "no FSM refusals at smoke load"
+        );
+    }
+
+    // Overload: shed, don't break.
+    let overload = if args.smoke {
+        None
+    } else {
+        let o = run_overload(args.scalar);
+        println!(
+            "overload: {} admitted (cap 2), {} connections shed 503, zero panics",
+            o.stats.accepted, o.stats.rejected_over_cap
+        );
+        assert_eq!(o.panicked_clients, 0, "overload must not panic clients");
+        assert!(
+            o.stats.rejected_over_cap > 0 || o.shed > 0,
+            "overload run must shed at least one connection"
+        );
+        Some(o)
+    };
+
+    let overload_json = match &overload {
+        None => "null".to_string(),
+        Some(o) => format!(
+            "{{\"accepted\": {}, \"rejected_over_cap\": {}, \"client_503s\": {}, \"panics\": 0}}",
+            o.stats.accepted, o.stats.rejected_over_cap, o.shed
+        ),
+    };
+    let json = format!(
+        "{{\n  \"path\": \"{path}\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
+         \"cohort_size\": {},\n  \"completed\": {},\n  \"wall_s\": {},\n  \
+         \"throughput_rps\": {},\n  \"latency_ms\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \
+         \"p99\": {}, \"max\": {}}},\n  \"cohorts\": {},\n  \"full_launches\": {},\n  \
+         \"timeout_launches\": {},\n  \"mean_requests_per_launch\": {},\n  \
+         \"mean_cohort_fill\": {},\n  \"device_cohorts\": {device_cohorts},\n  \
+         \"mean_cohort_device_s\": {},\n  \"shed_503\": {},\n  \"overload\": {overload_json}\n}}\n",
+        args.clients,
+        args.requests,
+        config.cohort_size,
+        load.ok,
+        json_f(load.wall_s),
+        json_f(load.throughput_rps),
+        json_f(load.latency.mean * 1e3),
+        json_f(load.latency.p50 * 1e3),
+        json_f(load.latency.p95 * 1e3),
+        json_f(load.latency.p99 * 1e3),
+        json_f(load.latency.max * 1e3),
+        load.stats.cohorts,
+        load.stats.full_launches,
+        load.stats.timeout_launches,
+        json_f(load.stats.mean_requests_per_launch()),
+        json_f(load.stats.mean_fill()),
+        json_f(fill),
+        load.stats.shed_503,
+    );
+    std::fs::write(&args.out, &json).expect("write result file");
+    println!("results written to {}", args.out);
+}

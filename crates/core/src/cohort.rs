@@ -11,8 +11,60 @@
 //! implements the pool as static arrays to avoid allocation and
 //! synchronization overheads); running out of Free contexts is a
 //! structural hazard that stalls the pipeline.
+//!
+//! FSM transitions are **fallible, not panicking**: a dispatcher driving
+//! live traffic must be able to shed or re-queue a request that hits a
+//! context in the wrong state instead of taking down the event loop, so
+//! [`CohortContext::add`], [`CohortContext::launch`] and
+//! [`CohortContext::release`] return [`CohortError`] values.
 
 use std::fmt;
+
+/// A rejected FSM transition on a [`CohortContext`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CohortError {
+    /// `add` on a context that is not Free or PartiallyFull.
+    NotAccepting(CohortState),
+    /// `add` with a key different from the accumulating cohort's key.
+    KeyMismatch {
+        /// Key the context is accumulating.
+        expected: u32,
+        /// Key of the rejected request.
+        found: u32,
+    },
+    /// `launch` on a context that is not PartiallyFull or Full.
+    NotLaunchable(CohortState),
+    /// `release` on a context that is not Busy.
+    NotBusy(CohortState),
+}
+
+impl fmt::Display for CohortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CohortError::NotAccepting(s) => write!(f, "cannot add to cohort in state {s:?}"),
+            CohortError::KeyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "cohort key mismatch: context holds {expected}, got {found}"
+                )
+            }
+            CohortError::NotLaunchable(s) => write!(f, "cannot launch a cohort in state {s:?}"),
+            CohortError::NotBusy(s) => write!(f, "release requires Busy, context is {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CohortError {}
+
+/// An `add` that was refused, handing the request back to the caller so
+/// it can be shed or re-queued.
+#[derive(Clone, Debug)]
+pub struct CohortRejected<R> {
+    /// The request that was not admitted.
+    pub request: R,
+    /// Why it was refused.
+    pub error: CohortError,
+}
 
 /// Lifecycle state of a cohort context.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -85,11 +137,12 @@ impl<R> CohortContext<R> {
 
     /// Add a request.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the context is Busy or already Full, or if a request of
-    /// the wrong key is added to a non-empty context.
-    pub fn add(&mut self, request: R, key: u32, now: f64) {
+    /// Returns the request back inside [`CohortRejected`] if the context
+    /// is Busy or already Full, or if the key does not match a non-empty
+    /// context's key. The context is unchanged on error.
+    pub fn add(&mut self, request: R, key: u32, now: f64) -> Result<(), CohortRejected<R>> {
         match self.state {
             CohortState::Free => {
                 self.state = CohortState::PartiallyFull;
@@ -97,41 +150,58 @@ impl<R> CohortContext<R> {
                 self.opened_at = now;
             }
             CohortState::PartiallyFull => {
-                assert_eq!(self.key, key, "cohort key mismatch");
+                if self.key != key {
+                    return Err(CohortRejected {
+                        request,
+                        error: CohortError::KeyMismatch {
+                            expected: self.key,
+                            found: key,
+                        },
+                    });
+                }
             }
-            s => panic!("cannot add to cohort in state {s:?}"),
+            s => {
+                return Err(CohortRejected {
+                    request,
+                    error: CohortError::NotAccepting(s),
+                })
+            }
         }
         self.members.push(request);
         if self.members.len() >= self.capacity {
             self.state = CohortState::Full;
         }
+        Ok(())
     }
 
     /// Transition to Busy (launch), whether Full or timed out while
     /// PartiallyFull.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless the context is PartiallyFull or Full.
-    pub fn launch(&mut self) {
-        assert!(
-            matches!(self.state, CohortState::PartiallyFull | CohortState::Full),
-            "cannot launch a cohort in state {:?}",
-            self.state
-        );
+    /// [`CohortError::NotLaunchable`] unless the context is PartiallyFull
+    /// or Full; the context is unchanged on error.
+    pub fn launch(&mut self) -> Result<(), CohortError> {
+        if !matches!(self.state, CohortState::PartiallyFull | CohortState::Full) {
+            return Err(CohortError::NotLaunchable(self.state));
+        }
         self.state = CohortState::Busy;
+        Ok(())
     }
 
     /// Responses sent: drain the members and return to Free.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless the context is Busy.
-    pub fn release(&mut self) -> Vec<R> {
-        assert_eq!(self.state, CohortState::Busy, "release requires Busy");
+    /// [`CohortError::NotBusy`] unless the context is Busy; the context
+    /// is unchanged on error.
+    pub fn release(&mut self) -> Result<Vec<R>, CohortError> {
+        if self.state != CohortState::Busy {
+            return Err(CohortError::NotBusy(self.state));
+        }
         self.state = CohortState::Free;
         self.key = 0;
-        std::mem::take(&mut self.members)
+        Ok(std::mem::take(&mut self.members))
     }
 }
 
@@ -224,15 +294,15 @@ mod tests {
     fn lifecycle_free_partial_full_busy_free() {
         let mut c: CohortContext<u32> = CohortContext::new(0, 2);
         assert_eq!(c.state(), CohortState::Free);
-        c.add(10, 3, 1.0);
+        c.add(10, 3, 1.0).unwrap();
         assert_eq!(c.state(), CohortState::PartiallyFull);
         assert_eq!(c.opened_at(), 1.0);
         assert_eq!(c.key(), 3);
-        c.add(11, 3, 1.5);
+        c.add(11, 3, 1.5).unwrap();
         assert_eq!(c.state(), CohortState::Full);
-        c.launch();
+        c.launch().unwrap();
         assert_eq!(c.state(), CohortState::Busy);
-        let members = c.release();
+        let members = c.release().unwrap();
         assert_eq!(members, vec![10, 11]);
         assert_eq!(c.state(), CohortState::Free);
         assert!(c.members().is_empty());
@@ -241,41 +311,89 @@ mod tests {
     #[test]
     fn timeout_launch_from_partially_full() {
         let mut c: CohortContext<u32> = CohortContext::new(0, 8);
-        c.add(1, 0, 0.0);
+        c.add(1, 0, 0.0).unwrap();
         assert_eq!(c.fill(), 1.0 / 8.0);
-        c.launch();
+        c.launch().unwrap();
         assert_eq!(c.state(), CohortState::Busy);
     }
 
     #[test]
-    #[should_panic(expected = "cohort key mismatch")]
-    fn mixed_keys_rejected() {
+    fn mixed_keys_rejected_with_request_returned() {
         let mut c: CohortContext<u32> = CohortContext::new(0, 4);
-        c.add(1, 0, 0.0);
-        c.add(2, 1, 0.0);
+        c.add(1, 0, 0.0).unwrap();
+        let rej = c.add(2, 1, 0.0).unwrap_err();
+        assert_eq!(rej.request, 2, "rejected request handed back");
+        assert_eq!(
+            rej.error,
+            CohortError::KeyMismatch {
+                expected: 0,
+                found: 1
+            }
+        );
+        // The context is unchanged and still usable.
+        assert_eq!(c.state(), CohortState::PartiallyFull);
+        assert_eq!(c.members(), &[1]);
+        c.add(3, 0, 0.0).unwrap();
+        assert_eq!(c.members(), &[1, 3]);
     }
 
     #[test]
-    #[should_panic(expected = "cannot add to cohort")]
     fn add_to_busy_rejected() {
         let mut c: CohortContext<u32> = CohortContext::new(0, 1);
-        c.add(1, 0, 0.0);
-        c.launch();
-        c.add(2, 0, 0.0);
+        c.add(1, 0, 0.0).unwrap();
+        c.launch().unwrap();
+        let rej = c.add(2, 0, 0.0).unwrap_err();
+        assert_eq!(rej.request, 2);
+        assert_eq!(rej.error, CohortError::NotAccepting(CohortState::Busy));
+        assert_eq!(c.state(), CohortState::Busy, "busy context untouched");
     }
 
     #[test]
-    #[should_panic(expected = "cannot launch")]
+    fn add_to_full_rejected() {
+        let mut c: CohortContext<u32> = CohortContext::new(0, 1);
+        c.add(1, 0, 0.0).unwrap();
+        assert_eq!(c.state(), CohortState::Full);
+        let rej = c.add(2, 0, 0.0).unwrap_err();
+        assert_eq!(rej.error, CohortError::NotAccepting(CohortState::Full));
+        assert_eq!(c.members(), &[1]);
+    }
+
+    #[test]
     fn launch_free_rejected() {
         let mut c: CohortContext<u32> = CohortContext::new(0, 1);
-        c.launch();
+        assert_eq!(
+            c.launch().unwrap_err(),
+            CohortError::NotLaunchable(CohortState::Free)
+        );
+        assert_eq!(c.state(), CohortState::Free);
     }
 
     #[test]
-    #[should_panic(expected = "release requires Busy")]
     fn release_non_busy_rejected() {
         let mut c: CohortContext<u32> = CohortContext::new(0, 1);
-        c.release();
+        assert_eq!(
+            c.release().unwrap_err(),
+            CohortError::NotBusy(CohortState::Free)
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(CohortError::NotAccepting(CohortState::Busy)
+            .to_string()
+            .contains("cannot add"));
+        let e = CohortError::KeyMismatch {
+            expected: 3,
+            found: 5,
+        };
+        assert!(e.to_string().contains("holds 3"));
+        assert!(e.to_string().contains("got 5"));
+        assert!(CohortError::NotLaunchable(CohortState::Free)
+            .to_string()
+            .contains("cannot launch"));
+        assert!(CohortError::NotBusy(CohortState::Full)
+            .to_string()
+            .contains("requires Busy"));
     }
 
     #[test]
@@ -284,12 +402,12 @@ mod tests {
         assert_eq!(pool.free_count(), 2);
         assert_eq!(pool.open_for(7), None);
         let id = pool.acquire().unwrap();
-        pool.get_mut(id).add(1, 7, 0.0);
+        pool.get_mut(id).add(1, 7, 0.0).unwrap();
         assert_eq!(pool.open_for(7), Some(id));
         assert_eq!(pool.open_for(8), None);
         assert_eq!(pool.free_count(), 1);
         let id2 = pool.acquire().unwrap();
-        pool.get_mut(id2).add(2, 8, 0.0);
+        pool.get_mut(id2).add(2, 8, 0.0).unwrap();
         assert_eq!(pool.acquire(), None, "pool exhausted");
     }
 
@@ -297,7 +415,7 @@ mod tests {
     fn pool_full_cohorts_not_open() {
         let mut pool: CohortPool<u32> = CohortPool::new(1, 1);
         let id = pool.acquire().unwrap();
-        pool.get_mut(id).add(1, 7, 0.0);
+        pool.get_mut(id).add(1, 7, 0.0).unwrap();
         assert_eq!(pool.get(id).state(), CohortState::Full);
         assert_eq!(pool.open_for(7), None, "full context no longer open");
     }

@@ -44,7 +44,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod service;
 
-pub use cohort::{CohortContext, CohortPool, CohortState, ContextId};
+pub use cohort::{CohortContext, CohortError, CohortPool, CohortRejected, CohortState, ContextId};
 pub use metrics::{LatencyStats, PipelineReport};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use service::{Service, TableService};

@@ -334,43 +334,50 @@ impl<S: Service> Pipeline<S> {
                 let id = $ctx;
                 let len = pool.get(id).members().len() as u32;
                 let key = pool.get(id).key();
-                pool.get_mut(id).launch();
-                report.cohorts_launched += 1;
-                if $timeout {
-                    report.timeout_launches += 1;
+                // Both launch sites guard the state (Full on dispatch,
+                // PartiallyFull on timeout), so this cannot fail; if it
+                // ever did, skipping the launch leaves the context to a
+                // later timeout instead of crashing the event loop.
+                let launched = pool.get_mut(id).launch().is_ok();
+                debug_assert!(launched, "guarded launch cannot fail");
+                if launched {
+                    report.cohorts_launched += 1;
+                    if $timeout {
+                        report.timeout_launches += 1;
+                    }
+                    let fill = len as f64 / cfg.cohort_size as f64;
+                    fill_sum += fill;
+                    if rec.enabled() {
+                        let track = format!("ctx{id}");
+                        let ts = s_to_us($q.now());
+                        rec.end(Clock::Virtual, &track, ts); // close "form"
+                        let name = if $timeout {
+                            "PartiallyFull→Busy (timeout)"
+                        } else {
+                            "Full→Busy"
+                        };
+                        rec.instant(
+                            Clock::Virtual,
+                            &track,
+                            name,
+                            ts,
+                            &[("fill", ArgValue::F64(fill))],
+                        );
+                        rec.begin(
+                            Clock::Virtual,
+                            &track,
+                            "execute",
+                            ts,
+                            &[
+                                ("type", ArgValue::U64(key as u64)),
+                                ("requests", ArgValue::U64(len as u64)),
+                            ],
+                        );
+                        rec.sample("cohort_fill", fill);
+                    }
+                    let dur = self.service.stage_latency(key, 0, len);
+                    submit_kernel!($q, dur, Event::StageDone { ctx: id, stage: 0 });
                 }
-                let fill = len as f64 / cfg.cohort_size as f64;
-                fill_sum += fill;
-                if rec.enabled() {
-                    let track = format!("ctx{id}");
-                    let ts = s_to_us($q.now());
-                    rec.end(Clock::Virtual, &track, ts); // close "form"
-                    let name = if $timeout {
-                        "PartiallyFull→Busy (timeout)"
-                    } else {
-                        "Full→Busy"
-                    };
-                    rec.instant(
-                        Clock::Virtual,
-                        &track,
-                        name,
-                        ts,
-                        &[("fill", ArgValue::F64(fill))],
-                    );
-                    rec.begin(
-                        Clock::Virtual,
-                        &track,
-                        "execute",
-                        ts,
-                        &[
-                            ("type", ArgValue::U64(key as u64)),
-                            ("requests", ArgValue::U64(len as u64)),
-                        ],
-                    );
-                    rec.sample("cohort_fill", fill);
-                }
-                let dur = self.service.stage_latency(key, 0, len);
-                submit_kernel!($q, dur, Event::StageDone { ctx: id, stage: 0 });
             }};
         }
 
@@ -386,85 +393,97 @@ impl<S: Service> Pipeline<S> {
                     Some(c) => Some(c),
                     None => pool.acquire(),
                 };
+                // A request the chosen context refuses (defensively
+                // unreachable: open_for/acquire guarantee an accepting
+                // context) is re-queued exactly like a pool-exhaustion
+                // stall instead of panicking the event loop.
+                let mut requeue: Option<Req> = None;
+                let mut dispatched = false;
                 match ctx {
                     Some(id) => {
                         let fresh = pool.get(id).state() == CohortState::Free;
-                        pool.get_mut(id).add(req, req.ty, $q.now());
-                        if fresh {
-                            generations[id as usize] += 1;
-                            let generation = generations[id as usize];
-                            $q.schedule_in(
-                                cfg.formation_timeout_s,
-                                Event::CohortTimeout {
-                                    ctx: id,
-                                    generation,
-                                },
-                            );
-                        }
-                        if rec.enabled() {
-                            let track = format!("ctx{id}");
-                            let ts = s_to_us($q.now());
-                            let full = pool.get(id).state() == CohortState::Full;
-                            let fill = pool.get(id).members().len() as f64 / cfg.cohort_size as f64;
-                            if fresh {
-                                rec.begin(
-                                    Clock::Virtual,
-                                    &track,
-                                    "form",
-                                    ts,
-                                    &[("type", ArgValue::U64(req.ty as u64))],
-                                );
+                        match pool.get_mut(id).add(req, req.ty, $q.now()) {
+                            Err(rej) => requeue = Some(rej.request),
+                            Ok(()) => {
+                                dispatched = true;
+                                if fresh {
+                                    generations[id as usize] += 1;
+                                    let generation = generations[id as usize];
+                                    $q.schedule_in(
+                                        cfg.formation_timeout_s,
+                                        Event::CohortTimeout {
+                                            ctx: id,
+                                            generation,
+                                        },
+                                    );
+                                }
+                                if rec.enabled() {
+                                    let track = format!("ctx{id}");
+                                    let ts = s_to_us($q.now());
+                                    let full = pool.get(id).state() == CohortState::Full;
+                                    let fill = pool.get(id).members().len() as f64
+                                        / cfg.cohort_size as f64;
+                                    if fresh {
+                                        rec.begin(
+                                            Clock::Virtual,
+                                            &track,
+                                            "form",
+                                            ts,
+                                            &[("type", ArgValue::U64(req.ty as u64))],
+                                        );
+                                    }
+                                    let name = match (fresh, full) {
+                                        (true, true) => "Free→Full",
+                                        (true, false) => "Free→PartiallyFull",
+                                        (false, true) => "PartiallyFull→Full",
+                                        (false, false) => "",
+                                    };
+                                    if !name.is_empty() {
+                                        rec.instant(
+                                            Clock::Virtual,
+                                            &track,
+                                            name,
+                                            ts,
+                                            &[("fill", ArgValue::F64(fill))],
+                                        );
+                                    }
+                                }
+                                if pool.get(id).state() == CohortState::Full {
+                                    launch_cohort!($q, id, false);
+                                }
                             }
-                            let name = match (fresh, full) {
-                                (true, true) => "Free→Full",
-                                (true, false) => "Free→PartiallyFull",
-                                (false, true) => "PartiallyFull→Full",
-                                (false, false) => "",
-                            };
-                            if !name.is_empty() {
-                                rec.instant(
-                                    Clock::Virtual,
-                                    &track,
-                                    name,
-                                    ts,
-                                    &[("fill", ArgValue::F64(fill))],
-                                );
-                            }
                         }
-                        if pool.get(id).state() == CohortState::Full {
-                            launch_cohort!($q, id, false);
-                        }
-                        true
                     }
-                    None => {
-                        if $from_backlog {
-                            backlog.push_front(req);
-                        } else {
-                            report.dispatch_stalls += 1;
-                            backlog.push_back(req);
-                        }
-                        if rec.enabled() {
-                            let ts = s_to_us($q.now());
+                    None => requeue = Some(req),
+                }
+                if let Some(req) = requeue {
+                    if $from_backlog {
+                        backlog.push_front(req);
+                    } else {
+                        report.dispatch_stalls += 1;
+                        backlog.push_back(req);
+                    }
+                    if rec.enabled() {
+                        let ts = s_to_us($q.now());
+                        rec.counter(
+                            Clock::Virtual,
+                            "dispatch",
+                            "backlog_depth",
+                            ts,
+                            backlog.len() as f64,
+                        );
+                        if !$from_backlog {
                             rec.counter(
                                 Clock::Virtual,
                                 "dispatch",
-                                "backlog_depth",
+                                "dispatch_stalls",
                                 ts,
-                                backlog.len() as f64,
+                                report.dispatch_stalls as f64,
                             );
-                            if !$from_backlog {
-                                rec.counter(
-                                    Clock::Virtual,
-                                    "dispatch",
-                                    "dispatch_stalls",
-                                    ts,
-                                    report.dispatch_stalls as f64,
-                                );
-                            }
                         }
-                        false
                     }
                 }
+                dispatched
             }};
         }
 
@@ -557,7 +576,10 @@ impl<S: Service> Pipeline<S> {
                     );
                 }
                 Event::ResponseDone { ctx } => {
-                    let members = pool.get_mut(ctx).release();
+                    // ResponseDone is only scheduled for a Busy context,
+                    // so release cannot fail; an empty fallback keeps the
+                    // loop alive rather than crashing it.
+                    let members = pool.get_mut(ctx).release().unwrap_or_default();
                     for m in &members {
                         latencies.push(now - m.arrived);
                     }

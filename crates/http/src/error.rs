@@ -24,6 +24,17 @@ pub enum ParseError {
     },
     /// A percent-escape in the target/query was malformed.
     BadEscape,
+    /// The request (headers + declared body) exceeds the reader's size
+    /// cap. Unlike [`ParseError::Truncated`] this is **not** retryable:
+    /// buffering more bytes can never complete the request, so readers
+    /// answer 413 and close instead of buffering without bound.
+    TooLarge {
+        /// Bytes the full request would need (`usize::MAX` when the
+        /// declared `Content-Length` overflows address space).
+        needed: usize,
+        /// The reader's configured cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -39,6 +50,9 @@ impl fmt::Display for ParseError {
                 available,
             } => write!(f, "body too short: declared {declared}, got {available}"),
             ParseError::BadEscape => write!(f, "malformed percent escape"),
+            ParseError::TooLarge { needed, limit } => {
+                write!(f, "request too large: needs {needed} bytes, limit {limit}")
+            }
         }
     }
 }

@@ -90,7 +90,46 @@ impl HttpRequest {
     /// # Ok::<(), rhythm_http::ParseError>(())
     /// ```
     pub fn parse(input: &[u8]) -> Result<Self, ParseError> {
-        let header_end = find_header_end(input).ok_or(ParseError::Truncated)?;
+        Self::parse_inner(input, usize::MAX)
+    }
+
+    /// Parse one request from `input`, rejecting requests whose total
+    /// size (headers + declared body) exceeds `max_bytes`.
+    ///
+    /// This is the entry point for network readers: a plain
+    /// [`HttpRequest::parse`] reports a missing body as retryable
+    /// [`ParseError::Truncated`]/[`ParseError::BodyTooShort`], so a
+    /// `Content-Length` larger than the client will ever send would make
+    /// a naive reader buffer forever. With a cap, such requests fail fast
+    /// with the non-retryable [`ParseError::TooLarge`] (readers answer
+    /// 413 and close):
+    ///
+    /// * headers that do not terminate within `max_bytes` are `TooLarge`
+    ///   once `max_bytes` bytes have been buffered;
+    /// * a declared `Content-Length` that would push the request past
+    ///   `max_bytes` — including values that overflow `usize` — is
+    ///   `TooLarge` immediately, before any body byte arrives.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HttpRequest::parse`], plus [`ParseError::TooLarge`].
+    pub fn parse_limited(input: &[u8], max_bytes: usize) -> Result<Self, ParseError> {
+        Self::parse_inner(input, max_bytes)
+    }
+
+    fn parse_inner(input: &[u8], max_bytes: usize) -> Result<Self, ParseError> {
+        let header_end = match find_header_end(input) {
+            Some(h) => h,
+            // No terminator yet: retryable only while the buffer can
+            // still grow within the cap.
+            None if input.len() >= max_bytes => {
+                return Err(ParseError::TooLarge {
+                    needed: input.len().saturating_add(1),
+                    limit: max_bytes,
+                })
+            }
+            None => return Err(ParseError::Truncated),
+        };
         let head = &input[..header_end.body_start - header_end.blank_len];
         let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
 
@@ -135,9 +174,25 @@ impl HttpRequest {
         }
 
         let body_start = header_end.body_start;
-        let body_end = body_start
-            .checked_add(content_length)
-            .ok_or(ParseError::BadContentLength)?;
+        let body_end = match body_start.checked_add(content_length) {
+            Some(end) => end,
+            // The declared length overflows address space: unlimited
+            // parsing keeps the historical BadContentLength; a capped
+            // reader reports it as (maximally) too large.
+            None if max_bytes == usize::MAX => return Err(ParseError::BadContentLength),
+            None => {
+                return Err(ParseError::TooLarge {
+                    needed: usize::MAX,
+                    limit: max_bytes,
+                })
+            }
+        };
+        if body_end > max_bytes {
+            return Err(ParseError::TooLarge {
+                needed: body_end,
+                limit: max_bytes,
+            });
+        }
         if body_end > input.len() {
             return Err(ParseError::BodyTooShort {
                 declared: content_length,
@@ -313,5 +368,89 @@ mod tests {
     fn method_display() {
         assert_eq!(Method::Get.to_string(), "GET");
         assert_eq!(Method::Post.as_str(), "POST");
+    }
+
+    #[test]
+    fn limited_parse_matches_unlimited_within_cap() {
+        let raw =
+            b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 21\r\n\r\nuserid=7&password=abc";
+        assert_eq!(
+            HttpRequest::parse_limited(raw, 4096).unwrap(),
+            HttpRequest::parse(raw).unwrap()
+        );
+    }
+
+    #[test]
+    fn huge_content_length_is_too_large_not_retryable() {
+        // Declared body far beyond the cap: must fail fast, not report
+        // the retryable BodyTooShort that makes readers buffer forever.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10737418240\r\n\r\n";
+        match HttpRequest::parse_limited(raw, 65536).unwrap_err() {
+            ParseError::TooLarge { needed, limit } => {
+                assert_eq!(limit, 65536);
+                assert!(needed > 10_000_000_000);
+            }
+            e => panic!("expected TooLarge, got {e:?}"),
+        }
+        // Without a cap the same request stays retryable (historical
+        // behaviour for virtual-clock harnesses that pre-frame input).
+        assert!(matches!(
+            HttpRequest::parse(raw).unwrap_err(),
+            ParseError::BodyTooShort { .. }
+        ));
+    }
+
+    #[test]
+    fn usize_max_content_length_overflow_is_too_large() {
+        // body_start + usize::MAX overflows; the capped path must report
+        // TooLarge rather than panicking or claiming a malformed number.
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        match HttpRequest::parse_limited(raw.as_bytes(), 65536).unwrap_err() {
+            ParseError::TooLarge { needed, limit } => {
+                assert_eq!(needed, usize::MAX);
+                assert_eq!(limit, 65536);
+            }
+            e => panic!("expected TooLarge, got {e:?}"),
+        }
+        // Unlimited parse keeps the historical BadContentLength.
+        assert_eq!(
+            HttpRequest::parse(raw.as_bytes()).unwrap_err(),
+            ParseError::BadContentLength
+        );
+        // One past usize::MAX does not parse as usize at all.
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}9\r\n\r\n",
+            usize::MAX
+        );
+        assert_eq!(
+            HttpRequest::parse_limited(raw.as_bytes(), 65536).unwrap_err(),
+            ParseError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn unterminated_headers_hit_cap() {
+        // Headers keep growing without a terminator: retryable below the
+        // cap, TooLarge at it.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 100));
+        assert_eq!(
+            HttpRequest::parse_limited(&raw, 1024).unwrap_err(),
+            ParseError::Truncated
+        );
+        assert!(matches!(
+            HttpRequest::parse_limited(&raw, raw.len()).unwrap_err(),
+            ParseError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn body_exactly_at_cap_is_accepted() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\na=b";
+        assert!(HttpRequest::parse_limited(raw, raw.len()).is_ok());
+        assert!(matches!(
+            HttpRequest::parse_limited(raw, raw.len() - 1).unwrap_err(),
+            ParseError::TooLarge { .. }
+        ));
     }
 }

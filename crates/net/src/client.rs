@@ -1,0 +1,194 @@
+//! Minimal blocking HTTP/1.1 client helpers for tests, the load
+//! generator, and demos.
+//!
+//! Only what a closed-loop client needs: write a raw request, read one
+//! framed response (status line + headers + `Content-Length` body),
+//! carrying any over-read bytes forward for keep-alive reuse.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed-off-the-wire response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawResponse {
+    /// Numeric status code from the status line.
+    pub status: u16,
+    /// The full response bytes (status line, headers, body).
+    pub bytes: Vec<u8>,
+}
+
+impl RawResponse {
+    /// The body portion (after the blank line), if any.
+    pub fn body(&self) -> &[u8] {
+        match find_header_end(&self.bytes) {
+            Some(end) => &self.bytes[end..],
+            None => &[],
+        }
+    }
+
+    /// Case-insensitive single-header lookup, value trimmed.
+    pub fn header(&self, name: &str) -> Option<String> {
+        let head_end = find_header_end(&self.bytes)?;
+        let head = std::str::from_utf8(&self.bytes[..head_end]).ok()?;
+        for line in head.lines().skip(1) {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case(name) {
+                    return Some(v.trim().to_string());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Find the end of the header block. Tolerates both CRLF and bare-LF
+/// line endings: the Rhythm response builder emits `\r\n\r\n`, but the
+/// workload's page templates end their header block with `\n\n`.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Parse `Content-Length` out of a header block (case-insensitive).
+fn content_length(head: &[u8]) -> Option<usize> {
+    let text = std::str::from_utf8(head).ok()?;
+    for line in text.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                return v.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+fn parse_status(buf: &[u8]) -> u16 {
+    // "HTTP/1.1 200 OK" — second whitespace-separated token.
+    std::str::from_utf8(buf)
+        .ok()
+        .and_then(|s| s.lines().next())
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Write raw request bytes to the stream.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn send_request(stream: &mut TcpStream, raw: &[u8]) -> io::Result<()> {
+    stream.write_all(raw)?;
+    stream.flush()
+}
+
+/// Read one complete HTTP response from a blocking stream.
+///
+/// `carry` holds bytes over-read past the previous response on the same
+/// connection; leftover bytes after this response are put back into it,
+/// so the same `(stream, carry)` pair can read a pipelined or keep-alive
+/// sequence of responses.
+///
+/// Responses without a `Content-Length` are read until EOF.
+///
+/// # Errors
+///
+/// `UnexpectedEof` if the peer closes mid-response; otherwise socket
+/// read errors.
+pub fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> io::Result<RawResponse> {
+    let mut buf = std::mem::take(carry);
+    let mut chunk = [0u8; 4096];
+    let mut eof = false;
+
+    // Phase 1: accumulate until the header block is complete.
+    let head_end = loop {
+        if let Some(end) = find_header_end(&buf) {
+            break end;
+        }
+        if eof {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response headers completed",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            eof = true;
+        } else {
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    };
+
+    // Phase 2: read the declared body (or until EOF when undeclared).
+    let total = match content_length(&buf[..head_end]) {
+        Some(len) => head_end + len,
+        None => {
+            while !eof {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    eof = true;
+                } else {
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+            buf.len()
+        }
+    };
+    while buf.len() < total {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+
+    *carry = buf.split_off(total);
+    let status = parse_status(&buf);
+    Ok(RawResponse { status, bytes: buf })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_tolerates_both_terminators() {
+        assert_eq!(
+            find_header_end(b"HTTP/1.1 200 OK\r\nA: b\r\n\r\nxy"),
+            Some(25)
+        );
+        assert_eq!(find_header_end(b"HTTP/1.1 200 OK\nA: b\n\nxy"), Some(22));
+        assert_eq!(find_header_end(b"HTTP/1.1 200 OK\r\nA: b"), None);
+    }
+
+    #[test]
+    fn status_and_headers_parse() {
+        let resp = RawResponse {
+            status: parse_status(b"HTTP/1.1 503 Service Unavailable\r\n"),
+            bytes:
+                b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 2\r\n\r\nok"
+                    .to_vec(),
+        };
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after").as_deref(), Some("2"));
+        assert_eq!(resp.header("RETRY-AFTER").as_deref(), Some("2"));
+        assert_eq!(resp.header("missing"), None);
+        assert_eq!(resp.body(), b"ok");
+    }
+
+    #[test]
+    fn content_length_is_case_insensitive() {
+        assert_eq!(
+            content_length(b"HTTP/1.1 200 OK\r\ncontent-length: 7\r\n"),
+            Some(7)
+        );
+        assert_eq!(content_length(b"HTTP/1.1 200 OK\r\nHost: x\r\n"), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! The resumable per-connection reader: accumulate socket bytes, parse as
+//! many complete requests as have arrived, and keep the remainder for the
+//! next read (HTTP keep-alive and pipelining via `HttpRequest::consumed`).
+
+use rhythm_http::{HttpRequest, ParseError};
+
+/// Accumulates bytes from one connection and yields complete requests.
+///
+/// The paper's Reader stage gathers socket bytes until a full request is
+/// present; this is that stage for one connection, made resumable:
+///
+/// * [`RequestAccumulator::feed`] appends freshly read bytes;
+/// * [`RequestAccumulator::next_request`] drains one complete request if
+///   the buffer holds one, keeps retryable partial input
+///   (`Truncated`/`BodyTooShort`) for the next read, and converts
+///   over-cap input into the fatal [`ParseError::TooLarge`].
+///
+/// Consumed bytes are removed from the buffer using the parser's
+/// `consumed` count, so pipelined requests and keep-alive reuse resume at
+/// exactly the right byte.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_net::RequestAccumulator;
+///
+/// let mut acc = RequestAccumulator::new(8192);
+/// let raw = b"GET /bank/login.php?userid=7 HTTP/1.1\r\n\r\n";
+/// // Bytes arrive in two arbitrary chunks.
+/// acc.feed(&raw[..10]);
+/// assert!(acc.next_request().unwrap().is_none(), "not complete yet");
+/// acc.feed(&raw[10..]);
+/// let req = acc.next_request().unwrap().expect("complete request");
+/// assert_eq!(req.path, "/bank/login.php");
+/// assert!(acc.is_empty(), "consumed bytes are drained");
+/// ```
+#[derive(Clone, Debug)]
+pub struct RequestAccumulator {
+    buf: Vec<u8>,
+    max_request_bytes: usize,
+}
+
+impl RequestAccumulator {
+    /// A reader capped at `max_request_bytes` per request (headers +
+    /// declared body).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is zero.
+    pub fn new(max_request_bytes: usize) -> Self {
+        assert!(max_request_bytes > 0, "request cap must be nonzero");
+        RequestAccumulator {
+            buf: Vec::new(),
+            max_request_bytes,
+        }
+    }
+
+    /// Append freshly read socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (partial request input).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no partial input is pending.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Try to parse the next complete request from the buffer.
+    ///
+    /// * `Ok(Some(req))` — a complete request; its bytes (headers + body,
+    ///   per `req.consumed`) have been drained from the buffer. Call
+    ///   again: pipelined requests may still be buffered.
+    /// * `Ok(None)` — the buffered input is an incomplete prefix; feed
+    ///   more bytes and retry.
+    ///
+    /// # Errors
+    ///
+    /// Fatal, non-retryable errors: [`ParseError::TooLarge`] when the
+    /// request cannot fit the cap (answer 413), or any malformed-request
+    /// variant (answer 400). The connection should be closed after the
+    /// error response; the buffer is left untouched.
+    pub fn next_request(&mut self) -> Result<Option<HttpRequest>, ParseError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        match HttpRequest::parse_limited(&self.buf, self.max_request_bytes) {
+            Ok(req) => {
+                self.buf.drain(..req.consumed);
+                Ok(Some(req))
+            }
+            Err(ParseError::Truncated) | Err(ParseError::BodyTooShort { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GET: &[u8] =
+        b"GET /bank/account_summary.php?userid=3 HTTP/1.1\r\nHost: h\r\nCookie: SID=9\r\n\r\n";
+    const POST: &[u8] =
+        b"POST /bank/login.php HTTP/1.1\r\nHost: h\r\nContent-Length: 8\r\n\r\nuserid=7";
+
+    #[test]
+    fn whole_request_in_one_feed() {
+        let mut acc = RequestAccumulator::new(4096);
+        acc.feed(GET);
+        let req = acc.next_request().unwrap().expect("complete");
+        assert_eq!(req.file_name(), "account_summary.php");
+        assert!(acc.is_empty());
+        assert!(acc.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn split_at_every_byte_boundary_parses_identically() {
+        let reference = HttpRequest::parse(POST).unwrap();
+        for split in 0..=POST.len() {
+            let mut acc = RequestAccumulator::new(4096);
+            acc.feed(&POST[..split]);
+            if split < POST.len() {
+                assert!(
+                    acc.next_request().unwrap().is_none(),
+                    "prefix of {split} bytes must be incomplete"
+                );
+                acc.feed(&POST[split..]);
+            }
+            let req = acc.next_request().unwrap().expect("complete after join");
+            assert_eq!(req, reference, "split at byte {split}");
+            assert!(acc.is_empty());
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_resume_at_consumed() {
+        let mut raw = POST.to_vec();
+        raw.extend_from_slice(GET);
+        let mut acc = RequestAccumulator::new(4096);
+        acc.feed(&raw);
+        let first = acc.next_request().unwrap().expect("first");
+        assert_eq!(first.file_name(), "login.php");
+        assert_eq!(acc.buffered(), GET.len(), "second request still buffered");
+        let second = acc.next_request().unwrap().expect("second");
+        assert_eq!(second.file_name(), "account_summary.php");
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn oversized_header_is_fatal_too_large() {
+        let mut acc = RequestAccumulator::new(64);
+        acc.feed(b"GET / HTTP/1.1\r\n");
+        assert!(acc.next_request().unwrap().is_none(), "below cap: retry");
+        acc.feed(&[b'a'; 64]);
+        assert!(matches!(
+            acc.next_request().unwrap_err(),
+            ParseError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn lying_content_length_is_fatal_not_buffering_forever() {
+        let mut acc = RequestAccumulator::new(1024);
+        acc.feed(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        assert!(matches!(
+            acc.next_request().unwrap_err(),
+            ParseError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_request_is_fatal() {
+        let mut acc = RequestAccumulator::new(1024);
+        acc.feed(b"BREW /pot HTTP/1.1\r\n\r\n");
+        assert_eq!(acc.next_request().unwrap_err(), ParseError::BadMethod);
+    }
+}

@@ -1,0 +1,45 @@
+//! # rhythm-net
+//!
+//! The networked front end of the Rhythm pipeline: the paper's
+//! Reader → Parser → Dispatch path (§3–4) over **real sockets** instead of
+//! the virtual-clock event loop in `rhythm-core`.
+//!
+//! * [`conn::RequestAccumulator`] is the resumable reader: it buffers
+//!   socket bytes, retries [`rhythm_http::HttpRequest::parse`] on
+//!   `Truncated`/`BodyTooShort`, uses `consumed` to resume at the next
+//!   pipelined request, and enforces a per-connection size cap so an
+//!   oversized or lying `Content-Length` gets 413 instead of unbounded
+//!   buffering.
+//! * [`server::NetServer`] is a poll-style accept/read loop over
+//!   nonblocking `std::net` sockets. Parsed requests are dispatched into
+//!   per-type cohort contexts from `rhythm-core`'s [`rhythm_core::CohortPool`]
+//!   (the Free → PartiallyFull → Full → Busy FSM); a cohort launches when
+//!   it fills or when its formation timeout fires, is executed by a
+//!   pluggable [`server::CohortHandler`], and the responses are transposed
+//!   back onto the originating connections in request order.
+//! * Robustness under load: a connection cap (excess connections are shed
+//!   with `503` + `Retry-After`), pool-exhaustion shedding (`503`),
+//!   request size caps (`413`), malformed-input rejection (`400`), and a
+//!   read deadline that reaps half-open connections. All FSM transitions
+//!   use the fallible cohort API, so one bad dispatch can never panic the
+//!   event loop.
+//! * Everything is instrumented through `rhythm-obs`: per-cohort execute
+//!   spans, FSM transition instants, `cohort_fill` /
+//!   `net_request_latency_s` histograms, and shed/stall counters.
+//!
+//! The crate is std-only like the rest of the workspace and knows nothing
+//! about the banking workload; `rhythm-banking` provides
+//! [`server::CohortHandler`] implementations for the native and SIMT
+//! device paths.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod conn;
+pub mod responses;
+pub mod server;
+
+pub use client::{read_response, send_request, RawResponse};
+pub use conn::RequestAccumulator;
+pub use server::{CohortHandler, NetConfig, NetServer, NetStats};

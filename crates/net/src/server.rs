@@ -1,0 +1,680 @@
+//! The poll-style cohort server: non-blocking accept/read over
+//! `std::net`, cohort formation via `rhythm-core`'s context pool, and
+//! overload shedding.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rhythm_core::{CohortPool, CohortState, ContextId};
+use rhythm_http::{HttpRequest, ParseError};
+use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
+
+use crate::conn::RequestAccumulator;
+use crate::responses;
+
+/// Executes one uniform-key cohort of parsed requests.
+///
+/// `rhythm-net` forms cohorts; what a cohort *does* is the workload's
+/// business. `rhythm-banking` implements this for the native (scalar) and
+/// SIMT device paths.
+pub trait CohortHandler {
+    /// Map a request to its cohort key (the paper groups by request
+    /// type). `None` means the request has no kernel — it is answered
+    /// immediately with [`CohortHandler::reject`] and never batched.
+    fn classify(&self, req: &HttpRequest) -> Option<u32>;
+
+    /// Execute one cohort of same-key requests, returning one raw HTTP
+    /// response per request, in order. Must not panic on odd inputs: a
+    /// short return is padded with `500`s by the server.
+    fn execute(&mut self, key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>>;
+
+    /// Response for a request [`CohortHandler::classify`] refused.
+    fn reject(&self, _req: &HttpRequest) -> Vec<u8> {
+        responses::not_found_404()
+    }
+}
+
+/// Front-end configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Admitted-connection cap; connections beyond it are shed with
+    /// `503` + `Retry-After` at accept time.
+    pub max_connections: usize,
+    /// Per-request size cap (headers + declared body); larger gets `413`.
+    pub max_request_bytes: usize,
+    /// Idle connections (no bytes, no responses in flight) older than
+    /// this are reaped — a stalled or half-open client cannot hold a slot
+    /// forever.
+    pub read_deadline: Duration,
+    /// Target cohort size (requests per kernel launch).
+    pub cohort_size: usize,
+    /// Formation timeout: a PartiallyFull cohort launches at this age
+    /// even if not full (paper: bounded extra delay).
+    pub fill_timeout: Duration,
+    /// Preallocated cohort contexts; running out sheds with `503`.
+    pub pool_contexts: u32,
+    /// Sleep between polls when nothing progressed (bounds idle spin).
+    pub idle_sleep: Duration,
+    /// `Retry-After` seconds advertised on `503` sheds.
+    pub retry_after_s: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 256,
+            max_request_bytes: 16 * 1024,
+            read_deadline: Duration::from_secs(10),
+            cohort_size: 32,
+            fill_timeout: Duration::from_millis(2),
+            pool_contexts: 8,
+            idle_sleep: Duration::from_micros(200),
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// Counters accumulated over one server run.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct NetStats {
+    /// Connections admitted.
+    pub accepted: u64,
+    /// Connections shed at accept time (over the connection cap).
+    pub rejected_over_cap: u64,
+    /// Peak simultaneous admitted connections.
+    pub peak_connections: usize,
+    /// Complete requests parsed off sockets.
+    pub requests: u64,
+    /// Responses produced by the cohort handler.
+    pub responses: u64,
+    /// Responses whose connection vanished before delivery.
+    pub responses_dropped: u64,
+    /// Cohorts launched.
+    pub cohorts: u64,
+    /// Cohorts launched full.
+    pub full_launches: u64,
+    /// Cohorts launched by the formation timeout.
+    pub timeout_launches: u64,
+    /// Sum of launch fills (see [`NetStats::mean_fill`]).
+    pub fill_sum: f64,
+    /// Sum of cohort sizes at launch (requests per launch).
+    pub launched_requests: u64,
+    /// Requests shed with `503` (pool exhausted or FSM refusal).
+    pub shed_503: u64,
+    /// Requests rejected with `413` (size cap).
+    pub too_large_413: u64,
+    /// Requests rejected with `400` (malformed).
+    pub bad_request_400: u64,
+    /// Requests the handler refused to classify (`404` by default).
+    pub unclassified: u64,
+    /// Fallible-FSM refusals survived without panicking.
+    pub fsm_rejections: u64,
+    /// Idle/half-open connections reaped by the read deadline.
+    pub reaped_idle: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl NetStats {
+    /// Mean cohort fill at launch (1.0 = always full).
+    pub fn mean_fill(&self) -> f64 {
+        if self.cohorts == 0 {
+            0.0
+        } else {
+            self.fill_sum / self.cohorts as f64
+        }
+    }
+
+    /// Mean requests per cohort launch.
+    pub fn mean_requests_per_launch(&self) -> f64 {
+        if self.cohorts == 0 {
+            0.0
+        } else {
+            self.launched_requests as f64 / self.cohorts as f64
+        }
+    }
+}
+
+/// One admitted connection's state.
+#[derive(Debug)]
+struct Connection {
+    stream: TcpStream,
+    acc: RequestAccumulator,
+    /// Bytes queued for writing; `out_pos` marks how far we've written.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Next request sequence number to assign.
+    next_seq: u64,
+    /// Next sequence number whose response goes on the wire (responses
+    /// must leave in request order even when cohorts retire out of
+    /// order).
+    next_to_send: u64,
+    /// Completed responses waiting for earlier sequences.
+    ready: BTreeMap<u64, Vec<u8>>,
+    last_activity: Instant,
+    /// Stop reading; close once drained (fatal parse error sent).
+    closing: bool,
+    /// Peer closed its write side.
+    eof: bool,
+    /// I/O error; drop without draining.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream, max_request_bytes: usize) -> Self {
+        Connection {
+            stream,
+            acc: RequestAccumulator::new(max_request_bytes),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            next_to_send: 0,
+            ready: BTreeMap::new(),
+            last_activity: Instant::now(),
+            closing: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// Responses assigned but not yet appended to the write buffer.
+    fn outstanding(&self) -> u64 {
+        self.next_seq - self.next_to_send
+    }
+
+    fn out_drained(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+
+    /// Record the response for `seq` and move every now-in-order response
+    /// into the write buffer.
+    fn complete(&mut self, seq: u64, bytes: Vec<u8>) {
+        self.ready.insert(seq, bytes);
+        while let Some(b) = self.ready.remove(&self.next_to_send) {
+            self.out.extend_from_slice(&b);
+            self.next_to_send += 1;
+        }
+    }
+
+    /// Assign a sequence number and complete it immediately (canned
+    /// responses that never reach a cohort).
+    fn respond_now(&mut self, bytes: Vec<u8>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.complete(seq, bytes);
+    }
+}
+
+/// A parsed request waiting in a cohort context, remembering where its
+/// response must go.
+#[derive(Clone, Debug)]
+struct Pending {
+    conn: u64,
+    seq: u64,
+    req: HttpRequest,
+    arrived: Instant,
+}
+
+/// The non-blocking cohort front end.
+///
+/// Single-threaded and poll-driven, mirroring the paper's event-loop
+/// server: each [`NetServer::poll`] accepts new connections, reads every
+/// readable socket, parses complete requests, dispatches them into
+/// cohort contexts, launches full or timed-out cohorts through the
+/// [`CohortHandler`], and flushes responses. [`NetServer::run`] loops
+/// `poll` until a stop flag is raised.
+#[derive(Debug)]
+pub struct NetServer<H> {
+    listener: TcpListener,
+    config: NetConfig,
+    handler: H,
+    pool: CohortPool<Pending>,
+    conns: HashMap<u64, Connection>,
+    next_conn_id: u64,
+    stats: NetStats,
+    epoch: Instant,
+}
+
+impl<H: CohortHandler> NetServer<H> {
+    /// Bind a listener and prepare the cohort pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero cohort size, context count, or connection cap.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: NetConfig, handler: H) -> std::io::Result<Self> {
+        assert!(config.cohort_size > 0, "cohort size must be nonzero");
+        assert!(config.pool_contexts > 0, "need at least one context");
+        assert!(config.max_connections > 0, "need at least one connection");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let pool = CohortPool::new(config.pool_contexts, config.cohort_size);
+        Ok(NetServer {
+            listener,
+            config,
+            handler,
+            pool,
+            conns: HashMap::new(),
+            next_conn_id: 0,
+            stats: NetStats::default(),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The bound address (use with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Borrow the workload handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Serve until `stop` is raised, then drain and return the run's
+    /// counters along with the handler.
+    pub fn run(self, stop: &AtomicBool) -> (NetStats, H) {
+        self.run_traced(stop, &NoopRecorder)
+    }
+
+    /// [`NetServer::run`] with `rhythm-obs` instrumentation: wall-clock
+    /// cohort execute spans on the `net:device` track, FSM transition
+    /// instants on `net:ctx<N>` tracks, `cohort_fill` and
+    /// `net_request_latency_s` histograms, and shed counters on the
+    /// `net` track. The recorder is observational only.
+    pub fn run_traced<R: Recorder + ?Sized>(mut self, stop: &AtomicBool, rec: &R) -> (NetStats, H) {
+        while !stop.load(Ordering::Relaxed) {
+            if !self.poll_traced(rec) {
+                std::thread::sleep(self.config.idle_sleep);
+            }
+        }
+        self.drain(rec);
+        (self.stats, self.handler)
+    }
+
+    /// One non-blocking service iteration; returns whether anything
+    /// progressed (callers may sleep briefly when it did not).
+    pub fn poll(&mut self) -> bool {
+        self.poll_traced(&NoopRecorder)
+    }
+
+    /// [`NetServer::poll`] with a recorder attached.
+    pub fn poll_traced<R: Recorder + ?Sized>(&mut self, rec: &R) -> bool {
+        let mut progress = false;
+        progress |= self.accept_new();
+        let parsed = self.read_sockets(&mut progress);
+        for p in parsed {
+            self.dispatch(p, rec);
+            progress = true;
+        }
+        progress |= self.check_timeouts(rec);
+        progress |= self.write_sockets();
+        self.reap();
+        progress
+    }
+
+    /// After the stop flag: launch whatever is still partially formed and
+    /// push out pending bytes (bounded, best effort).
+    fn drain<R: Recorder + ?Sized>(&mut self, rec: &R) {
+        for id in 0..self.pool.len() as ContextId {
+            if self.pool.get(id).state() == CohortState::PartiallyFull {
+                self.launch(id, true, rec);
+            }
+        }
+        for _ in 0..64 {
+            if !self.write_sockets() {
+                break;
+            }
+        }
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if self.conns.len() >= self.config.max_connections {
+                        // Over the cap: shed at the door with an explicit
+                        // retry hint rather than queueing unboundedly.
+                        self.stats.rejected_over_cap += 1;
+                        let mut s = stream;
+                        let _ = s.set_nonblocking(false);
+                        let _ = s.write_all(&responses::shed_503(self.config.retry_after_s));
+                        let _ = s.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.stats.accepted += 1;
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.conns
+                        .insert(id, Connection::new(stream, self.config.max_request_bytes));
+                    self.stats.peak_connections = self.stats.peak_connections.max(self.conns.len());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    /// Read every readable socket and parse complete requests. Requests
+    /// are returned (rather than dispatched inline) so the borrow of the
+    /// connection map ends before cohort dispatch begins.
+    fn read_sockets(&mut self, progress: &mut bool) -> Vec<Pending> {
+        let mut parsed = Vec::new();
+        let mut chunk = [0u8; 4096];
+        for (&id, conn) in self.conns.iter_mut() {
+            if conn.closing || conn.dead || conn.eof {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.acc.feed(&chunk[..n]);
+                        self.stats.bytes_in += n as u64;
+                        conn.last_activity = Instant::now();
+                        *progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.dead {
+                continue;
+            }
+            loop {
+                match conn.acc.next_request() {
+                    Ok(Some(req)) => {
+                        self.stats.requests += 1;
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        parsed.push(Pending {
+                            conn: id,
+                            seq,
+                            req,
+                            arrived: Instant::now(),
+                        });
+                    }
+                    Ok(None) => break,
+                    Err(ParseError::TooLarge { .. }) => {
+                        self.stats.too_large_413 += 1;
+                        conn.respond_now(responses::too_large_413());
+                        conn.closing = true;
+                        break;
+                    }
+                    Err(e) => {
+                        self.stats.bad_request_400 += 1;
+                        conn.respond_now(responses::bad_request_400(&e.to_string()));
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+        }
+        parsed
+    }
+
+    /// Dispatch one parsed request into a cohort context, shedding with
+    /// `503` when no context can take it. Never panics: FSM refusals
+    /// (which the guarded lookup makes unreachable) shed the request too.
+    fn dispatch<R: Recorder + ?Sized>(&mut self, p: Pending, rec: &R) {
+        let Some(key) = self.handler.classify(&p.req) else {
+            self.stats.unclassified += 1;
+            let resp = self.handler.reject(&p.req);
+            self.route(p.conn, p.seq, resp, None, rec);
+            return;
+        };
+        let now_s = self.epoch.elapsed().as_secs_f64();
+        let ctx = match self.pool.open_for(key) {
+            Some(c) => Some(c),
+            None => self.pool.acquire(),
+        };
+        let Some(id) = ctx else {
+            self.shed(p, rec);
+            return;
+        };
+        let fresh = self.pool.get(id).state() == CohortState::Free;
+        match self.pool.get_mut(id).add(p, key, now_s) {
+            Ok(()) => {
+                if rec.enabled() {
+                    let full = self.pool.get(id).state() == CohortState::Full;
+                    let name = match (fresh, full) {
+                        (true, true) => "Free→Full",
+                        (true, false) => "Free→PartiallyFull",
+                        (false, true) => "PartiallyFull→Full",
+                        (false, false) => "",
+                    };
+                    if !name.is_empty() {
+                        let fill = self.pool.get(id).fill();
+                        rec.instant(
+                            Clock::Wall,
+                            &format!("net:ctx{id}"),
+                            name,
+                            rec.wall_now_us(),
+                            &[("fill", ArgValue::F64(fill))],
+                        );
+                    }
+                }
+                if self.pool.get(id).state() == CohortState::Full {
+                    self.launch(id, false, rec);
+                }
+            }
+            Err(rej) => {
+                // One bad dispatch must never take down the loop: the
+                // refused request is shed like a pool-exhaustion stall.
+                self.stats.fsm_rejections += 1;
+                self.shed(rej.request, rec);
+            }
+        }
+    }
+
+    /// Answer `503` + `Retry-After` for a request no context can hold.
+    fn shed<R: Recorder + ?Sized>(&mut self, p: Pending, rec: &R) {
+        self.stats.shed_503 += 1;
+        if rec.enabled() {
+            rec.counter(
+                Clock::Wall,
+                "net",
+                "shed_503",
+                rec.wall_now_us(),
+                self.stats.shed_503 as f64,
+            );
+        }
+        let resp = responses::shed_503(self.config.retry_after_s);
+        self.route(p.conn, p.seq, resp, None, rec);
+    }
+
+    /// Launch the cohort in context `id` through the handler and route
+    /// the responses back onto their connections.
+    fn launch<R: Recorder + ?Sized>(&mut self, id: ContextId, by_timeout: bool, rec: &R) {
+        let key = self.pool.get(id).key();
+        let n = self.pool.get(id).members().len();
+        let fill = self.pool.get(id).fill();
+        if self.pool.get_mut(id).launch().is_err() {
+            // Unreachable (launch sites guard the state), but a refusal
+            // only costs this launch attempt, not the server.
+            self.stats.fsm_rejections += 1;
+            return;
+        }
+        self.stats.cohorts += 1;
+        self.stats.launched_requests += n as u64;
+        self.stats.fill_sum += fill;
+        if by_timeout {
+            self.stats.timeout_launches += 1;
+        } else {
+            self.stats.full_launches += 1;
+        }
+        if rec.enabled() {
+            let name = if by_timeout {
+                "PartiallyFull→Busy (timeout)"
+            } else {
+                "Full→Busy"
+            };
+            rec.instant(
+                Clock::Wall,
+                &format!("net:ctx{id}"),
+                name,
+                rec.wall_now_us(),
+                &[("fill", ArgValue::F64(fill))],
+            );
+            rec.sample("cohort_fill", fill);
+        }
+
+        // The context stays Busy for the duration of the handler call —
+        // the wall-clock analogue of the pipeline's execute phase.
+        let reqs: Vec<HttpRequest> = self
+            .pool
+            .get(id)
+            .members()
+            .iter()
+            .map(|m| m.req.clone())
+            .collect();
+        let t0 = rec.wall_now_us();
+        let mut replies = self.handler.execute(key, &reqs);
+        if rec.enabled() {
+            let t1 = rec.wall_now_us();
+            rec.span(
+                Clock::Wall,
+                "net:device",
+                &format!("cohort key={key}"),
+                t0,
+                t1 - t0,
+                &[
+                    ("requests", ArgValue::U64(n as u64)),
+                    ("fill", ArgValue::F64(fill)),
+                ],
+            );
+            rec.instant(Clock::Wall, &format!("net:ctx{id}"), "Busy→Free", t1, &[]);
+        }
+        if replies.len() < n {
+            replies.resize_with(n, responses::internal_500);
+        }
+
+        let members = self.pool.get_mut(id).release().unwrap_or_default();
+        for (m, resp) in members.into_iter().zip(replies) {
+            self.stats.responses += 1;
+            self.route(m.conn, m.seq, resp, Some(m.arrived), rec);
+        }
+    }
+
+    /// Deliver a response to its connection's ordered output queue.
+    fn route<R: Recorder + ?Sized>(
+        &mut self,
+        conn: u64,
+        seq: u64,
+        bytes: Vec<u8>,
+        arrived: Option<Instant>,
+        rec: &R,
+    ) {
+        if let (Some(at), true) = (arrived, rec.enabled()) {
+            rec.sample("net_request_latency_s", at.elapsed().as_secs_f64());
+        }
+        match self.conns.get_mut(&conn) {
+            Some(c) => c.complete(seq, bytes),
+            None => self.stats.responses_dropped += 1,
+        }
+    }
+
+    /// Launch PartiallyFull cohorts whose formation timeout has expired.
+    fn check_timeouts<R: Recorder + ?Sized>(&mut self, rec: &R) -> bool {
+        let now_s = self.epoch.elapsed().as_secs_f64();
+        let deadline = self.config.fill_timeout.as_secs_f64();
+        let mut launched = false;
+        for id in 0..self.pool.len() as ContextId {
+            if self.pool.get(id).state() == CohortState::PartiallyFull
+                && now_s - self.pool.get(id).opened_at() >= deadline
+            {
+                self.launch(id, true, rec);
+                launched = true;
+            }
+        }
+        launched
+    }
+
+    fn write_sockets(&mut self) -> bool {
+        let mut progress = false;
+        for conn in self.conns.values_mut() {
+            if conn.dead {
+                continue;
+            }
+            while !conn.out_drained() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        self.stats.bytes_out += n as u64;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.out_drained() && !conn.out.is_empty() {
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+        }
+        progress
+    }
+
+    /// Drop dead connections, finished `Connection: close` conversations,
+    /// and idle/half-open peers past the read deadline.
+    fn reap(&mut self) {
+        let deadline = self.config.read_deadline;
+        let stats = &mut self.stats;
+        let now = Instant::now();
+        self.conns.retain(|_, c| {
+            if c.dead {
+                return false;
+            }
+            let drained = c.out_drained() && c.outstanding() == 0;
+            if (c.closing || c.eof) && drained {
+                return false;
+            }
+            if drained && now.duration_since(c.last_activity) >= deadline {
+                // No response owed and nothing arriving: a stalled or
+                // half-open client. Reap so it cannot hold a slot.
+                stats.reaped_idle += 1;
+                return false;
+            }
+            true
+        });
+    }
+}

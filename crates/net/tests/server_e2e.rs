@@ -1,0 +1,335 @@
+//! End-to-end socket tests for `NetServer` with a workload-agnostic echo
+//! handler: cohort batching, pipelining, formation timeouts, overload
+//! shedding (503), size caps (413), malformed input (400), and idle
+//! reaping — all over real TCP connections.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rhythm_http::{HttpRequest, ResponseBuilder};
+use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats};
+
+/// Echoes each request's path back, recording every cohort's size.
+struct EchoHandler {
+    cohort_sizes: Vec<usize>,
+}
+
+impl CohortHandler for EchoHandler {
+    fn classify(&self, req: &HttpRequest) -> Option<u32> {
+        // Key by first path segment character so distinct "types" form
+        // distinct cohorts; `/none*` is unclassifiable (404 path).
+        if req.path.starts_with("/none") {
+            None
+        } else {
+            Some(req.path.as_bytes().get(1).copied().unwrap_or(0) as u32)
+        }
+    }
+
+    fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {
+        self.cohort_sizes.push(requests.len());
+        requests
+            .iter()
+            .map(|r| {
+                let mut b = ResponseBuilder::new(200, "OK");
+                b.header("Content-Type", "text/plain");
+                b.reserve_content_length();
+                b.finish_headers();
+                b.write_str(&format!("echo {}", r.path));
+                b.finish()
+            })
+            .collect()
+    }
+}
+
+struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<(NetStats, EchoHandler)>>,
+}
+
+impl Server {
+    fn start(config: NetConfig) -> Self {
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            config,
+            EchoHandler {
+                cohort_sizes: Vec::new(),
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || server.run(&flag));
+        Server {
+            addr,
+            stop,
+            join: Some(join),
+        }
+    }
+
+    fn finish(mut self) -> (NetStats, EchoHandler) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("server thread")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn get(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").into_bytes()
+}
+
+#[test]
+fn single_request_round_trip() {
+    let server = Server::start(NetConfig {
+        cohort_size: 4,
+        fill_timeout: Duration::from_millis(1),
+        ..NetConfig::default()
+    });
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    send_request(&mut conn, &get("/alpha")).unwrap();
+    let resp = read_response(&mut conn, &mut carry).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body(), b"echo /alpha");
+
+    let (stats, _) = server.finish();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.responses, 1);
+    assert_eq!(
+        stats.timeout_launches, 1,
+        "lone request launches by timeout"
+    );
+}
+
+#[test]
+fn pipelined_same_type_requests_form_one_cohort() {
+    let server = Server::start(NetConfig {
+        cohort_size: 4,
+        fill_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    // Four same-key requests back-to-back fill one cohort exactly.
+    let mut burst = Vec::new();
+    for i in 0..4 {
+        burst.extend_from_slice(&get(&format!("/same{i}")));
+    }
+    send_request(&mut conn, &burst).unwrap();
+    for i in 0..4 {
+        let resp = read_response(&mut conn, &mut carry).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body(),
+            format!("echo /same{i}").as_bytes(),
+            "responses keep request order"
+        );
+    }
+
+    let (stats, handler) = server.finish();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.full_launches, 1, "the burst fills one full cohort");
+    assert_eq!(handler.cohort_sizes, vec![4]);
+    assert!((stats.mean_fill() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn mixed_types_split_into_per_key_cohorts() {
+    let server = Server::start(NetConfig {
+        cohort_size: 8,
+        fill_timeout: Duration::from_millis(1),
+        ..NetConfig::default()
+    });
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&get("/aa"));
+    burst.extend_from_slice(&get("/bb"));
+    burst.extend_from_slice(&get("/ab"));
+    send_request(&mut conn, &burst).unwrap();
+    let mut bodies = Vec::new();
+    for _ in 0..3 {
+        let resp = read_response(&mut conn, &mut carry).unwrap();
+        assert_eq!(resp.status, 200);
+        bodies.push(String::from_utf8(resp.body().to_vec()).unwrap());
+    }
+    // Responses come back in request order even though the two cohorts
+    // (key 'a': /aa + /ab, key 'b': /bb) retire independently.
+    assert_eq!(bodies, vec!["echo /aa", "echo /bb", "echo /ab"]);
+
+    let (stats, handler) = server.finish();
+    assert_eq!(stats.cohorts, 2, "one cohort per key");
+    let mut sizes = handler.cohort_sizes.clone();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![1, 2]);
+}
+
+#[test]
+fn unclassified_request_gets_404_without_a_cohort() {
+    let server = Server::start(NetConfig::default());
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    send_request(&mut conn, &get("/none/such")).unwrap();
+    let resp = read_response(&mut conn, &mut carry).unwrap();
+    assert_eq!(resp.status, 404);
+
+    let (stats, handler) = server.finish();
+    assert_eq!(stats.unclassified, 1);
+    assert_eq!(stats.cohorts, 0);
+    assert!(handler.cohort_sizes.is_empty());
+}
+
+#[test]
+fn oversized_request_gets_413_and_close() {
+    let server = Server::start(NetConfig {
+        max_request_bytes: 128,
+        ..NetConfig::default()
+    });
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    let huge = format!(
+        "GET /x HTTP/1.1\r\nHost: t\r\nX-Pad: {}\r\n\r\n",
+        "p".repeat(200)
+    );
+    send_request(&mut conn, huge.as_bytes()).unwrap();
+    let resp = read_response(&mut conn, &mut carry).unwrap();
+    assert_eq!(resp.status, 413);
+
+    let (stats, _) = server.finish();
+    assert_eq!(stats.too_large_413, 1);
+}
+
+#[test]
+fn lying_content_length_gets_413_not_a_hang() {
+    let server = Server::start(NetConfig {
+        max_request_bytes: 256,
+        ..NetConfig::default()
+    });
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    // Declares far more body than the cap; only headers are sent.
+    send_request(
+        &mut conn,
+        b"POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: 1000000\r\n\r\n",
+    )
+    .unwrap();
+    let resp = read_response(&mut conn, &mut carry).unwrap();
+    assert_eq!(resp.status, 413);
+
+    let (stats, _) = server.finish();
+    assert_eq!(stats.too_large_413, 1);
+}
+
+#[test]
+fn malformed_request_gets_400() {
+    let server = Server::start(NetConfig::default());
+    let mut conn = connect(server.addr);
+    let mut carry = Vec::new();
+    send_request(&mut conn, b"BREW /pot HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let resp = read_response(&mut conn, &mut carry).unwrap();
+    assert_eq!(resp.status, 400);
+
+    let (stats, _) = server.finish();
+    assert_eq!(stats.bad_request_400, 1);
+}
+
+#[test]
+fn over_cap_connections_are_shed_with_503() {
+    let server = Server::start(NetConfig {
+        max_connections: 2,
+        ..NetConfig::default()
+    });
+    // Two admitted connections hold their slots (keep-alive, no close).
+    let mut held = Vec::new();
+    let mut carry = Vec::new();
+    for _ in 0..2 {
+        let mut c = connect(server.addr);
+        send_request(&mut c, &get("/held")).unwrap();
+        let resp = read_response(&mut c, &mut carry).unwrap();
+        assert_eq!(resp.status, 200);
+        carry.clear();
+        held.push(c);
+    }
+    // Further connections are over the cap: shed with 503 + Retry-After.
+    let mut sheds = 0;
+    for _ in 0..3 {
+        let mut c = connect(server.addr);
+        let mut carry = Vec::new();
+        send_request(&mut c, &get("/extra")).unwrap();
+        let resp = read_response(&mut c, &mut carry).unwrap();
+        if resp.status == 503 {
+            assert!(
+                resp.header("Retry-After").is_some(),
+                "503 carries Retry-After"
+            );
+            sheds += 1;
+        }
+    }
+    assert!(sheds > 0, "over-cap connections must see 503");
+
+    drop(held);
+    let (stats, _) = server.finish();
+    assert_eq!(stats.rejected_over_cap, sheds as u64);
+    assert!(stats.peak_connections <= 2);
+}
+
+#[test]
+fn half_open_connection_is_reaped_by_deadline() {
+    let server = Server::start(NetConfig {
+        read_deadline: Duration::from_millis(50),
+        ..NetConfig::default()
+    });
+    // Connect and go silent — a half-open client holding a slot.
+    let _silent = connect(server.addr);
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (stats, _) = server.finish();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.reaped_idle, 1, "silent connection reaped by deadline");
+}
+
+#[test]
+fn two_connections_interleave_into_shared_cohorts() {
+    let server = Server::start(NetConfig {
+        cohort_size: 2,
+        fill_timeout: Duration::from_millis(100),
+        ..NetConfig::default()
+    });
+    let mut a = connect(server.addr);
+    let mut b = connect(server.addr);
+    let (mut ca, mut cb) = (Vec::new(), Vec::new());
+    // One same-key request from each connection: together they fill a
+    // 2-wide cohort, and each response is transposed back to its own
+    // connection.
+    send_request(&mut a, &get("/shared/a")).unwrap();
+    send_request(&mut b, &get("/shared/b")).unwrap();
+    let ra = read_response(&mut a, &mut ca).unwrap();
+    let rb = read_response(&mut b, &mut cb).unwrap();
+    assert_eq!(ra.body(), b"echo /shared/a");
+    assert_eq!(rb.body(), b"echo /shared/b");
+
+    let (stats, handler) = server.finish();
+    assert_eq!(stats.full_launches, 1, "cross-connection cohort filled");
+    assert_eq!(handler.cohort_sizes, vec![2]);
+}

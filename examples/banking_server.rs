@@ -1,153 +1,182 @@
-//! A live TCP banking server built from the Rhythm substrates: the
-//! `rhythm-http` parser, the native (CPU-path) banking handlers, and the
-//! shared session array.
+//! A live TCP banking server on the Rhythm networked front end: the
+//! non-blocking `rhythm-net` reader feeds per-type cohorts to either the
+//! native (CPU) handlers or the full SIMT device pipeline.
 //!
 //! By default it runs a self-contained demo: it binds an ephemeral port,
-//! spawns a client that logs in, fetches pages and logs out, then exits.
-//! Pass `--serve` to keep listening so you can drive it with curl:
+//! spawns a client that logs in, fetches pages over one keep-alive
+//! connection and logs out, then exits. Pass `--serve` to keep listening
+//! so you can drive it with curl, and `--simt` to serve cohorts on the
+//! simulated data-parallel device instead of the scalar path:
 //!
 //! ```sh
-//! cargo run --release --example banking_server -- --serve
+//! cargo run --release --example banking_server -- --serve --simt
 //! # in another shell (replace PORT):
 //! curl -s -X POST 'http://127.0.0.1:PORT/bank/login.php' -d 'userid=7'
 //! ```
+//!
+//! Either way the front end is the same: requests are parsed off
+//! non-blocking sockets, batched into per-type cohorts (Free →
+//! PartiallyFull → Full → Busy), launched on fill or on the formation
+//! timeout, and the responses are transposed back onto their connections.
 
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use rhythm_banking::prelude::*;
-use rhythm_http::{HttpRequest, ParseError};
+use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats};
+use rhythm_simt::gpu::{Gpu, GpuConfig};
+
+const NUM_USERS: u32 = 256;
+const SESSION_CAPACITY: u32 = 65536;
+const SESSION_SALT: u32 = 0x5EED_0001;
+
+fn config() -> NetConfig {
+    NetConfig {
+        cohort_size: 32,
+        fill_timeout: Duration::from_millis(2),
+        ..NetConfig::default()
+    }
+}
+
+fn scalar_handler() -> ScalarHandler {
+    ScalarHandler::new(
+        BankStore::generate(NUM_USERS, 1),
+        SessionArrayHost::new(SESSION_CAPACITY, SESSION_SALT),
+    )
+}
+
+fn simt_handler() -> SimtHandler {
+    let opts = CohortOptions {
+        session_capacity: SESSION_CAPACITY,
+        session_salt: SESSION_SALT,
+        ..CohortOptions::default()
+    };
+    SimtHandler::new(
+        Workload::build(),
+        BankStore::generate(NUM_USERS, 1),
+        SessionArrayHost::new(SESSION_CAPACITY, SESSION_SALT),
+        Gpu::new(GpuConfig::gtx_titan()),
+        opts,
+    )
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let serve_forever = std::env::args().any(|a| a == "--serve");
-
-    let listener = TcpListener::bind("127.0.0.1:0")?;
-    let addr = listener.local_addr()?;
-    println!("rhythm banking server listening on http://{addr}/bank/");
+    let args: Vec<String> = std::env::args().collect();
+    let serve_forever = args.iter().any(|a| a == "--serve");
+    let simt = args.iter().any(|a| a == "--simt");
 
     if serve_forever {
-        let mut state = ServerState::new();
-        for stream in listener.incoming() {
-            match stream {
-                Ok(s) => {
-                    if let Err(e) = state.handle_connection(s) {
-                        eprintln!("connection error: {e}");
-                    }
-                }
-                Err(e) => eprintln!("accept error: {e}"),
-            }
+        // Serve until killed. The run loop polls; ctrl-C exits the
+        // process, so the stop flag never fires here.
+        let stop = AtomicBool::new(false);
+        if simt {
+            let server = NetServer::bind("127.0.0.1:0", config(), simt_handler())?;
+            println!(
+                "rhythm banking server (SIMT cohort path) on http://{}/bank/",
+                server.local_addr()?
+            );
+            server.run(&stop);
+        } else {
+            let server = NetServer::bind("127.0.0.1:0", config(), scalar_handler())?;
+            println!(
+                "rhythm banking server (scalar path) on http://{}/bank/",
+                server.local_addr()?
+            );
+            server.run(&stop);
         }
         return Ok(());
     }
 
-    // Demo mode: drive ourselves with a client thread.
-    let client = std::thread::spawn(move || -> Result<(), std::io::Error> {
-        let send = |req: String| -> Result<String, std::io::Error> {
-            let mut s = TcpStream::connect(addr)?;
-            s.write_all(req.as_bytes())?;
-            let mut buf = Vec::new();
-            s.read_to_end(&mut buf)?;
-            Ok(String::from_utf8_lossy(&buf).into_owned())
-        };
-
-        let login = send(
-            "POST /bank/login.php HTTP/1.1\r\nHost: demo\r\nContent-Length: 8\r\n\r\nuserid=7"
-                .into(),
-        )?;
-        let token: u32 = login
-            .lines()
-            .find(|l| l.starts_with("Set-Cookie: SID="))
-            .and_then(|l| l["Set-Cookie: SID=".len()..].trim().parse().ok())
-            .expect("login sets a session cookie");
-        println!("[client] logged in, session token {token}");
-
-        for page in ["account_summary.php", "profile.php", "transfer.php"] {
-            let resp = send(format!(
-                "GET /bank/{page}?userid=7 HTTP/1.1\r\nHost: demo\r\nCookie: SID={token}\r\n\r\n"
-            ))?;
-            let first = resp.lines().next().unwrap_or("");
-            let bytes = resp.len();
-            println!("[client] {page:<22} -> {first} ({bytes} bytes)");
-            assert!(first.contains("200"), "expected 200 for {page}");
-        }
-
-        let logout = send(format!(
-            "GET /bank/logout.php?userid=7 HTTP/1.1\r\nHost: demo\r\nCookie: SID={token}\r\n\r\n"
-        ))?;
+    // Demo mode: run the server on a thread and drive it with one
+    // keep-alive client connection.
+    if simt {
+        let (stats, handler) = demo(simt_handler())?;
         println!(
-            "[client] logout                 -> {}",
-            logout.lines().next().unwrap_or("")
+            "demo complete: {} requests in {} device cohorts (mean fill {:.2}), \
+             {:.3} ms modelled device time, {} live sessions remain",
+            stats.requests,
+            handler.cohorts,
+            stats.mean_fill(),
+            handler.device_time_s * 1e3,
+            handler.sessions().len()
         );
-        Ok(())
-    });
-
-    let mut state = ServerState::new();
-    for _ in 0..5 {
-        let (stream, _) = listener.accept()?;
-        state.handle_connection(stream)?;
+    } else {
+        let (stats, handler) = demo(scalar_handler())?;
+        println!(
+            "demo complete: {} requests in {} cohorts (mean fill {:.2}), \
+             {} live sessions remain (logout cleaned up)",
+            stats.requests,
+            stats.cohorts,
+            stats.mean_fill(),
+            handler.sessions().len()
+        );
     }
-    client.join().expect("client thread")?;
-    println!(
-        "demo complete: {} live sessions remain (logout cleaned up)",
-        state.sessions.len()
-    );
     Ok(())
 }
 
-/// Server-side state: the bank store and the session array.
-struct ServerState {
-    store: BankStore,
-    sessions: SessionArrayHost,
-}
+fn demo<H: CohortHandler + Send + 'static>(
+    handler: H,
+) -> Result<(NetStats, H), Box<dyn std::error::Error>> {
+    let server = NetServer::bind("127.0.0.1:0", config(), handler)?;
+    let addr = server.local_addr()?;
+    println!("rhythm banking server listening on http://{addr}/bank/");
 
-impl ServerState {
-    fn new() -> Self {
-        ServerState {
-            store: BankStore::generate(256, 1),
-            sessions: SessionArrayHost::new(65536, 0x5EED_0001),
-        }
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let join = std::thread::spawn(move || server.run(&flag));
+
+    // One keep-alive connection for the whole conversation.
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut carry = Vec::new();
+
+    send_request(
+        &mut conn,
+        b"POST /bank/login.php HTTP/1.1\r\nHost: demo\r\nContent-Length: 8\r\n\r\nuserid=7",
+    )?;
+    let login = read_response(&mut conn, &mut carry)?;
+    assert_eq!(login.status, 200, "login must succeed");
+    let token: u32 = login
+        .header("Set-Cookie")
+        .and_then(|v| v.strip_prefix("SID=").map(|t| t.trim().to_string()))
+        .and_then(|t| t.parse().ok())
+        .expect("login sets a session cookie");
+    println!("[client] logged in, session token {token}");
+
+    for page in ["account_summary.php", "profile.php", "transfer.php"] {
+        send_request(
+            &mut conn,
+            format!(
+                "GET /bank/{page}?userid=7 HTTP/1.1\r\nHost: demo\r\nCookie: SID={token}\r\n\r\n"
+            )
+            .as_bytes(),
+        )?;
+        let resp = read_response(&mut conn, &mut carry)?;
+        println!(
+            "[client] {page:<22} -> {} ({} bytes)",
+            resp.status,
+            resp.bytes.len()
+        );
+        assert_eq!(resp.status, 200, "expected 200 for {page}");
     }
 
-    fn handle_connection(&mut self, mut stream: TcpStream) -> std::io::Result<()> {
-        let mut buf = Vec::with_capacity(1024);
-        let mut chunk = [0u8; 1024];
-        let response = loop {
-            let n = stream.read(&mut chunk)?;
-            if n == 0 {
-                return Ok(()); // peer went away
-            }
-            buf.extend_from_slice(&chunk[..n]);
-            match HttpRequest::parse(&buf) {
-                Ok(req) => break self.respond(&req),
-                Err(ParseError::Truncated) | Err(ParseError::BodyTooShort { .. }) => continue,
-                Err(e) => break error_response(400, &format!("bad request: {e}")),
-            }
-        };
-        stream.write_all(&response)?;
-        Ok(())
-    }
+    send_request(
+        &mut conn,
+        format!(
+            "GET /bank/logout.php?userid=7 HTTP/1.1\r\nHost: demo\r\nCookie: SID={token}\r\n\r\n"
+        )
+        .as_bytes(),
+    )?;
+    let logout = read_response(&mut conn, &mut carry)?;
+    println!("[client] logout                 -> {}", logout.status);
+    assert_eq!(logout.status, 200);
+    drop(conn);
 
-    fn respond(&mut self, req: &HttpRequest) -> Vec<u8> {
-        let Some(ty) = RequestType::from_file_name(req.file_name()) else {
-            return error_response(404, "unknown endpoint");
-        };
-        let token = req
-            .cookies
-            .get("SID")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        let mut params = [0u32; 4];
-        params[0] = req.params.get_u32("userid").unwrap_or(0);
-        params[1] = req.params.get_u32("a").unwrap_or(0);
-        let banking = BankingRequest::new(ty, token, params);
-        handle_native(&banking, &self.store, &mut self.sessions)
-    }
-}
-
-fn error_response(status: u16, msg: &str) -> Vec<u8> {
-    format!(
-        "HTTP/1.1 {status} Error\nContent-Type: text/plain\nContent-Length: {}\n\n{msg}",
-        msg.len()
-    )
-    .into_bytes()
+    stop.store(true, Ordering::Relaxed);
+    let (stats, handler) = join.join().expect("server thread");
+    assert_eq!(stats.requests, 5, "demo sends five requests");
+    assert_eq!(stats.shed_503, 0, "no shedding at demo load");
+    Ok((stats, handler))
 }
