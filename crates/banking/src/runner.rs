@@ -7,11 +7,14 @@
 //! formation, timeouts and overlapping cohorts) lives in `rhythm-core`;
 //! this runner executes one already-formed cohort to completion.
 
+use std::sync::{Arc, OnceLock};
+
 use rhythm_obs::{s_to_us, ArgValue, Clock, NoopRecorder, Recorder};
 use rhythm_simt::exec::LaunchConfig;
 use rhythm_simt::gpu::{Gpu, LaunchResult};
 use rhythm_simt::mem::DeviceMemory;
 use rhythm_simt::ExecError;
+use rhythm_verify::Verifier;
 
 use crate::backend::BankStore;
 use crate::genreq::GeneratedRequest;
@@ -87,6 +90,12 @@ pub struct CohortOptions {
     /// (`0` = one per available core, `1` = serial). Responses and stats
     /// are bit-identical at any worker count.
     pub workers: Option<u32>,
+    /// Run every kernel through the `rhythm-verify` static analyzer
+    /// before launch (default **on**): programs with `Error`-severity
+    /// findings are rejected with [`ExecError::Rejected`] instead of
+    /// executing. Verdicts are cached per (kernel, launch shape), so the
+    /// steady-state cost is one hash lookup per launch.
+    pub verify: bool,
 }
 
 impl Default for CohortOptions {
@@ -98,17 +107,39 @@ impl Default for CohortOptions {
             session_salt: 0x5EED_0001,
             skip_parser: false,
             workers: None,
+            verify: true,
         }
     }
 }
 
-/// Apply a [`CohortOptions::workers`] override to a device handle,
-/// returning the device to launch on.
+/// The process-wide verifier shared by every gated cohort launch (one
+/// admission cache across cohorts).
+fn shared_verifier() -> Arc<Verifier> {
+    static VERIFIER: OnceLock<Arc<Verifier>> = OnceLock::new();
+    VERIFIER.get_or_init(|| Arc::new(Verifier::new())).clone()
+}
+
+/// Apply [`CohortOptions::workers`] and [`CohortOptions::verify`] to a
+/// device handle, returning the device to launch on.
 fn effective_gpu<'a>(gpu: &'a Gpu, opts: &CohortOptions, slot: &'a mut Option<Gpu>) -> &'a Gpu {
-    match opts.workers {
-        None => gpu,
-        Some(w) => slot.insert(Gpu::new(gpu.config().clone().with_workers(w))),
+    let needs_gate = opts.verify && gpu.gate().is_none();
+    if opts.workers.is_none() && !needs_gate {
+        return gpu;
     }
+    let mut g = match opts.workers {
+        None => gpu.clone(),
+        Some(w) => {
+            let mut fresh = Gpu::new(gpu.config().clone().with_workers(w));
+            if let Some(gate) = gpu.gate() {
+                fresh = fresh.with_gate(gate.clone());
+            }
+            fresh
+        }
+    };
+    if needs_gate {
+        g = g.with_gate(shared_verifier());
+    }
+    slot.insert(g)
 }
 
 /// Run one uniform-type cohort through parse → process stages → response.

@@ -26,6 +26,7 @@ fn opts(transposed: bool) -> CohortOptions {
         session_salt: SALT,
         skip_parser: false,
         workers: None,
+        verify: true,
     }
 }
 

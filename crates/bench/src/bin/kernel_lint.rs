@@ -1,0 +1,181 @@
+//! Lint every banking kernel with the `rhythm-verify` static analyzer.
+//!
+//! Each kernel is checked against the same launch environment the cohort
+//! runner uses (the [`CohortLayout`] parameter vector and memory extents
+//! for its request type), so the diagnostics describe real launches, not
+//! a synthetic context. Exits nonzero if any kernel has an
+//! `Error`-severity finding — this is the CI gate.
+//!
+//! Usage: `kernel_lint [--json] [--cohort N] [--verbose]`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use rhythm_banking::backend::BankStore;
+use rhythm_banking::kernels::Workload;
+use rhythm_banking::layout::CohortLayout;
+use rhythm_banking::types::RequestType;
+use rhythm_verify::{verify_program, Diagnostic, LaunchSpec, Report, Severity};
+
+const DEFAULT_COHORT: u32 = 1024;
+const SESSION_CAPACITY: u32 = 4096;
+const SESSION_SALT: u32 = 0x5EED_0001;
+const NUM_USERS: u32 = 2048;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut verbose = false;
+    let mut cohort = DEFAULT_COHORT;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--verbose" => verbose = true,
+            "--cohort" => {
+                cohort = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cohort needs a positive integer");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: kernel_lint [--json] [--cohort N] [--verbose]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let workload = Workload::build();
+    let store_bytes = BankStore::generate(NUM_USERS, 1).serialize_device().len() as u32;
+
+    // Lint each kernel against every launch environment it can actually
+    // see (the layout differs per request type via the response slot
+    // size), merging duplicate findings so shared kernels such as the
+    // parser get one row.
+    let mut merged: BTreeMap<String, Report> = BTreeMap::new();
+    for ty in RequestType::ALL {
+        let layout = CohortLayout::new(
+            cohort,
+            ty.response_buffer_bytes(),
+            SESSION_CAPACITY,
+            SESSION_SALT,
+            store_bytes,
+            true,
+        );
+        let spec = LaunchSpec {
+            lanes: cohort,
+            params: Some(layout.params()),
+            global_bytes: Some(layout.total_bytes as u64),
+            shared_bytes: Some(1024),
+            local_bytes: Some(64),
+            const_bytes: Some(workload.pool.len() as u64),
+        };
+        let programs = [&workload.parser, &workload.backend, &workload.image]
+            .into_iter()
+            .chain(workload.stages_of(ty).iter());
+        for program in programs {
+            let report = verify_program(program, &spec);
+            let entry = merged
+                .entry(report.program.clone())
+                .or_insert_with(|| Report {
+                    program: report.program.clone(),
+                    diagnostics: Vec::new(),
+                });
+            for d in report.diagnostics {
+                if !entry.diagnostics.contains(&d) {
+                    entry.diagnostics.push(d);
+                }
+            }
+        }
+    }
+
+    let total_errors: usize = merged.values().map(|r| r.count(Severity::Error)).sum();
+    if json {
+        print_json(cohort, &merged, total_errors);
+    } else {
+        print_table(cohort, &merged, total_errors, verbose);
+    }
+    if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_table(cohort: u32, merged: &BTreeMap<String, Report>, total_errors: usize, verbose: bool) {
+    println!("kernel lint (cohort={cohort}, {} kernels)", merged.len());
+    println!(
+        "{:<24} {:>6} {:>8} {:>6}",
+        "kernel", "errors", "warnings", "infos"
+    );
+    for report in merged.values() {
+        println!(
+            "{:<24} {:>6} {:>8} {:>6}",
+            report.program,
+            report.count(Severity::Error),
+            report.count(Severity::Warning),
+            report.count(Severity::Info),
+        );
+        for d in &report.diagnostics {
+            if d.severity == Severity::Info && !verbose {
+                continue;
+            }
+            println!("    {d}");
+        }
+    }
+    println!(
+        "result: {total_errors} error(s) across {} kernel(s)",
+        merged.len()
+    );
+}
+
+fn print_json(cohort: u32, merged: &BTreeMap<String, Report>, total_errors: usize) {
+    let mut programs = Vec::new();
+    for report in merged.values() {
+        let diags: Vec<String> = report.diagnostics.iter().map(diag_json).collect();
+        programs.push(format!(
+            "{{\"name\":{},\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[{}]}}",
+            json_str(&report.program),
+            report.count(Severity::Error),
+            report.count(Severity::Warning),
+            report.count(Severity::Info),
+            diags.join(",")
+        ));
+    }
+    println!(
+        "{{\"cohort\":{cohort},\"total_errors\":{total_errors},\"programs\":[{}]}}",
+        programs.join(",")
+    );
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"severity\":{},\"rule\":{},\"block\":{},\"op_index\":{},\"message\":{}}}",
+        json_str(&d.severity.to_string()),
+        json_str(d.rule),
+        d.block.map_or("null".to_string(), |b| b.to_string()),
+        d.op_index.map_or("null".to_string(), |i| i.to_string()),
+        json_str(&d.message),
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -149,6 +149,7 @@ pub fn titan_type_measurement(
         session_salt: SALT,
         skip_parser: false,
         workers: None,
+        verify: true,
     };
     let mut s = sessions.clone();
     let result =

@@ -60,6 +60,39 @@ impl Default for LaunchConfig {
     }
 }
 
+/// A structured pre-launch rejection produced by a [`crate::gpu::LaunchGate`].
+///
+/// Carries enough to point a kernel author at the offending instruction:
+/// the rule identifier of the static check that fired, the program name,
+/// and the block / op coordinates (when the finding is op-level).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GateRejection {
+    /// Stable identifier of the rule that rejected the launch
+    /// (e.g. `"bounds-oob"`).
+    pub rule: String,
+    /// Name of the rejected program.
+    pub program: String,
+    /// Basic block containing the finding, when op-level.
+    pub block: Option<u32>,
+    /// Op index within the block, when op-level.
+    pub op_index: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for GateRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.program)?;
+        if let Some(b) = self.block {
+            write!(f, " bb{b}")?;
+            if let Some(i) = self.op_index {
+                write!(f, ".{i}")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
 /// Execution failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
 #[allow(missing_docs)] // field names are self-describing
@@ -72,6 +105,8 @@ pub enum ExecError {
     MissingParam { index: u16 },
     /// Internal invariant violation in the divergence stack.
     Reconvergence(&'static str),
+    /// A pre-launch static check rejected the program before any lane ran.
+    Rejected(GateRejection),
 }
 
 impl fmt::Display for ExecError {
@@ -83,6 +118,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::MissingParam { index } => write!(f, "launch parameter {index} not supplied"),
             ExecError::Reconvergence(msg) => write!(f, "divergence-stack invariant broken: {msg}"),
+            ExecError::Rejected(r) => write!(f, "launch rejected by static check: {r}"),
         }
     }
 }

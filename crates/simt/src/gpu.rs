@@ -12,14 +12,41 @@
 //! (many warps hide each other's latency); `max_warp_cycles` bounds small
 //! launches that cannot fill the machine.
 
+use std::fmt;
+use std::sync::Arc;
+
 use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
 use crate::exec::simt::execute_simt_workers_traced;
-use crate::exec::{ExecError, LaunchConfig};
+use crate::exec::{ExecError, GateRejection, LaunchConfig};
 use crate::ir::Program;
 use crate::mem::{ConstPool, DeviceMemory};
 use crate::stats::KernelStats;
+
+/// A pre-launch admission check run by [`Gpu::launch`] before any lane
+/// executes.
+///
+/// Gates see the program plus the concrete launch environment (config,
+/// memory image, const pool) and either admit the launch (`Ok`) or refuse
+/// it with a structured [`GateRejection`], which the launch surfaces as
+/// [`ExecError::Rejected`]. The canonical implementation is the
+/// `rhythm-verify` static analyzer; the trait lives here so the device
+/// crate stays free of analyzer dependencies.
+pub trait LaunchGate: Send + Sync {
+    /// Admit or reject `program` for this launch environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection that should abort the launch.
+    fn check(
+        &self,
+        program: &Program,
+        cfg: &LaunchConfig,
+        mem: &DeviceMemory,
+        pool: &ConstPool,
+    ) -> Result<(), GateRejection>;
+}
 
 /// Static description of a SIMT device.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -129,20 +156,43 @@ pub struct LaunchResult {
 /// assert!(res.time_s > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Gpu {
     config: GpuConfig,
+    gate: Option<Arc<dyn LaunchGate>>,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.config)
+            .field("gate", &self.gate.as_ref().map(|_| "<LaunchGate>"))
+            .finish()
+    }
 }
 
 impl Gpu {
-    /// Create a device from its configuration.
+    /// Create a device from its configuration, with no launch gate.
     pub fn new(config: GpuConfig) -> Self {
-        Gpu { config }
+        Gpu { config, gate: None }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// Same device with a pre-launch admission gate installed: every
+    /// [`Gpu::launch`] first runs `gate`, and a rejection aborts the launch
+    /// with [`ExecError::Rejected`] before any lane executes.
+    pub fn with_gate(mut self, gate: Arc<dyn LaunchGate>) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The installed launch gate, if any.
+    pub fn gate(&self) -> Option<&Arc<dyn LaunchGate>> {
+        self.gate.as_ref()
     }
 
     /// Execute a kernel and model its latency.
@@ -187,6 +237,10 @@ impl Gpu {
     ) -> Result<LaunchResult, ExecError> {
         let mut cfg = cfg.clone();
         cfg.tx_bytes = self.config.tx_bytes;
+        if let Some(gate) = &self.gate {
+            gate.check(program, &cfg, mem, pool)
+                .map_err(ExecError::Rejected)?;
+        }
         let start_us = if rec.enabled() {
             rec.wall_now_us()
         } else {
@@ -349,6 +403,59 @@ mod tests {
             assert_eq!(rn, r1, "launch result differs at {w} workers");
             assert_eq!(mn, m1, "memory differs at {w} workers");
         }
+    }
+
+    #[test]
+    fn gate_rejects_before_any_lane_runs() {
+        struct AlwaysReject;
+        impl LaunchGate for AlwaysReject {
+            fn check(
+                &self,
+                program: &Program,
+                _cfg: &LaunchConfig,
+                _mem: &DeviceMemory,
+                _pool: &ConstPool,
+            ) -> Result<(), GateRejection> {
+                Err(GateRejection {
+                    rule: "test-reject".into(),
+                    program: program.name().to_string(),
+                    block: Some(0),
+                    op_index: Some(0),
+                    message: "refused".into(),
+                })
+            }
+        }
+
+        // A kernel that would write to memory if it ran.
+        let mut b = ProgramBuilder::new("poke");
+        let a = b.imm(0);
+        let v = b.imm(0xAB);
+        b.st_global_byte(a, 0, v);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let gpu = Gpu::new(GpuConfig::gtx_titan()).with_gate(Arc::new(AlwaysReject));
+        let mut mem = DeviceMemory::new(16);
+        let err = gpu
+            .launch(
+                &p,
+                &LaunchConfig::new(1, vec![]),
+                &mut mem,
+                &ConstPool::new(),
+            )
+            .unwrap_err();
+        match err {
+            ExecError::Rejected(r) => {
+                assert_eq!(r.rule, "test-reject");
+                assert_eq!(r.program, "poke");
+                assert!(r.to_string().contains("bb0.0"));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // The store never happened.
+        assert_eq!(mem.as_bytes()[0], 0);
+        // Debug formatting does not try to print the gate itself.
+        assert!(format!("{gpu:?}").contains("LaunchGate"));
     }
 
     #[test]

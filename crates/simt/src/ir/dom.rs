@@ -54,9 +54,38 @@ impl CfgInfo {
     ///
     /// # Panics
     ///
-    /// Panics if `block` is out of range for the analyzed program.
+    /// Panics with a descriptive message if `block` is the [`EXIT_BLOCK`]
+    /// sentinel (the sentinel has no post-dominator; querying it used to
+    /// abort with an opaque out-of-range slice index) or is otherwise out
+    /// of range for the analyzed program. Use [`CfgInfo::try_ipdom`] for a
+    /// non-panicking lookup.
     pub fn ipdom(&self, block: BlockId) -> BlockId {
+        assert_ne!(
+            block, EXIT_BLOCK,
+            "CfgInfo::ipdom queried with the EXIT_BLOCK sentinel; \
+             the virtual exit has no post-dominator"
+        );
+        assert!(
+            (block as usize) < self.ipdom.len(),
+            "CfgInfo::ipdom queried with out-of-range block {} (program has {} blocks)",
+            block,
+            self.ipdom.len()
+        );
         self.ipdom[block as usize]
+    }
+
+    /// Non-panicking [`CfgInfo::ipdom`]: `None` when `block` is the
+    /// [`EXIT_BLOCK`] sentinel or out of range.
+    pub fn try_ipdom(&self, block: BlockId) -> Option<BlockId> {
+        if block == EXIT_BLOCK {
+            return None;
+        }
+        self.ipdom.get(block as usize).copied()
+    }
+
+    /// Number of blocks in the analyzed program.
+    pub fn num_blocks(&self) -> usize {
+        self.ipdom.len()
     }
 }
 
@@ -291,5 +320,34 @@ mod tests {
         let p = program(vec![blk(Terminator::Jmp(1)), blk(Terminator::Halt)]);
         let cfg = CfgInfo::analyze(&p);
         assert_eq!(cfg.ipdom(0), 1);
+        assert_eq!(cfg.num_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "EXIT_BLOCK sentinel")]
+    fn ipdom_rejects_exit_sentinel_with_message() {
+        let p = program(vec![blk(Terminator::Halt)]);
+        let cfg = CfgInfo::analyze(&p);
+        // Chaining the sentinel back into ipdom() used to abort with an
+        // opaque `index out of bounds: ... 4294967295` slice panic.
+        let _ = cfg.ipdom(EXIT_BLOCK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range block")]
+    fn ipdom_rejects_out_of_range_block_with_message() {
+        let p = program(vec![blk(Terminator::Halt)]);
+        let cfg = CfgInfo::analyze(&p);
+        let _ = cfg.ipdom(7);
+    }
+
+    #[test]
+    fn try_ipdom_is_total() {
+        let p = program(vec![blk(Terminator::Jmp(1)), blk(Terminator::Halt)]);
+        let cfg = CfgInfo::analyze(&p);
+        assert_eq!(cfg.try_ipdom(0), Some(1));
+        assert_eq!(cfg.try_ipdom(1), Some(EXIT_BLOCK));
+        assert_eq!(cfg.try_ipdom(EXIT_BLOCK), None);
+        assert_eq!(cfg.try_ipdom(2), None);
     }
 }

@@ -90,7 +90,7 @@ impl MemSpace {
 /// Access width for loads and stores.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Width {
-    /// One byte; loads zero-extend.
+    /// One byte; loads zero-extend, stores write the value's low byte.
     Byte,
     /// Four bytes, little endian. Addresses need not be aligned (the
     /// simulator allows it) but aligned access coalesces better.
@@ -192,7 +192,7 @@ impl UnOp {
 }
 
 /// A straight-line IR instruction (everything except control flow).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 #[allow(missing_docs)] // field names are self-describing
 pub enum Op {
     /// `dst = value`
@@ -281,7 +281,7 @@ impl Op {
 }
 
 /// Block terminator: every basic block ends in exactly one of these.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 #[allow(missing_docs)] // field names are self-describing
 pub enum Terminator {
     /// Unconditional jump.

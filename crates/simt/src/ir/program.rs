@@ -6,7 +6,7 @@ use std::fmt;
 use super::{BlockId, Op, Terminator};
 
 /// A basic block: straight-line [`Op`]s followed by one [`Terminator`].
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct Block {
     /// Optional human-readable label, used in disassembly and traces.
     pub label: Option<String>,
@@ -181,6 +181,20 @@ impl Program {
     /// Total static instruction count (ops + terminators).
     pub fn static_len(&self) -> usize {
         self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// A structural fingerprint of the whole program (name, blocks, ops,
+    /// register-file size), suitable as a cache key for per-program
+    /// analyses. Two equal programs hash equal; distinct programs collide
+    /// only with ordinary 64-bit-hash probability.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.num_regs.hash(&mut h);
+        self.entry.hash(&mut h);
+        self.blocks.hash(&mut h);
+        h.finish()
     }
 
     /// Render a human-readable disassembly listing.

@@ -64,8 +64,8 @@ pub mod stats;
 pub mod streams;
 pub mod transpose;
 
-pub use exec::{ExecError, LaunchConfig, WARP_SIZE};
-pub use gpu::{Gpu, GpuConfig, LaunchResult};
+pub use exec::{ExecError, GateRejection, LaunchConfig, WARP_SIZE};
+pub use gpu::{Gpu, GpuConfig, LaunchGate, LaunchResult};
 pub use ir::{Program, ProgramBuilder};
 pub use mem::{ConstPool, DeviceMemory, MemError, SharedMem};
 pub use stats::{DivergenceStats, KernelStats, ScalarStats};

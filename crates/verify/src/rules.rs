@@ -1,0 +1,819 @@
+//! The rule catalogue: each pass walks the analyzed program and appends
+//! [`Diagnostic`]s. Severity policy:
+//!
+//! * `Error` is reserved for defects the analysis *proves* (a lost-update
+//!   store, an out-of-bounds access witnessed by a concrete lane, a launch
+//!   parameter that cannot be supplied). Errors abort gated launches.
+//! * `Warning` marks patterns that are almost certainly performance or
+//!   correctness hazards but depend on data (divergent reconvergence at
+//!   kernel exit, unbounded lane-dependent loops, may-race stores,
+//!   strided access).
+//! * `Info` marks throughput smells (scatter, serialization, dead code).
+
+use rhythm_simt::ir::{BinOp, MemSpace, Op, Program, Reg, Terminator, Width, EXIT_BLOCK};
+
+use crate::dataflow::{Abs, Analysis, Shape, Sym};
+use crate::{Diagnostic, LaunchSpec, Severity};
+
+/// Rule identifiers, as stable strings (used in reports, JSON, and CI
+/// gating).
+pub mod rule_id {
+    /// Lane-divergent branch that reconverges only at kernel exit.
+    pub const DIVERGENCE_EXIT: &str = "divergence-exit-reconvergence";
+    /// Lane-tainted loop back-edge condition with no provable bound.
+    pub const DIVERGENCE_UNBOUNDED_LOOP: &str = "divergence-unbounded-loop";
+    /// Lane-tainted shared-memory address (bank-conflict style scatter).
+    pub const DIVERGENCE_SHARED_SCATTER: &str = "divergence-shared-scatter";
+    /// All lanes store different values to one global address.
+    pub const RACE_UNIFORM_STORE: &str = "race-uniform-store";
+    /// All lanes store the same value to one global address.
+    pub const RACE_UNIFORM_STORE_UNIFORM_VALUE: &str = "race-uniform-store-uniform-value";
+    /// Cross-lane read/write footprint overlap without atomicity.
+    pub const RACE_RW_CONFLICT: &str = "race-rw-conflict";
+    /// Access provably outside the declared buffer extent.
+    pub const BOUNDS_OOB: &str = "bounds-oob";
+    /// `Param` index beyond the supplied parameter vector.
+    pub const BOUNDS_MISSING_PARAM: &str = "bounds-missing-param";
+    /// Non-unit-stride lane-varying global access.
+    pub const COALESCE_STRIDED: &str = "coalesce-strided-access";
+    /// Same-address atomic serializes the warp.
+    pub const COALESCE_ATOMIC_SERIAL: &str = "coalesce-atomic-serial";
+    /// Lane-varying global access with no recognizable structure.
+    pub const COALESCE_OPAQUE: &str = "coalesce-opaque-access";
+    /// Register read before any definition (reads the zero-fill).
+    pub const HYGIENE_USE_BEFORE_DEF: &str = "hygiene-use-before-def";
+    /// Block unreachable from the entry.
+    pub const HYGIENE_UNREACHABLE: &str = "hygiene-unreachable-block";
+    /// Pure register write that no instruction observes.
+    pub const HYGIENE_DEAD_STORE: &str = "hygiene-dead-store";
+}
+
+fn diag(
+    out: &mut Vec<Diagnostic>,
+    severity: Severity,
+    rule: &'static str,
+    block: u32,
+    op_index: Option<usize>,
+    message: String,
+) {
+    out.push(Diagnostic {
+        severity,
+        rule,
+        block: Some(block),
+        op_index,
+        message,
+    });
+}
+
+// ---- divergence ----------------------------------------------------------
+
+/// Divergence-taint family: exit-reconverging branches, unbounded tainted
+/// loops, shared-memory scatter.
+pub fn divergence(program: &Program, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    let headers: Vec<u32> = an.back_edges.iter().map(|&(_, v)| v).collect();
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue;
+        }
+        if let Terminator::Br { cond, .. } = block.term {
+            if an.tainted(cond) {
+                if an.cfg.try_ipdom(b as u32) == Some(EXIT_BLOCK) {
+                    diag(
+                        out,
+                        Severity::Warning,
+                        rule_id::DIVERGENCE_EXIT,
+                        b as u32,
+                        None,
+                        format!(
+                            "lane-divergent branch on {cond} reconverges only at kernel \
+                             exit; lanes that take the early path stay masked off for \
+                             the rest of the kernel"
+                        ),
+                    );
+                }
+                if headers.contains(&(b as u32)) && !provably_bounded(program, an, cond) {
+                    diag(
+                        out,
+                        Severity::Warning,
+                        rule_id::DIVERGENCE_UNBOUNDED_LOOP,
+                        b as u32,
+                        None,
+                        format!(
+                            "loop back-edge condition {cond} is lane-dependent with no \
+                             comparison against a known bound; iteration counts can \
+                             diverge per lane (the warp runs the worst lane's count)"
+                        ),
+                    );
+                }
+            }
+        }
+        for (i, op) in block.ops.iter().enumerate() {
+            if let Op::Ld {
+                space: MemSpace::Shared,
+                addr,
+                ..
+            }
+            | Op::St {
+                space: MemSpace::Shared,
+                addr,
+                ..
+            } = op
+            {
+                if an.tainted(*addr) {
+                    diag(
+                        out,
+                        Severity::Info,
+                        rule_id::DIVERGENCE_SHARED_SCATTER,
+                        b as u32,
+                        Some(i),
+                        format!("shared-memory access through lane-varying address {addr}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Bound heuristic for loop conditions: some definition of the condition
+/// register (following one `Mov` hop) is a comparison against an operand
+/// with known structure (constant or affine-in-lane), i.e. the classic
+/// `i < n` counted-loop shape.
+fn provably_bounded(program: &Program, an: &Analysis, cond: Reg) -> bool {
+    let mut targets = vec![cond];
+    // One Mov hop: `while (c)` is often emitted as `cond = Mov c`.
+    for block in program.blocks() {
+        for op in &block.ops {
+            if let Op::Mov { dst, src } = op {
+                if *dst == cond {
+                    targets.push(*src);
+                }
+            }
+        }
+    }
+    let known = |r: Reg| matches!(an.abs(r).shape, Shape::Const(_) | Shape::Affine { .. });
+    for block in program.blocks() {
+        for op in &block.ops {
+            if let Op::Bin { op: bop, dst, a, b } = op {
+                if targets.contains(dst)
+                    && matches!(
+                        bop,
+                        BinOp::Eq | BinOp::Ne | BinOp::LtU | BinOp::LeU | BinOp::GtU | BinOp::GeU
+                    )
+                    && (known(*a) || known(*b))
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---- races ---------------------------------------------------------------
+
+/// One analyzed global-memory access, with the offset folded into the
+/// affine base.
+struct Access {
+    block: u32,
+    op_index: usize,
+    /// `(coeff, sym)` or `None` for a uniform (all-lanes-equal) address.
+    stride: Option<(u32, Sym)>,
+    base: u32,
+    width: u32,
+    is_write: bool,
+    is_atomic: bool,
+}
+
+fn known_access(abs: Abs, offset: u32) -> Option<(Option<(u32, Sym)>, u32)> {
+    match abs.shape {
+        Shape::Const(c) => Some((None, c.wrapping_add(offset))),
+        Shape::Affine {
+            sym,
+            coeff,
+            base: Some(b),
+        } => Some((Some((coeff, sym)), b.wrapping_add(offset))),
+        _ => None,
+    }
+}
+
+/// Race family: uniform-address stores (lost updates) and cross-lane
+/// read/write footprint conflicts on global memory.
+pub fn races(program: &Program, spec: &LaunchSpec, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    if !an.multi_lane {
+        return;
+    }
+    let mut accesses: Vec<Access> = Vec::new();
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue;
+        }
+        for (i, op) in block.ops.iter().enumerate() {
+            let (space, addr, offset, width, is_write, is_atomic, value) = match *op {
+                Op::Ld {
+                    space,
+                    addr,
+                    offset,
+                    width,
+                    ..
+                } => (space, addr, offset, width, false, false, None),
+                Op::St {
+                    space,
+                    addr,
+                    offset,
+                    width,
+                    src,
+                } => (space, addr, offset, width, true, false, Some(src)),
+                Op::AtomicAdd {
+                    space,
+                    addr,
+                    offset,
+                    src,
+                    ..
+                } => (space, addr, offset, Width::Word, true, true, Some(src)),
+                _ => continue,
+            };
+            if space != MemSpace::Global {
+                continue;
+            }
+            let a = an.abs(addr);
+            // Uniform-address plain stores: every lane writes the same
+            // location; the warp's lockstep store loses all but one lane.
+            if is_write && !is_atomic && !a.tainted {
+                let src = value.expect("writes carry a source");
+                let v = an.abs(src);
+                if let Shape::Affine { .. } = v.shape {
+                    diag(
+                        out,
+                        Severity::Error,
+                        rule_id::RACE_UNIFORM_STORE,
+                        b as u32,
+                        Some(i),
+                        format!(
+                            "all lanes store to one global address through uniform {addr} \
+                             but the value {src} provably differs per lane: every lane's \
+                             update except one is lost (use AtomicAdd or a per-lane \
+                             address)"
+                        ),
+                    );
+                } else if v.tainted {
+                    diag(
+                        out,
+                        Severity::Warning,
+                        rule_id::RACE_UNIFORM_STORE,
+                        b as u32,
+                        Some(i),
+                        format!(
+                            "all lanes store to one global address through uniform {addr} \
+                             with a value that may differ per lane; colliding lanes lose \
+                             updates"
+                        ),
+                    );
+                } else {
+                    diag(
+                        out,
+                        Severity::Info,
+                        rule_id::RACE_UNIFORM_STORE_UNIFORM_VALUE,
+                        b as u32,
+                        Some(i),
+                        format!(
+                            "all lanes store the same value to one global address via \
+                             {addr}; harmless but redundant (one lane suffices)"
+                        ),
+                    );
+                }
+            }
+            if let Some((stride, base)) = known_access(a, offset) {
+                accesses.push(Access {
+                    block: b as u32,
+                    op_index: i,
+                    stride,
+                    base,
+                    width: width.bytes(),
+                    is_write,
+                    is_atomic,
+                });
+            }
+        }
+    }
+
+    // Pairwise cross-lane footprint overlap among structurally known
+    // accesses. Lane enumeration is capped: affine conflicts repeat with
+    // small periods, so the first lanes witness them.
+    let lanes = spec.lanes.clamp(2, 64);
+    let sym_max = |s: Option<(u32, Sym)>| match s {
+        None => 1,
+        Some((_, sym)) => Analysis::sym_range(sym, spec.lanes).min(lanes),
+    };
+    let addr_of = |acc: &Access, i: u32| match acc.stride {
+        None => acc.base,
+        Some((coeff, _)) => acc.base.wrapping_add(coeff.wrapping_mul(i)),
+    };
+    // Two accesses at equal symbol value belong to the same physical lane
+    // only if the symbol identifies the lane globally.
+    let same_lane = |a: &Access, b: &Access, i: u32, j: u32| match (a.stride, b.stride) {
+        (Some((_, sa)), Some((_, sb))) if sa == sb => {
+            i == j && (sa == Sym::Gid || spec.lanes <= 32)
+        }
+        _ => false,
+    };
+    for (x, a) in accesses.iter().enumerate() {
+        for b in accesses.iter().skip(x) {
+            let self_pair = std::ptr::eq(a, b);
+            if !(a.is_write || b.is_write) || (a.is_atomic && b.is_atomic) {
+                continue;
+            }
+            // Uniform-store collisions are reported above; skip the
+            // degenerate uniform/uniform pairing here.
+            if a.stride.is_none() && b.stride.is_none() {
+                continue;
+            }
+            let (na, nb) = (sym_max(a.stride), sym_max(b.stride));
+            let mut witness = None;
+            'scan: for i in 0..na {
+                for j in 0..nb {
+                    if self_pair && i == j {
+                        continue;
+                    }
+                    if same_lane(a, b, i, j) {
+                        continue;
+                    }
+                    let (pa, pb) = (addr_of(a, i) as u64, addr_of(b, j) as u64);
+                    if pa < pb + b.width as u64 && pb < pa + a.width as u64 {
+                        witness = Some((i, j));
+                        break 'scan;
+                    }
+                }
+            }
+            if let Some((i, j)) = witness {
+                diag(
+                    out,
+                    Severity::Warning,
+                    rule_id::RACE_RW_CONFLICT,
+                    a.block,
+                    Some(a.op_index),
+                    format!(
+                        "global {} here overlaps the {} at bb{}.{} across lanes without \
+                         atomicity (e.g. lane {} vs lane {} touch the same bytes); \
+                         result depends on warp scheduling",
+                        if a.is_write { "write" } else { "read" },
+                        if b.is_write { "write" } else { "read" },
+                        b.block,
+                        b.op_index,
+                        i,
+                        j
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---- bounds --------------------------------------------------------------
+
+/// Bounds family: concrete per-lane address evaluation against declared
+/// extents, plus unsupplied launch parameters.
+pub fn bounds(program: &Program, spec: &LaunchSpec, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue;
+        }
+        for (i, op) in block.ops.iter().enumerate() {
+            if let Op::Param { index, .. } = *op {
+                if let Some(p) = &spec.params {
+                    if index as usize >= p.len() {
+                        diag(
+                            out,
+                            Severity::Error,
+                            rule_id::BOUNDS_MISSING_PARAM,
+                            b as u32,
+                            Some(i),
+                            format!(
+                                "launch parameter {index} is read but only {} parameters \
+                                 are supplied; execution would fault with MissingParam",
+                                p.len()
+                            ),
+                        );
+                    }
+                }
+                continue;
+            }
+            let (space, addr, offset, width) = match *op {
+                Op::Ld {
+                    space,
+                    addr,
+                    offset,
+                    width,
+                    ..
+                }
+                | Op::St {
+                    space,
+                    addr,
+                    offset,
+                    width,
+                    ..
+                } => (space, addr, offset, width),
+                Op::AtomicAdd {
+                    space,
+                    addr,
+                    offset,
+                    ..
+                } => (space, addr, offset, Width::Word),
+                _ => continue,
+            };
+            let Some(extent) = spec.extent(space) else {
+                continue;
+            };
+            let a = an.abs(addr);
+            let Some((stride, base)) = known_access(a, offset) else {
+                continue;
+            };
+            let w = width.bytes() as u64;
+            let n = match stride {
+                None => 1,
+                Some((_, sym)) => Analysis::sym_range(sym, spec.lanes),
+            };
+            for s in 0..n {
+                let eff = match stride {
+                    None => base,
+                    Some((coeff, _)) => base.wrapping_add(coeff.wrapping_mul(s)),
+                };
+                if eff as u64 + w > extent {
+                    let lane = match stride {
+                        None => String::from("every lane"),
+                        Some((_, Sym::Lane)) => format!("warp lane {s}"),
+                        Some((_, Sym::Gid)) => format!("lane {s}"),
+                    };
+                    diag(
+                        out,
+                        Severity::Error,
+                        rule_id::BOUNDS_OOB,
+                        b as u32,
+                        Some(i),
+                        format!(
+                            "{space:?} access of {w} byte(s) at address {eff} exceeds the \
+                             declared extent of {extent} bytes ({lane})"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---- coalescing ----------------------------------------------------------
+
+/// Coalescing family: strided or opaque lane-varying global accesses and
+/// warp-serializing atomics.
+pub fn coalescing(program: &Program, spec: &LaunchSpec, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue;
+        }
+        for (i, op) in block.ops.iter().enumerate() {
+            match *op {
+                Op::Ld {
+                    space: MemSpace::Global,
+                    addr,
+                    width,
+                    ..
+                }
+                | Op::St {
+                    space: MemSpace::Global,
+                    addr,
+                    width,
+                    ..
+                } => {
+                    let a = an.abs(addr);
+                    match a.shape {
+                        Shape::Affine { coeff, .. } if coeff > width.bytes() => {
+                            let span = coeff as u64 * 31 + width.bytes() as u64;
+                            diag(
+                                out,
+                                Severity::Warning,
+                                rule_id::COALESCE_STRIDED,
+                                b as u32,
+                                Some(i),
+                                format!(
+                                    "global access strides {coeff} bytes per lane for a \
+                                     {}-byte access; a full warp spans {span} bytes \
+                                     (~{} 32 B sectors) instead of one coalesced run",
+                                    width.bytes(),
+                                    span.div_ceil(32)
+                                ),
+                            );
+                        }
+                        Shape::Any if a.tainted => diag(
+                            out,
+                            Severity::Info,
+                            rule_id::COALESCE_OPAQUE,
+                            b as u32,
+                            Some(i),
+                            format!(
+                                "global access through {addr} has no recognizable \
+                                 per-lane structure; the coalescer may see a scatter"
+                            ),
+                        ),
+                        _ => {}
+                    }
+                }
+                Op::AtomicAdd {
+                    space: MemSpace::Global | MemSpace::Shared,
+                    addr,
+                    ..
+                } if !an.tainted(addr) && spec.lanes > 1 => {
+                    diag(
+                        out,
+                        Severity::Warning,
+                        rule_id::COALESCE_ATOMIC_SERIAL,
+                        b as u32,
+                        Some(i),
+                        format!(
+                            "AtomicAdd through uniform address {addr}: all {} lanes \
+                             hit one location and serialize",
+                            spec.lanes.min(32)
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---- hygiene -------------------------------------------------------------
+
+/// Hygiene family: use-before-def, unreachable blocks, dead pure stores.
+pub fn hygiene(program: &Program, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    let n = program.blocks().len();
+    for b in 0..n {
+        if !an.reachable[b] {
+            diag(
+                out,
+                Severity::Warning,
+                rule_id::HYGIENE_UNREACHABLE,
+                b as u32,
+                None,
+                "block is unreachable from the entry".to_string(),
+            );
+        }
+    }
+    use_before_def(program, an, out);
+    dead_stores(program, an, out);
+}
+
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn empty(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64).max(1)],
+        }
+    }
+    fn full(n: usize) -> BitSet {
+        let mut s = BitSet::empty(n);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s
+    }
+    fn get(&self, i: u16) -> bool {
+        self.words[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+    fn set(&mut self, i: u16) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: u16) {
+        self.words[i as usize / 64] &= !(1 << (i % 64));
+    }
+    fn and_assign(&mut self, o: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&o.words) {
+            let nv = *a & b;
+            changed |= nv != *a;
+            *a = nv;
+        }
+        changed
+    }
+    fn or_assign(&mut self, o: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&o.words) {
+            let nv = *a | b;
+            changed |= nv != *a;
+            *a = nv;
+        }
+        changed
+    }
+    fn clone_set(&self) -> BitSet {
+        BitSet {
+            words: self.words.clone(),
+        }
+    }
+}
+
+/// Forward must-defined analysis; reads of never-yet-defined registers
+/// observe the register file's zero fill — legal but almost always a bug.
+fn use_before_def(program: &Program, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    let n = program.blocks().len();
+    let regs = program.num_regs() as usize;
+    let entry = program.entry() as usize;
+
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue;
+        }
+        for s in block.term.successors() {
+            preds[s as usize].push(b);
+        }
+    }
+
+    // OUT[b] = IN[b] ∪ defs(b); IN[b] = ∩ preds OUT; entry IN = ∅.
+    let mut out_sets: Vec<BitSet> = (0..n).map(|_| BitSet::full(regs)).collect();
+    let defs: Vec<BitSet> = program
+        .blocks()
+        .iter()
+        .map(|block| {
+            let mut d = BitSet::empty(regs);
+            for op in &block.ops {
+                if let Some(r) = op.dst() {
+                    d.set(r.0);
+                }
+            }
+            d
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if !an.reachable[b] {
+                continue;
+            }
+            let mut inb = if b == entry {
+                BitSet::empty(regs)
+            } else {
+                let mut s = BitSet::full(regs);
+                for &p in &preds[b] {
+                    s.and_assign(&out_sets[p]);
+                }
+                if preds[b].is_empty() {
+                    BitSet::empty(regs)
+                } else {
+                    s
+                }
+            };
+            inb.or_assign(&defs[b]);
+            if out_sets[b].words != inb.words {
+                out_sets[b] = inb;
+                changed = true;
+            }
+        }
+    }
+
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue;
+        }
+        let mut have = if b == entry {
+            BitSet::empty(regs)
+        } else {
+            let mut s = BitSet::full(regs);
+            let mut any = false;
+            for &p in &preds[b] {
+                any = true;
+                s.and_assign(&out_sets[p]);
+            }
+            if any {
+                s
+            } else {
+                BitSet::empty(regs)
+            }
+        };
+        let check = |r: Reg, have: &BitSet, op_index: Option<usize>, out: &mut Vec<Diagnostic>| {
+            if !have.get(r.0) {
+                diag(
+                    out,
+                    Severity::Warning,
+                    rule_id::HYGIENE_USE_BEFORE_DEF,
+                    b as u32,
+                    op_index,
+                    format!(
+                        "{r} is read before any definition on some path; it holds the \
+                         register file's zero fill"
+                    ),
+                );
+            }
+        };
+        for (i, op) in block.ops.iter().enumerate() {
+            for r in op.sources() {
+                check(r, &have, Some(i), out);
+            }
+            if let Some(r) = op.dst() {
+                have.set(r.0);
+            }
+        }
+        if let Terminator::Br { cond, .. } = block.term {
+            check(cond, &have, Some(block.ops.len()), out);
+        }
+    }
+}
+
+/// Backward liveness; pure register writes whose value is never observed.
+fn dead_stores(program: &Program, an: &Analysis, out: &mut Vec<Diagnostic>) {
+    let n = program.blocks().len();
+    let regs = program.num_regs() as usize;
+
+    // use/def summaries per block (backward within the block).
+    let mut use_b: Vec<BitSet> = Vec::with_capacity(n);
+    let mut def_b: Vec<BitSet> = Vec::with_capacity(n);
+    for block in program.blocks() {
+        let mut uses = BitSet::empty(regs);
+        let mut defs = BitSet::empty(regs);
+        if let Terminator::Br { cond, .. } = block.term {
+            uses.set(cond.0);
+        }
+        for op in block.ops.iter().rev() {
+            if let Some(d) = op.dst() {
+                uses.clear(d.0);
+                defs.set(d.0);
+            }
+            for s in op.sources() {
+                uses.set(s.0);
+            }
+        }
+        use_b.push(uses);
+        def_b.push(defs);
+    }
+
+    let mut live_in: Vec<BitSet> = (0..n).map(|_| BitSet::empty(regs)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (b, block) in program.blocks().iter().enumerate() {
+            let mut live_out = BitSet::empty(regs);
+            for s in block.term.successors() {
+                live_out.or_assign(&live_in[s as usize]);
+            }
+            // IN = use ∪ (OUT − def)
+            let mut inb = live_out.clone_set();
+            for (w, d) in inb.words.iter_mut().zip(&def_b[b].words) {
+                *w &= !d;
+            }
+            inb.or_assign(&use_b[b]);
+            if live_in[b].words != inb.words {
+                live_in[b] = inb;
+                changed = true;
+            }
+        }
+    }
+
+    for (b, block) in program.blocks().iter().enumerate() {
+        if !an.reachable[b] {
+            continue; // already reported as unreachable
+        }
+        let mut live = BitSet::empty(regs);
+        for s in block.term.successors() {
+            live.or_assign(&live_in[s as usize]);
+        }
+        if let Terminator::Br { cond, .. } = block.term {
+            live.set(cond.0);
+        }
+        // Walk backward, flagging pure writes to dead registers.
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, op) in block.ops.iter().enumerate().rev() {
+            let pure = matches!(
+                op,
+                Op::Imm { .. }
+                    | Op::Mov { .. }
+                    | Op::Bin { .. }
+                    | Op::Un { .. }
+                    | Op::LaneId { .. }
+                    | Op::GlobalId { .. }
+                    | Op::Param { .. }
+            );
+            if let Some(d) = op.dst() {
+                if pure && !live.get(d.0) {
+                    dead.push(i);
+                }
+                live.clear(d.0);
+            }
+            for s in op.sources() {
+                live.set(s.0);
+            }
+        }
+        for i in dead.into_iter().rev() {
+            let d = block.ops[i].dst().expect("dead stores have a dst");
+            diag(
+                out,
+                Severity::Info,
+                rule_id::HYGIENE_DEAD_STORE,
+                b as u32,
+                Some(i),
+                format!("{d} is written here but never read afterwards"),
+            );
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Analyzer corpus: for every rule family, one kernel that fires the rule
+//! and one near-miss that must stay silent. Keeping the near-misses green
+//! is what keeps the analyzer usable — a rule that fires on the innocent
+//! variant gets ignored in practice.
+
+use rhythm_simt::ir::{
+    BinOp, Block, MemSpace, Op, Program, ProgramBuilder, Reg, Terminator, Width,
+};
+use rhythm_verify::rules::rule_id;
+use rhythm_verify::{verify_program, LaunchSpec, Report, Severity};
+
+fn spec() -> LaunchSpec {
+    LaunchSpec {
+        lanes: 32,
+        params: Some(vec![0; 4]),
+        global_bytes: Some(4096),
+        shared_bytes: Some(1024),
+        local_bytes: Some(64),
+        const_bytes: Some(256),
+    }
+}
+
+fn lint(p: &Program) -> Report {
+    verify_program(p, &spec())
+}
+
+fn fires(r: &Report, rule: &str) -> bool {
+    r.diagnostics.iter().any(|d| d.rule == rule)
+}
+
+#[track_caller]
+fn assert_fires(r: &Report, rule: &str) {
+    assert!(fires(r, rule), "expected {rule} to fire; got:\n{r}");
+}
+
+#[track_caller]
+fn assert_silent(r: &Report, rule: &str) {
+    assert!(!fires(r, rule), "expected {rule} to stay silent; got:\n{r}");
+}
+
+// ---- divergence-exit-reconvergence ---------------------------------------
+
+#[test]
+fn divergence_exit_fires_on_branch_to_two_halts() {
+    let mut b = ProgramBuilder::new("exit_reconverge");
+    let lane = b.lane_id();
+    let one = b.imm(1);
+    let cond = b.bin(BinOp::And, lane, one);
+    let (t, f) = (b.new_block("t"), b.new_block("f"));
+    b.branch(cond, t, f);
+    b.switch_to(t);
+    b.halt();
+    b.switch_to(f);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::DIVERGENCE_EXIT);
+}
+
+#[test]
+fn divergence_exit_silent_on_reconverging_diamond_and_uniform_branch() {
+    // Lane-divergent, but reconverges at a join block: silent.
+    let mut b = ProgramBuilder::new("diamond");
+    let lane = b.lane_id();
+    let one = b.imm(1);
+    let cond = b.bin(BinOp::And, lane, one);
+    b.if_then(cond, |b| {
+        let _ = b.imm(7);
+    });
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::DIVERGENCE_EXIT);
+
+    // Uniform branch straight to two halts: no lanes diverge, silent.
+    let mut b = ProgramBuilder::new("uniform_exit");
+    let c = b.imm(1);
+    let (t, f) = (b.new_block("t"), b.new_block("f"));
+    b.branch(c, t, f);
+    b.switch_to(t);
+    b.halt();
+    b.switch_to(f);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::DIVERGENCE_EXIT);
+}
+
+// ---- divergence-unbounded-loop -------------------------------------------
+
+#[test]
+fn unbounded_loop_fires_on_data_dependent_scan() {
+    // while (load(p) != sentinel-from-memory): nothing compares against a
+    // known bound, iteration count is pure data.
+    let mut b = ProgramBuilder::new("scan");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    b.while_loop(
+        |b| b.ld_global_word(addr, 0),
+        |b| {
+            let v = b.ld_global_word(addr, 0);
+            let one = b.imm(1);
+            let next = b.bin(BinOp::Sub, v, one);
+            b.st_global_word(addr, 0, next);
+        },
+    );
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::DIVERGENCE_UNBOUNDED_LOOP);
+}
+
+#[test]
+fn unbounded_loop_silent_on_counted_loop_over_lane_data() {
+    // `while (v != 0)` where the comparison is against a constant: the
+    // classic bounded-countdown shape, lane-dependent but recognized.
+    let mut b = ProgramBuilder::new("countdown");
+    let lane = b.lane_id();
+    let v = b.reg();
+    b.mov(v, lane);
+    b.while_loop(
+        |b| {
+            let zero = b.imm(0);
+            b.bin(BinOp::Ne, v, zero)
+        },
+        |b| {
+            let one = b.imm(1);
+            b.bin_into(v, BinOp::Sub, v, one);
+        },
+    );
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::DIVERGENCE_UNBOUNDED_LOOP);
+}
+
+// ---- divergence-shared-scatter -------------------------------------------
+
+#[test]
+fn shared_scatter_fires_on_lane_hashed_shared_store() {
+    let mut b = ProgramBuilder::new("shared_scatter");
+    let lane = b.lane_id();
+    let h = b.hash_u32(lane);
+    let mask = b.imm(0xFC);
+    let addr = b.bin(BinOp::And, h, mask);
+    b.st(Width::Word, MemSpace::Shared, addr, 0, lane);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::DIVERGENCE_SHARED_SCATTER);
+}
+
+#[test]
+fn shared_scatter_silent_on_uniform_shared_access() {
+    let mut b = ProgramBuilder::new("shared_uniform");
+    let addr = b.imm(16);
+    let v = b.imm(42);
+    b.st(Width::Word, MemSpace::Shared, addr, 0, v);
+    let _ = b.ld(Width::Word, MemSpace::Shared, addr, 0);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::DIVERGENCE_SHARED_SCATTER);
+}
+
+// ---- race-uniform-store --------------------------------------------------
+
+#[test]
+fn lost_update_is_an_error_and_rejects_the_program() {
+    let mut b = ProgramBuilder::new("lost_update");
+    let lane = b.lane_id();
+    let addr = b.imm(0);
+    b.st_global_word(addr, 0, lane);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::RACE_UNIFORM_STORE);
+    assert_eq!(r.worst(), Some(Severity::Error));
+    assert!(!r.is_launchable());
+}
+
+#[test]
+fn uniform_store_near_misses_stay_launchable() {
+    // Same store, per-lane address: clean.
+    let mut b = ProgramBuilder::new("per_lane_store");
+    let lane = b.lane_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, lane, four);
+    b.st_global_word(addr, 0, lane);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::RACE_UNIFORM_STORE);
+
+    // Same address, atomic accumulate: the point of AtomicAdd; no lost
+    // update (the coalescing lint may still mention serialization).
+    let mut b = ProgramBuilder::new("atomic_accumulate");
+    let lane = b.lane_id();
+    let addr = b.imm(0);
+    let _ = b.atomic_add(MemSpace::Global, addr, 0, lane);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::RACE_UNIFORM_STORE);
+    assert!(r.is_launchable());
+
+    // Same address, provably uniform value: redundant, not racy — Info.
+    let mut b = ProgramBuilder::new("uniform_value");
+    let addr = b.imm(0);
+    let v = b.imm(7);
+    b.st_global_word(addr, 0, v);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::RACE_UNIFORM_STORE);
+    assert_fires(&r, rule_id::RACE_UNIFORM_STORE_UNIFORM_VALUE);
+    assert!(r.is_launchable());
+}
+
+// ---- race-rw-conflict ----------------------------------------------------
+
+#[test]
+fn rw_conflict_fires_on_neighbour_lane_overlap() {
+    // Lane i writes word [4i, 4i+4); lane i also reads [4i+4, 4i+8) —
+    // i.e. reads the word lane i+1 is writing.
+    let mut b = ProgramBuilder::new("neighbour_read");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    let v = b.ld_global_word(addr, 4);
+    b.st_global_word(addr, 0, v);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::RACE_RW_CONFLICT);
+}
+
+#[test]
+fn rw_conflict_silent_on_disjoint_per_lane_slots() {
+    // Each lane reads and writes only its own word.
+    let mut b = ProgramBuilder::new("own_slot");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    let v = b.ld_global_word(addr, 0);
+    let one = b.imm(1);
+    let v1 = b.bin(BinOp::Add, v, one);
+    b.st_global_word(addr, 0, v1);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::RACE_RW_CONFLICT);
+}
+
+// ---- bounds-oob ----------------------------------------------------------
+
+#[test]
+fn bounds_fires_on_word_straddling_buffer_end() {
+    // 32 lanes * 4 bytes fills [0,128); a +1 byte offset makes lane 31's
+    // word read bytes 125..129 — one past a 128-byte buffer.
+    let mut b = ProgramBuilder::new("straddle");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    let _ = b.ld_global_word(addr, 1);
+    b.halt();
+    let mut s = spec();
+    s.global_bytes = Some(128);
+    let r = verify_program(&b.build().unwrap(), &s);
+    assert!(
+        r.diagnostics
+            .iter()
+            .any(|d| d.rule == rule_id::BOUNDS_OOB && d.severity == Severity::Error),
+        "expected bounds-oob error, got:\n{r}"
+    );
+}
+
+#[test]
+fn bounds_silent_when_last_word_ends_exactly_at_extent() {
+    let mut b = ProgramBuilder::new("snug");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    let _ = b.ld_global_word(addr, 0);
+    b.halt();
+    let mut s = spec();
+    s.global_bytes = Some(128); // lane 31: bytes 124..128, in range
+    let r = verify_program(&b.build().unwrap(), &s);
+    assert_silent(&r, rule_id::BOUNDS_OOB);
+}
+
+// ---- bounds-missing-param ------------------------------------------------
+
+#[test]
+fn missing_param_fires_when_vector_is_short() {
+    let mut b = ProgramBuilder::new("needs_p9");
+    let p = b.param(9);
+    let addr = b.imm(0);
+    b.st_global_word(addr, 0, p);
+    b.halt();
+    let r = lint(&b.build().unwrap()); // spec supplies 4 params
+    assert!(
+        r.diagnostics
+            .iter()
+            .any(|d| d.rule == rule_id::BOUNDS_MISSING_PARAM && d.severity == Severity::Error),
+        "expected missing-param error, got:\n{r}"
+    );
+}
+
+#[test]
+fn missing_param_silent_when_supplied_or_unknown() {
+    let mut b = ProgramBuilder::new("needs_p3");
+    let p = b.param(3);
+    let addr = b.imm(0);
+    b.st_global_word(addr, 0, p);
+    b.halt();
+    let prog = b.build().unwrap();
+    let r = verify_program(&prog, &spec()); // 4 params: index 3 exists
+    assert_silent(&r, rule_id::BOUNDS_MISSING_PARAM);
+    // Unknown parameter vector: the rule cannot prove absence, stays quiet.
+    let r = verify_program(&prog, &LaunchSpec::lanes(32));
+    assert_silent(&r, rule_id::BOUNDS_MISSING_PARAM);
+}
+
+// ---- coalesce-strided-access ---------------------------------------------
+
+#[test]
+fn strided_access_fires_on_row_major_stride() {
+    let mut b = ProgramBuilder::new("row_major");
+    let gid = b.global_id();
+    let stride = b.imm(64);
+    let addr = b.bin(BinOp::Mul, gid, stride);
+    let _ = b.ld_global_word(addr, 0);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::COALESCE_STRIDED);
+}
+
+#[test]
+fn strided_access_silent_on_unit_stride() {
+    // A word access at 4 bytes/lane is exactly the coalesced shape.
+    let mut b = ProgramBuilder::new("unit_stride");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    let v = b.ld_global_word(addr, 0);
+    b.st_global_word(addr, 0, v);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::COALESCE_STRIDED);
+    assert_silent(&r, rule_id::COALESCE_OPAQUE);
+}
+
+// ---- coalesce-atomic-serial ----------------------------------------------
+
+#[test]
+fn atomic_serial_fires_on_shared_counter() {
+    let mut b = ProgramBuilder::new("one_counter");
+    let addr = b.imm(0);
+    let one = b.imm(1);
+    let _ = b.atomic_add(MemSpace::Global, addr, 0, one);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::COALESCE_ATOMIC_SERIAL);
+}
+
+#[test]
+fn atomic_serial_silent_on_per_lane_histogram_bins() {
+    let mut b = ProgramBuilder::new("per_lane_bins");
+    let lane = b.lane_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, lane, four);
+    let one = b.imm(1);
+    let _ = b.atomic_add(MemSpace::Global, addr, 0, one);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::COALESCE_ATOMIC_SERIAL);
+}
+
+// ---- hygiene -------------------------------------------------------------
+
+fn raw_block(ops: Vec<Op>, term: Terminator) -> Block {
+    Block {
+        label: None,
+        ops,
+        term,
+    }
+}
+
+#[test]
+fn use_before_def_fires_on_zero_fill_read() {
+    // r1 = r0 + r0 with r0 never written: reads the register file's
+    // zero fill. The builder can't express this; build the IR directly.
+    let p = Program::from_parts(
+        "zero_fill",
+        vec![raw_block(
+            vec![
+                Op::Bin {
+                    op: BinOp::Add,
+                    dst: Reg(1),
+                    a: Reg(0),
+                    b: Reg(0),
+                },
+                Op::St {
+                    space: MemSpace::Global,
+                    width: Width::Word,
+                    addr: Reg(1),
+                    offset: 0,
+                    src: Reg(1),
+                },
+            ],
+            Terminator::Halt,
+        )],
+        2,
+        0,
+    )
+    .unwrap();
+    let r = lint(&p);
+    assert_fires(&r, rule_id::HYGIENE_USE_BEFORE_DEF);
+}
+
+#[test]
+fn use_before_def_silent_when_defined_on_all_paths() {
+    let mut b = ProgramBuilder::new("all_paths");
+    let lane = b.lane_id();
+    let one = b.imm(1);
+    let cond = b.bin(BinOp::And, lane, one);
+    let v = b.reg();
+    b.if_then_else(cond, |b| b.imm_into(v, 10), |b| b.imm_into(v, 20));
+    let four = b.imm(4);
+    let gid = b.global_id();
+    let addr = b.bin(BinOp::Mul, gid, four);
+    b.st_global_word(addr, 0, v);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::HYGIENE_USE_BEFORE_DEF);
+}
+
+#[test]
+fn unreachable_block_fires_and_reachable_program_is_silent() {
+    let p = Program::from_parts(
+        "island",
+        vec![
+            raw_block(vec![], Terminator::Jmp(2)),
+            raw_block(vec![], Terminator::Jmp(2)), // no predecessors
+            raw_block(vec![], Terminator::Halt),
+        ],
+        1,
+        0,
+    )
+    .unwrap();
+    let r = lint(&p);
+    assert!(
+        r.diagnostics
+            .iter()
+            .any(|d| d.rule == rule_id::HYGIENE_UNREACHABLE && d.block == Some(1)),
+        "expected bb1 unreachable, got:\n{r}"
+    );
+
+    let mut b = ProgramBuilder::new("linear");
+    let v = b.imm(1);
+    let addr = b.imm(0);
+    let _ = b.atomic_add(MemSpace::Global, addr, 0, v);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::HYGIENE_UNREACHABLE);
+}
+
+#[test]
+fn dead_store_fires_on_unused_pure_value_and_not_on_used_one() {
+    let mut b = ProgramBuilder::new("dead");
+    let _unused = b.imm(99);
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    b.st_global_word(addr, 0, gid);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_fires(&r, rule_id::HYGIENE_DEAD_STORE);
+
+    let mut b = ProgramBuilder::new("live");
+    let v = b.imm(99);
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    b.st_global_word(addr, 0, v);
+    b.halt();
+    let r = lint(&b.build().unwrap());
+    assert_silent(&r, rule_id::HYGIENE_DEAD_STORE);
+}

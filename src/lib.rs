@@ -13,6 +13,7 @@
 //! | [`platform`] | platform/power/PCIe/network models |
 //! | [`trace`] | basic-block trace merging (Myers diff) |
 //! | [`obs`] | tracing recorder, streaming histograms, Perfetto export |
+//! | [`verify`] | pre-launch static analysis: divergence, races, bounds |
 //!
 //! See the repository README for a tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -42,3 +43,4 @@ pub use rhythm_obs as obs;
 pub use rhythm_platform as platform;
 pub use rhythm_simt as simt;
 pub use rhythm_trace as trace;
+pub use rhythm_verify as verify;
