@@ -96,6 +96,12 @@ pub struct CohortOptions {
     /// executing. Verdicts are cached per (kernel, launch shape), so the
     /// steady-state cost is one hash lookup per launch.
     pub verify: bool,
+    /// Serve kernel launches from the process-wide decode-plan cache
+    /// (default **on**): each kernel is flattened into its pre-decoded
+    /// `ExecPlan` once per process and every later cohort launch skips
+    /// decode and CFG analysis. Turn off only to measure decode cost;
+    /// results are bit-identical either way.
+    pub plan_cache: bool,
 }
 
 impl Default for CohortOptions {
@@ -108,6 +114,7 @@ impl Default for CohortOptions {
             skip_parser: false,
             workers: None,
             verify: true,
+            plan_cache: true,
         }
     }
 }
@@ -119,11 +126,12 @@ fn shared_verifier() -> Arc<Verifier> {
     VERIFIER.get_or_init(|| Arc::new(Verifier::new())).clone()
 }
 
-/// Apply [`CohortOptions::workers`] and [`CohortOptions::verify`] to a
-/// device handle, returning the device to launch on.
+/// Apply [`CohortOptions::workers`], [`CohortOptions::verify`], and
+/// [`CohortOptions::plan_cache`] to a device handle, returning the device
+/// to launch on.
 fn effective_gpu<'a>(gpu: &'a Gpu, opts: &CohortOptions, slot: &'a mut Option<Gpu>) -> &'a Gpu {
     let needs_gate = opts.verify && gpu.gate().is_none();
-    if opts.workers.is_none() && !needs_gate {
+    if opts.workers.is_none() && !needs_gate && gpu.plan_cache() == opts.plan_cache {
         return gpu;
     }
     let mut g = match opts.workers {
@@ -139,6 +147,7 @@ fn effective_gpu<'a>(gpu: &'a Gpu, opts: &CohortOptions, slot: &'a mut Option<Gp
     if needs_gate {
         g = g.with_gate(shared_verifier());
     }
+    g = g.with_plan_cache(opts.plan_cache);
     slot.insert(g)
 }
 

@@ -27,6 +27,7 @@ fn opts(transposed: bool) -> CohortOptions {
         skip_parser: false,
         workers: None,
         verify: true,
+        plan_cache: true,
     }
 }
 

@@ -80,7 +80,7 @@ fn gated_device_rejects_a_defective_kernel_but_admits_banking() {
     let err = gpu
         .launch(
             &bad,
-            &LaunchConfig::new(32, vec![]),
+            &LaunchConfig::new(32, []),
             &mut mem,
             &ConstPool::new(),
         )

@@ -35,7 +35,7 @@ fn bench_simt_kernel(c: &mut Criterion) {
         bench.iter_batched(
             || DeviceMemory::new(256 * 4),
             |mut mem| {
-                gpu.launch(&kernel, &LaunchConfig::new(256, vec![]), &mut mem, &pool)
+                gpu.launch(&kernel, &LaunchConfig::new(256, []), &mut mem, &pool)
                     .unwrap()
             },
             BatchSize::SmallInput,
@@ -71,7 +71,7 @@ fn bench_simt_workers(c: &mut Criterion) {
             bench.iter_batched(
                 || DeviceMemory::new(lanes as usize * 4),
                 |mut mem| {
-                    gpu.launch(&kernel, &LaunchConfig::new(lanes, vec![]), &mut mem, &pool)
+                    gpu.launch(&kernel, &LaunchConfig::new(lanes, []), &mut mem, &pool)
                         .unwrap()
                 },
                 BatchSize::SmallInput,

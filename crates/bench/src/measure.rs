@@ -150,6 +150,7 @@ pub fn titan_type_measurement(
         skip_parser: false,
         workers: None,
         verify: true,
+        plan_cache: true,
     };
     let mut s = sessions.clone();
     let result =

@@ -42,11 +42,13 @@
 #![warn(missing_debug_implementations)]
 
 mod chrome;
+mod counters;
 mod hist;
 mod recorder;
 mod summary;
 
 pub use chrome::{parse_json, validate_chrome_trace, Json, TraceCheck, PID_VIRTUAL, PID_WALL};
+pub use counters::{CacheCounters, CacheSnapshot, PoolCounters, PoolSnapshot};
 pub use hist::StreamingHistogram;
 pub use recorder::{
     s_to_us, ArgValue, Clock, NoopRecorder, OwnedArg, Phase, Recorder, TraceEvent, TraceRecorder,

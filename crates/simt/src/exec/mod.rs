@@ -1,5 +1,6 @@
 //! Kernel executors: scalar (CPU model) and SIMT warp-lockstep (GPU model).
 
+pub mod plan;
 pub mod scalar;
 pub mod simt;
 
@@ -33,10 +34,20 @@ impl LaunchConfig {
     /// A config for `lanes` lanes with the given params and the defaults
     /// for everything else (256 B local, 1 KiB shared, 128 B transactions,
     /// 1 G-instruction budget).
-    pub fn new(lanes: u32, params: Vec<u32>) -> Self {
+    ///
+    /// Takes anything convertible into the params vector, so argless
+    /// launch sites can write `LaunchConfig::new(lanes, [])` and skip the
+    /// `vec![]` ceremony:
+    ///
+    /// ```
+    /// use rhythm_simt::exec::LaunchConfig;
+    /// assert_eq!(LaunchConfig::new(64, []), LaunchConfig::new(64, Vec::new()));
+    /// assert_eq!(LaunchConfig::new(64, [7, 9]).params, vec![7, 9]);
+    /// ```
+    pub fn new(lanes: u32, params: impl Into<Vec<u32>>) -> Self {
         LaunchConfig {
             lanes,
-            params,
+            params: params.into(),
             ..Default::default()
         }
     }
@@ -144,7 +155,7 @@ mod tests {
 
     #[test]
     fn warps_round_up() {
-        let mut c = LaunchConfig::new(1, vec![]);
+        let mut c = LaunchConfig::new(1, []);
         assert_eq!(c.warps(), 1);
         c.lanes = 32;
         assert_eq!(c.warps(), 1);

@@ -53,7 +53,7 @@ impl<'a> ScalarRun<'a> {
 ///
 /// let mut mem = DeviceMemory::new(16);
 /// let pool = ConstPool::new();
-/// let cfg = LaunchConfig::new(1, vec![]);
+/// let cfg = LaunchConfig::new(1, []);
 /// let stats = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None)?;
 /// assert_eq!(mem.read_word(0)?, 42);
 /// assert_eq!(stats.instructions, 4); // 3 ops + halt
@@ -349,7 +349,7 @@ mod tests {
         let p = b.build().unwrap();
         let mut mem = DeviceMemory::new(4);
         let pool = ConstPool::new();
-        let cfg = LaunchConfig::new(1, vec![]);
+        let cfg = LaunchConfig::new(1, []);
         let mut trace = Vec::new();
         execute_scalar(
             &ScalarRun::new(&p, 0),
@@ -376,7 +376,7 @@ mod tests {
         let p = b.build().unwrap();
         let mut mem = DeviceMemory::new(4);
         let pool = ConstPool::new();
-        let mut cfg = LaunchConfig::new(1, vec![]);
+        let mut cfg = LaunchConfig::new(1, []);
         cfg.max_instructions = 1000;
         let err = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap_err();
         assert!(matches!(err, ExecError::Budget { .. }));
@@ -405,7 +405,7 @@ mod tests {
         let p = b.build().unwrap();
         let mut mem = DeviceMemory::new(4);
         let pool = ConstPool::new();
-        let cfg = LaunchConfig::new(1, vec![]);
+        let cfg = LaunchConfig::new(1, []);
         let err = execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap_err();
         assert!(matches!(err, ExecError::Mem(MemError::ReadOnly { .. })));
     }
@@ -492,7 +492,7 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let mut mem = DeviceMemory::new(64);
-        let cfg = LaunchConfig::new(1, vec![]);
+        let cfg = LaunchConfig::new(1, []);
         execute_scalar(&ScalarRun::new(&p, 0), &cfg, &mut mem, &pool, None).unwrap();
         assert_eq!(mem.slice(0, len).unwrap(), b"HTTP/1.1 200 OK");
     }

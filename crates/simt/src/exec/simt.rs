@@ -13,35 +13,55 @@
 //! rejoin at the branch block's immediate post-dominator, the scheme used
 //! by real hardware and by GPGPU-Sim.
 //!
-//! Warps between barriers are independent, so [`execute_simt_workers`] can
-//! execute them concurrently on a host worker pool while keeping results
-//! bit-for-bit identical to the serial [`execute_simt`] path.
+//! Two interpreter engines share this timing model:
+//!
+//! * the **pre-decoded engine** (default, [`execute_plan_workers_traced`])
+//!   runs [`ExecPlan`]s — flat decoded-op arrays with SoA register
+//!   addressing (`regs[r * 32 + lane]`), decode-time reconvergence points,
+//!   convergent full-mask fast paths that process a register's 32
+//!   contiguous lanes in straight auto-vectorizable loops, and per-warp
+//!   buffers leased from a process-wide [`warp arena`](warp_arena_stats)
+//!   so steady-state launches allocate nothing;
+//! * the **legacy engine** ([`execute_simt_legacy_workers`]) walks the
+//!   boxed IR directly, lane-major and fully masked — retained as the
+//!   differential-testing oracle and the `bench_kernels` baseline.
+//!
+//! Both engines produce bit-identical memory, stats, and errors at every
+//! worker count. Warps between barriers are independent, so
+//! [`execute_simt_workers`] can execute them concurrently on a host worker
+//! pool while keeping results bit-for-bit identical to the serial
+//! [`execute_simt`] path.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
+use rhythm_obs::{ArgValue, Clock, NoopRecorder, PoolCounters, PoolSnapshot, Recorder};
 
-use crate::ir::{BlockId, CfgInfo, MemSpace, Op, Program, Reg, Terminator, Width, EXIT_BLOCK};
+use crate::ir::{BinOp, CfgInfo, MemSpace, Op, Program, Reg, Terminator, UnOp, Width, EXIT_BLOCK};
 use crate::mem::{ConstPool, DeviceMemory, MemError, SharedMem};
 use crate::stats::{DivergenceStats, KernelStats};
 
+use super::plan::{plan_for, DecodedOp, DecodedTerm, ExecPlan, RegSlot};
 use super::scalar::{read_buf, write_buf};
 use super::{ExecError, LaunchConfig, WARP_SIZE};
 
 /// DRAM sector granularity for traffic accounting (GDDR5 32-byte sectors).
 pub const SECTOR_BYTES: u32 = 32;
 
+/// [`WARP_SIZE`] as a usize, for slice arithmetic.
+const LANES: usize = WARP_SIZE as usize;
+
 /// One entry of the per-warp reconvergence stack.
 #[derive(Copy, Clone, Debug)]
 struct StackEntry {
     /// Next block to execute for this entry's lanes.
-    block: BlockId,
+    block: u32,
     /// Active lanes (bit i = lane i of the warp).
     mask: u32,
     /// Block at which this entry pops and its lanes rejoin the entry
     /// below; [`EXIT_BLOCK`] for the bottom entry and branches whose paths
     /// only rejoin at kernel exit.
-    reconv: BlockId,
+    reconv: u32,
 }
 
 /// Execute a kernel launch on the SIMT engine, one warp at a time.
@@ -50,6 +70,11 @@ struct StackEntry {
 /// calling thread (their cycle counts are combined by the device timing
 /// model in [`crate::gpu`]). Use [`execute_simt_workers`] to spread the
 /// warps over a host thread pool.
+///
+/// The launch executes on the pre-decoded engine: the program's
+/// [`ExecPlan`] is fetched from (or inserted into) the process-wide decode
+/// cache, so repeated launches of the same kernel skip decode and CFG
+/// analysis entirely.
 ///
 /// # Errors
 ///
@@ -74,7 +99,7 @@ struct StackEntry {
 ///
 /// let mut mem = DeviceMemory::new(64 * 4);
 /// let pool = ConstPool::new();
-/// let stats = execute_simt(&p, &LaunchConfig::new(64, vec![]), &mut mem, &pool)?;
+/// let stats = execute_simt(&p, &LaunchConfig::new(64, []), &mut mem, &pool)?;
 /// assert_eq!(stats.warps, 2);
 /// assert_eq!(mem.read_word(63 * 4)?, 63);
 /// assert!(stats.simd_efficiency(32) > 0.99, "no divergence here");
@@ -122,6 +147,95 @@ pub fn execute_simt_workers(
     execute_simt_workers_traced(program, cfg, mem, pool, workers, &NoopRecorder)
 }
 
+/// [`execute_simt_workers`] with per-warp tracing: each warp's execution
+/// becomes a wall-time span on its worker's track (`simt:w0`, `simt:w1`,
+/// ...) named `"<kernel> warp <w>"`, carrying instruction, divergence,
+/// and cycle counters as span args, plus `warp_cycles` and `warp_exec_ns`
+/// streaming histogram samples.
+///
+/// Tracing never touches execution state, so results are bit-identical to
+/// the untraced path at every worker count — only which worker track a
+/// warp's span lands on varies from run to run.
+///
+/// # Errors
+///
+/// Same failures as [`execute_simt_workers`].
+pub fn execute_simt_workers_traced<R: Recorder + ?Sized>(
+    program: &Program,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    workers: usize,
+    rec: &R,
+) -> Result<KernelStats, ExecError> {
+    let plan = plan_for(program);
+    execute_plan_workers_traced(&plan, cfg, mem, pool, workers, rec)
+}
+
+/// Execute a pre-decoded [`ExecPlan`] directly (the engine behind every
+/// default launch path).
+///
+/// Callers that launch the same kernel repeatedly should hold on to the
+/// plan (or rely on [`plan_for`]'s cache, as [`execute_simt_workers`]
+/// does) so decode cost is paid once. Per-warp register files and scratch
+/// buffers are leased from the process-wide warp arena, making
+/// steady-state launches allocation-free (see [`warp_arena_stats`]).
+///
+/// # Errors
+///
+/// Same failures as [`execute_simt_workers`].
+pub fn execute_plan_workers_traced<R: Recorder + ?Sized>(
+    plan: &ExecPlan,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    workers: usize,
+    rec: &R,
+) -> Result<KernelStats, ExecError> {
+    let gmem = mem.shared();
+    dispatch_warps(
+        cfg,
+        workers,
+        plan.name(),
+        rec,
+        WarpLease::acquire,
+        |lease, base, count| run_plan_warp(plan, cfg, &gmem, pool, lease.bufs(), base, count),
+    )
+}
+
+/// Execute a launch on the legacy (non-pre-decoded) engine: lane-major
+/// registers, per-launch CFG analysis, fully masked lane iteration.
+///
+/// Kept as the independently implemented oracle for differential tests and
+/// as the `bench_kernels` baseline; production paths use the pre-decoded
+/// engine. Memory, stats, and errors are bit-identical to
+/// [`execute_simt_workers`] at every worker count.
+///
+/// # Errors
+///
+/// Same failures as [`execute_simt_workers`].
+pub fn execute_simt_legacy_workers(
+    program: &Program,
+    cfg: &LaunchConfig,
+    mem: &mut DeviceMemory,
+    pool: &ConstPool,
+    workers: usize,
+) -> Result<KernelStats, ExecError> {
+    let cfginfo = CfgInfo::analyze(program);
+    let gmem = mem.shared();
+    dispatch_warps(
+        cfg,
+        workers,
+        program.name(),
+        &NoopRecorder,
+        || WarpState::new(program, cfg),
+        |warp, base, count| {
+            warp.reset(base, count);
+            warp.run(program, &cfginfo, cfg, &gmem, pool)
+        },
+    )
+}
+
 /// Emit one per-warp wall-time span on the executing worker's track. The
 /// recorder only *observes* execution (the stats are copied out after the
 /// warp finishes), so traced and untraced runs stay bit-identical.
@@ -155,6 +269,7 @@ fn trace_warp<R: Recorder + ?Sized>(
                 ],
             );
             rec.sample("warp_cycles", s.warp_cycles as f64);
+            rec.sample("warp_exec_ns", dur_us * 1e3);
         }
         Err(_) => {
             rec.span(
@@ -169,47 +284,44 @@ fn trace_warp<R: Recorder + ?Sized>(
     }
 }
 
-/// [`execute_simt_workers`] with per-warp tracing: each warp's execution
-/// becomes a wall-time span on its worker's track (`simt:w0`, `simt:w1`,
-/// ...) named `"<kernel> warp <w>"`, carrying instruction, divergence,
-/// and cycle counters as span args, plus a `warp_cycles` streaming
-/// histogram sample.
+/// Run every warp of a launch through `run_warp`, serially or on a worker
+/// pool, and merge the per-warp stats.
 ///
-/// Tracing never touches execution state, so results are bit-identical to
-/// the untraced path at every worker count — only which worker track a
-/// warp's span lands on varies from run to run.
-///
-/// # Errors
-///
-/// Same failures as [`execute_simt_workers`].
-pub fn execute_simt_workers_traced<R: Recorder + ?Sized>(
-    program: &Program,
+/// This is the one scheduler both engines share: dynamic self-scheduling
+/// over a monotonic claim counter, per-warp tracing, deterministic merge in
+/// warp order, and lowest-faulting-warp error selection. `new_state` builds
+/// one reusable per-worker execution state (a [`WarpState`] or an arena
+/// [`WarpLease`]).
+fn dispatch_warps<S, R, NEW, RUN>(
     cfg: &LaunchConfig,
-    mem: &mut DeviceMemory,
-    pool: &ConstPool,
     workers: usize,
+    kernel: &str,
     rec: &R,
-) -> Result<KernelStats, ExecError> {
-    let cfginfo = CfgInfo::analyze(program);
+    new_state: NEW,
+    run_warp: RUN,
+) -> Result<KernelStats, ExecError>
+where
+    R: Recorder + ?Sized,
+    NEW: Fn() -> S + Sync,
+    RUN: Fn(&mut S, u32, u32) -> Result<WarpStats, ExecError> + Sync,
+{
     let nwarps = cfg.warps() as usize;
     let workers = resolve_workers(workers).min(nwarps.max(1));
-    let gmem = mem.shared();
 
-    let mut per_warp: Vec<(u32, Result<WarpStats, ExecError>)> = if workers <= 1 {
-        let mut warp = WarpState::new(program, cfg);
+    let per_warp: Vec<(u32, Result<WarpStats, ExecError>)> = if workers <= 1 {
+        let mut state = new_state();
         let mut out = Vec::with_capacity(nwarps);
         for w in 0..cfg.warps() {
             let base = w * WARP_SIZE;
             let count = (cfg.lanes - base).min(WARP_SIZE);
-            warp.reset(base, count);
             let start_us = if rec.enabled() {
                 rec.wall_now_us()
             } else {
                 0.0
             };
-            let r = warp.run(program, &cfginfo, cfg, &gmem, pool);
+            let r = run_warp(&mut state, base, count);
             if rec.enabled() {
-                trace_warp(rec, 0, program.name(), w, start_us, &r);
+                trace_warp(rec, 0, kernel, w, start_us, &r);
             }
             let stop = r.is_err();
             out.push((w, r));
@@ -229,13 +341,16 @@ pub fn execute_simt_workers_traced<R: Recorder + ?Sized>(
         let outs: Vec<Vec<(u32, Result<WarpStats, ExecError>)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
-                    let gmem = &gmem;
                     let next = &next;
                     let abort = &abort;
-                    let cfginfo = &cfginfo;
+                    let new_state = &new_state;
+                    let run_warp = &run_warp;
                     s.spawn(move || {
-                        let mut warp = WarpState::new(program, cfg);
-                        let mut out = Vec::new();
+                        let mut state = new_state();
+                        // Even share as the capacity hint; stealing skews
+                        // the split but only a faulting launch leaves
+                        // headroom unused.
+                        let mut out = Vec::with_capacity(nwarps / workers + 1);
                         loop {
                             if abort.load(Ordering::Relaxed) {
                                 break;
@@ -247,15 +362,14 @@ pub fn execute_simt_workers_traced<R: Recorder + ?Sized>(
                             let w = w as u32;
                             let base = w * WARP_SIZE;
                             let count = (cfg.lanes - base).min(WARP_SIZE);
-                            warp.reset(base, count);
                             let start_us = if rec.enabled() {
                                 rec.wall_now_us()
                             } else {
                                 0.0
                             };
-                            let r = warp.run(program, cfginfo, cfg, gmem, pool);
+                            let r = run_warp(&mut state, base, count);
                             if rec.enabled() {
-                                trace_warp(rec, worker, program.name(), w, start_us, &r);
+                                trace_warp(rec, worker, kernel, w, start_us, &r);
                             }
                             if r.is_err() {
                                 abort.store(true, Ordering::Relaxed);
@@ -281,7 +395,7 @@ pub fn execute_simt_workers_traced<R: Recorder + ?Sized>(
         warps: cfg.warps(),
         ..Default::default()
     };
-    for (_, r) in per_warp.drain(..) {
+    for (_, r) in per_warp {
         let stats = r?;
         total.warp_instructions += stats.warp_instructions;
         total.lane_instructions += stats.lane_instructions;
@@ -308,22 +422,78 @@ pub(crate) fn resolve_workers(workers: usize) -> usize {
     }
 }
 
-/// Reusable per-warp execution state (register file, local/shared memory).
-struct WarpState {
-    /// Flat register file: `regs[lane * num_regs + r]`.
+// ---------------------------------------------------------------------------
+// Warp arena: pooled per-warp execution buffers.
+// ---------------------------------------------------------------------------
+
+/// The full per-warp working set, pooled across warps, workers, and
+/// launches by the process-wide warp arena.
+///
+/// Buffer *lengths* are set per warp (`clear` + zero `resize`), but the
+/// underlying capacity survives release/acquire cycles, so once leases have
+/// grown to a kernel's sizes every later launch runs without touching the
+/// allocator.
+#[derive(Default, Debug)]
+struct WarpBuffers {
+    /// SoA register file: `regs[slot + lane]` where `slot = r * WARP_SIZE`.
     regs: Vec<u32>,
     /// Flat per-lane local memory: `local[lane * local_bytes ..]`.
     local: Vec<u8>,
     /// Per-warp shared memory.
     shared: Vec<u8>,
-    num_regs: usize,
-    local_bytes: usize,
-    base: u32,
-    count: u32,
     /// Scratch for gathering lane addresses on memory ops.
     addrs: Vec<(u32, u32)>,
-    /// Scratch for segment ids.
+    /// Scratch for segment ids and sorted-address dedup.
     segs: Vec<u32>,
+    /// Reconvergence stack.
+    stack: Vec<StackEntry>,
+}
+
+static WARP_ARENA: OnceLock<Mutex<Vec<WarpBuffers>>> = OnceLock::new();
+static WARP_ARENA_COUNTERS: PoolCounters = PoolCounters::new();
+
+fn warp_arena() -> &'static Mutex<Vec<WarpBuffers>> {
+    WARP_ARENA.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Cumulative warp-arena checkout totals for this process.
+///
+/// A window (see [`rhythm_obs::PoolSnapshot::since`]) in which `allocated`
+/// did not move proves the launches inside it ran with fully recycled warp
+/// contexts — the pre-decoded engine's steady state.
+pub fn warp_arena_stats() -> PoolSnapshot {
+    WARP_ARENA_COUNTERS.snapshot()
+}
+
+/// A checked-out [`WarpBuffers`]; returns the buffers to the arena on drop.
+struct WarpLease(Option<WarpBuffers>);
+
+impl WarpLease {
+    fn acquire() -> WarpLease {
+        let recycled = warp_arena().lock().expect("warp arena poisoned").pop();
+        match recycled {
+            Some(bufs) => {
+                WARP_ARENA_COUNTERS.record_reused();
+                WarpLease(Some(bufs))
+            }
+            None => {
+                WARP_ARENA_COUNTERS.record_allocated();
+                WarpLease(Some(WarpBuffers::default()))
+            }
+        }
+    }
+
+    fn bufs(&mut self) -> &mut WarpBuffers {
+        self.0.as_mut().expect("lease taken")
+    }
+}
+
+impl Drop for WarpLease {
+    fn drop(&mut self) {
+        if let Some(bufs) = self.0.take() {
+            warp_arena().lock().expect("warp arena poisoned").push(bufs);
+        }
+    }
 }
 
 #[derive(Default)]
@@ -339,19 +509,828 @@ struct WarpStats {
     divergence: DivergenceStats,
 }
 
+// ---------------------------------------------------------------------------
+// Pre-decoded engine.
+// ---------------------------------------------------------------------------
+
+/// Execute one warp of a pre-decoded plan against leased buffers.
+fn run_plan_warp(
+    plan: &ExecPlan,
+    launch: &LaunchConfig,
+    gmem: &SharedMem<'_>,
+    pool: &ConstPool,
+    bufs: &mut WarpBuffers,
+    base: u32,
+    count: u32,
+) -> Result<WarpStats, ExecError> {
+    let num_regs = plan.num_regs() as usize;
+    let local_bytes = launch.local_bytes as usize;
+    // Fresh zeroed state per warp; clear + resize keeps capacity so the
+    // steady state never allocates.
+    bufs.regs.clear();
+    bufs.regs.resize(num_regs * LANES, 0);
+    bufs.local.clear();
+    bufs.local.resize(local_bytes * LANES, 0);
+    bufs.shared.clear();
+    bufs.shared.resize(launch.shared_bytes as usize, 0);
+
+    let full = if count >= WARP_SIZE {
+        u32::MAX
+    } else {
+        (1u32 << count) - 1
+    };
+    let mut stack = std::mem::take(&mut bufs.stack);
+    stack.clear();
+    stack.push(StackEntry {
+        block: plan.entry(),
+        mask: full,
+        reconv: EXIT_BLOCK,
+    });
+    let r = plan_warp_loop(
+        plan,
+        launch,
+        gmem,
+        pool,
+        bufs,
+        base,
+        local_bytes,
+        &mut stack,
+    );
+    bufs.stack = stack;
+    r
+}
+
+#[allow(clippy::too_many_arguments)] // internal hot loop; grouping would cost indirection
+fn plan_warp_loop(
+    plan: &ExecPlan,
+    launch: &LaunchConfig,
+    gmem: &SharedMem<'_>,
+    pool: &ConstPool,
+    bufs: &mut WarpBuffers,
+    base: u32,
+    local_bytes: usize,
+    stack: &mut Vec<StackEntry>,
+) -> Result<WarpStats, ExecError> {
+    let mut stats = WarpStats::default();
+    let mut halted: u32 = 0;
+
+    while let Some(top) = stack.last_mut() {
+        top.mask &= !halted;
+        if top.mask == 0 {
+            stack.pop();
+            continue;
+        }
+        if top.block == top.reconv {
+            stats.divergence.reconvergences += 1;
+            stack.pop();
+            continue;
+        }
+        if top.block == EXIT_BLOCK {
+            return Err(ExecError::Reconvergence(
+                "union entry surfaced at exit with live lanes",
+            ));
+        }
+        let mask = top.mask;
+        let cur = top.block;
+        let block = *plan.block(cur);
+
+        let ops = plan.block_ops(&block);
+        let nops = ops.len() as u64;
+        let lanes_on = mask.count_ones() as u64;
+        if stats.warp_instructions + nops <= launch.max_instructions {
+            // Whole block fits in the budget: batch the per-issue
+            // accounting. A prefix of per-op checks can only fail if the
+            // block total would, so this is exactly the per-op semantics.
+            stats.warp_instructions += nops;
+            stats.lane_instructions += nops * lanes_on;
+            stats.warp_cycles += nops;
+            for op in ops {
+                exec_decoded(
+                    op,
+                    mask,
+                    base,
+                    local_bytes,
+                    launch,
+                    gmem,
+                    pool,
+                    bufs,
+                    &mut stats,
+                )?;
+            }
+        } else {
+            // Budget trips inside this block: per-op accounting pins the
+            // fault to the exact instruction, matching the legacy engine.
+            for op in ops {
+                stats.warp_instructions += 1;
+                stats.lane_instructions += lanes_on;
+                stats.warp_cycles += 1;
+                if stats.warp_instructions > launch.max_instructions {
+                    return Err(ExecError::Budget {
+                        executed: stats.warp_instructions,
+                    });
+                }
+                exec_decoded(
+                    op,
+                    mask,
+                    base,
+                    local_bytes,
+                    launch,
+                    gmem,
+                    pool,
+                    bufs,
+                    &mut stats,
+                )?;
+            }
+        }
+
+        // Terminator: also one issue.
+        stats.warp_instructions += 1;
+        stats.lane_instructions += lanes_on;
+        stats.warp_cycles += 1;
+
+        match block.term {
+            DecodedTerm::Jmp(t) => {
+                let top = stack.last_mut().expect("stack nonempty");
+                top.block = t;
+            }
+            DecodedTerm::Halt => {
+                halted |= mask;
+            }
+            DecodedTerm::Br {
+                cond,
+                then_bb,
+                else_bb,
+                reconv,
+            } => {
+                stats.divergence.branches += 1;
+                // Dense condition scan: evaluating inactive lanes is free
+                // (the AND with `mask` discards them) and keeps the loop
+                // branchless.
+                let mut mask_t = 0u32;
+                let c = &bufs.regs[cond as usize..cond as usize + LANES];
+                for (lane, &v) in c.iter().enumerate() {
+                    mask_t |= ((v != 0) as u32) << lane;
+                }
+                mask_t &= mask;
+                let mask_f = mask & !mask_t;
+                let top = stack.last_mut().expect("stack nonempty");
+                if mask_f == 0 {
+                    top.block = then_bb;
+                } else if mask_t == 0 {
+                    top.block = else_bb;
+                } else {
+                    stats.divergence.divergent_branches += 1;
+                    top.block = reconv;
+                    if else_bb != reconv {
+                        stack.push(StackEntry {
+                            block: else_bb,
+                            mask: mask_f,
+                            reconv,
+                        });
+                    }
+                    if then_bb != reconv {
+                        stack.push(StackEntry {
+                            block: then_bb,
+                            mask: mask_t,
+                            reconv,
+                        });
+                    }
+                    stats.divergence.max_stack_depth =
+                        stats.divergence.max_stack_depth.max(stack.len() as u32);
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Copy a register's 32 lanes into a stack array — one bounds check, and a
+/// by-value source that lets the fast-path loops vectorize without dst/src
+/// aliasing concerns.
+#[inline(always)]
+fn read_lanes(regs: &[u32], slot: RegSlot) -> [u32; LANES] {
+    let mut v = [0u32; LANES];
+    v.copy_from_slice(&regs[slot as usize..slot as usize + LANES]);
+    v
+}
+
+/// Dense 32-lane ALU evaluation: dispatch on the operator once, then run a
+/// straight lane loop (auto-vectorizable). Shared by the convergent fast
+/// path ([`bin_full`]) and the divergent blend path ([`bin_masked`]).
+#[inline(always)]
+fn bin_eval(va: &[u32; LANES], vb: &[u32; LANES], op: BinOp) -> [u32; LANES] {
+    let mut v = [0u32; LANES];
+    macro_rules! lanes {
+        ($f:expr) => {{
+            let f = $f;
+            for ((vl, &x), &y) in v.iter_mut().zip(va).zip(vb) {
+                *vl = f(x, y);
+            }
+        }};
+    }
+    match op {
+        BinOp::Add => lanes!(|x: u32, y: u32| x.wrapping_add(y)),
+        BinOp::Sub => lanes!(|x: u32, y: u32| x.wrapping_sub(y)),
+        BinOp::Mul => lanes!(|x: u32, y: u32| x.wrapping_mul(y)),
+        BinOp::DivU => lanes!(|x: u32, y: u32| x.checked_div(y).unwrap_or(u32::MAX)),
+        BinOp::RemU => lanes!(|x: u32, y: u32| if y == 0 { x } else { x % y }),
+        BinOp::And => lanes!(|x: u32, y: u32| x & y),
+        BinOp::Or => lanes!(|x: u32, y: u32| x | y),
+        BinOp::Xor => lanes!(|x: u32, y: u32| x ^ y),
+        BinOp::Shl => lanes!(|x: u32, y: u32| x.wrapping_shl(y)),
+        BinOp::Shr => lanes!(|x: u32, y: u32| x.wrapping_shr(y)),
+        BinOp::Min => lanes!(|x: u32, y: u32| x.min(y)),
+        BinOp::Max => lanes!(|x: u32, y: u32| x.max(y)),
+        BinOp::Eq => lanes!(|x: u32, y: u32| (x == y) as u32),
+        BinOp::Ne => lanes!(|x: u32, y: u32| (x != y) as u32),
+        BinOp::LtU => lanes!(|x: u32, y: u32| (x < y) as u32),
+        BinOp::LeU => lanes!(|x: u32, y: u32| (x <= y) as u32),
+        BinOp::GtU => lanes!(|x: u32, y: u32| (x > y) as u32),
+        BinOp::GeU => lanes!(|x: u32, y: u32| (x >= y) as u32),
+    }
+    v
+}
+
+/// Convergent ALU fast path over contiguous SoA register slices.
+fn bin_full(regs: &mut [u32], op: BinOp, dst: RegSlot, a: RegSlot, b: RegSlot) {
+    let va = read_lanes(regs, a);
+    let vb = read_lanes(regs, b);
+    let v = bin_eval(&va, &vb, op);
+    regs[dst as usize..dst as usize + LANES].copy_from_slice(&v);
+}
+
+/// Convergent unary-ALU fast path (see [`bin_full`]).
+fn un_full(regs: &mut [u32], op: UnOp, dst: RegSlot, a: RegSlot) {
+    let va = read_lanes(regs, a);
+    let d = &mut regs[dst as usize..dst as usize + LANES];
+    match op {
+        UnOp::Not => {
+            for (dl, &x) in d.iter_mut().zip(&va) {
+                *dl = !x;
+            }
+        }
+        UnOp::IsZero => {
+            for (dl, &x) in d.iter_mut().zip(&va) {
+                *dl = (x == 0) as u32;
+            }
+        }
+    }
+}
+
+/// Divergent ALU path: compute all 32 lanes densely, then blend the result
+/// into the destination under `mask` with a branchless select. ALU ops are
+/// total functions, so evaluating inactive lanes on stale inputs is
+/// harmless — the blend discards those results — and the dense loop plus
+/// select vectorizes where a sparse `iter_lanes` walk cannot.
+#[inline(always)]
+fn blend_lanes(d: &mut [u32], v: &[u32; LANES], mask: u32) {
+    for (lane, (dl, &x)) in d.iter_mut().zip(v).enumerate() {
+        let keep = 0u32.wrapping_sub((mask >> lane) & 1);
+        *dl = (x & keep) | (*dl & !keep);
+    }
+}
+
+/// Masked binary ALU op via dense compute + blend (see [`blend_lanes`]).
+fn bin_masked(regs: &mut [u32], op: BinOp, dst: RegSlot, a: RegSlot, b: RegSlot, mask: u32) {
+    let va = read_lanes(regs, a);
+    let vb = read_lanes(regs, b);
+    let v = bin_eval(&va, &vb, op);
+    blend_lanes(&mut regs[dst as usize..dst as usize + LANES], &v, mask);
+}
+
+/// Gather `(lane, address)` pairs for the active lanes of a memory op into
+/// `bufs.addrs`, in ascending lane order (the order faults and atomic
+/// services are observed in).
+#[inline(always)]
+fn gather_addrs(bufs: &mut WarpBuffers, mask: u32, addr: RegSlot, offset: u32) {
+    bufs.addrs.clear();
+    if mask == u32::MAX {
+        let src = &bufs.regs[addr as usize..addr as usize + LANES];
+        for (lane, &a) in src.iter().enumerate() {
+            bufs.addrs.push((lane as u32, a.wrapping_add(offset)));
+        }
+    } else {
+        for lane in iter_lanes(mask) {
+            let a = bufs.regs[(addr + lane) as usize].wrapping_add(offset);
+            bufs.addrs.push((lane, a));
+        }
+    }
+}
+
+/// The single address shared by every lane of a memory op, if uniform.
+#[inline(always)]
+fn uniform_addr(addrs: &[(u32, u32)]) -> Option<u32> {
+    let (&(_, first), rest) = addrs.split_first()?;
+    rest.iter().all(|&(_, a)| a == first).then_some(first)
+}
+
+/// The out-of-bounds error `read_buf`/`write_buf` would produce, for fast
+/// paths that hoist the bounds check out of the lane loop.
+fn oob(space: MemSpace, addr: u32, width: Width, size: usize) -> ExecError {
+    MemError::OutOfBounds {
+        space,
+        addr,
+        len: width.bytes(),
+        size,
+    }
+    .into()
+}
+
+/// Per-lane loads with the space/width dispatch hoisted out of the lane
+/// loop.
+#[allow(clippy::too_many_arguments)] // internal hot loop; grouping would cost indirection
+fn load_lanes(
+    space: MemSpace,
+    width: Width,
+    dst: RegSlot,
+    addrs: &[(u32, u32)],
+    local_bytes: usize,
+    gmem: &SharedMem<'_>,
+    pool: &ConstPool,
+    bufs: &mut WarpBuffers,
+) -> Result<(), ExecError> {
+    match (space, width) {
+        (MemSpace::Global, Width::Word) => {
+            for &(lane, a) in addrs {
+                bufs.regs[(dst + lane) as usize] = gmem.read_word(a)?;
+            }
+        }
+        (MemSpace::Global, Width::Byte) => {
+            for &(lane, a) in addrs {
+                bufs.regs[(dst + lane) as usize] = gmem.read_byte(a)?;
+            }
+        }
+        (MemSpace::Const, Width::Word) => {
+            // Template reads broadcast one address to the whole warp.
+            if let Some(a) = uniform_addr(addrs) {
+                let v = pool.read_word(a)?;
+                for &(lane, _) in addrs {
+                    bufs.regs[(dst + lane) as usize] = v;
+                }
+            } else {
+                for &(lane, a) in addrs {
+                    bufs.regs[(dst + lane) as usize] = pool.read_word(a)?;
+                }
+            }
+        }
+        (MemSpace::Const, Width::Byte) => {
+            if let Some(a) = uniform_addr(addrs) {
+                let v = pool.read_byte(a)?;
+                for &(lane, _) in addrs {
+                    bufs.regs[(dst + lane) as usize] = v;
+                }
+            } else {
+                for &(lane, a) in addrs {
+                    bufs.regs[(dst + lane) as usize] = pool.read_byte(a)?;
+                }
+            }
+        }
+        (MemSpace::Local, _) => {
+            // Scratch access is usually at one uniform offset across the
+            // warp (every lane runs the same formatting loop): validate
+            // the offset once, then walk the lane strides directly.
+            if let Some(a) = uniform_addr(addrs) {
+                let w = width.bytes() as usize;
+                let start = a as usize;
+                if start + w > local_bytes {
+                    return Err(oob(MemSpace::Local, a, width, local_bytes));
+                }
+                for &(lane, _) in addrs {
+                    let lo = lane as usize * local_bytes + start;
+                    let v = match width {
+                        Width::Byte => bufs.local[lo] as u32,
+                        Width::Word => u32::from_le_bytes(
+                            bufs.local[lo..lo + 4].try_into().expect("4-byte slice"),
+                        ),
+                    };
+                    bufs.regs[(dst + lane) as usize] = v;
+                }
+            } else {
+                for &(lane, a) in addrs {
+                    let lo = lane as usize * local_bytes;
+                    let v = read_buf(&bufs.local[lo..lo + local_bytes], MemSpace::Local, width, a)?;
+                    bufs.regs[(dst + lane) as usize] = v;
+                }
+            }
+        }
+        (MemSpace::Shared, _) => {
+            for &(lane, a) in addrs {
+                let v = read_buf(&bufs.shared, MemSpace::Shared, width, a)?;
+                bufs.regs[(dst + lane) as usize] = v;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-lane stores, dual of [`load_lanes`].
+fn store_lanes(
+    space: MemSpace,
+    width: Width,
+    src: RegSlot,
+    addrs: &[(u32, u32)],
+    local_bytes: usize,
+    gmem: &SharedMem<'_>,
+    bufs: &mut WarpBuffers,
+) -> Result<(), ExecError> {
+    match (space, width) {
+        (MemSpace::Global, Width::Word) => {
+            for &(lane, a) in addrs {
+                gmem.write_word(a, bufs.regs[(src + lane) as usize])?;
+            }
+        }
+        (MemSpace::Global, Width::Byte) => {
+            for &(lane, a) in addrs {
+                gmem.write_byte(a, bufs.regs[(src + lane) as usize])?;
+            }
+        }
+        (MemSpace::Const, _) => {
+            if !addrs.is_empty() {
+                return Err(MemError::ReadOnly {
+                    space: MemSpace::Const,
+                }
+                .into());
+            }
+        }
+        (MemSpace::Local, _) => {
+            // Uniform scratch offset: validate once, walk lane strides.
+            if let Some(a) = uniform_addr(addrs) {
+                let w = width.bytes() as usize;
+                let start = a as usize;
+                if start + w > local_bytes {
+                    return Err(oob(MemSpace::Local, a, width, local_bytes));
+                }
+                for &(lane, _) in addrs {
+                    let v = bufs.regs[(src + lane) as usize];
+                    let lo = lane as usize * local_bytes + start;
+                    match width {
+                        Width::Byte => bufs.local[lo] = v as u8,
+                        Width::Word => bufs.local[lo..lo + 4].copy_from_slice(&v.to_le_bytes()),
+                    }
+                }
+            } else {
+                for &(lane, a) in addrs {
+                    let v = bufs.regs[(src + lane) as usize];
+                    let lo = lane as usize * local_bytes;
+                    write_buf(
+                        &mut bufs.local[lo..lo + local_bytes],
+                        MemSpace::Local,
+                        width,
+                        a,
+                        v,
+                    )?;
+                }
+            }
+        }
+        (MemSpace::Shared, _) => {
+            for &(lane, a) in addrs {
+                let v = bufs.regs[(src + lane) as usize];
+                write_buf(&mut bufs.shared, MemSpace::Shared, width, a, v)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute one decoded op for the active lanes.
+///
+/// When the mask covers the whole warp, ALU/broadcast ops take the dense
+/// fast paths; the masked `iter_lanes` fallback handles divergence and the
+/// partial last warp of a launch.
+#[allow(clippy::too_many_arguments)] // internal hot loop; grouping would cost indirection
+fn exec_decoded(
+    op: &DecodedOp,
+    mask: u32,
+    base: u32,
+    local_bytes: usize,
+    launch: &LaunchConfig,
+    gmem: &SharedMem<'_>,
+    pool: &ConstPool,
+    bufs: &mut WarpBuffers,
+    stats: &mut WarpStats,
+) -> Result<(), ExecError> {
+    let full = mask == u32::MAX;
+    match *op {
+        DecodedOp::Imm { dst, value } => {
+            if full {
+                bufs.regs[dst as usize..dst as usize + LANES].fill(value);
+            } else {
+                for lane in iter_lanes(mask) {
+                    bufs.regs[(dst + lane) as usize] = value;
+                }
+            }
+        }
+        DecodedOp::Mov { dst, src } => {
+            let v = read_lanes(&bufs.regs, src);
+            if full {
+                bufs.regs[dst as usize..dst as usize + LANES].copy_from_slice(&v);
+            } else {
+                blend_lanes(&mut bufs.regs[dst as usize..dst as usize + LANES], &v, mask);
+            }
+        }
+        DecodedOp::Bin { op, dst, a, b } => {
+            if full {
+                bin_full(&mut bufs.regs, op, dst, a, b);
+            } else {
+                bin_masked(&mut bufs.regs, op, dst, a, b, mask);
+            }
+        }
+        DecodedOp::Un { op, dst, a } => {
+            if full {
+                un_full(&mut bufs.regs, op, dst, a);
+            } else {
+                let va = read_lanes(&bufs.regs, a);
+                let mut v = [0u32; LANES];
+                match op {
+                    UnOp::Not => {
+                        for (vl, &x) in v.iter_mut().zip(&va) {
+                            *vl = !x;
+                        }
+                    }
+                    UnOp::IsZero => {
+                        for (vl, &x) in v.iter_mut().zip(&va) {
+                            *vl = (x == 0) as u32;
+                        }
+                    }
+                }
+                blend_lanes(&mut bufs.regs[dst as usize..dst as usize + LANES], &v, mask);
+            }
+        }
+        DecodedOp::LaneId { dst } => {
+            if full {
+                let d = &mut bufs.regs[dst as usize..dst as usize + LANES];
+                for (lane, dl) in d.iter_mut().enumerate() {
+                    *dl = lane as u32;
+                }
+            } else {
+                for lane in iter_lanes(mask) {
+                    bufs.regs[(dst + lane) as usize] = lane;
+                }
+            }
+        }
+        DecodedOp::GlobalId { dst } => {
+            if full {
+                let d = &mut bufs.regs[dst as usize..dst as usize + LANES];
+                for (lane, dl) in d.iter_mut().enumerate() {
+                    *dl = base + lane as u32;
+                }
+            } else {
+                for lane in iter_lanes(mask) {
+                    bufs.regs[(dst + lane) as usize] = base + lane;
+                }
+            }
+        }
+        DecodedOp::Param { dst, index } => {
+            let v = launch
+                .params
+                .get(index as usize)
+                .copied()
+                .ok_or(ExecError::MissingParam { index })?;
+            if full {
+                bufs.regs[dst as usize..dst as usize + LANES].fill(v);
+            } else {
+                for lane in iter_lanes(mask) {
+                    bufs.regs[(dst + lane) as usize] = v;
+                }
+            }
+        }
+        DecodedOp::Ld {
+            width,
+            space,
+            dst,
+            addr,
+            offset,
+        } => {
+            gather_addrs(bufs, mask, addr, offset);
+            let addrs = std::mem::take(&mut bufs.addrs);
+            load_lanes(space, width, dst, &addrs, local_bytes, gmem, pool, bufs)?;
+            charge_access(space, width, &addrs, launch, &mut bufs.segs, stats);
+            bufs.addrs = addrs;
+        }
+        DecodedOp::St {
+            width,
+            space,
+            src,
+            addr,
+            offset,
+        } => {
+            gather_addrs(bufs, mask, addr, offset);
+            let addrs = std::mem::take(&mut bufs.addrs);
+            store_lanes(space, width, src, &addrs, local_bytes, gmem, bufs)?;
+            charge_access(space, width, &addrs, launch, &mut bufs.segs, stats);
+            bufs.addrs = addrs;
+        }
+        DecodedOp::WarpRedMax { dst, src } => {
+            // Butterfly reduction over active lanes: log2(32) = 5 steps
+            // through shared memory.
+            if full {
+                let v = read_lanes(&bufs.regs, src);
+                let mut m = 0u32;
+                for &x in &v {
+                    m = m.max(x);
+                }
+                bufs.regs[dst as usize..dst as usize + LANES].fill(m);
+            } else {
+                let mut m = 0u32;
+                for lane in iter_lanes(mask) {
+                    m = m.max(bufs.regs[(src + lane) as usize]);
+                }
+                for lane in iter_lanes(mask) {
+                    bufs.regs[(dst + lane) as usize] = m;
+                }
+            }
+            // 5 extra warp issues beyond the one already charged.
+            stats.warp_instructions += 4;
+            stats.lane_instructions += 4 * mask.count_ones() as u64;
+            stats.warp_cycles += 4;
+        }
+        DecodedOp::AtomicAdd {
+            dst,
+            space,
+            addr,
+            offset,
+            src,
+        } => {
+            gather_addrs(bufs, mask, addr, offset);
+            let addrs = std::mem::take(&mut bufs.addrs);
+            // Lanes are serviced in lane order; same-address lanes
+            // serialize (each sees the previous lane's update). Global
+            // adds go through the shared view's locked RMW so cross-warp
+            // atomics never lose updates under concurrent warp workers.
+            match space {
+                MemSpace::Global => {
+                    for &(lane, a) in &addrs {
+                        let add = bufs.regs[(src + lane) as usize];
+                        let old = gmem.atomic_add_word(a, add)?;
+                        bufs.regs[(dst + lane) as usize] = old;
+                    }
+                }
+                MemSpace::Shared => {
+                    for &(lane, a) in &addrs {
+                        let add = bufs.regs[(src + lane) as usize];
+                        let old = read_buf(&bufs.shared, MemSpace::Shared, Width::Word, a)?;
+                        write_buf(
+                            &mut bufs.shared,
+                            MemSpace::Shared,
+                            Width::Word,
+                            a,
+                            old.wrapping_add(add),
+                        )?;
+                        bufs.regs[(dst + lane) as usize] = old;
+                    }
+                }
+                MemSpace::Local => {
+                    for &(lane, a) in &addrs {
+                        let add = bufs.regs[(src + lane) as usize];
+                        let lo = lane as usize * local_bytes;
+                        let old = read_buf(
+                            &bufs.local[lo..lo + local_bytes],
+                            MemSpace::Local,
+                            Width::Word,
+                            a,
+                        )?;
+                        write_buf(
+                            &mut bufs.local[lo..lo + local_bytes],
+                            MemSpace::Local,
+                            Width::Word,
+                            a,
+                            old.wrapping_add(add),
+                        )?;
+                        bufs.regs[(dst + lane) as usize] = old;
+                    }
+                }
+                MemSpace::Const => {
+                    // Matches the legacy lane order: the read may fault
+                    // first; otherwise the write-back faults read-only.
+                    if let Some(&(_, a)) = addrs.first() {
+                        let _ = pool.read_word(a)?;
+                        return Err(MemError::ReadOnly {
+                            space: MemSpace::Const,
+                        }
+                        .into());
+                    }
+                }
+            }
+            // Cost: transactions as a word access plus serialization of
+            // duplicate addresses.
+            charge_access(space, Width::Word, &addrs, launch, &mut bufs.segs, stats);
+            bufs.segs.clear();
+            bufs.segs.extend(addrs.iter().map(|&(_, a)| a));
+            bufs.segs.sort_unstable();
+            let distinct = count_distinct(&bufs.segs);
+            let dups = addrs.len() as u64 - distinct as u64;
+            stats.atomic_serializations += dups;
+            stats.warp_cycles += dups;
+            bufs.addrs = addrs;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shared cost model.
+// ---------------------------------------------------------------------------
+
+/// Charge memory-system cost for one warp access. `segs` is reusable
+/// scratch; both engines route through this one implementation so the cost
+/// model cannot drift between them.
+fn charge_access(
+    space: MemSpace,
+    width: Width,
+    addrs: &[(u32, u32)],
+    launch: &LaunchConfig,
+    segs: &mut Vec<u32>,
+    stats: &mut WarpStats,
+) {
+    match space {
+        MemSpace::Global => {
+            stats.mem_accesses += 1;
+            // Transactions at `tx_bytes` granularity drive issue
+            // replays; DRAM traffic is counted in 32 B sectors so a
+            // coalesced byte access is not charged a full line.
+            let (ntx, nsec) = match fused_segment_counts(addrs, width, launch.tx_bytes) {
+                Some(counts) => counts,
+                None => (
+                    distinct_segments_sorted(addrs, width, launch.tx_bytes, segs),
+                    distinct_segments_sorted(addrs, width, SECTOR_BYTES, segs),
+                ),
+            };
+            stats.mem_transactions += ntx;
+            stats.warp_cycles += ntx;
+            stats.dram_bytes += nsec * SECTOR_BYTES as u64;
+        }
+        MemSpace::Const => {
+            // Broadcast is free; divergent addresses replay. The common
+            // shapes — one template address across the warp, or ascending
+            // per-lane offsets — count in a single pass.
+            let d = if addrs.windows(2).all(|w| w[0].1 <= w[1].1) {
+                let mut d = 0u64;
+                let mut prev = None;
+                for &(_, a) in addrs {
+                    if prev != Some(a) {
+                        d += 1;
+                        prev = Some(a);
+                    }
+                }
+                d
+            } else {
+                segs.clear();
+                segs.extend(addrs.iter().map(|&(_, a)| a));
+                segs.sort_unstable();
+                count_distinct(segs) as u64
+            };
+            if d > 1 {
+                stats.const_replays += d - 1;
+                stats.warp_cycles += d - 1;
+            }
+        }
+        MemSpace::Local => {
+            // Interleaved per-lane storage: always coalesced; charge one
+            // extra cycle like an L1 hit.
+            stats.warp_cycles += 1;
+        }
+        MemSpace::Shared => {
+            // Bank conflicts are not modelled.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine (differential oracle / benchmark baseline).
+// ---------------------------------------------------------------------------
+
+/// Reusable per-warp execution state of the legacy engine (lane-major
+/// register file, local/shared memory).
+struct WarpState {
+    /// Flat register file: `regs[lane * num_regs + r]`.
+    regs: Vec<u32>,
+    /// Flat per-lane local memory: `local[lane * local_bytes ..]`.
+    local: Vec<u8>,
+    /// Per-warp shared memory.
+    shared: Vec<u8>,
+    num_regs: usize,
+    local_bytes: usize,
+    base: u32,
+    count: u32,
+    /// Scratch for gathering lane addresses on memory ops.
+    addrs: Vec<(u32, u32)>,
+    /// Scratch for segment ids and sorted-address dedup.
+    segs: Vec<u32>,
+}
+
 impl WarpState {
     fn new(program: &Program, cfg: &LaunchConfig) -> Self {
         let num_regs = program.num_regs() as usize;
         WarpState {
-            regs: vec![0; num_regs * WARP_SIZE as usize],
-            local: vec![0; cfg.local_bytes as usize * WARP_SIZE as usize],
+            regs: vec![0; num_regs * LANES],
+            local: vec![0; cfg.local_bytes as usize * LANES],
             shared: vec![0; cfg.shared_bytes as usize],
             num_regs,
             local_bytes: cfg.local_bytes as usize,
             base: 0,
             count: 0,
-            addrs: Vec::with_capacity(WARP_SIZE as usize),
-            segs: Vec::with_capacity(WARP_SIZE as usize * 2),
+            addrs: Vec::with_capacity(LANES),
+            segs: Vec::with_capacity(LANES * 2),
         }
     }
 
@@ -566,7 +1545,7 @@ impl WarpState {
                     )?;
                     self.set_reg(lane, dst, v);
                 }
-                self.charge_access(space, width, &addrs, launch, stats);
+                charge_access(space, width, &addrs, launch, &mut self.segs, stats);
                 self.addrs = addrs;
             }
             Op::St {
@@ -595,7 +1574,7 @@ impl WarpState {
                         gmem,
                     )?;
                 }
-                self.charge_access(space, width, &addrs, launch, stats);
+                charge_access(space, width, &addrs, launch, &mut self.segs, stats);
                 self.addrs = addrs;
             }
             Op::WarpRedMax { dst, src } => {
@@ -661,10 +1640,11 @@ impl WarpState {
                 }
                 // Cost: transactions as a word access plus serialization of
                 // duplicate addresses.
-                self.charge_access(space, crate::ir::Width::Word, &addrs, launch, stats);
-                let mut sorted: Vec<u32> = addrs.iter().map(|&(_, a)| a).collect();
-                sorted.sort_unstable();
-                let distinct = count_distinct(&sorted);
+                charge_access(space, Width::Word, &addrs, launch, &mut self.segs, stats);
+                self.segs.clear();
+                self.segs.extend(addrs.iter().map(|&(_, a)| a));
+                self.segs.sort_unstable();
+                let distinct = count_distinct(&self.segs);
                 let dups = addrs.len() as u64 - distinct as u64;
                 stats.atomic_serializations += dups;
                 stats.warp_cycles += dups;
@@ -673,74 +1653,9 @@ impl WarpState {
         }
         Ok(())
     }
-
-    /// Charge memory-system cost for one warp access.
-    fn charge_access(
-        &mut self,
-        space: MemSpace,
-        width: crate::ir::Width,
-        addrs: &[(u32, u32)],
-        launch: &LaunchConfig,
-        stats: &mut WarpStats,
-    ) {
-        match space {
-            MemSpace::Global => {
-                stats.mem_accesses += 1;
-                let ts = launch.tx_bytes;
-                // Transactions at `tx_bytes` granularity drive issue
-                // replays; DRAM traffic is counted in 32 B sectors so a
-                // coalesced byte access is not charged a full line.
-                self.segs.clear();
-                for &(_, a) in addrs {
-                    let first = a / ts;
-                    let last = a.wrapping_add(width.bytes() - 1) / ts;
-                    self.segs.push(first);
-                    if last != first {
-                        self.segs.push(last);
-                    }
-                }
-                self.segs.sort_unstable();
-                self.segs.dedup();
-                let ntx = self.segs.len() as u64;
-                stats.mem_transactions += ntx;
-                stats.warp_cycles += ntx;
-
-                self.segs.clear();
-                for &(_, a) in addrs {
-                    let first = a / SECTOR_BYTES;
-                    let last = a.wrapping_add(width.bytes() - 1) / SECTOR_BYTES;
-                    self.segs.push(first);
-                    if last != first {
-                        self.segs.push(last);
-                    }
-                }
-                self.segs.sort_unstable();
-                self.segs.dedup();
-                stats.dram_bytes += self.segs.len() as u64 * SECTOR_BYTES as u64;
-            }
-            MemSpace::Const => {
-                // Broadcast is free; divergent addresses replay.
-                let mut sorted: Vec<u32> = addrs.iter().map(|&(_, a)| a).collect();
-                sorted.sort_unstable();
-                let d = count_distinct(&sorted) as u64;
-                if d > 1 {
-                    stats.const_replays += d - 1;
-                    stats.warp_cycles += d - 1;
-                }
-            }
-            MemSpace::Local => {
-                // Interleaved per-lane storage: always coalesced; charge one
-                // extra cycle like an L1 hit.
-                stats.warp_cycles += 1;
-            }
-            MemSpace::Shared => {
-                // Bank conflicts are not modelled.
-            }
-        }
-    }
 }
 
-/// Lane load used by the warp executor: identical to the scalar path but
+/// Lane load used by the legacy engine: identical to the scalar path but
 /// global memory goes through the concurrent [`SharedMem`] view.
 fn warp_load(
     space: MemSpace,
@@ -791,6 +1706,99 @@ fn warp_store(
         MemSpace::Shared => write_buf(shared, MemSpace::Shared, width, addr, value)?,
     }
     Ok(())
+}
+
+/// Single-pass transaction and DRAM-sector counts for an access whose lane
+/// addresses are ascending — the coalesced common case. Returns `None` for
+/// descending/scattered addresses (or a non-power-of-two transaction
+/// size), which take the sort-based fallback.
+///
+/// Correctness of transition counting under ascending addresses: segment
+/// ids grow with the addresses and each access covers a contiguous id
+/// range, so an access touches a *new* segment only when it reaches past
+/// the highest id seen so far — any id at or below the running maximum
+/// that a later lane lands on was already counted.
+#[inline]
+fn fused_segment_counts(addrs: &[(u32, u32)], width: Width, ts: u32) -> Option<(u64, u64)> {
+    if !ts.is_power_of_two() {
+        return None;
+    }
+    let tx_sh = ts.trailing_zeros();
+    const SEC_SH: u32 = SECTOR_BYTES.trailing_zeros();
+    let w = width.bytes() - 1;
+    let Some((&(_, first), rest)) = addrs.split_first() else {
+        return Some((0, 0));
+    };
+    let end = first.wrapping_add(w);
+    let mut prev = first;
+    let mut max_tx = end >> tx_sh;
+    let mut ntx = 1 + ((first >> tx_sh) != max_tx) as u64;
+    let mut max_sec = end >> SEC_SH;
+    let mut nsec = 1 + ((first >> SEC_SH) != max_sec) as u64;
+    for &(_, a) in rest {
+        if a < prev {
+            return None;
+        }
+        prev = a;
+        let e = a.wrapping_add(w);
+        let f = a >> tx_sh;
+        let l = e >> tx_sh;
+        if f > max_tx {
+            ntx += 1 + (l != f) as u64;
+            max_tx = l;
+        } else if l > max_tx {
+            ntx += 1;
+            max_tx = l;
+        }
+        let f = a >> SEC_SH;
+        let l = e >> SEC_SH;
+        if f > max_sec {
+            nsec += 1 + (l != f) as u64;
+            max_sec = l;
+        } else if l > max_sec {
+            nsec += 1;
+            max_sec = l;
+        }
+    }
+    Some((ntx, nsec))
+}
+
+/// Distinct `gran`-byte segment ids touched by `addrs` (each access spans
+/// `width.bytes()`): materialize ids in the `segs` scratch, sort, dedup.
+fn distinct_segments_sorted(
+    addrs: &[(u32, u32)],
+    width: Width,
+    gran: u32,
+    segs: &mut Vec<u32>,
+) -> u64 {
+    // Power-of-two granularity (every real config) divides by shifting.
+    if gran.is_power_of_two() {
+        let sh = gran.trailing_zeros();
+        distinct_sorted_by(addrs, width, segs, move |a| a >> sh)
+    } else {
+        distinct_sorted_by(addrs, width, segs, move |a| a / gran)
+    }
+}
+
+/// [`distinct_segments_sorted`] with the address→segment map monomorphized.
+fn distinct_sorted_by(
+    addrs: &[(u32, u32)],
+    width: Width,
+    segs: &mut Vec<u32>,
+    seg_of: impl Fn(u32) -> u32,
+) -> u64 {
+    segs.clear();
+    for &(_, a) in addrs {
+        let first = seg_of(a);
+        let last = seg_of(a.wrapping_add(width.bytes() - 1));
+        segs.push(first);
+        if last != first {
+            segs.push(last);
+        }
+    }
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len() as u64
 }
 
 fn count_distinct(sorted: &[u32]) -> usize {
@@ -942,10 +1950,10 @@ mod tests {
         let pool = ConstPool::new();
         let lanes = 48u32;
         let mut mem_simt = DeviceMemory::new(lanes as usize * 4);
-        execute_simt(&p, &LaunchConfig::new(lanes, vec![]), &mut mem_simt, &pool).unwrap();
+        execute_simt(&p, &LaunchConfig::new(lanes, []), &mut mem_simt, &pool).unwrap();
 
         let mut mem_scalar = DeviceMemory::new(lanes as usize * 4);
-        let cfg = LaunchConfig::new(1, vec![]);
+        let cfg = LaunchConfig::new(1, []);
         for id in 0..lanes {
             execute_scalar(&ScalarRun::new(&p, id), &cfg, &mut mem_scalar, &pool, None).unwrap();
         }
@@ -1013,7 +2021,7 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let mut mem = DeviceMemory::new(4);
-        let stats = execute_simt(&p, &LaunchConfig::new(32, vec![]), &mut mem, &pool).unwrap();
+        let stats = execute_simt(&p, &LaunchConfig::new(32, []), &mut mem, &pool).unwrap();
         assert_eq!(stats.const_replays, 3, "4 distinct addresses = 3 replays");
     }
 
@@ -1066,7 +2074,7 @@ mod tests {
 
         let lanes = 300u32; // 10 warps, partial last warp
         let pool = ConstPool::new();
-        let cfg = LaunchConfig::new(lanes, vec![]);
+        let cfg = LaunchConfig::new(lanes, []);
 
         let mut mem1 = DeviceMemory::new(lanes as usize * 4);
         let base = execute_simt_workers(&p, &cfg, &mut mem1, &pool, 1).unwrap();
@@ -1082,6 +2090,68 @@ mod tests {
         }
     }
 
+    /// The legacy and pre-decoded engines must agree bit-for-bit — memory
+    /// and every stats counter — on a kernel mixing divergence, loops,
+    /// atomics, reductions, and a partial last warp.
+    #[test]
+    fn legacy_and_plan_engines_bit_identical() {
+        let mut b = ProgramBuilder::new("engines_eq");
+        let g = b.global_id();
+        let three = b.imm(3);
+        let n = b.bin(BinOp::RemU, g, three);
+        let acc = b.imm(0);
+        b.for_loop(n, |b, i| {
+            b.bin_into(acc, BinOp::Add, acc, i);
+        });
+        let m = b.warp_red_max(acc);
+        let merged = b.bin(BinOp::Xor, acc, m);
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, merged);
+        let one = b.imm(1);
+        b.atomic_add(MemSpace::Global, addr, 0, one);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let lanes = 300u32; // partial last warp exercises the masked paths
+        let pool = ConstPool::new();
+        let cfg = LaunchConfig::new(lanes, []);
+
+        for workers in [1usize, 2, 4] {
+            let mut mem_legacy = DeviceMemory::new(lanes as usize * 4);
+            let legacy =
+                execute_simt_legacy_workers(&p, &cfg, &mut mem_legacy, &pool, workers).unwrap();
+            let mut mem_plan = DeviceMemory::new(lanes as usize * 4);
+            let plan = execute_simt_workers(&p, &cfg, &mut mem_plan, &pool, workers).unwrap();
+            assert_eq!(plan, legacy, "stats diverge at {workers} workers");
+            assert_eq!(
+                mem_plan.as_bytes(),
+                mem_legacy.as_bytes(),
+                "memory diverges at {workers} workers"
+            );
+        }
+    }
+
+    /// Both engines report the same error for the same faulting kernel.
+    #[test]
+    fn legacy_and_plan_engines_agree_on_faults() {
+        let mut b = ProgramBuilder::new("engines_oob");
+        let g = b.global_id();
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let cfg = LaunchConfig::new(256, []);
+        let pool = ConstPool::new();
+        let mut mem_legacy = DeviceMemory::new(32 * 4);
+        let legacy = execute_simt_legacy_workers(&p, &cfg, &mut mem_legacy, &pool, 2).unwrap_err();
+        let mut mem_plan = DeviceMemory::new(32 * 4);
+        let plan = execute_simt_workers(&p, &cfg, &mut mem_plan, &pool, 2).unwrap_err();
+        assert_eq!(plan, legacy);
+    }
+
     /// Faults report the lowest-numbered faulting warp regardless of
     /// worker count.
     #[test]
@@ -1095,7 +2165,7 @@ mod tests {
         let p = b.build().unwrap();
 
         // Room for warp 0 only: every later warp faults, lane 32 first.
-        let cfg = LaunchConfig::new(256, vec![]);
+        let cfg = LaunchConfig::new(256, []);
         let pool = ConstPool::new();
         let mut mem1 = DeviceMemory::new(32 * 4);
         let serial = execute_simt_workers(&p, &cfg, &mut mem1, &pool, 1).unwrap_err();
@@ -1127,7 +2197,7 @@ mod tests {
 
         let lanes = 300u32; // 10 warps, partial last warp
         let pool = ConstPool::new();
-        let cfg = LaunchConfig::new(lanes, vec![]);
+        let cfg = LaunchConfig::new(lanes, []);
         let mut mem_base = DeviceMemory::new(lanes as usize * 4);
         let base = execute_simt_workers(&p, &cfg, &mut mem_base, &pool, 2).unwrap();
 
@@ -1150,6 +2220,8 @@ mod tests {
             assert_eq!(spans, 10, "one span per warp at {workers} workers");
             let h = rec.histogram("warp_cycles").expect("warp cycle histogram");
             assert_eq!(h.count(), 10);
+            let ns = rec.histogram("warp_exec_ns").expect("warp time histogram");
+            assert_eq!(ns.count(), 10);
         }
     }
 
@@ -1164,7 +2236,7 @@ mod tests {
         let mut mem = DeviceMemory::new(128);
         let pool = ConstPool::new();
         let stats =
-            execute_simt_workers(&p, &LaunchConfig::new(128, vec![]), &mut mem, &pool, 0).unwrap();
+            execute_simt_workers(&p, &LaunchConfig::new(128, []), &mut mem, &pool, 0).unwrap();
         assert_eq!(stats.warps, 4);
         assert_eq!(mem.read_byte(127).unwrap(), 127);
         assert!(resolve_workers(0) >= 1);
@@ -1201,5 +2273,23 @@ mod tests {
             assert_eq!(mem.read_word(i * 4).unwrap(), i % 4, "lane {i}");
         }
         assert!(stats.divergence.max_stack_depth >= 3);
+    }
+
+    /// Arena leases go back to the pool: checkouts stay balanced and the
+    /// snapshot invariant `acquired == reused + allocated` holds.
+    #[test]
+    fn warp_arena_counters_balance() {
+        let mut b = ProgramBuilder::new("arena_smoke");
+        let g = b.global_id();
+        b.st_global_byte(g, 0, g);
+        b.halt();
+        let p = b.build().unwrap();
+        let pool = ConstPool::new();
+        let before = warp_arena_stats();
+        let mut mem = DeviceMemory::new(64);
+        execute_simt(&p, &LaunchConfig::new(64, []), &mut mem, &pool).unwrap();
+        let delta = warp_arena_stats().since(&before);
+        assert!(delta.acquired >= 1, "serial launch leases one context");
+        assert_eq!(delta.acquired, delta.reused + delta.allocated);
     }
 }

@@ -18,7 +18,8 @@ use std::sync::Arc;
 use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
-use crate::exec::simt::execute_simt_workers_traced;
+use crate::exec::plan::{plan_cache_stats, plan_for, ExecPlan};
+use crate::exec::simt::{execute_plan_workers_traced, warp_arena_stats};
 use crate::exec::{ExecError, GateRejection, LaunchConfig};
 use crate::ir::Program;
 use crate::mem::{ConstPool, DeviceMemory};
@@ -152,7 +153,7 @@ pub struct LaunchResult {
 /// b.halt();
 /// let p = b.build()?;
 /// let mut mem = DeviceMemory::new(16);
-/// let res = gpu.launch(&p, &LaunchConfig::new(32, vec![]), &mut mem, &ConstPool::new())?;
+/// let res = gpu.launch(&p, &LaunchConfig::new(32, []), &mut mem, &ConstPool::new())?;
 /// assert!(res.time_s > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -160,6 +161,7 @@ pub struct LaunchResult {
 pub struct Gpu {
     config: GpuConfig,
     gate: Option<Arc<dyn LaunchGate>>,
+    plan_cache: bool,
 }
 
 impl fmt::Debug for Gpu {
@@ -167,14 +169,20 @@ impl fmt::Debug for Gpu {
         f.debug_struct("Gpu")
             .field("config", &self.config)
             .field("gate", &self.gate.as_ref().map(|_| "<LaunchGate>"))
+            .field("plan_cache", &self.plan_cache)
             .finish()
     }
 }
 
 impl Gpu {
-    /// Create a device from its configuration, with no launch gate.
+    /// Create a device from its configuration, with no launch gate and the
+    /// decode-plan cache enabled.
     pub fn new(config: GpuConfig) -> Self {
-        Gpu { config, gate: None }
+        Gpu {
+            config,
+            gate: None,
+            plan_cache: true,
+        }
     }
 
     /// The device configuration.
@@ -193,6 +201,21 @@ impl Gpu {
     /// The installed launch gate, if any.
     pub fn gate(&self) -> Option<&Arc<dyn LaunchGate>> {
         self.gate.as_ref()
+    }
+
+    /// Same device with the decode-plan cache toggled. With the cache off
+    /// every launch re-decodes the program into a fresh [`ExecPlan`] —
+    /// useful for isolating decode cost in benchmarks; production paths
+    /// keep it on (the default) so repeated launches of a kernel skip
+    /// decode and CFG analysis.
+    pub fn with_plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = on;
+        self
+    }
+
+    /// Whether launches consult the process-wide decode-plan cache.
+    pub fn plan_cache(&self) -> bool {
+        self.plan_cache
     }
 
     /// Execute a kernel and model its latency.
@@ -218,7 +241,8 @@ impl Gpu {
     /// [`Gpu::launch`] with tracing: one wall-time span per kernel on the
     /// `simt:kernel` track (named after the program, carrying lane/warp
     /// counts and the modelled device time as args), per-warp spans on
-    /// worker tracks via [`execute_simt_workers_traced`], and a
+    /// worker tracks via [`execute_plan_workers_traced`], decode-cache and
+    /// warp-arena counters on the `simt:cache` track, and a
     /// `kernel_time_s` histogram sample of the modelled latency.
     ///
     /// The recorder cannot perturb execution: results are bit-identical
@@ -246,16 +270,49 @@ impl Gpu {
         } else {
             0.0
         };
-        let stats = execute_simt_workers_traced(
-            program,
-            &cfg,
-            mem,
-            pool,
-            self.config.workers as usize,
-            rec,
-        )?;
+        // Cached: fetch (or build once) the decoded plan by program
+        // fingerprint. Uncached: decode fresh without touching the
+        // process-wide cache or its counters.
+        let plan = if self.plan_cache {
+            plan_for(program)
+        } else {
+            Arc::new(ExecPlan::build(program))
+        };
+        let stats =
+            execute_plan_workers_traced(&plan, &cfg, mem, pool, self.config.workers as usize, rec)?;
         let result = self.time(stats);
         if rec.enabled() {
+            let now = rec.wall_now_us();
+            let cache = plan_cache_stats();
+            let arena = warp_arena_stats();
+            rec.counter(
+                Clock::Wall,
+                "simt:cache",
+                "plan_cache_hits",
+                now,
+                cache.hits as f64,
+            );
+            rec.counter(
+                Clock::Wall,
+                "simt:cache",
+                "plan_cache_misses",
+                now,
+                cache.misses as f64,
+            );
+            rec.counter(
+                Clock::Wall,
+                "simt:cache",
+                "warp_arena_reused",
+                now,
+                arena.reused as f64,
+            );
+            rec.counter(
+                Clock::Wall,
+                "simt:cache",
+                "warp_arena_allocated",
+                now,
+                arena.allocated as f64,
+            );
             rec.span(
                 Clock::Wall,
                 "simt:kernel",
@@ -336,10 +393,10 @@ mod tests {
         let pool = ConstPool::new();
         let mut mem = DeviceMemory::new(16);
         let small = gpu
-            .launch(&mk(10), &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
+            .launch(&mk(10), &LaunchConfig::new(1024, []), &mut mem, &pool)
             .unwrap();
         let big = gpu
-            .launch(&mk(1000), &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
+            .launch(&mk(1000), &LaunchConfig::new(1024, []), &mut mem, &pool)
             .unwrap();
         assert!(big.time_s > small.time_s);
     }
@@ -366,7 +423,7 @@ mod tests {
         let mut mem = DeviceMemory::new(4096 * 1024 + 64 * 129 + 8);
         let pool = ConstPool::new();
         let res = gpu
-            .launch(&p, &LaunchConfig::new(1024, vec![]), &mut mem, &pool)
+            .launch(&p, &LaunchConfig::new(1024, []), &mut mem, &pool)
             .unwrap();
         assert!(res.stats.mem_transactions > res.stats.mem_accesses);
     }
@@ -389,7 +446,7 @@ mod tests {
         mk(&mut b);
         let p = b.build().unwrap();
         let pool = ConstPool::new();
-        let cfg = LaunchConfig::new(512, vec![]);
+        let cfg = LaunchConfig::new(512, []);
 
         let run = |workers: u32| {
             let gpu = Gpu::new(GpuConfig::gtx_titan().with_workers(workers));
@@ -437,12 +494,7 @@ mod tests {
         let gpu = Gpu::new(GpuConfig::gtx_titan()).with_gate(Arc::new(AlwaysReject));
         let mut mem = DeviceMemory::new(16);
         let err = gpu
-            .launch(
-                &p,
-                &LaunchConfig::new(1, vec![]),
-                &mut mem,
-                &ConstPool::new(),
-            )
+            .launch(&p, &LaunchConfig::new(1, []), &mut mem, &ConstPool::new())
             .unwrap_err();
         match err {
             ExecError::Rejected(r) => {

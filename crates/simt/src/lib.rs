@@ -46,7 +46,7 @@
 //!     mem.write_word(i * 4, i)?;
 //! }
 //! let gpu = Gpu::new(GpuConfig::gtx_titan());
-//! let result = gpu.launch(&kernel, &LaunchConfig::new(1024, vec![]),
+//! let result = gpu.launch(&kernel, &LaunchConfig::new(1024, []),
 //!                         &mut mem, &ConstPool::new())?;
 //! assert_eq!(mem.read_word(10 * 4)?, 20);
 //! println!("kernel took {:.2} µs", result.time_s * 1e6);
@@ -64,6 +64,8 @@ pub mod stats;
 pub mod streams;
 pub mod transpose;
 
+pub use exec::plan::{plan_cache_stats, plan_for, ExecPlan};
+pub use exec::simt::{execute_plan_workers_traced, execute_simt_legacy_workers, warp_arena_stats};
 pub use exec::{ExecError, GateRejection, LaunchConfig, WARP_SIZE};
 pub use gpu::{Gpu, GpuConfig, LaunchGate, LaunchResult};
 pub use ir::{Program, ProgramBuilder};

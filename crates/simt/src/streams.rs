@@ -365,8 +365,8 @@ mod tests {
                     mem: DeviceMemory::new(64 * 4),
                     pool: &pool,
                     kernels: vec![
-                        ("a", &k1, LaunchConfig::new(64, vec![])),
-                        ("b", &k10, LaunchConfig::new(64, vec![])),
+                        ("a", &k1, LaunchConfig::new(64, [])),
+                        ("b", &k10, LaunchConfig::new(64, [])),
                     ],
                 })
                 .collect::<Vec<_>>()
@@ -399,7 +399,7 @@ mod tests {
             stream,
             mem: DeviceMemory::new(mem_words * 4),
             pool: &pool,
-            kernels: vec![("x", &k, LaunchConfig::new(64, vec![]))],
+            kernels: vec![("x", &k, LaunchConfig::new(64, []))],
         };
         // Stream 1: 64 lanes vs 8 words -> faults.
         let mk_streams = || vec![mk(0, 64), mk(1, 8), mk(2, 64)];

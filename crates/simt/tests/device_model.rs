@@ -80,7 +80,7 @@ fn launch_respects_device_tx_bytes() {
     b.halt();
     let p = b.build().unwrap();
     let mut mem = DeviceMemory::new(64 * 32);
-    let mut cfg = LaunchConfig::new(32, vec![]);
+    let mut cfg = LaunchConfig::new(32, []);
     cfg.tx_bytes = 7; // bogus; must be overridden to 128
     let res = gpu.launch(&p, &cfg, &mut mem, &ConstPool::new()).unwrap();
     // 32 lanes at stride 64 over 128-byte segments → 16 transactions.
@@ -93,12 +93,7 @@ fn underfilled_launches_cost_at_least_one_warp_critical_path() {
     let p = sample_program();
     let mut mem = DeviceMemory::new(4 * 32);
     let res = gpu
-        .launch(
-            &p,
-            &LaunchConfig::new(1, vec![]),
-            &mut mem,
-            &ConstPool::new(),
-        )
+        .launch(&p, &LaunchConfig::new(1, []), &mut mem, &ConstPool::new())
         .unwrap();
     let expected_floor =
         res.stats.max_warp_cycles as f64 / gpu.config().clock_hz + gpu.config().launch_overhead_s;

@@ -20,7 +20,7 @@ fn run(p: &Program, lanes: u32, bytes: usize) -> DeviceMemory {
     let mut mem = DeviceMemory::new(bytes);
     execute_simt(
         p,
-        &LaunchConfig::new(lanes, vec![]),
+        &LaunchConfig::new(lanes, []),
         &mut mem,
         &ConstPool::new(),
     )
@@ -117,7 +117,7 @@ fn warp_red_max_is_identity_on_the_scalar_executor() {
 
     let pool = ConstPool::new();
     let mut mem = DeviceMemory::new(128);
-    let cfg = LaunchConfig::new(1, vec![]);
+    let cfg = LaunchConfig::new(1, []);
     for id in 0..32 {
         execute_scalar(&ScalarRun::new(&p, id), &cfg, &mut mem, &pool, None).unwrap();
     }
@@ -146,13 +146,7 @@ fn warp_red_max_costs_five_warp_issues() {
     };
     let stats = |p: &Program| {
         let mut mem = DeviceMemory::new(128);
-        execute_simt(
-            p,
-            &LaunchConfig::new(32, vec![]),
-            &mut mem,
-            &ConstPool::new(),
-        )
-        .unwrap()
+        execute_simt(p, &LaunchConfig::new(32, []), &mut mem, &ConstPool::new()).unwrap()
     };
     let with = stats(&build(true));
     let without = stats(&build(false));

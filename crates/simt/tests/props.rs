@@ -147,9 +147,9 @@ proptest! {
 
         let pool = ConstPool::new();
         let mut simt = DeviceMemory::new(lanes as usize * 4);
-        execute_simt(&p, &LaunchConfig::new(lanes, vec![]), &mut simt, &pool).unwrap();
+        execute_simt(&p, &LaunchConfig::new(lanes, []), &mut simt, &pool).unwrap();
         let mut scalar = DeviceMemory::new(lanes as usize * 4);
-        let cfg = LaunchConfig::new(1, vec![]);
+        let cfg = LaunchConfig::new(1, []);
         for id in 0..lanes {
             execute_scalar(&ScalarRun::new(&p, id), &cfg, &mut scalar, &pool, None).unwrap();
         }
@@ -171,7 +171,7 @@ proptest! {
             let p = b.build().unwrap();
             let mut mem = DeviceMemory::new(512 * 32 + 8);
             let pool = ConstPool::new();
-            let stats = execute_simt(&p, &LaunchConfig::new(32, vec![]), &mut mem, &pool).unwrap();
+            let stats = execute_simt(&p, &LaunchConfig::new(32, []), &mut mem, &pool).unwrap();
             stats.mem_transactions
         };
         let mut sorted = strides.clone();

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod dataflow;
 pub mod rules;
 

@@ -54,7 +54,7 @@ fn raced_kernel_is_rejected_before_execution() {
     let err = gpu
         .launch(
             &lost_update_kernel(),
-            &LaunchConfig::new(32, vec![]),
+            &LaunchConfig::new(32, []),
             &mut mem,
             &ConstPool::new(),
         )
@@ -77,7 +77,7 @@ fn oob_kernel_is_rejected_with_bounds_diagnostic() {
     let err = gpu
         .launch(
             &oob_kernel(),
-            &LaunchConfig::new(32, vec![]),
+            &LaunchConfig::new(32, []),
             &mut mem,
             &ConstPool::new(),
         )
@@ -94,7 +94,7 @@ fn clean_kernel_is_admitted_and_cached_repeats_run() {
     let gpu = gated_gpu();
     let pool = ConstPool::new();
     let program = clean_kernel();
-    let cfg = LaunchConfig::new(32, vec![]);
+    let cfg = LaunchConfig::new(32, []);
     let mut mem = DeviceMemory::new(128);
     for round in 1..=3u8 {
         gpu.launch(&program, &cfg, &mut mem, &pool)
@@ -114,7 +114,7 @@ fn same_kernel_is_rejudged_when_the_launch_extent_shrinks() {
     let gpu = gated_gpu();
     let pool = ConstPool::new();
     let program = clean_kernel();
-    let cfg = LaunchConfig::new(32, vec![]);
+    let cfg = LaunchConfig::new(32, []);
     let mut big = DeviceMemory::new(128);
     gpu.launch(&program, &cfg, &mut big, &pool).unwrap();
     let mut small = DeviceMemory::new(64);

@@ -10,80 +10,12 @@ use proptest::prelude::*;
 use rhythm_simt::exec::scalar::{execute_scalar, ScalarRun};
 use rhythm_simt::exec::simt::execute_simt_workers;
 use rhythm_simt::exec::LaunchConfig;
-use rhythm_simt::ir::{BinOp, Program, ProgramBuilder, Reg};
 use rhythm_simt::mem::{ConstPool, DeviceMemory};
+use rhythm_verify::corpus::build_kernel;
 use rhythm_verify::{verify_program, LaunchSpec};
 
 const LANES: u32 = 32;
 const MEM_BYTES: usize = LANES as usize * 4;
-
-/// A random structured kernel over per-lane slots: each step mutates an
-/// accumulator (arithmetic, branches on its parity, short counted loops)
-/// and the kernel ends by storing the accumulator to the lane's own word.
-/// Memory-safe and race-free by construction, so it should lint clean —
-/// which the property asserts rather than assumes.
-fn build_kernel(seed: u32, steps: &[u8]) -> Program {
-    let mut b = ProgramBuilder::new("random_clean");
-    let gid = b.global_id();
-    let four = b.imm(4);
-    let addr = b.bin(BinOp::Mul, gid, four);
-    let acc = b.reg();
-    let s = b.imm(seed | 1);
-    b.bin_into(acc, BinOp::Mul, gid, s);
-    for &step in steps {
-        apply_step(&mut b, acc, step);
-    }
-    b.st_global_word(addr, 0, acc);
-    b.halt();
-    b.build().expect("builder emits valid programs")
-}
-
-fn apply_step(b: &mut ProgramBuilder, acc: Reg, step: u8) {
-    match step % 6 {
-        0 => {
-            let c = b.imm(0x9E37_79B9);
-            b.bin_into(acc, BinOp::Add, acc, c);
-        }
-        1 => {
-            let c = b.imm((step as u32).wrapping_mul(2654435761) | 1);
-            b.bin_into(acc, BinOp::Mul, acc, c);
-        }
-        2 => {
-            let one = b.imm(1);
-            let parity = b.bin(BinOp::And, acc, one);
-            b.if_then(parity, |b| {
-                let c = b.imm(0x5bd1);
-                b.bin_into(acc, BinOp::Xor, acc, c);
-            });
-        }
-        3 => {
-            let one = b.imm(1);
-            let parity = b.bin(BinOp::And, acc, one);
-            b.if_then_else(
-                parity,
-                |b| {
-                    let c = b.imm(3);
-                    b.bin_into(acc, BinOp::Mul, acc, c);
-                },
-                |b| {
-                    let c = b.imm(7);
-                    b.bin_into(acc, BinOp::Add, acc, c);
-                },
-            );
-        }
-        4 => {
-            let n = b.imm((step as u32 % 3) + 1);
-            b.for_loop(n, |b, i| {
-                b.bin_into(acc, BinOp::Add, acc, i);
-            });
-        }
-        _ => {
-            let sh = b.imm(step as u32 % 31);
-            let rot = b.bin(BinOp::Shl, acc, sh);
-            b.bin_into(acc, BinOp::Xor, acc, rot);
-        }
-    }
-}
 
 proptest! {
     #[test]
@@ -106,9 +38,9 @@ proptest! {
 
         // Scalar reference: one lane at a time.
         let pool = ConstPool::new();
-        let cfg = LaunchConfig::new(LANES, vec![]);
+        let cfg = LaunchConfig::new(LANES, []);
         let mut reference = DeviceMemory::new(MEM_BYTES);
-        let scalar_cfg = LaunchConfig::new(1, vec![]);
+        let scalar_cfg = LaunchConfig::new(1, []);
         for id in 0..LANES {
             execute_scalar(
                 &ScalarRun::new(&program, id),

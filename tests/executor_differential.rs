@@ -1,0 +1,183 @@
+//! Three-way executor differential: the scalar reference, the legacy
+//! masked SIMT engine, and the pre-decoded warp-vectorized engine must be
+//! bit-identical — memory images and (for the two SIMT engines) every
+//! `KernelStats` counter — at workers {1, 2, 4}, on random lint-clean
+//! kernels and on the real banking kernels.
+//!
+//! This is the safety net under the interpreter fast paths: any divergence
+//! between the convergent vector loops and the masked per-lane semantics,
+//! or any decode bug in `ExecPlan`, shows up here as a byte or counter
+//! mismatch.
+
+use proptest::prelude::*;
+
+use rhythm_banking::backend::BankStore;
+use rhythm_banking::genreq::RequestGenerator;
+use rhythm_banking::kernels::Workload;
+use rhythm_banking::layout::{CohortLayout, REQBUF_BYTES};
+use rhythm_banking::session_array::SessionArrayHost;
+use rhythm_banking::types::RequestType;
+use rhythm_simt::exec::scalar::{execute_scalar, ScalarRun};
+use rhythm_simt::exec::simt::{execute_simt_legacy_workers, execute_simt_workers};
+use rhythm_simt::exec::LaunchConfig;
+use rhythm_simt::mem::{ConstPool, DeviceMemory};
+use rhythm_verify::corpus::build_kernel;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    /// Random structured kernels: scalar lane-at-a-time execution is the
+    /// semantic reference; both SIMT engines must reproduce its memory
+    /// image exactly, and must agree with each other on every stats
+    /// counter, at every worker count.
+    #[test]
+    fn random_kernels_three_way_identical(
+        seed in any::<u32>(),
+        steps in prop::collection::vec(any::<u8>(), 1..10),
+        lane_sel in 0usize..3,
+    ) {
+        // 96 = three full warps; 77 adds a partial warp for mask paths.
+        let lanes = [32u32, 77, 96][lane_sel];
+        let program = build_kernel(seed, &steps);
+        let mem_bytes = lanes as usize * 4;
+        let pool = ConstPool::new();
+
+        // Scalar reference.
+        let mut reference = DeviceMemory::new(mem_bytes);
+        let scalar_cfg = LaunchConfig::new(1, []);
+        for id in 0..lanes {
+            execute_scalar(&ScalarRun::new(&program, id), &scalar_cfg, &mut reference, &pool, None)
+                .unwrap();
+        }
+
+        let cfg = LaunchConfig::new(lanes, []);
+        let mut legacy_stats = None;
+        for workers in WORKER_COUNTS {
+            let mut mem_l = DeviceMemory::new(mem_bytes);
+            let sl = execute_simt_legacy_workers(&program, &cfg, &mut mem_l, &pool, workers).unwrap();
+            let mut mem_p = DeviceMemory::new(mem_bytes);
+            let sp = execute_simt_workers(&program, &cfg, &mut mem_p, &pool, workers).unwrap();
+
+            prop_assert_eq!(
+                mem_l.as_bytes(), reference.as_bytes(),
+                "legacy SIMT diverged from scalar at {} workers", workers
+            );
+            prop_assert_eq!(
+                mem_p.as_bytes(), reference.as_bytes(),
+                "pre-decoded SIMT diverged from scalar at {} workers", workers
+            );
+            prop_assert_eq!(
+                &sp, &sl,
+                "engine stats diverged at {} workers", workers
+            );
+            if let Some(first) = &legacy_stats {
+                prop_assert_eq!(first, &sl, "stats not worker-count invariant");
+            } else {
+                legacy_stats = Some(sl);
+            }
+        }
+    }
+}
+
+/// The production banking kernels, end to end: drive a full device-backend
+/// cohort (parser → stages with backend rounds) through the legacy and
+/// pre-decoded engines in lockstep, comparing the entire memory image and
+/// the kernel stats after every single launch, for every request type and
+/// worker count. (The scalar leg of the three-way proof for banking
+/// kernels is the existing cohort-vs-native differential suite; warp
+/// reductions make a lane-looped scalar run of a 48-lane cohort
+/// semantically different by design.)
+#[test]
+fn banking_kernels_legacy_vs_predecoded_lockstep() {
+    const COHORT: u32 = 48; // one full warp + one partial warp
+    const CAPACITY: u32 = 1024;
+    const SALT: u32 = 0x5EED_0001;
+
+    let workload = Workload::build();
+    let store = BankStore::generate(256, 1);
+    let store_img = store.serialize_device();
+
+    for workers in WORKER_COUNTS {
+        let mut sessions = SessionArrayHost::new(CAPACITY, SALT);
+        let mut generator = RequestGenerator::new(128, 0xD1FF + workers as u64);
+        for ty in RequestType::ALL {
+            let reqs = generator.uniform(ty, COHORT as usize, &mut sessions);
+            let layout = CohortLayout::new(
+                COHORT,
+                ty.response_buffer_bytes(),
+                CAPACITY,
+                SALT,
+                store_img.len() as u32,
+                true,
+            );
+            let mut mem = DeviceMemory::new(layout.total_bytes as usize);
+            mem.load(layout.store_base, &store_img).unwrap();
+            mem.load(layout.session_base, &sessions.to_device_bytes())
+                .unwrap();
+            for (lane, r) in reqs.iter().enumerate() {
+                layout
+                    .write_lane(
+                        &mut mem,
+                        layout.reqbuf_base,
+                        REQBUF_BYTES,
+                        lane as u32,
+                        &r.raw,
+                    )
+                    .unwrap();
+            }
+            let cfg = LaunchConfig {
+                lanes: COHORT,
+                params: layout.params(),
+                local_bytes: 64,
+                shared_bytes: 1024,
+                ..Default::default()
+            };
+
+            // Same launch sequence as the cohort runner in device-backend
+            // mode: parser, then each stage with a backend round between.
+            let stages = workload.stages_of(ty);
+            let mut sequence = vec![("parser", &workload.parser)];
+            let n_backend = stages.len() - 1;
+            for (i, stage) in stages.iter().enumerate() {
+                sequence.push((stage.name(), stage));
+                if i < n_backend {
+                    sequence.push(("backend", &workload.backend));
+                }
+            }
+
+            let mut mem_legacy = mem.clone();
+            let mut mem_plan = mem;
+            for (name, kernel) in sequence {
+                let sl = execute_simt_legacy_workers(
+                    kernel,
+                    &cfg,
+                    &mut mem_legacy,
+                    &workload.pool,
+                    workers,
+                )
+                .unwrap_or_else(|e| panic!("{ty:?}/{name} legacy fault: {e}"));
+                let sp = execute_simt_workers(kernel, &cfg, &mut mem_plan, &workload.pool, workers)
+                    .unwrap_or_else(|e| panic!("{ty:?}/{name} pre-decoded fault: {e}"));
+                assert_eq!(
+                    sp, sl,
+                    "stats diverged on {ty:?}/{name} at {workers} workers"
+                );
+                assert_eq!(
+                    mem_plan.as_bytes(),
+                    mem_legacy.as_bytes(),
+                    "memory diverged on {ty:?}/{name} at {workers} workers"
+                );
+            }
+
+            // Keep the host session mirror in sync so later request types
+            // generate against valid tokens.
+            let sess_bytes = mem_plan
+                .slice(
+                    layout.session_base,
+                    SessionArrayHost::device_bytes(CAPACITY),
+                )
+                .unwrap();
+            sessions = SessionArrayHost::from_device_bytes(sess_bytes, SALT);
+        }
+    }
+}

@@ -191,10 +191,10 @@ proptest! {
 
         let pool = ConstPool::new();
         let mut mem_simt = DeviceMemory::new(lanes as usize * 4);
-        execute_simt(&p, &LaunchConfig::new(lanes, vec![]), &mut mem_simt, &pool).unwrap();
+        execute_simt(&p, &LaunchConfig::new(lanes, []), &mut mem_simt, &pool).unwrap();
 
         let mut mem_scalar = DeviceMemory::new(lanes as usize * 4);
-        let cfg = LaunchConfig::new(1, vec![]);
+        let cfg = LaunchConfig::new(1, []);
         for id in 0..lanes {
             execute_scalar(&ScalarRun::new(&p, id), &cfg, &mut mem_scalar, &pool, None).unwrap();
         }
