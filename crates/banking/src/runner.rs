@@ -13,6 +13,7 @@ use rhythm_obs::{s_to_us, ArgValue, Clock, NoopRecorder, Recorder};
 use rhythm_simt::exec::LaunchConfig;
 use rhythm_simt::gpu::{Gpu, LaunchResult};
 use rhythm_simt::mem::DeviceMemory;
+use rhythm_simt::streams::execute_streams_on;
 use rhythm_simt::ExecError;
 use rhythm_verify::Verifier;
 
@@ -334,6 +335,228 @@ pub fn run_cohort_traced<R: Recorder + ?Sized>(
         layout,
         sessions_after,
     })
+}
+
+/// Run a batch of already-formed cohorts with serial semantics but
+/// HyperQ-concurrent execution of independent cohorts.
+///
+/// The batch is processed in order, exactly as if each cohort went
+/// through [`run_cohort`] back to back — same responses, same final
+/// session state. The speedup comes from a session-mutation analysis:
+/// only Login and Logout cohorts write the device session array (every
+/// other type's `session_lookup` only reads it), so **consecutive
+/// read-only cohorts are launched as concurrent streams** through
+/// [`execute_streams_on`] (the HyperQ path), while each Login/Logout
+/// cohort runs serially as a write barrier. Results are bit-identical to
+/// the serial order by construction.
+///
+/// Each cohort gets its own outcome slot, in input order; a faulting
+/// cohort yields `Err` in its slot without perturbing the others (its
+/// session writes never happened, matching [`run_cohort`]'s fault
+/// behaviour).
+///
+/// Host-backend and skip-parser configurations interleave host work
+/// between kernels, which streams cannot express; those fall back to
+/// serial [`run_cohort`] per cohort.
+///
+/// # Panics
+///
+/// Per cohort, the same conditions as [`run_cohort`] (non-empty,
+/// uniform-type, session capacity matching the options).
+pub fn run_cohorts_hyperq(
+    workload: &Workload,
+    store: &BankStore,
+    sessions: &mut SessionArrayHost,
+    cohorts: &[Vec<GeneratedRequest>],
+    gpu: &Gpu,
+    opts: &CohortOptions,
+) -> Vec<Result<CohortResult, ExecError>> {
+    if opts.backend != BackendMode::Device || opts.skip_parser {
+        return cohorts
+            .iter()
+            .map(|c| run_cohort(workload, store, sessions, c, gpu, opts))
+            .collect();
+    }
+    for c in cohorts {
+        assert!(!c.is_empty(), "empty cohort");
+    }
+
+    let mut gpu_slot = None;
+    // Stream-level concurrency already fans out; warp workers would
+    // oversubscribe, and `execute_streams` sets the same precedent.
+    let stream_opts = CohortOptions {
+        workers: Some(1),
+        ..opts.clone()
+    };
+    let streams_gpu = effective_gpu(gpu, &stream_opts, &mut gpu_slot);
+    let store_img = store.serialize_device();
+
+    let mut out: Vec<Option<Result<CohortResult, ExecError>>> =
+        cohorts.iter().map(|_| None).collect();
+    let mut i = 0;
+    while i < cohorts.len() {
+        let ty = cohorts[i][0].ty;
+        if ty.is_login() || ty.is_logout() {
+            // Session writer: a barrier. Runs alone, serially.
+            out[i] = Some(run_cohort(
+                workload,
+                store,
+                sessions,
+                &cohorts[i],
+                gpu,
+                opts,
+            ));
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < cohorts.len() {
+            let t = cohorts[j][0].ty;
+            if t.is_login() || t.is_logout() {
+                break;
+            }
+            j += 1;
+        }
+
+        // Read-only group [i, j): every cohort sees the same session
+        // snapshot (none of them writes it), so they are independent and
+        // run as concurrent streams.
+        let snapshot = sessions.to_device_bytes();
+        let mut streams = Vec::with_capacity(j - i);
+        // Per stream: output slot index, layout, real kernel names.
+        let mut meta: Vec<(usize, CohortLayout, Vec<String>)> = Vec::with_capacity(j - i);
+        for (k, reqs) in cohorts[i..j].iter().enumerate() {
+            match build_cohort_stream(workload, &store_img, &snapshot, sessions, reqs, opts, k) {
+                Ok((stream, layout, names)) => {
+                    streams.push(stream);
+                    meta.push((i + k, layout, names));
+                }
+                Err(e) => out[i + k] = Some(Err(e)),
+            }
+        }
+        let results = execute_streams_on(streams_gpu, streams, 0);
+        for ((idx, layout, names), result) in meta.into_iter().zip(results) {
+            out[idx] = Some(result.and_then(|sr| {
+                let mut responses = Vec::with_capacity(cohorts[idx].len());
+                for lane in 0..layout.cohort {
+                    let len = layout.read_struct(&sr.mem, lane, F_RESP_LEN)?;
+                    let full =
+                        layout.read_lane(&sr.mem, layout.resp_base, layout.resp_size, lane)?;
+                    responses.push(full[..len as usize].to_vec());
+                }
+                let sess_bytes = sr.mem.slice(
+                    layout.session_base,
+                    SessionArrayHost::device_bytes(opts.session_capacity),
+                )?;
+                let sessions_after =
+                    SessionArrayHost::from_device_bytes(sess_bytes, opts.session_salt);
+                debug_assert_eq!(
+                    sess_bytes,
+                    &snapshot[..],
+                    "read-only cohort mutated the session array"
+                );
+                let launches = names
+                    .into_iter()
+                    .zip(sr.launches)
+                    .map(|(name, (_, r))| (name, r))
+                    .collect();
+                Ok(CohortResult {
+                    responses,
+                    launches,
+                    layout,
+                    sessions_after,
+                })
+            }));
+        }
+        i = j;
+    }
+    out.into_iter()
+        .map(|o| o.expect("every cohort slot filled"))
+        .collect()
+}
+
+/// Build one read-only cohort's execution stream: its memory image
+/// (store + session snapshot + request lanes) plus the parser, stage, and
+/// backend kernels in order. Returns the stream with static labels, the
+/// layout for readback, and the real kernel names for reporting.
+fn build_cohort_stream<'a>(
+    workload: &'a Workload,
+    store_img: &[u8],
+    session_snapshot: &[u8],
+    sessions: &SessionArrayHost,
+    reqs: &[GeneratedRequest],
+    opts: &CohortOptions,
+    stream: usize,
+) -> Result<
+    (
+        rhythm_simt::streams::ExecStream<'a>,
+        CohortLayout,
+        Vec<String>,
+    ),
+    ExecError,
+> {
+    let ty = reqs[0].ty;
+    assert!(
+        reqs.iter().all(|r| r.ty == ty),
+        "mixed-type cohort passed to a type-specific process pipeline"
+    );
+    assert_eq!(
+        sessions.capacity(),
+        opts.session_capacity,
+        "session array capacity must match options"
+    );
+    let cohort = reqs.len() as u32;
+    let layout = CohortLayout::new(
+        cohort,
+        ty.response_buffer_bytes(),
+        opts.session_capacity,
+        opts.session_salt,
+        store_img.len() as u32,
+        opts.transposed,
+    );
+    let mut mem = DeviceMemory::new(layout.total_bytes as usize);
+    mem.load(layout.store_base, store_img)?;
+    mem.load(layout.session_base, session_snapshot)?;
+    for (lane, r) in reqs.iter().enumerate() {
+        layout.write_lane(
+            &mut mem,
+            layout.reqbuf_base,
+            crate::layout::REQBUF_BYTES,
+            lane as u32,
+            &r.raw,
+        )?;
+    }
+    let cfg = LaunchConfig {
+        lanes: cohort,
+        params: layout.params(),
+        local_bytes: 64,
+        shared_bytes: 1024,
+        ..Default::default()
+    };
+    let mut kernels = Vec::new();
+    let mut names = Vec::new();
+    kernels.push(("parser", &workload.parser, cfg.clone()));
+    names.push("parser".to_string());
+    let stages = workload.stages_of(ty);
+    let n_backend = stages.len() - 1;
+    for (s, stage) in stages.iter().enumerate() {
+        kernels.push(("stage", stage, cfg.clone()));
+        names.push(stage.name().to_string());
+        if s < n_backend {
+            kernels.push(("backend", &workload.backend, cfg.clone()));
+            names.push("device_backend".to_string());
+        }
+    }
+    Ok((
+        rhythm_simt::streams::ExecStream {
+            stream: stream as u32,
+            mem,
+            pool: &workload.pool,
+            kernels,
+        },
+        layout,
+        names,
+    ))
 }
 
 /// Serve one backend round on the host: read each lane's request text,

@@ -16,7 +16,7 @@ use crate::backend::BankStore;
 use crate::genreq::{raw_http, GeneratedRequest};
 use crate::kernels::Workload;
 use crate::native::{handle_native, BankingRequest};
-use crate::runner::{run_cohort, CohortOptions};
+use crate::runner::{run_cohort, run_cohorts_hyperq, CohortOptions};
 use crate::session_array::SessionArrayHost;
 use crate::templates::SESSION_COOKIE;
 use crate::types::RequestType;
@@ -201,6 +201,62 @@ impl CohortHandler for SimtHandler {
                 Vec::new()
             }
         }
+    }
+
+    fn execute_many(&mut self, cohorts: &[(u32, Vec<HttpRequest>)]) -> Vec<Vec<Vec<u8>>> {
+        // The batched entry point: every cohort the reactor marked in one
+        // poll goes through `run_cohorts_hyperq`, which keeps the device
+        // saturated by running consecutive session-read-only cohorts as
+        // concurrent streams while Login/Logout cohorts stay serial write
+        // barriers. Results are bit-identical to calling `execute` per
+        // cohort in order.
+        let batches: Vec<Vec<GeneratedRequest>> = cohorts
+            .iter()
+            .map(|(_, requests)| {
+                requests
+                    .iter()
+                    .filter_map(banking_request_from_http)
+                    .map(|b| GeneratedRequest {
+                        ty: b.ty,
+                        token: b.token,
+                        params: b.params,
+                        raw: raw_http(b.ty, b.token, &b.params),
+                    })
+                    .collect()
+            })
+            .collect();
+        if batches.iter().any(Vec::is_empty) {
+            // An all-unmappable cohort cannot go to the device; fall back
+            // to the per-cohort path, which answers it with padded 500s.
+            return cohorts
+                .iter()
+                .map(|(key, reqs)| self.execute(*key, reqs))
+                .collect();
+        }
+        let results = run_cohorts_hyperq(
+            &self.workload,
+            &self.store,
+            &mut self.sessions,
+            &batches,
+            &self.gpu,
+            &self.opts,
+        );
+        batches
+            .iter()
+            .zip(results)
+            .map(|(reqs, result)| match result {
+                Ok(r) => {
+                    self.cohorts += 1;
+                    self.served += reqs.len() as u64;
+                    self.device_time_s += r.kernel_time_s();
+                    r.responses
+                }
+                Err(_) => {
+                    self.faults += 1;
+                    Vec::new()
+                }
+            })
+            .collect()
     }
 }
 

@@ -1,32 +1,53 @@
-//! Closed-loop load generator for the networked cohort front end.
+//! Load generator for the networked cohort front end, closed- and
+//! open-loop.
 //!
-//! Boots a `rhythm-net` server on an ephemeral port with the Banking
-//! workload (SIMT device path by default), drives it with keep-alive
-//! client threads — each logs in, then issues GET requests back-to-back,
-//! one outstanding request per client — and records throughput, latency
-//! percentiles, and the mean cohort fill into `BENCH_net.json`. A second
-//! overload run caps admitted connections below the client count and
-//! verifies the server sheds with `503` + `Retry-After` instead of
-//! panicking or queueing unboundedly.
+//! Boots a sharded `rhythm-net` server on an ephemeral port with the
+//! Banking workload (SIMT device path by default) and drives it in one of
+//! two modes:
+//!
+//! * **Closed loop** (default): keep-alive client threads, each with
+//!   exactly one outstanding request — the latency-bound baseline.
+//! * **Open loop** (`--open-loop`): worker threads multiplex many
+//!   pipelined non-blocking connections and inject requests on a Poisson
+//!   (or `--paced` deterministic) arrival schedule at an aggregate
+//!   `--rate`, independent of completions — this exposes the server's
+//!   real throughput ceiling instead of the client count.
+//!
+//! Results are phase-separated: login warmup, the steady-state
+//! measurement window, the post-window drain, and the overload probe are
+//! reported (and asserted) independently, so steady-state throughput and
+//! latency are never contaminated by warmup or overload traffic. The
+//! emitted `BENCH_net.json` is schema version 2: each phase object
+//! carries a `"phase"` field, and the run records `mode` and `shards`.
 //!
 //! Flags:
 //!
-//! * `--smoke` — small CI run (a few hundred requests) asserting zero
-//!   sheds and zero errors at low load; skips the overload phase.
+//! * `--smoke` — small CI run asserting zero sheds, zero errors, and zero
+//!   dropped responses at low load; skips the overload phase.
 //! * `--scalar` — serve with the native CPU handlers instead of the SIMT
 //!   device path.
+//! * `--shards <n>` — reactor shard count (default 1).
+//! * `--open-loop` — open-loop injection instead of closed-loop clients.
+//! * `--conns <n>` — open-loop connection count (default 64).
+//! * `--rate <rps>` — open-loop aggregate arrival rate (default 8000).
+//! * `--duration <s>` — open-loop steady window seconds (default 3).
+//! * `--paced` — deterministic arrival gaps instead of Poisson.
 //! * `--clients <n>` / `--requests <n>` — closed-loop client count and
 //!   per-client request count.
 //! * `--out <path>` — result file (default `BENCH_net.json`).
 
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use rhythm_banking::prelude::*;
 use rhythm_core::LatencyStats;
-use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats};
+use rhythm_net::{
+    read_response, scan_response, send_request, CohortHandler, NetConfig, NetStats, ShardedServer,
+};
 use rhythm_simt::gpu::{Gpu, GpuConfig};
 
 const NUM_USERS: u32 = 1024;
@@ -36,6 +57,12 @@ const SESSION_SALT: u32 = 0x5EED_0001;
 struct Args {
     smoke: bool,
     scalar: bool,
+    open_loop: bool,
+    paced: bool,
+    shards: usize,
+    conns: usize,
+    rate: f64,
+    duration_s: f64,
     clients: usize,
     requests: usize,
     out: String,
@@ -45,6 +72,12 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         smoke: false,
         scalar: false,
+        open_loop: false,
+        paced: false,
+        shards: 1,
+        conns: 64,
+        rate: 8000.0,
+        duration_s: 3.0,
         clients: 16,
         requests: 64,
         out: "BENCH_net.json".to_string(),
@@ -56,8 +89,41 @@ fn parse_args() -> Args {
                 parsed.smoke = true;
                 parsed.clients = 4;
                 parsed.requests = 48;
+                parsed.conns = 8;
+                parsed.rate = 400.0;
+                parsed.duration_s = 1.0;
             }
             "--scalar" => parsed.scalar = true,
+            "--open-loop" => parsed.open_loop = true,
+            "--paced" => parsed.paced = true,
+            "--shards" => {
+                parsed.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--shards needs a positive integer")
+            }
+            "--conns" => {
+                parsed.conns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--conns needs a positive integer")
+            }
+            "--rate" => {
+                parsed.rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .expect("--rate needs a positive number")
+            }
+            "--duration" => {
+                parsed.duration_s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&d: &f64| d > 0.0)
+                    .expect("--duration needs a positive number")
+            }
             "--clients" => {
                 parsed.clients = args
                     .next()
@@ -72,7 +138,8 @@ fn parse_args() -> Args {
             }
             "--out" => parsed.out = args.next().expect("--out needs a path"),
             other => panic!(
-                "unknown flag {other:?} (expected --smoke, --scalar, --clients <n>, \
+                "unknown flag {other:?} (expected --smoke, --scalar, --open-loop, --paced, \
+                 --shards <n>, --conns <n>, --rate <rps>, --duration <s>, --clients <n>, \
                  --requests <n>, --out <path>)"
             ),
         }
@@ -102,54 +169,90 @@ fn scalar_handler() -> ScalarHandler {
     )
 }
 
-/// What one closed-loop client saw.
+/// A booted server: bound address, stop flag, and the join handle
+/// yielding per-shard `(stats, handler)` pairs.
+type BootedServer<H> = (
+    SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<Vec<(NetStats, H)>>,
+);
+
+/// Boot a sharded server with one handler per shard.
+fn boot<H: CohortHandler + Send + 'static>(
+    mk: impl Fn() -> H,
+    config: NetConfig,
+    shards: usize,
+) -> BootedServer<H> {
+    let handlers: Vec<H> = (0..shards).map(|_| mk()).collect();
+    let server = ShardedServer::bind("127.0.0.1:0", config, handlers).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let join = std::thread::spawn(move || server.run(&flag).shards);
+    (addr, stop, join)
+}
+
+/// One phase's client-side aggregate.
 #[derive(Default)]
-struct ClientOutcome {
+struct PhaseOutcome {
     latencies_s: Vec<f64>,
-    ok: u64,
+    completed: u64,
     shed: u64,
     errors: u64,
 }
 
-/// One closed-loop client: connect, log in, then `requests` keep-alive
-/// GETs with exactly one request outstanding at a time.
-fn run_client(addr: SocketAddr, userid: u32, requests: usize) -> ClientOutcome {
-    let mut outcome = ClientOutcome::default();
-    let Ok(mut conn) = TcpStream::connect(addr) else {
-        outcome.errors += 1;
-        return outcome;
-    };
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut carry = Vec::new();
+/// What one closed-loop client saw, phase-separated: the login is warmup,
+/// the GETs are the steady measurement.
+#[derive(Default)]
+struct ClientOutcome {
+    warmup: PhaseOutcome,
+    steady: PhaseOutcome,
+}
 
-    let login = format!(
-        "POST /bank/login.php HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\nuserid={userid}",
-        format!("userid={userid}").len()
-    );
-    let t0 = Instant::now();
-    if send_request(&mut conn, login.as_bytes()).is_err() {
-        outcome.errors += 1;
-        return outcome;
+/// One closed-loop client: connect and log in (warmup), wait at the
+/// barrier so every client starts the measured window together, then
+/// issue `requests` keep-alive GETs with one outstanding at a time.
+fn run_client(
+    addr: SocketAddr,
+    userid: u32,
+    requests: usize,
+    start_barrier: &Barrier,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    // Warmup: login on a blocking connection. Any failure is recorded and
+    // the client still reaches the barrier so nobody deadlocks.
+    let session = (|| {
+        let mut conn = TcpStream::connect(addr).ok()?;
+        conn.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+        let mut carry = Vec::new();
+        let body = format!("userid={userid}");
+        let login = format!(
+            "POST /bank/login.php HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        send_request(&mut conn, login.as_bytes()).ok()?;
+        match read_response(&mut conn, &mut carry) {
+            Ok(resp) if resp.status == 200 => {
+                let token: u32 = resp
+                    .header("Set-Cookie")
+                    .and_then(|v| v.strip_prefix("SID=").map(|t| t.trim().to_string()))
+                    .and_then(|t| t.parse().ok())?;
+                Some((conn, carry, token))
+            }
+            Ok(resp) if resp.status == 503 => {
+                outcome.warmup.shed += 1;
+                None
+            }
+            _ => None,
+        }
+    })();
+    match &session {
+        Some(_) => outcome.warmup.completed += 1,
+        None if outcome.warmup.shed == 0 => outcome.warmup.errors += 1,
+        None => {}
     }
-    let token = match read_response(&mut conn, &mut carry) {
-        Ok(resp) if resp.status == 200 => {
-            outcome.ok += 1;
-            outcome.latencies_s.push(t0.elapsed().as_secs_f64());
-            resp.header("Set-Cookie")
-                .and_then(|v| v.strip_prefix("SID=").map(|t| t.trim().to_string()))
-                .and_then(|t| t.parse::<u32>().ok())
-        }
-        Ok(resp) if resp.status == 503 => {
-            outcome.shed += 1;
-            return outcome;
-        }
-        _ => {
-            outcome.errors += 1;
-            return outcome;
-        }
-    };
-    let Some(token) = token else {
-        outcome.errors += 1;
+    start_barrier.wait();
+    let Some((mut conn, mut carry, token)) = session else {
         return outcome;
     };
 
@@ -159,17 +262,17 @@ fn run_client(addr: SocketAddr, userid: u32, requests: usize) -> ClientOutcome {
     for _ in 0..requests {
         let t0 = Instant::now();
         if send_request(&mut conn, get.as_bytes()).is_err() {
-            outcome.errors += 1;
+            outcome.steady.errors += 1;
             return outcome;
         }
         match read_response(&mut conn, &mut carry) {
             Ok(resp) if resp.status == 200 => {
-                outcome.ok += 1;
-                outcome.latencies_s.push(t0.elapsed().as_secs_f64());
+                outcome.steady.completed += 1;
+                outcome.steady.latencies_s.push(t0.elapsed().as_secs_f64());
             }
-            Ok(resp) if resp.status == 503 => outcome.shed += 1,
+            Ok(resp) if resp.status == 503 => outcome.steady.shed += 1,
             _ => {
-                outcome.errors += 1;
+                outcome.steady.errors += 1;
                 return outcome;
             }
         }
@@ -177,83 +280,441 @@ fn run_client(addr: SocketAddr, userid: u32, requests: usize) -> ClientOutcome {
     outcome
 }
 
-struct LoadResult {
-    stats: NetStats,
-    latency: LatencyStats,
-    throughput_rps: f64,
-    wall_s: f64,
-    ok: u64,
+/// One phase's load-side result, as emitted into the JSON `phases` array.
+struct PhaseResult {
+    phase: &'static str,
+    completed: u64,
     shed: u64,
     errors: u64,
+    wall_s: f64,
+    throughput_rps: f64,
+    latency: Option<LatencyStats>,
+}
+
+impl PhaseResult {
+    fn from_outcome(phase: &'static str, o: PhaseOutcome, wall_s: f64) -> Self {
+        PhaseResult {
+            phase,
+            completed: o.completed,
+            shed: o.shed,
+            errors: o.errors,
+            wall_s,
+            throughput_rps: if wall_s > 0.0 {
+                o.completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            latency: (!o.latencies_s.is_empty()).then(|| LatencyStats::from_samples(o.latencies_s)),
+        }
+    }
+}
+
+struct LoadResult {
+    stats: NetStats,
+    per_shard: Vec<NetStats>,
+    phases: Vec<PhaseResult>,
     panicked_clients: u64,
 }
 
-/// Boot a server, run `clients` closed-loop clients to completion, stop
-/// the server, and aggregate.
-fn run_load<H: CohortHandler + Send + 'static>(
-    handler: H,
+impl LoadResult {
+    fn phase(&self, name: &str) -> &PhaseResult {
+        self.phases
+            .iter()
+            .find(|p| p.phase == name)
+            .expect("phase present")
+    }
+}
+
+/// Closed loop: run `clients` lock-step clients to completion.
+fn run_closed<H: CohortHandler + Send + 'static>(
+    mk: impl Fn() -> H,
     config: NetConfig,
+    shards: usize,
     clients: usize,
     requests: usize,
-) -> (LoadResult, H) {
-    let server = NetServer::bind("127.0.0.1:0", config, handler).expect("bind");
-    let addr = server.local_addr().expect("addr");
-    let stop = Arc::new(AtomicBool::new(false));
-    let flag = Arc::clone(&stop);
-    let server_thread = std::thread::spawn(move || server.run(&flag));
-
-    let start = Instant::now();
+) -> (LoadResult, Vec<H>) {
+    let (addr, stop, server) = boot(mk, config, shards);
+    let warmup_start = Instant::now();
+    let barrier = Arc::new(Barrier::new(clients + 1));
     let client_threads: Vec<_> = (0..clients)
-        .map(|i| std::thread::spawn(move || run_client(addr, (i as u32) % NUM_USERS, requests)))
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || run_client(addr, (i as u32) % NUM_USERS, requests, &barrier))
+        })
         .collect();
+    barrier.wait();
+    let warmup_s = warmup_start.elapsed().as_secs_f64();
+    let steady_start = Instant::now();
 
-    let mut latencies = Vec::new();
-    let (mut ok, mut shed, mut errors, mut panicked) = (0u64, 0u64, 0u64, 0u64);
+    let mut warmup = PhaseOutcome::default();
+    let mut steady = PhaseOutcome::default();
+    let mut panicked = 0u64;
     for t in client_threads {
         match t.join() {
-            Ok(mut outcome) => {
-                latencies.append(&mut outcome.latencies_s);
-                ok += outcome.ok;
-                shed += outcome.shed;
-                errors += outcome.errors;
+            Ok(o) => {
+                warmup.completed += o.warmup.completed;
+                warmup.shed += o.warmup.shed;
+                warmup.errors += o.warmup.errors;
+                steady.completed += o.steady.completed;
+                steady.shed += o.steady.shed;
+                steady.errors += o.steady.errors;
+                let mut lat = o.steady.latencies_s;
+                steady.latencies_s.append(&mut lat);
             }
             Err(_) => panicked += 1,
         }
     }
-    let wall_s = start.elapsed().as_secs_f64();
+    let steady_s = steady_start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let shards_out = server.join().expect("server must not panic");
+    let (per_shard, handlers): (Vec<NetStats>, Vec<H>) = shards_out.into_iter().unzip();
+    let mut stats = NetStats::default();
+    for s in &per_shard {
+        stats.merge(s);
+    }
+    (
+        LoadResult {
+            stats,
+            per_shard,
+            phases: vec![
+                PhaseResult::from_outcome("warmup", warmup, warmup_s),
+                PhaseResult::from_outcome("steady", steady, steady_s),
+            ],
+            panicked_clients: panicked,
+        },
+        handlers,
+    )
+}
+
+/// xorshift64* — deterministic arrival-gap randomness with no deps.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given mean (Poisson inter-arrival gap).
+    fn next_exp(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+}
+
+/// One open-loop connection's in-flight state.
+struct OpenConn {
+    stream: TcpStream,
+    get: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    rbuf: Vec<u8>,
+    /// Scheduled injection time of each outstanding request, in order.
+    inflight: VecDeque<Instant>,
+    next_send: Instant,
+    rng: XorShift64,
+    dead: bool,
+}
+
+/// Cap on outstanding pipelined requests per connection, bounding client
+/// memory when the schedule outruns the server.
+const MAX_INFLIGHT: usize = 64;
+
+/// Open loop: `conns` non-blocking pipelined connections across a few
+/// worker threads, injecting on the arrival schedule at `rate` aggregate
+/// rps for `duration_s`, then draining. Latency is measured from the
+/// *scheduled* injection time (coordinated-omission-free); completions
+/// after the window land in the `drain` phase.
+fn run_open<H: CohortHandler + Send + 'static>(
+    mk: impl Fn() -> H,
+    config: NetConfig,
+    shards: usize,
+    conns: usize,
+    rate: f64,
+    duration_s: f64,
+    paced: bool,
+) -> (LoadResult, Vec<H>) {
+    let (addr, stop, server) = boot(mk, config, shards);
+
+    // Warmup: log every connection in on a blocking socket.
+    let warmup_start = Instant::now();
+    let mut warmup = PhaseOutcome::default();
+    let mut open_conns: Vec<OpenConn> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let userid = (i as u32) % NUM_USERS;
+        let setup = (|| {
+            let mut conn = TcpStream::connect(addr).ok()?;
+            conn.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+            let mut carry = Vec::new();
+            let body = format!("userid={userid}");
+            let login = format!(
+                "POST /bank/login.php HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            send_request(&mut conn, login.as_bytes()).ok()?;
+            let resp = read_response(&mut conn, &mut carry).ok()?;
+            if resp.status != 200 {
+                return None;
+            }
+            let token: u32 = resp
+                .header("Set-Cookie")
+                .and_then(|v| v.strip_prefix("SID=").map(|t| t.trim().to_string()))
+                .and_then(|t| t.parse().ok())?;
+            conn.set_nonblocking(true).ok()?;
+            Some((conn, carry, token))
+        })();
+        match setup {
+            Some((stream, carry, token)) => {
+                warmup.completed += 1;
+                let get = format!(
+                    "GET /bank/account_summary.php?userid={userid} HTTP/1.1\r\nHost: loadgen\r\nCookie: SID={token}\r\n\r\n"
+                );
+                open_conns.push(OpenConn {
+                    stream,
+                    get: get.into_bytes(),
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    rbuf: carry,
+                    inflight: VecDeque::new(),
+                    next_send: Instant::now(),
+                    rng: XorShift64(0x9E37_79B9_7F4A_7C15 ^ (i as u64 + 1)),
+                    dead: false,
+                });
+            }
+            None => warmup.errors += 1,
+        }
+    }
+    let warmup_s = warmup_start.elapsed().as_secs_f64();
+    assert!(
+        !open_conns.is_empty(),
+        "open-loop warmup must log in at least one connection"
+    );
+
+    // Steady window: split the connections across a few workers; each
+    // worker services its slice with non-blocking writes/reads.
+    let workers = open_conns.len().min(2);
+    let per_conn_gap = open_conns.len() as f64 / rate;
+    let steady_start = Instant::now();
+    let steady_end = steady_start + Duration::from_secs_f64(duration_s);
+    for c in &mut open_conns {
+        // First injections are staggered over one mean gap so shards see
+        // a smooth ramp rather than a synchronized burst.
+        let offset = if paced {
+            per_conn_gap * (c.rng.0 % 1024) as f64 / 1024.0
+        } else {
+            c.rng.next_exp(per_conn_gap)
+        };
+        c.next_send = steady_start + Duration::from_secs_f64(offset);
+    }
+    let mut slices: Vec<Vec<OpenConn>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, c) in open_conns.into_iter().enumerate() {
+        slices[i % workers].push(c);
+    }
+
+    let outcomes: Vec<(PhaseOutcome, PhaseOutcome, u64)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = slices
+            .into_iter()
+            .map(|slice| scope.spawn(move || open_worker(slice, steady_end, per_conn_gap, paced)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("open-loop worker must not panic"))
+            .collect()
+    });
+    let mut steady = PhaseOutcome::default();
+    let mut drain = PhaseOutcome::default();
+    let mut undrained = 0u64;
+    for (s, d, u) in outcomes {
+        steady.completed += s.completed;
+        steady.shed += s.shed;
+        steady.errors += s.errors;
+        let mut lat = s.latencies_s;
+        steady.latencies_s.append(&mut lat);
+        drain.completed += d.completed;
+        drain.shed += d.shed;
+        drain.errors += d.errors;
+        undrained += u;
+    }
+    let drain_s = (Instant::now() - steady_end).as_secs_f64().max(0.0);
 
     stop.store(true, Ordering::Relaxed);
-    let (stats, handler) = server_thread.join().expect("server must not panic");
+    let shards_out = server.join().expect("server must not panic");
+    let (per_shard, handlers): (Vec<NetStats>, Vec<H>) = shards_out.into_iter().unzip();
+    let mut stats = NetStats::default();
+    for s in &per_shard {
+        stats.merge(s);
+    }
+    drain.errors += undrained;
+    (
+        LoadResult {
+            stats,
+            per_shard,
+            phases: vec![
+                PhaseResult::from_outcome("warmup", warmup, warmup_s),
+                PhaseResult::from_outcome("steady", steady, duration_s),
+                PhaseResult::from_outcome("drain", drain, drain_s),
+            ],
+            panicked_clients: 0,
+        },
+        handlers,
+    )
+}
 
-    let result = LoadResult {
-        stats,
-        latency: LatencyStats::from_samples(latencies),
-        throughput_rps: ok as f64 / wall_s,
-        wall_s,
-        ok,
-        shed,
-        errors,
-        panicked_clients: panicked,
-    };
-    (result, handler)
+/// Service one worker's slice of open-loop connections through the steady
+/// window, then drain. Returns (steady, drain, undrained-request count).
+fn open_worker(
+    mut conns: Vec<OpenConn>,
+    steady_end: Instant,
+    per_conn_gap: f64,
+    paced: bool,
+) -> (PhaseOutcome, PhaseOutcome, u64) {
+    let mut steady = PhaseOutcome::default();
+    let mut drain = PhaseOutcome::default();
+    let mut chunk = [0u8; 16 * 1024];
+    let drain_deadline = steady_end + Duration::from_secs(2);
+
+    loop {
+        let now = Instant::now();
+        let injecting = now < steady_end;
+        let mut live = false;
+        let mut progress = false;
+        for c in conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            live = true;
+            // Inject every request whose scheduled time has arrived (the
+            // arrival process never waits for completions — open loop).
+            // The inflight cap bounds memory if the server falls behind.
+            while injecting && c.next_send <= now && c.inflight.len() < MAX_INFLIGHT {
+                c.wbuf.extend_from_slice(&c.get);
+                c.inflight.push_back(c.next_send);
+                let gap = if paced {
+                    per_conn_gap
+                } else {
+                    c.rng.next_exp(per_conn_gap)
+                };
+                c.next_send += Duration::from_secs_f64(gap);
+            }
+            while c.wpos < c.wbuf.len() {
+                match c.stream.write(&c.wbuf[c.wpos..]) {
+                    Ok(0) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.wpos += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+            if c.wpos >= c.wbuf.len() {
+                c.wbuf.clear();
+                c.wpos = 0;
+            }
+            loop {
+                match c.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.rbuf.extend_from_slice(&chunk[..n]);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+            while let Some((status, total)) = scan_response(&c.rbuf) {
+                c.rbuf.drain(..total);
+                let done = Instant::now();
+                let sent_at = c.inflight.pop_front();
+                let phase = if done < steady_end {
+                    &mut steady
+                } else {
+                    &mut drain
+                };
+                match status {
+                    200 => {
+                        phase.completed += 1;
+                        if let Some(at) = sent_at {
+                            phase.latencies_s.push((done - at).as_secs_f64());
+                        }
+                    }
+                    503 => phase.shed += 1,
+                    _ => phase.errors += 1,
+                }
+            }
+            if c.dead && !c.inflight.is_empty() && injecting {
+                // Responses lost with the connection count as errors in
+                // the window they were scheduled for.
+                steady.errors += c.inflight.len() as u64;
+                c.inflight.clear();
+            }
+        }
+        let all_drained = conns.iter().all(|c| c.dead || c.inflight.is_empty());
+        if !injecting && (all_drained || Instant::now() > drain_deadline || !live) {
+            break;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    let undrained: u64 = conns
+        .iter()
+        .map(|c| if c.dead { 0 } else { c.inflight.len() as u64 })
+        .sum();
+    (steady, drain, undrained)
 }
 
 /// Overload phase: more clients than admitted connections; the excess
 /// must be shed with `503`, with zero panics on either side.
-fn run_overload(scalar: bool) -> LoadResult {
+fn run_overload(scalar: bool, shards: usize) -> LoadResult {
     let config = NetConfig {
         max_connections: 2,
         cohort_size: 4,
         fill_timeout: Duration::from_millis(1),
         ..NetConfig::default()
     };
-    let clients = 8;
+    // The cap is per reactor, so overflow the whole sharded capacity
+    // (shards × 2 slots) to guarantee sheds on every shard.
+    let clients = shards * 2 + 8;
     let requests = 8;
-    if scalar {
-        run_load(scalar_handler(), config, clients, requests).0
+    let mut result = if scalar {
+        run_closed(scalar_handler, config, shards, clients, requests).0
     } else {
-        run_load(simt_handler(), config, clients, requests).0
+        run_closed(simt_handler, config, shards, clients, requests).0
+    };
+    for p in &mut result.phases {
+        // Overload traffic is its own phase in the report; the inner
+        // closed-loop phases are re-labelled so they can never be mistaken
+        // for (or merged into) the steady-state measurement.
+        p.phase = match p.phase {
+            "warmup" => "overload_warmup",
+            _ => "overload",
+        };
     }
+    result
 }
 
 fn json_f(v: f64) -> String {
@@ -264,67 +725,185 @@ fn json_f(v: f64) -> String {
     }
 }
 
+fn phase_json(p: &PhaseResult) -> String {
+    let latency = match &p.latency {
+        None => "null".to_string(),
+        Some(l) => format!(
+            "{{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+            json_f(l.mean * 1e3),
+            json_f(l.p50 * 1e3),
+            json_f(l.p95 * 1e3),
+            json_f(l.p99 * 1e3),
+            json_f(l.max * 1e3)
+        ),
+    };
+    format!(
+        "{{\"phase\": \"{}\", \"completed\": {}, \"shed\": {}, \"errors\": {}, \
+         \"wall_s\": {}, \"throughput_rps\": {}, \"latency_ms\": {latency}}}",
+        p.phase,
+        p.completed,
+        p.shed,
+        p.errors,
+        json_f(p.wall_s),
+        json_f(p.throughput_rps)
+    )
+}
+
 fn main() {
     let args = parse_args();
     let path = if args.scalar { "scalar" } else { "simt" };
+    let mode = if args.open_loop { "open" } else { "closed" };
     let config = NetConfig {
-        cohort_size: args.clients.clamp(2, 32),
+        cohort_size: if args.open_loop {
+            32
+        } else {
+            args.clients.clamp(2, 32)
+        },
         fill_timeout: Duration::from_millis(2),
         ..NetConfig::default()
     };
-    eprintln!(
-        "[net_loadgen] {path} path: {} clients x {} requests, cohort_size {}",
-        args.clients, args.requests, config.cohort_size
-    );
-
-    let (load, fill, device_cohorts) = if args.scalar {
-        let (load, _h) = run_load(
-            scalar_handler(),
-            config.clone(),
-            args.clients,
-            args.requests,
+    if args.open_loop {
+        eprintln!(
+            "[net_loadgen] {path} path, open loop: {} conns at {:.0} rps ({}) for {:.1}s, \
+             {} shard(s), cohort_size {}",
+            args.conns,
+            args.rate,
+            if args.paced { "paced" } else { "poisson" },
+            args.duration_s,
+            args.shards,
+            config.cohort_size
         );
-        (load, 0.0, 0u64)
     } else {
-        let (load, h) = run_load(simt_handler(), config.clone(), args.clients, args.requests);
-        let fill = h.mean_cohort_device_s();
-        (load, fill, h.cohorts)
-    };
+        eprintln!(
+            "[net_loadgen] {path} path, closed loop: {} clients x {} requests, {} shard(s), \
+             cohort_size {}",
+            args.clients, args.requests, args.shards, config.cohort_size
+        );
+    }
 
-    let expected = (args.clients * (args.requests + 1)) as u64;
+    let run = |scalar: bool| -> (LoadResult, f64, u64) {
+        if scalar {
+            let (load, _h) = if args.open_loop {
+                run_open(
+                    scalar_handler,
+                    config.clone(),
+                    args.shards,
+                    args.conns,
+                    args.rate,
+                    args.duration_s,
+                    args.paced,
+                )
+            } else {
+                run_closed(
+                    scalar_handler,
+                    config.clone(),
+                    args.shards,
+                    args.clients,
+                    args.requests,
+                )
+            };
+            (load, 0.0, 0u64)
+        } else {
+            let (load, handlers) = if args.open_loop {
+                run_open(
+                    simt_handler,
+                    config.clone(),
+                    args.shards,
+                    args.conns,
+                    args.rate,
+                    args.duration_s,
+                    args.paced,
+                )
+            } else {
+                run_closed(
+                    simt_handler,
+                    config.clone(),
+                    args.shards,
+                    args.clients,
+                    args.requests,
+                )
+            };
+            let cohorts: u64 = handlers.iter().map(|h| h.cohorts).sum();
+            let device_s: f64 = handlers.iter().map(|h| h.device_time_s).sum();
+            let mean = if cohorts == 0 {
+                0.0
+            } else {
+                device_s / cohorts as f64
+            };
+            (load, mean, cohorts)
+        }
+    };
+    let (load, mean_cohort_device_s, device_cohorts) = run(args.scalar);
+
+    let steady = load.phase("steady");
     println!(
-        "served {}/{} requests in {:.2}s  ->  {:.0} req/s",
-        load.ok, expected, load.wall_s, load.throughput_rps
+        "steady: {} completed in {:.2}s  ->  {:.0} req/s  ({} shed, {} errors)",
+        steady.completed, steady.wall_s, steady.throughput_rps, steady.shed, steady.errors
+    );
+    if let Some(l) = &steady.latency {
+        println!(
+            "steady latency ms: mean {:.2}  p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+            l.mean * 1e3,
+            l.p50 * 1e3,
+            l.p95 * 1e3,
+            l.p99 * 1e3,
+            l.max * 1e3
+        );
+    }
+    let warmup = load.phase("warmup");
+    println!(
+        "warmup: {} logins ({} errors) — excluded from steady stats",
+        warmup.completed, warmup.errors
     );
     println!(
-        "latency ms: mean {:.2}  p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
-        load.latency.mean * 1e3,
-        load.latency.p50 * 1e3,
-        load.latency.p95 * 1e3,
-        load.latency.p99 * 1e3,
-        load.latency.max * 1e3
-    );
-    println!(
-        "cohorts: {} launched ({} full, {} by timeout), {:.2} requests/launch, mean fill {:.2}",
+        "server: {} cohorts ({} full, {} by timeout), {:.2} requests/launch, mean fill {:.2}, \
+         {} idle polls, {} paused reads, {} dropped responses",
         load.stats.cohorts,
         load.stats.full_launches,
         load.stats.timeout_launches,
         load.stats.mean_requests_per_launch(),
-        load.stats.mean_fill()
+        load.stats.mean_fill(),
+        load.stats.idle_polls,
+        load.stats.reads_paused,
+        load.stats.responses_dropped
     );
+    for (i, s) in load.per_shard.iter().enumerate() {
+        println!(
+            "  shard {i}: {} accepted, {} requests, {} cohorts, fill {:.2}",
+            s.accepted,
+            s.requests,
+            s.cohorts,
+            s.mean_fill()
+        );
+    }
 
     assert_eq!(load.panicked_clients, 0, "client threads must not panic");
-    assert_eq!(load.errors, 0, "no protocol errors at steady load");
-    assert_eq!(load.ok, expected, "every request must be answered 200");
+    assert_eq!(
+        load.stats.responses_dropped, 0,
+        "no responses may be dropped"
+    );
+    if !args.open_loop {
+        let expected = (args.clients * args.requests) as u64;
+        assert_eq!(steady.errors, 0, "no protocol errors at steady load");
+        assert_eq!(
+            steady.completed, expected,
+            "every steady request must be answered 200"
+        );
+        assert_eq!(
+            warmup.completed as usize, args.clients,
+            "every client must log in"
+        );
+    }
     if !args.scalar {
         assert!(
-            load.stats.mean_requests_per_launch() > 1.0,
+            load.stats.mean_requests_per_launch() > 1.0 || args.open_loop,
             "SIMT path must batch: mean requests/launch {:.3} <= 1",
             load.stats.mean_requests_per_launch()
         );
     }
     if args.smoke {
-        assert_eq!(load.shed, 0, "no shedding at smoke load");
+        assert_eq!(steady.shed, 0, "no shedding at smoke load");
+        assert_eq!(steady.errors, 0, "no errors at smoke load");
         assert_eq!(load.stats.shed_503, 0, "no 503s at smoke load");
         assert_eq!(
             load.stats.fsm_rejections, 0,
@@ -332,56 +911,71 @@ fn main() {
         );
     }
 
-    // Overload: shed, don't break.
+    // Overload: shed, don't break. Its traffic is a separate phase and
+    // never merges into the steady numbers above.
     let overload = if args.smoke {
         None
     } else {
-        let o = run_overload(args.scalar);
+        let o = run_overload(args.scalar, args.shards);
         println!(
-            "overload: {} admitted (cap 2), {} connections shed 503, zero panics",
+            "overload: {} admitted (cap 2/shard), {} connections shed 503, zero panics",
             o.stats.accepted, o.stats.rejected_over_cap
         );
         assert_eq!(o.panicked_clients, 0, "overload must not panic clients");
         assert!(
-            o.stats.rejected_over_cap > 0 || o.shed > 0,
+            o.stats.rejected_over_cap > 0 || o.phases.iter().map(|p| p.shed).sum::<u64>() > 0,
             "overload run must shed at least one connection"
         );
         Some(o)
     };
 
+    let mut phases: Vec<String> = load.phases.iter().map(phase_json).collect();
+    if let Some(o) = &overload {
+        phases.extend(o.phases.iter().map(phase_json));
+    }
     let overload_json = match &overload {
         None => "null".to_string(),
         Some(o) => format!(
             "{{\"accepted\": {}, \"rejected_over_cap\": {}, \"client_503s\": {}, \"panics\": 0}}",
-            o.stats.accepted, o.stats.rejected_over_cap, o.shed
+            o.stats.accepted,
+            o.stats.rejected_over_cap,
+            o.phases.iter().map(|p| p.shed).sum::<u64>()
         ),
     };
     let json = format!(
-        "{{\n  \"path\": \"{path}\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
-         \"cohort_size\": {},\n  \"completed\": {},\n  \"wall_s\": {},\n  \
-         \"throughput_rps\": {},\n  \"latency_ms\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \
-         \"p99\": {}, \"max\": {}}},\n  \"cohorts\": {},\n  \"full_launches\": {},\n  \
-         \"timeout_launches\": {},\n  \"mean_requests_per_launch\": {},\n  \
-         \"mean_cohort_fill\": {},\n  \"device_cohorts\": {device_cohorts},\n  \
-         \"mean_cohort_device_s\": {},\n  \"shed_503\": {},\n  \"overload\": {overload_json}\n}}\n",
-        args.clients,
-        args.requests,
+        "{{\n  \"schema_version\": 2,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
+         \"shards\": {},\n  \"cohort_size\": {},\n  \"conns\": {},\n  \"rate_rps\": {},\n  \
+         \"clients\": {},\n  \"requests_per_client\": {},\n  \"completed\": {},\n  \
+         \"wall_s\": {},\n  \"throughput_rps\": {},\n  \"phases\": [\n    {}\n  ],\n  \
+         \"cohorts\": {},\n  \"full_launches\": {},\n  \"timeout_launches\": {},\n  \
+         \"mean_requests_per_launch\": {},\n  \"mean_cohort_fill\": {},\n  \
+         \"device_cohorts\": {device_cohorts},\n  \"mean_cohort_device_s\": {},\n  \
+         \"shed_503\": {},\n  \"responses_dropped\": {},\n  \"idle_polls\": {},\n  \
+         \"reads_paused\": {},\n  \"overload\": {overload_json}\n}}\n",
+        args.shards,
         config.cohort_size,
-        load.ok,
-        json_f(load.wall_s),
-        json_f(load.throughput_rps),
-        json_f(load.latency.mean * 1e3),
-        json_f(load.latency.p50 * 1e3),
-        json_f(load.latency.p95 * 1e3),
-        json_f(load.latency.p99 * 1e3),
-        json_f(load.latency.max * 1e3),
+        if args.open_loop { args.conns } else { 0 },
+        if args.open_loop {
+            json_f(args.rate)
+        } else {
+            "0".to_string()
+        },
+        if args.open_loop { 0 } else { args.clients },
+        if args.open_loop { 0 } else { args.requests },
+        steady.completed,
+        json_f(steady.wall_s),
+        json_f(steady.throughput_rps),
+        phases.join(",\n    "),
         load.stats.cohorts,
         load.stats.full_launches,
         load.stats.timeout_launches,
         json_f(load.stats.mean_requests_per_launch()),
         json_f(load.stats.mean_fill()),
-        json_f(fill),
+        json_f(mean_cohort_device_s),
         load.stats.shed_503,
+        load.stats.responses_dropped,
+        load.stats.idle_polls,
+        load.stats.reads_paused,
     );
     std::fs::write(&args.out, &json).expect("write result file");
     println!("results written to {}", args.out);

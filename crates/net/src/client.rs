@@ -76,6 +76,27 @@ fn parse_status(buf: &[u8]) -> u16 {
         .unwrap_or(0)
 }
 
+/// Scan for one complete framed response at the start of `buf` without
+/// consuming it: returns `(status, total_len)` when the header block and
+/// the declared `Content-Length` body are fully present.
+///
+/// This is the non-blocking counterpart of [`read_response`] for callers
+/// that own their buffering (the open-loop load generator): feed socket
+/// bytes into a buffer, call this in a loop, and drain `total_len` bytes
+/// per framed response. Responses without a `Content-Length` cannot be
+/// framed this way and report their header block as the whole response.
+pub fn scan_response(buf: &[u8]) -> Option<(u16, usize)> {
+    let head_end = find_header_end(buf)?;
+    let total = match content_length(&buf[..head_end]) {
+        Some(len) => head_end + len,
+        None => head_end,
+    };
+    if buf.len() < total {
+        return None;
+    }
+    Some((parse_status(&buf[..head_end]), total))
+}
+
 /// Write raw request bytes to the stream.
 ///
 /// # Errors

@@ -10,13 +10,20 @@
 //!   pipelined request, and enforces a per-connection size cap so an
 //!   oversized or lying `Content-Length` gets 413 instead of unbounded
 //!   buffering.
-//! * [`server::NetServer`] is a poll-style accept/read loop over
-//!   nonblocking `std::net` sockets. Parsed requests are dispatched into
-//!   per-type cohort contexts from `rhythm-core`'s [`rhythm_core::CohortPool`]
-//!   (the Free → PartiallyFull → Full → Busy FSM); a cohort launches when
-//!   it fills or when its formation timeout fires, is executed by a
-//!   pluggable [`server::CohortHandler`], and the responses are transposed
-//!   back onto the originating connections in request order.
+//! * [`server::Reactor`] is the poll-style connection/cohort state
+//!   machine over nonblocking `std::net` sockets. Parsed requests are
+//!   dispatched into per-type cohort contexts from `rhythm-core`'s
+//!   [`rhythm_core::CohortPool`] (the Free → PartiallyFull → Full → Busy
+//!   FSM); cohorts launch on fill or on the formation timeout, all
+//!   launches marked in one poll go to the pluggable
+//!   [`server::CohortHandler`] as a single batch (so device handlers can
+//!   run them as concurrent streams), and responses are transposed back
+//!   onto the originating connections in request order.
+//! * [`server::NetServer`] runs one reactor behind one listener;
+//!   [`shard::ShardedServer`] runs N reactor threads behind a dedicated
+//!   acceptor with round-robin connection handoff — each shard owns its
+//!   connections, cohort pool, stats, and handler (device), and
+//!   connection pinning doubles as session-affinity routing.
 //! * Robustness under load: a connection cap (excess connections are shed
 //!   with `503` + `Retry-After`), pool-exhaustion shedding (`503`),
 //!   request size caps (`413`), malformed-input rejection (`400`), and a
@@ -39,7 +46,9 @@ pub mod client;
 pub mod conn;
 pub mod responses;
 pub mod server;
+pub mod shard;
 
-pub use client::{read_response, send_request, RawResponse};
+pub use client::{read_response, scan_response, send_request, RawResponse};
 pub use conn::RequestAccumulator;
-pub use server::{CohortHandler, NetConfig, NetServer, NetStats};
+pub use server::{CohortHandler, NetConfig, NetServer, NetStats, Reactor};
+pub use shard::{ShardedRun, ShardedServer};

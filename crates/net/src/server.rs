@@ -1,6 +1,12 @@
-//! The poll-style cohort server: non-blocking accept/read over
+//! The poll-style cohort reactor: non-blocking accept/read over
 //! `std::net`, cohort formation via `rhythm-core`'s context pool, and
 //! overload shedding.
+//!
+//! The connection/cohort state machine lives in [`Reactor`], which owns
+//! admitted connections but no listener: streams are handed to it via
+//! [`Reactor::admit`]. [`NetServer`] is the single-reactor server (one
+//! listener feeding one reactor); [`crate::shard::ShardedServer`] runs N
+//! reactors behind one acceptor for the multi-reactor front end.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
@@ -31,6 +37,22 @@ pub trait CohortHandler {
     /// short return is padded with `500`s by the server.
     fn execute(&mut self, key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>>;
 
+    /// Execute a batch of cohorts that became launchable in the same poll
+    /// iteration, in launch order, returning one response vector per
+    /// cohort (aligned with `cohorts`).
+    ///
+    /// The default runs each cohort through [`CohortHandler::execute`]
+    /// sequentially. Device-backed handlers may override it to keep the
+    /// device saturated with concurrent per-type launches (the HyperQ
+    /// path), as long as results stay identical to sequential execution
+    /// in launch order.
+    fn execute_many(&mut self, cohorts: &[(u32, Vec<HttpRequest>)]) -> Vec<Vec<Vec<u8>>> {
+        cohorts
+            .iter()
+            .map(|(key, reqs)| self.execute(*key, reqs))
+            .collect()
+    }
+
     /// Response for a request [`CohortHandler::classify`] refused.
     fn reject(&self, _req: &HttpRequest) -> Vec<u8> {
         responses::not_found_404()
@@ -40,14 +62,15 @@ pub trait CohortHandler {
 /// Front-end configuration.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
-    /// Admitted-connection cap; connections beyond it are shed with
-    /// `503` + `Retry-After` at accept time.
+    /// Admitted-connection cap **per reactor**; connections beyond it are
+    /// shed with `503` + `Retry-After` at admission time.
     pub max_connections: usize,
     /// Per-request size cap (headers + declared body); larger gets `413`.
     pub max_request_bytes: usize,
     /// Idle connections (no bytes, no responses in flight) older than
     /// this are reaped — a stalled or half-open client cannot hold a slot
-    /// forever.
+    /// forever. Connections with queued output that accept no bytes for
+    /// this long (stalled readers) are reaped too.
     pub read_deadline: Duration,
     /// Target cohort size (requests per kernel launch).
     pub cohort_size: usize,
@@ -56,8 +79,27 @@ pub struct NetConfig {
     pub fill_timeout: Duration,
     /// Preallocated cohort contexts; running out sheds with `503`.
     pub pool_contexts: u32,
-    /// Sleep between polls when nothing progressed (bounds idle spin).
+    /// Initial sleep between polls when nothing progressed. Grows
+    /// exponentially up to [`NetConfig::idle_sleep_max`] while the loop
+    /// stays idle and resets on any progress, so an idle reactor does not
+    /// burn its core (with N reactors, N cores).
     pub idle_sleep: Duration,
+    /// Cap for the idle-sleep exponential backoff.
+    pub idle_sleep_max: Duration,
+    /// Per-connection queued-output cap in bytes (write buffer plus
+    /// out-of-order responses waiting for earlier sequences). A
+    /// connection at or over the cap stops being **read** until the
+    /// backlog drains, so a pipelining client that stops reading cannot
+    /// grow server memory without bound.
+    pub max_queued_bytes: usize,
+    /// Max complete requests parsed per connection per poll. Responses
+    /// are only produced for parsed requests, so together with
+    /// [`NetConfig::max_queued_bytes`] this bounds how far a deep
+    /// pipeline released from a backpressure pause can spike the queued
+    /// backlog in a single poll; leftover bytes stay buffered and parse
+    /// on later polls. Sized generously by default — it only binds on
+    /// pipelines deeper than several cohorts per poll.
+    pub max_parse_per_poll: usize,
     /// `Retry-After` seconds advertised on `503` sheds.
     pub retry_after_s: u32,
 }
@@ -72,17 +114,20 @@ impl Default for NetConfig {
             fill_timeout: Duration::from_millis(2),
             pool_contexts: 8,
             idle_sleep: Duration::from_micros(200),
+            idle_sleep_max: Duration::from_millis(5),
+            max_queued_bytes: 256 * 1024,
+            max_parse_per_poll: 256,
             retry_after_s: 1,
         }
     }
 }
 
-/// Counters accumulated over one server run.
+/// Counters accumulated over one reactor run.
 #[derive(Clone, Default, PartialEq, Debug)]
 pub struct NetStats {
     /// Connections admitted.
     pub accepted: u64,
-    /// Connections shed at accept time (over the connection cap).
+    /// Connections shed at admission time (over the connection cap).
     pub rejected_over_cap: u64,
     /// Peak simultaneous admitted connections.
     pub peak_connections: usize,
@@ -114,6 +159,16 @@ pub struct NetStats {
     pub fsm_rejections: u64,
     /// Idle/half-open connections reaped by the read deadline.
     pub reaped_idle: u64,
+    /// Connections with queued output reaped because the peer stopped
+    /// reading for a full read-deadline.
+    pub reaped_stalled: u64,
+    /// No-progress poll iterations that slept (idle backoff engaged).
+    pub idle_polls: u64,
+    /// Socket reads skipped because the connection's queued output was at
+    /// or over [`NetConfig::max_queued_bytes`] (write backpressure).
+    pub reads_paused: u64,
+    /// Largest per-connection queued-output backlog observed, in bytes.
+    pub peak_queued_bytes: u64,
     /// Bytes read off sockets.
     pub bytes_in: u64,
     /// Bytes written to sockets.
@@ -138,6 +193,34 @@ impl NetStats {
             self.launched_requests as f64 / self.cohorts as f64
         }
     }
+
+    /// Fold another reactor's counters into this one (sums counters,
+    /// maxes peaks) — the cross-shard aggregate of a sharded run.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.accepted += other.accepted;
+        self.rejected_over_cap += other.rejected_over_cap;
+        self.peak_connections = self.peak_connections.max(other.peak_connections);
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.responses_dropped += other.responses_dropped;
+        self.cohorts += other.cohorts;
+        self.full_launches += other.full_launches;
+        self.timeout_launches += other.timeout_launches;
+        self.fill_sum += other.fill_sum;
+        self.launched_requests += other.launched_requests;
+        self.shed_503 += other.shed_503;
+        self.too_large_413 += other.too_large_413;
+        self.bad_request_400 += other.bad_request_400;
+        self.unclassified += other.unclassified;
+        self.fsm_rejections += other.fsm_rejections;
+        self.reaped_idle += other.reaped_idle;
+        self.reaped_stalled += other.reaped_stalled;
+        self.idle_polls += other.idle_polls;
+        self.reads_paused += other.reads_paused;
+        self.peak_queued_bytes = self.peak_queued_bytes.max(other.peak_queued_bytes);
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
 }
 
 /// One admitted connection's state.
@@ -156,6 +239,8 @@ struct Connection {
     next_to_send: u64,
     /// Completed responses waiting for earlier sequences.
     ready: BTreeMap<u64, Vec<u8>>,
+    /// Bytes held in `ready` (backpressure accounting).
+    ready_bytes: usize,
     last_activity: Instant,
     /// Stop reading; close once drained (fatal parse error sent).
     closing: bool,
@@ -175,6 +260,7 @@ impl Connection {
             next_seq: 0,
             next_to_send: 0,
             ready: BTreeMap::new(),
+            ready_bytes: 0,
             last_activity: Instant::now(),
             closing: false,
             eof: false,
@@ -191,11 +277,20 @@ impl Connection {
         self.out_pos >= self.out.len()
     }
 
+    /// Bytes queued toward this connection: unwritten output plus
+    /// responses parked out of order. This is what the backpressure cap
+    /// bounds.
+    fn queued_bytes(&self) -> usize {
+        (self.out.len() - self.out_pos) + self.ready_bytes
+    }
+
     /// Record the response for `seq` and move every now-in-order response
     /// into the write buffer.
     fn complete(&mut self, seq: u64, bytes: Vec<u8>) {
+        self.ready_bytes += bytes.len();
         self.ready.insert(seq, bytes);
         while let Some(b) = self.ready.remove(&self.next_to_send) {
+            self.ready_bytes -= b.len();
             self.out.extend_from_slice(&b);
             self.next_to_send += 1;
         }
@@ -220,17 +315,18 @@ struct Pending {
     arrived: Instant,
 }
 
-/// The non-blocking cohort front end.
+/// The connection/cohort state machine of one reactor thread: admitted
+/// connections, per-type cohort contexts, and the run's counters.
 ///
-/// Single-threaded and poll-driven, mirroring the paper's event-loop
-/// server: each [`NetServer::poll`] accepts new connections, reads every
-/// readable socket, parses complete requests, dispatches them into
-/// cohort contexts, launches full or timed-out cohorts through the
-/// [`CohortHandler`], and flushes responses. [`NetServer::run`] loops
-/// `poll` until a stop flag is raised.
+/// A reactor owns no listener — streams are pushed in through
+/// [`Reactor::admit`] (by [`NetServer`]'s accept loop or by the sharded
+/// acceptor). Each [`Reactor::poll_traced`] reads every readable socket,
+/// parses complete requests, dispatches them into cohort contexts, marks
+/// full or timed-out cohorts, launches the marked batch through the
+/// [`CohortHandler`] (one `execute_many` call, so device handlers can
+/// keep concurrent per-type launches in flight), and flushes responses.
 #[derive(Debug)]
-pub struct NetServer<H> {
-    listener: TcpListener,
+pub struct Reactor<H> {
     config: NetConfig,
     handler: H,
     pool: CohortPool<Pending>,
@@ -238,27 +334,27 @@ pub struct NetServer<H> {
     next_conn_id: u64,
     stats: NetStats,
     epoch: Instant,
+    /// Shard index for obs track names; `None` keeps the single-reactor
+    /// names (`net`, `net:device`, `net:ctx<N>`).
+    shard: Option<usize>,
+    /// Contexts marked launchable this poll: `(context, by_timeout)`.
+    launchable: Vec<(ContextId, bool)>,
 }
 
-impl<H: CohortHandler> NetServer<H> {
-    /// Bind a listener and prepare the cohort pool.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors from bind/configure.
+impl<H: CohortHandler> Reactor<H> {
+    /// A reactor over `handler`. `shard` selects the obs track namespace:
+    /// `Some(i)` prefixes tracks with `s<i>:` so per-shard timelines stay
+    /// distinguishable in one trace.
     ///
     /// # Panics
     ///
     /// Panics on a zero cohort size, context count, or connection cap.
-    pub fn bind<A: ToSocketAddrs>(addr: A, config: NetConfig, handler: H) -> std::io::Result<Self> {
+    pub fn new(config: NetConfig, handler: H, shard: Option<usize>) -> Self {
         assert!(config.cohort_size > 0, "cohort size must be nonzero");
         assert!(config.pool_contexts > 0, "need at least one context");
         assert!(config.max_connections > 0, "need at least one connection");
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let pool = CohortPool::new(config.pool_contexts, config.cohort_size);
-        Ok(NetServer {
-            listener,
+        Reactor {
             config,
             handler,
             pool,
@@ -266,16 +362,9 @@ impl<H: CohortHandler> NetServer<H> {
             next_conn_id: 0,
             stats: NetStats::default(),
             epoch: Instant::now(),
-        })
-    }
-
-    /// The bound address (use with an ephemeral port).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the socket error.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
+            shard,
+            launchable: Vec::new(),
+        }
     }
 
     /// Counters so far.
@@ -283,48 +372,90 @@ impl<H: CohortHandler> NetServer<H> {
         &self.stats
     }
 
+    /// The reactor's configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
     /// Borrow the workload handler.
     pub fn handler(&self) -> &H {
         &self.handler
     }
 
-    /// Serve until `stop` is raised, then drain and return the run's
-    /// counters along with the handler.
-    pub fn run(self, stop: &AtomicBool) -> (NetStats, H) {
-        self.run_traced(stop, &NoopRecorder)
-    }
-
-    /// [`NetServer::run`] with `rhythm-obs` instrumentation: wall-clock
-    /// cohort execute spans on the `net:device` track, FSM transition
-    /// instants on `net:ctx<N>` tracks, `cohort_fill` and
-    /// `net_request_latency_s` histograms, and shed counters on the
-    /// `net` track. The recorder is observational only.
-    pub fn run_traced<R: Recorder + ?Sized>(mut self, stop: &AtomicBool, rec: &R) -> (NetStats, H) {
-        while !stop.load(Ordering::Relaxed) {
-            if !self.poll_traced(rec) {
-                std::thread::sleep(self.config.idle_sleep);
-            }
-        }
-        self.drain(rec);
+    /// Consume the reactor, yielding the run's counters and the handler.
+    pub fn into_parts(self) -> (NetStats, H) {
         (self.stats, self.handler)
     }
 
+    /// Record one no-progress poll that slept (idle backoff accounting;
+    /// run loops call this before sleeping).
+    pub fn note_idle(&mut self) {
+        self.stats.idle_polls += 1;
+    }
+
+    fn net_track(&self) -> String {
+        match self.shard {
+            None => "net".to_string(),
+            Some(s) => format!("net:s{s}"),
+        }
+    }
+
+    fn device_track(&self) -> String {
+        match self.shard {
+            None => "net:device".to_string(),
+            Some(s) => format!("net:s{s}:device"),
+        }
+    }
+
+    fn ctx_track(&self, id: ContextId) -> String {
+        match self.shard {
+            None => format!("net:ctx{id}"),
+            Some(s) => format!("net:s{s}:ctx{id}"),
+        }
+    }
+
+    /// Take ownership of an accepted stream: admit it (non-blocking, slot
+    /// accounting) or shed it with `503` when this reactor is at its
+    /// connection cap.
+    pub fn admit(&mut self, stream: TcpStream) {
+        if self.conns.len() >= self.config.max_connections {
+            // Over the cap: shed at the door with an explicit retry hint
+            // rather than queueing unboundedly.
+            self.stats.rejected_over_cap += 1;
+            let mut s = stream;
+            let _ = s.set_nonblocking(false);
+            let _ = s.write_all(&responses::shed_503(self.config.retry_after_s));
+            let _ = s.shutdown(Shutdown::Both);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        self.stats.accepted += 1;
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        self.conns
+            .insert(id, Connection::new(stream, self.config.max_request_bytes));
+        self.stats.peak_connections = self.stats.peak_connections.max(self.conns.len());
+    }
+
     /// One non-blocking service iteration; returns whether anything
-    /// progressed (callers may sleep briefly when it did not).
+    /// progressed (callers should back off briefly when it did not).
     pub fn poll(&mut self) -> bool {
         self.poll_traced(&NoopRecorder)
     }
 
-    /// [`NetServer::poll`] with a recorder attached.
+    /// [`Reactor::poll`] with a recorder attached.
     pub fn poll_traced<R: Recorder + ?Sized>(&mut self, rec: &R) -> bool {
         let mut progress = false;
-        progress |= self.accept_new();
         let parsed = self.read_sockets(&mut progress);
         for p in parsed {
             self.dispatch(p, rec);
             progress = true;
         }
-        progress |= self.check_timeouts(rec);
+        self.mark_timeouts();
+        progress |= self.flush_launches(rec);
         progress |= self.write_sockets();
         self.reap();
         progress
@@ -332,51 +463,18 @@ impl<H: CohortHandler> NetServer<H> {
 
     /// After the stop flag: launch whatever is still partially formed and
     /// push out pending bytes (bounded, best effort).
-    fn drain<R: Recorder + ?Sized>(&mut self, rec: &R) {
+    pub fn drain<R: Recorder + ?Sized>(&mut self, rec: &R) {
         for id in 0..self.pool.len() as ContextId {
             if self.pool.get(id).state() == CohortState::PartiallyFull {
-                self.launch(id, true, rec);
+                self.launchable.push((id, true));
             }
         }
+        self.flush_launches(rec);
         for _ in 0..64 {
             if !self.write_sockets() {
                 break;
             }
         }
-    }
-
-    fn accept_new(&mut self) -> bool {
-        let mut progress = false;
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    progress = true;
-                    if self.conns.len() >= self.config.max_connections {
-                        // Over the cap: shed at the door with an explicit
-                        // retry hint rather than queueing unboundedly.
-                        self.stats.rejected_over_cap += 1;
-                        let mut s = stream;
-                        let _ = s.set_nonblocking(false);
-                        let _ = s.write_all(&responses::shed_503(self.config.retry_after_s));
-                        let _ = s.shutdown(Shutdown::Both);
-                        continue;
-                    }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
-                    self.stats.accepted += 1;
-                    let id = self.next_conn_id;
-                    self.next_conn_id += 1;
-                    self.conns
-                        .insert(id, Connection::new(stream, self.config.max_request_bytes));
-                    self.stats.peak_connections = self.stats.peak_connections.max(self.conns.len());
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(_) => break,
-            }
-        }
-        progress
     }
 
     /// Read every readable socket and parse complete requests. Requests
@@ -387,6 +485,13 @@ impl<H: CohortHandler> NetServer<H> {
         let mut chunk = [0u8; 4096];
         for (&id, conn) in self.conns.iter_mut() {
             if conn.closing || conn.dead || conn.eof {
+                continue;
+            }
+            if conn.queued_bytes() >= self.config.max_queued_bytes {
+                // Write backpressure: the peer is not draining its
+                // responses, so stop reading (and thus stop creating
+                // work) for this socket until the backlog clears.
+                self.stats.reads_paused += 1;
                 continue;
             }
             loop {
@@ -412,9 +517,17 @@ impl<H: CohortHandler> NetServer<H> {
             if conn.dead {
                 continue;
             }
-            loop {
+            // Bounded parse quantum: the backpressure check above only
+            // sees the backlog between polls, so without this cap a deep
+            // pipeline released from a pause would be parsed (and
+            // answered) all at once, spiking the queue to the whole
+            // pipeline's response volume.
+            let budget = self.config.max_parse_per_poll;
+            let mut taken = 0usize;
+            while taken < budget {
                 match conn.acc.next_request() {
                     Ok(Some(req)) => {
+                        taken += 1;
                         self.stats.requests += 1;
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
@@ -455,10 +568,15 @@ impl<H: CohortHandler> NetServer<H> {
             return;
         };
         let now_s = self.epoch.elapsed().as_secs_f64();
-        let ctx = match self.pool.open_for(key) {
-            Some(c) => Some(c),
-            None => self.pool.acquire(),
-        };
+        let mut ctx = self.pool.open_for(key).or_else(|| self.pool.acquire());
+        if ctx.is_none() && !self.launchable.is_empty() {
+            // Every context is occupied but some are only waiting for
+            // this poll's batched launch: flush the batch to free them
+            // instead of shedding a request the old immediate-launch
+            // server would have taken.
+            self.flush_launches(rec);
+            ctx = self.pool.open_for(key).or_else(|| self.pool.acquire());
+        }
         let Some(id) = ctx else {
             self.shed(p, rec);
             return;
@@ -478,7 +596,7 @@ impl<H: CohortHandler> NetServer<H> {
                         let fill = self.pool.get(id).fill();
                         rec.instant(
                             Clock::Wall,
-                            &format!("net:ctx{id}"),
+                            &self.ctx_track(id),
                             name,
                             rec.wall_now_us(),
                             &[("fill", ArgValue::F64(fill))],
@@ -486,7 +604,7 @@ impl<H: CohortHandler> NetServer<H> {
                     }
                 }
                 if self.pool.get(id).state() == CohortState::Full {
-                    self.launch(id, false, rec);
+                    self.launchable.push((id, false));
                 }
             }
             Err(rej) => {
@@ -504,7 +622,7 @@ impl<H: CohortHandler> NetServer<H> {
         if rec.enabled() {
             rec.counter(
                 Clock::Wall,
-                "net",
+                &self.net_track(),
                 "shed_503",
                 rec.wall_now_us(),
                 self.stats.shed_503 as f64,
@@ -514,77 +632,117 @@ impl<H: CohortHandler> NetServer<H> {
         self.route(p.conn, p.seq, resp, None, rec);
     }
 
-    /// Launch the cohort in context `id` through the handler and route
-    /// the responses back onto their connections.
-    fn launch<R: Recorder + ?Sized>(&mut self, id: ContextId, by_timeout: bool, rec: &R) {
-        let key = self.pool.get(id).key();
-        let n = self.pool.get(id).members().len();
-        let fill = self.pool.get(id).fill();
-        if self.pool.get_mut(id).launch().is_err() {
-            // Unreachable (launch sites guard the state), but a refusal
-            // only costs this launch attempt, not the server.
-            self.stats.fsm_rejections += 1;
-            return;
+    /// Mark PartiallyFull cohorts whose formation timeout has expired for
+    /// this poll's launch batch.
+    fn mark_timeouts(&mut self) {
+        let now_s = self.epoch.elapsed().as_secs_f64();
+        let deadline = self.config.fill_timeout.as_secs_f64();
+        for id in 0..self.pool.len() as ContextId {
+            if self.pool.get(id).state() == CohortState::PartiallyFull
+                && now_s - self.pool.get(id).opened_at() >= deadline
+            {
+                self.launchable.push((id, true));
+            }
         }
-        self.stats.cohorts += 1;
-        self.stats.launched_requests += n as u64;
-        self.stats.fill_sum += fill;
-        if by_timeout {
-            self.stats.timeout_launches += 1;
-        } else {
-            self.stats.full_launches += 1;
+    }
+
+    /// Launch every context marked this poll through one
+    /// [`CohortHandler::execute_many`] call and route the responses back
+    /// onto their connections. Returns whether anything launched.
+    fn flush_launches<R: Recorder + ?Sized>(&mut self, rec: &R) -> bool {
+        if self.launchable.is_empty() {
+            return false;
         }
-        if rec.enabled() {
-            let name = if by_timeout {
-                "PartiallyFull→Busy (timeout)"
+        let marked = std::mem::take(&mut self.launchable);
+        let mut batch: Vec<(u32, Vec<HttpRequest>)> = Vec::with_capacity(marked.len());
+        // Per launched cohort: context id, member count, fill at launch.
+        let mut meta: Vec<(ContextId, usize, f64)> = Vec::with_capacity(marked.len());
+        for (id, by_timeout) in marked {
+            let fill = self.pool.get(id).fill();
+            let n = self.pool.get(id).members().len();
+            let key = self.pool.get(id).key();
+            if self.pool.get_mut(id).launch().is_err() {
+                // Unreachable (mark sites guard the state), but a refusal
+                // only costs this launch attempt, not the server.
+                self.stats.fsm_rejections += 1;
+                continue;
+            }
+            self.stats.cohorts += 1;
+            self.stats.launched_requests += n as u64;
+            self.stats.fill_sum += fill;
+            if by_timeout {
+                self.stats.timeout_launches += 1;
             } else {
-                "Full→Busy"
-            };
-            rec.instant(
-                Clock::Wall,
-                &format!("net:ctx{id}"),
-                name,
-                rec.wall_now_us(),
-                &[("fill", ArgValue::F64(fill))],
-            );
-            rec.sample("cohort_fill", fill);
+                self.stats.full_launches += 1;
+            }
+            if rec.enabled() {
+                let name = if by_timeout {
+                    "PartiallyFull→Busy (timeout)"
+                } else {
+                    "Full→Busy"
+                };
+                rec.instant(
+                    Clock::Wall,
+                    &self.ctx_track(id),
+                    name,
+                    rec.wall_now_us(),
+                    &[("fill", ArgValue::F64(fill))],
+                );
+                rec.sample("cohort_fill", fill);
+            }
+            let reqs: Vec<HttpRequest> = self
+                .pool
+                .get(id)
+                .members()
+                .iter()
+                .map(|m| m.req.clone())
+                .collect();
+            batch.push((key, reqs));
+            meta.push((id, n, fill));
+        }
+        if batch.is_empty() {
+            return false;
         }
 
-        // The context stays Busy for the duration of the handler call —
-        // the wall-clock analogue of the pipeline's execute phase.
-        let reqs: Vec<HttpRequest> = self
-            .pool
-            .get(id)
-            .members()
-            .iter()
-            .map(|m| m.req.clone())
-            .collect();
+        // The contexts stay Busy for the duration of the batched handler
+        // call — the wall-clock analogue of the pipeline's execute phase.
+        let total: usize = meta.iter().map(|&(_, n, _)| n).sum();
         let t0 = rec.wall_now_us();
-        let mut replies = self.handler.execute(key, &reqs);
+        let mut replies = self.handler.execute_many(&batch);
         if rec.enabled() {
             let t1 = rec.wall_now_us();
             rec.span(
                 Clock::Wall,
-                "net:device",
-                &format!("cohort key={key}"),
+                &self.device_track(),
+                &format!("cohorts x{}", batch.len()),
                 t0,
                 t1 - t0,
                 &[
-                    ("requests", ArgValue::U64(n as u64)),
-                    ("fill", ArgValue::F64(fill)),
+                    ("cohorts", ArgValue::U64(batch.len() as u64)),
+                    ("requests", ArgValue::U64(total as u64)),
                 ],
             );
-            rec.instant(Clock::Wall, &format!("net:ctx{id}"), "Busy→Free", t1, &[]);
+            for &(id, _, _) in &meta {
+                rec.instant(Clock::Wall, &self.ctx_track(id), "Busy→Free", t1, &[]);
+            }
         }
-        if replies.len() < n {
-            replies.resize_with(n, responses::internal_500);
+        if replies.len() < batch.len() {
+            // A handler that answered fewer cohorts than launched is a
+            // bug it survives: the missing cohorts get padded 500s below.
+            replies.resize_with(batch.len(), Vec::new);
         }
 
-        let members = self.pool.get_mut(id).release().unwrap_or_default();
-        for (m, resp) in members.into_iter().zip(replies) {
-            self.stats.responses += 1;
-            self.route(m.conn, m.seq, resp, Some(m.arrived), rec);
+        for ((id, n, _), mut cohort_replies) in meta.into_iter().zip(replies) {
+            if cohort_replies.len() < n {
+                cohort_replies.resize_with(n, responses::internal_500);
+            }
+            let members = self.pool.get_mut(id).release().unwrap_or_default();
+            for (m, resp) in members.into_iter().zip(cohort_replies) {
+                self.stats.responses += 1;
+                self.route(m.conn, m.seq, resp, Some(m.arrived), rec);
+            }
         }
+        true
     }
 
     /// Deliver a response to its connection's ordered output queue.
@@ -600,25 +758,13 @@ impl<H: CohortHandler> NetServer<H> {
             rec.sample("net_request_latency_s", at.elapsed().as_secs_f64());
         }
         match self.conns.get_mut(&conn) {
-            Some(c) => c.complete(seq, bytes),
+            Some(c) => {
+                c.complete(seq, bytes);
+                self.stats.peak_queued_bytes =
+                    self.stats.peak_queued_bytes.max(c.queued_bytes() as u64);
+            }
             None => self.stats.responses_dropped += 1,
         }
-    }
-
-    /// Launch PartiallyFull cohorts whose formation timeout has expired.
-    fn check_timeouts<R: Recorder + ?Sized>(&mut self, rec: &R) -> bool {
-        let now_s = self.epoch.elapsed().as_secs_f64();
-        let deadline = self.config.fill_timeout.as_secs_f64();
-        let mut launched = false;
-        for id in 0..self.pool.len() as ContextId {
-            if self.pool.get(id).state() == CohortState::PartiallyFull
-                && now_s - self.pool.get(id).opened_at() >= deadline
-            {
-                self.launch(id, true, rec);
-                launched = true;
-            }
-        }
-        launched
     }
 
     fn write_sockets(&mut self) -> bool {
@@ -636,6 +782,7 @@ impl<H: CohortHandler> NetServer<H> {
                     Ok(n) => {
                         conn.out_pos += n;
                         self.stats.bytes_out += n as u64;
+                        conn.last_activity = Instant::now();
                         progress = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -649,13 +796,19 @@ impl<H: CohortHandler> NetServer<H> {
             if conn.out_drained() && !conn.out.is_empty() {
                 conn.out.clear();
                 conn.out_pos = 0;
+            } else if conn.out_pos >= 16 * 1024 {
+                // Partial drain: reclaim the written prefix so a slowly
+                // reading peer does not keep already-sent bytes resident.
+                conn.out.drain(..conn.out_pos);
+                conn.out_pos = 0;
             }
         }
         progress
     }
 
     /// Drop dead connections, finished `Connection: close` conversations,
-    /// and idle/half-open peers past the read deadline.
+    /// idle/half-open peers past the read deadline, and stalled readers
+    /// that accepted no queued output for a full deadline.
     fn reap(&mut self) {
         let deadline = self.config.read_deadline;
         let stats = &mut self.stats;
@@ -668,13 +821,123 @@ impl<H: CohortHandler> NetServer<H> {
             if (c.closing || c.eof) && drained {
                 return false;
             }
-            if drained && now.duration_since(c.last_activity) >= deadline {
+            let stale = now.duration_since(c.last_activity) >= deadline;
+            if drained && stale {
                 // No response owed and nothing arriving: a stalled or
                 // half-open client. Reap so it cannot hold a slot.
                 stats.reaped_idle += 1;
                 return false;
             }
+            if !drained && stale && c.queued_bytes() > 0 {
+                // Output queued but the peer accepted nothing for a full
+                // deadline: a stalled reader. Reaping bounds how long the
+                // backpressured backlog can sit in memory.
+                stats.reaped_stalled += 1;
+                return false;
+            }
             true
         });
+    }
+}
+
+/// The single-reactor non-blocking cohort front end: one listener feeding
+/// one [`Reactor`] on the calling thread, mirroring the paper's
+/// event-loop server. For the sharded multi-reactor server, see
+/// [`crate::shard::ShardedServer`].
+#[derive(Debug)]
+pub struct NetServer<H> {
+    listener: TcpListener,
+    reactor: Reactor<H>,
+}
+
+impl<H: CohortHandler> NetServer<H> {
+    /// Bind a listener and prepare the cohort pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero cohort size, context count, or connection cap.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: NetConfig, handler: H) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(NetServer {
+            listener,
+            reactor: Reactor::new(config, handler, None),
+        })
+    }
+
+    /// The bound address (use with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &NetStats {
+        self.reactor.stats()
+    }
+
+    /// Borrow the workload handler.
+    pub fn handler(&self) -> &H {
+        self.reactor.handler()
+    }
+
+    /// Serve until `stop` is raised, then drain and return the run's
+    /// counters along with the handler.
+    pub fn run(self, stop: &AtomicBool) -> (NetStats, H) {
+        self.run_traced(stop, &NoopRecorder)
+    }
+
+    /// [`NetServer::run`] with `rhythm-obs` instrumentation: wall-clock
+    /// cohort execute spans on the `net:device` track, FSM transition
+    /// instants on `net:ctx<N>` tracks, `cohort_fill` and
+    /// `net_request_latency_s` histograms, and shed counters on the
+    /// `net` track. The recorder is observational only.
+    pub fn run_traced<R: Recorder + ?Sized>(mut self, stop: &AtomicBool, rec: &R) -> (NetStats, H) {
+        let mut idle = self.reactor.config.idle_sleep;
+        while !stop.load(Ordering::Relaxed) {
+            if self.poll_traced(rec) {
+                idle = self.reactor.config.idle_sleep;
+            } else {
+                self.reactor.note_idle();
+                std::thread::sleep(idle);
+                idle = (idle * 2).min(self.reactor.config.idle_sleep_max);
+            }
+        }
+        self.reactor.drain(rec);
+        self.reactor.into_parts()
+    }
+
+    /// One non-blocking service iteration; returns whether anything
+    /// progressed (callers may back off briefly when it did not).
+    pub fn poll(&mut self) -> bool {
+        self.poll_traced(&NoopRecorder)
+    }
+
+    /// [`NetServer::poll`] with a recorder attached.
+    pub fn poll_traced<R: Recorder + ?Sized>(&mut self, rec: &R) -> bool {
+        let progress = self.accept_new();
+        self.reactor.poll_traced(rec) || progress
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    self.reactor.admit(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        progress
     }
 }

@@ -180,6 +180,28 @@ pub fn execute_streams(
 ) -> Result<Vec<StreamExecResult>, ExecError> {
     // Stream-level parallelism is the point here; run warps serially.
     let gpu = Gpu::new(config.clone().with_workers(1));
+    let mut results = execute_streams_on(&gpu, streams, workers);
+    // Per-stream outcomes collapse to the earliest (by input order) fault.
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in results.drain(..) {
+        outcomes.push(r?);
+    }
+    Ok(outcomes)
+}
+
+/// [`execute_streams`] against a caller-prepared [`Gpu`] (keeping its
+/// verification gate, plan cache, and worker configuration), with
+/// per-stream outcomes instead of a collapsed first error.
+///
+/// Results come back in the input order of `streams`; a faulting stream
+/// yields `Err` in its own slot and never perturbs the other streams.
+/// This is the entry point for serving paths that launch many cohorts
+/// concurrently and must answer each cohort's connections individually.
+pub fn execute_streams_on(
+    gpu: &Gpu,
+    streams: Vec<ExecStream<'_>>,
+    workers: usize,
+) -> Vec<Result<StreamExecResult, ExecError>> {
     let nstreams = streams.len();
     let workers = crate::exec::simt::resolve_workers(workers).min(nstreams.max(1));
 
@@ -249,11 +271,7 @@ pub fn execute_streams(
     };
 
     results.sort_unstable_by_key(|&(idx, _)| idx);
-    let mut outcomes = Vec::with_capacity(results.len());
-    for (_, r) in results {
-        outcomes.push(r?);
-    }
-    Ok(outcomes)
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

@@ -5,11 +5,13 @@
 //! By default it runs a self-contained demo: it binds an ephemeral port,
 //! spawns a client that logs in, fetches pages over one keep-alive
 //! connection and logs out, then exits. Pass `--serve` to keep listening
-//! so you can drive it with curl, and `--simt` to serve cohorts on the
-//! simulated data-parallel device instead of the scalar path:
+//! so you can drive it with curl, `--simt` to serve cohorts on the
+//! simulated data-parallel device instead of the scalar path, and
+//! `--shards <n>` to run the multi-reactor front end (each shard owns its
+//! connections, cohort pool, and device):
 //!
 //! ```sh
-//! cargo run --release --example banking_server -- --serve --simt
+//! cargo run --release --example banking_server -- --serve --simt --shards 4
 //! # in another shell (replace PORT):
 //! curl -s -X POST 'http://127.0.0.1:PORT/bank/login.php' -d 'userid=7'
 //! ```
@@ -25,7 +27,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rhythm_banking::prelude::*;
-use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats};
+use rhythm_net::{
+    read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats, ShardedServer,
+};
 use rhythm_simt::gpu::{Gpu, GpuConfig};
 
 const NUM_USERS: u32 = 256;
@@ -66,12 +70,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let serve_forever = args.iter().any(|a| a == "--serve");
     let simt = args.iter().any(|a| a == "--simt");
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     if serve_forever {
         // Serve until killed. The run loop polls; ctrl-C exits the
         // process, so the stop flag never fires here.
         let stop = AtomicBool::new(false);
-        if simt {
+        if shards > 1 {
+            // Multi-reactor front end: each shard owns its connections,
+            // cohort pool, and handler (its own device on the SIMT path).
+            let path = if simt { "SIMT cohort" } else { "scalar" };
+            if simt {
+                let handlers: Vec<_> = (0..shards).map(|_| simt_handler()).collect();
+                let server = ShardedServer::bind("127.0.0.1:0", config(), handlers)?;
+                println!(
+                    "rhythm banking server ({path} path, {shards} shards) on http://{}/bank/",
+                    server.local_addr()?
+                );
+                server.run(&stop);
+            } else {
+                let handlers: Vec<_> = (0..shards).map(|_| scalar_handler()).collect();
+                let server = ShardedServer::bind("127.0.0.1:0", config(), handlers)?;
+                println!(
+                    "rhythm banking server ({path} path, {shards} shards) on http://{}/bank/",
+                    server.local_addr()?
+                );
+                server.run(&stop);
+            }
+        } else if simt {
             let server = NetServer::bind("127.0.0.1:0", config(), simt_handler())?;
             println!(
                 "rhythm banking server (SIMT cohort path) on http://{}/bank/",

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rhythm_banking::prelude::*;
-use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer};
+use rhythm_net::{read_response, send_request, CohortHandler, NetConfig, NetServer, ShardedServer};
 use rhythm_simt::gpu::{Gpu, GpuConfig};
 
 const NUM_USERS: u32 = 64;
@@ -84,6 +84,83 @@ fn serve_conversation<H: CohortHandler + Send + 'static>(handler: H) -> Vec<Vec<
     let (stats, _) = join.join().expect("server thread");
     assert_eq!(stats.requests as usize, 1 + PAGES.len());
     assert_eq!(stats.shed_503, 0, "no shedding at this load");
+    out
+}
+
+/// Serve the conversation through the sharded multi-reactor front end.
+/// The conversation rides one connection, so session-affinity routing
+/// pins it (and its session) to one shard regardless of shard count.
+fn serve_conversation_sharded<H, F>(mk: F, shards: usize) -> Vec<Vec<u8>>
+where
+    H: CohortHandler + Send + 'static,
+    F: Fn() -> H,
+{
+    let config = NetConfig {
+        cohort_size: 4,
+        fill_timeout: Duration::from_millis(1),
+        ..NetConfig::default()
+    };
+    let handlers: Vec<H> = (0..shards).map(|_| mk()).collect();
+    let server = ShardedServer::bind("127.0.0.1:0", config, handlers).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let join = std::thread::spawn(move || server.run(&flag));
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut carry = Vec::new();
+    let mut out = Vec::new();
+
+    send_request(
+        &mut conn,
+        format!(
+            "POST /bank/login.php HTTP/1.1\r\nHost: t\r\nContent-Length: 8\r\n\r\nuserid={USERID}"
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let login = read_response(&mut conn, &mut carry).expect("login response");
+    assert_eq!(login.status, 200);
+    let token: u32 = login
+        .header("Set-Cookie")
+        .and_then(|v| v.strip_prefix("SID=").map(|t| t.trim().to_string()))
+        .and_then(|t| t.parse().ok())
+        .expect("login sets SID");
+    out.push(login.bytes);
+
+    for ty in PAGES {
+        send_request(
+            &mut conn,
+            format!(
+                "GET /bank/{}?userid={USERID} HTTP/1.1\r\nHost: t\r\nCookie: SID={token}\r\n\r\n",
+                ty.file_name()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let resp = read_response(&mut conn, &mut carry).expect("page response");
+        assert_eq!(resp.status, 200, "{ty} must succeed at {shards} shards");
+        out.push(resp.bytes);
+    }
+    drop(conn);
+
+    stop.store(true, Ordering::Relaxed);
+    let run = join.join().expect("server threads");
+    let total = run.total();
+    assert_eq!(total.requests as usize, 1 + PAGES.len());
+    assert_eq!(total.shed_503, 0, "no shedding at this load");
+    assert_eq!(total.responses_dropped, 0, "no dropped responses");
+    // One connection -> exactly one shard saw traffic (affinity pinning).
+    assert_eq!(
+        run.shards
+            .iter()
+            .filter(|(stats, _)| stats.requests > 0)
+            .count(),
+        1,
+        "a single connection must stay pinned to one shard"
+    );
     out
 }
 
@@ -187,6 +264,58 @@ fn simt_net_path_matches_offline_cohort_runner_exactly() {
     assert_eq!(wire.len(), offline.len());
     for (i, (w, o)) in wire.iter().zip(&offline).enumerate() {
         assert_eq!(w, o, "response {i} differs between socket and offline");
+    }
+}
+
+/// Socket-vs-offline byte identity must hold at every shard count: the
+/// sharded front end may never perturb responses.
+#[test]
+fn sharded_scalar_path_matches_offline_at_every_shard_count() {
+    let offline = native_conversation();
+    for shards in [1usize, 2, 4] {
+        let wire = serve_conversation_sharded(
+            || {
+                ScalarHandler::new(
+                    BankStore::generate(NUM_USERS, 1),
+                    SessionArrayHost::new(CAPACITY, SALT),
+                )
+            },
+            shards,
+        );
+        assert_eq!(wire.len(), offline.len());
+        for (i, (w, o)) in wire.iter().zip(&offline).enumerate() {
+            assert_eq!(w, o, "response {i} differs at {shards} shards");
+        }
+    }
+}
+
+/// The SIMT device path through the sharded front end must also stay
+/// byte-identical to the offline cohort runner at every shard count.
+#[test]
+fn sharded_simt_path_matches_offline_at_every_shard_count() {
+    let offline = device_conversation();
+    for shards in [1usize, 2, 4] {
+        let wire = serve_conversation_sharded(
+            || {
+                let opts = CohortOptions {
+                    session_capacity: CAPACITY,
+                    session_salt: SALT,
+                    ..CohortOptions::default()
+                };
+                SimtHandler::new(
+                    Workload::build(),
+                    BankStore::generate(NUM_USERS, 1),
+                    SessionArrayHost::new(CAPACITY, SALT),
+                    Gpu::new(GpuConfig::gtx_titan()),
+                    opts,
+                )
+            },
+            shards,
+        );
+        assert_eq!(wire.len(), offline.len());
+        for (i, (w, o)) in wire.iter().zip(&offline).enumerate() {
+            assert_eq!(w, o, "response {i} differs at {shards} shards");
+        }
     }
 }
 
