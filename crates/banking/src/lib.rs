@@ -65,7 +65,7 @@ pub mod prelude {
         run_cohort, run_cohort_traced, run_parser_only, run_request_scalar, BackendMode,
         CohortOptions, ScalarRunResult,
     };
-    pub use crate::serve::{banking_request_from_http, ScalarHandler, SimtHandler};
+    pub use crate::serve::{banking_request_from_http, DeviceMetrics, ScalarHandler, SimtHandler};
     pub use crate::session_array::SessionArrayHost;
     pub use crate::types::{RequestType, TypeInfo, TABLE2};
 }

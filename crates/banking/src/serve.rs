@@ -8,18 +8,176 @@
 //! [`rhythm_net::CohortHandler`], so the same non-blocking TCP front end
 //! drives either.
 
+use std::sync::Arc;
+
 use rhythm_http::HttpRequest;
 use rhythm_net::CohortHandler;
+use rhythm_obs::{AtomicHistogram, Counter, Gauge, MetricRegistry};
 use rhythm_simt::gpu::Gpu;
+use rhythm_simt::{plan_cache_stats, WARP_SIZE};
 
 use crate::backend::BankStore;
 use crate::genreq::{raw_http, GeneratedRequest};
 use crate::kernels::Workload;
 use crate::native::{handle_native, BankingRequest};
-use crate::runner::{run_cohort, run_cohorts_hyperq, CohortOptions};
+use crate::runner::{run_cohort, run_cohorts_hyperq, BackendMode, CohortOptions, CohortResult};
 use crate::session_array::SessionArrayHost;
 use crate::templates::SESSION_COOKIE;
 use crate::types::RequestType;
+
+/// Map a Banking cohort key to its page name for latency labels (shared
+/// by both handlers' [`CohortHandler::key_name`]).
+fn banking_key_name(key: u32) -> String {
+    RequestType::from_id(key)
+        .map(|t| t.file_name().to_string())
+        .unwrap_or_else(|| format!("key_{key}"))
+}
+
+/// Live SIMT device counters, registered into one shard's device
+/// [`MetricRegistry`] and updated after every cohort launch.
+///
+/// All handles are relaxed atomics owned by the shard's registry, so the
+/// serving hot path records without locks and `/metrics` scrapes
+/// concurrently. The `rhythm_device_plan_cache_*` counters mirror the
+/// process-wide decode-plan cache by absolute `set` (every shard
+/// publishes the same process total).
+#[derive(Debug)]
+pub struct DeviceMetrics {
+    launches: Arc<Counter>,
+    cohorts: Arc<Counter>,
+    served: Arc<Counter>,
+    faults: Arc<Counter>,
+    warp_cycles: Arc<Counter>,
+    warp_instructions: Arc<Counter>,
+    lane_instructions: Arc<Counter>,
+    branches: Arc<Counter>,
+    divergent_branches: Arc<Counter>,
+    plan_cache_hits: Arc<Counter>,
+    plan_cache_misses: Arc<Counter>,
+    simd_efficiency: Arc<Gauge>,
+    divergence_rate: Arc<Gauge>,
+    kernel_seconds: Arc<AtomicHistogram>,
+    hyperq_streams: Arc<AtomicHistogram>,
+}
+
+impl DeviceMetrics {
+    /// Register every device metric into `registry` (idempotent: a second
+    /// registration returns handles to the same metrics).
+    pub fn register(registry: &MetricRegistry) -> Self {
+        DeviceMetrics {
+            launches: registry.counter(
+                "rhythm_device_launches_total",
+                "Kernel launches executed on the device",
+            ),
+            cohorts: registry.counter(
+                "rhythm_device_cohorts_total",
+                "Cohorts run to completion on the device",
+            ),
+            served: registry.counter(
+                "rhythm_device_requests_total",
+                "Requests served across device cohorts",
+            ),
+            faults: registry.counter(
+                "rhythm_device_faults_total",
+                "Cohorts that faulted on the device (answered with 500s)",
+            ),
+            warp_cycles: registry.counter(
+                "rhythm_device_warp_cycles_total",
+                "Modelled warp cycles across kernel launches",
+            ),
+            warp_instructions: registry.counter(
+                "rhythm_device_warp_instructions_total",
+                "Warp instructions issued",
+            ),
+            lane_instructions: registry.counter(
+                "rhythm_device_lane_instructions_total",
+                "Active-lane instructions executed",
+            ),
+            branches: registry.counter("rhythm_device_branches_total", "Warp branches executed"),
+            divergent_branches: registry.counter(
+                "rhythm_device_divergent_branches_total",
+                "Warp branches whose lanes took both sides",
+            ),
+            plan_cache_hits: registry.counter(
+                "rhythm_plan_cache_hits_total",
+                "Decode-plan cache hits (process-wide)",
+            ),
+            plan_cache_misses: registry.counter(
+                "rhythm_plan_cache_misses_total",
+                "Decode-plan cache misses (process-wide)",
+            ),
+            simd_efficiency: registry.gauge(
+                "rhythm_device_simd_efficiency",
+                "Cumulative SIMD efficiency: lane instructions over warp slots (1.0 = converged)",
+            ),
+            divergence_rate: registry.gauge(
+                "rhythm_device_divergence_rate",
+                "Cumulative divergent-branch fraction",
+            ),
+            // Kernel times: 100 ns floor, 8 sub-buckets/octave, 30
+            // octaves reach ~100 s.
+            kernel_seconds: registry.histogram(
+                "rhythm_device_kernel_seconds",
+                "Modelled device time per cohort",
+                1e-7,
+                8,
+                30,
+            ),
+            // Stream-group sizes are small integers; 1 sub-bucket per
+            // octave over [1, 64) keeps them distinguishable.
+            hyperq_streams: registry.histogram(
+                "rhythm_device_hyperq_streams",
+                "Concurrent streams per HyperQ launch group (1 = serial barrier)",
+                0.5,
+                2,
+                8,
+            ),
+        }
+    }
+
+    /// Fold one completed cohort's launch results into the live counters.
+    fn note_cohort(&self, result: &CohortResult, served: u64) {
+        self.cohorts.inc();
+        self.served.add(served);
+        self.launches.add(result.launches.len() as u64);
+        for (_, launch) in &result.launches {
+            let s = &launch.stats;
+            self.warp_cycles.add(s.warp_cycles);
+            self.warp_instructions.add(s.warp_instructions);
+            self.lane_instructions.add(s.lane_instructions);
+            self.branches.add(s.divergence.branches);
+            self.divergent_branches.add(s.divergence.divergent_branches);
+        }
+        self.kernel_seconds.record(result.kernel_time_s());
+        // Cumulative gauges derived from the counters just published, so
+        // the gauge is always consistent with the counters on the same
+        // scrape to within one cohort.
+        let warp = self.warp_instructions.get();
+        let lane = self.lane_instructions.get();
+        if warp > 0 {
+            self.simd_efficiency
+                .set(lane as f64 / (warp as f64 * WARP_SIZE as f64));
+        }
+        let branches = self.branches.get();
+        if branches > 0 {
+            self.divergence_rate
+                .set(self.divergent_branches.get() as f64 / branches as f64);
+        }
+        let cache = plan_cache_stats();
+        self.plan_cache_hits.set(cache.hits);
+        self.plan_cache_misses.set(cache.misses);
+    }
+
+    /// Record one HyperQ launch group's stream count.
+    fn note_stream_group(&self, streams: usize) {
+        self.hyperq_streams.record(streams as f64);
+    }
+
+    /// Record a faulted cohort.
+    fn note_fault(&self) {
+        self.faults.inc();
+    }
+}
 
 /// Interpret a wire request as a Banking request: the page name selects
 /// the [`RequestType`], the `SID` cookie carries the session token, and
@@ -73,6 +231,10 @@ impl CohortHandler for ScalarHandler {
         banking_request_from_http(req).map(|b| b.ty.id())
     }
 
+    fn key_name(&self, key: u32) -> String {
+        banking_key_name(key)
+    }
+
     fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {
         requests
             .iter()
@@ -107,6 +269,8 @@ pub struct SimtHandler {
     pub device_time_s: f64,
     /// Cohorts that faulted on the device (answered with 500s).
     pub faults: u64,
+    /// Live device counters (when attached to a telemetry registry).
+    metrics: Option<DeviceMetrics>,
 }
 
 impl SimtHandler {
@@ -138,7 +302,18 @@ impl SimtHandler {
             served: 0,
             device_time_s: 0.0,
             faults: 0,
+            metrics: None,
         }
+    }
+
+    /// Publish this handler's device counters into `registry` (one shard's
+    /// device registry from [`rhythm_net::Telemetry`]). Metric recording
+    /// never alters responses: metered and bare execution stay
+    /// bit-identical.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricRegistry) -> Self {
+        self.metrics = Some(DeviceMetrics::register(registry));
+        self
     }
 
     /// The live session table (post-traffic state).
@@ -159,6 +334,10 @@ impl SimtHandler {
 impl CohortHandler for SimtHandler {
     fn classify(&self, req: &HttpRequest) -> Option<u32> {
         banking_request_from_http(req).map(|b| b.ty.id())
+    }
+
+    fn key_name(&self, key: u32) -> String {
+        banking_key_name(key)
     }
 
     fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {
@@ -191,6 +370,10 @@ impl CohortHandler for SimtHandler {
                 self.cohorts += 1;
                 self.served += reqs.len() as u64;
                 self.device_time_s += result.kernel_time_s();
+                if let Some(m) = &self.metrics {
+                    m.note_cohort(&result, reqs.len() as u64);
+                    m.note_stream_group(1);
+                }
                 result.responses
             }
             Err(_) => {
@@ -198,6 +381,9 @@ impl CohortHandler for SimtHandler {
                 // front end pads the short vec) instead of killing the
                 // server.
                 self.faults += 1;
+                if let Some(m) = &self.metrics {
+                    m.note_fault();
+                }
                 Vec::new()
             }
         }
@@ -241,6 +427,37 @@ impl CohortHandler for SimtHandler {
             &self.gpu,
             &self.opts,
         );
+        if let Some(m) = &self.metrics {
+            // Mirror `run_cohorts_hyperq`'s grouping: Login/Logout cohorts
+            // are serial barriers (stream group of 1) and consecutive
+            // session-read-only cohorts launch as one concurrent group.
+            // Off the device path the runner degrades to serial cohorts.
+            if self.opts.backend == BackendMode::Device && !self.opts.skip_parser {
+                let mut i = 0;
+                while i < batches.len() {
+                    let ty = batches[i][0].ty;
+                    if ty.is_login() || ty.is_logout() {
+                        m.note_stream_group(1);
+                        i += 1;
+                        continue;
+                    }
+                    let mut j = i + 1;
+                    while j < batches.len() {
+                        let t = batches[j][0].ty;
+                        if t.is_login() || t.is_logout() {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    m.note_stream_group(j - i);
+                    i = j;
+                }
+            } else {
+                for _ in &batches {
+                    m.note_stream_group(1);
+                }
+            }
+        }
         batches
             .iter()
             .zip(results)
@@ -249,10 +466,16 @@ impl CohortHandler for SimtHandler {
                     self.cohorts += 1;
                     self.served += reqs.len() as u64;
                     self.device_time_s += r.kernel_time_s();
+                    if let Some(m) = &self.metrics {
+                        m.note_cohort(&r, reqs.len() as u64);
+                    }
                     r.responses
                 }
                 Err(_) => {
                     self.faults += 1;
+                    if let Some(m) = &self.metrics {
+                        m.note_fault();
+                    }
                     Vec::new()
                 }
             })
@@ -336,5 +559,57 @@ mod tests {
         assert!(rhythm_http::padding::eq_modulo_padding(&device[0], &native));
         assert_eq!(h.cohorts, 1);
         assert!(h.device_time_s > 0.0);
+    }
+
+    #[test]
+    fn device_metrics_track_cohorts_and_streams() {
+        let store = BankStore::generate(16, 1);
+        let opts = CohortOptions {
+            session_capacity: 64,
+            ..CohortOptions::default()
+        };
+        let registry = MetricRegistry::new();
+        let mut h = SimtHandler::new(
+            Workload::build(),
+            store,
+            SessionArrayHost::new(64, opts.session_salt),
+            Gpu::new(GpuConfig::gtx_titan()),
+            opts,
+        )
+        .with_metrics(&registry);
+
+        let login = parse(b"POST /bank/login.php HTTP/1.1\r\nContent-Length: 8\r\n\r\nuserid=5");
+        let key = h.classify(&login).expect("classifies");
+        let resp = h.execute(key, std::slice::from_ref(&login));
+        assert_eq!(resp.len(), 1);
+
+        // Batched path: a login barrier followed by two read-only cohorts
+        // that launch as one two-stream HyperQ group.
+        let summary =
+            parse(b"GET /bank/account_summary.php?userid=3 HTTP/1.1\r\nCookie: SID=7\r\n\r\n");
+        let batch = vec![
+            (RequestType::Login.id(), vec![login.clone()]),
+            (RequestType::AccountSummary.id(), vec![summary.clone()]),
+            (RequestType::AccountSummary.id(), vec![summary]),
+        ];
+        let out = h.execute_many(&batch);
+        assert_eq!(out.len(), 3);
+
+        let metrics = DeviceMetrics::register(&registry);
+        assert_eq!(metrics.cohorts.get(), 4);
+        assert_eq!(metrics.served.get(), 4);
+        assert_eq!(metrics.faults.get(), 0);
+        assert!(metrics.launches.get() >= 4);
+        assert!(metrics.warp_instructions.get() > 0);
+        let eff = metrics.simd_efficiency.get();
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency in (0, 1]: {eff}");
+        let kernel = metrics.kernel_seconds.snapshot();
+        assert_eq!(kernel.count(), 4);
+        // Stream groups: one from `execute`, then barrier(1) + group(2).
+        let streams = metrics.hyperq_streams.snapshot();
+        assert_eq!(streams.count(), 3);
+        assert_eq!(streams.max(), 2.0);
+        assert_eq!(h.key_name(RequestType::Login.id()), "login.php");
+        assert_eq!(h.key_name(999), "key_999");
     }
 }

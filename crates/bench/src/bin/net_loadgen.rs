@@ -17,8 +17,10 @@
 //! measurement window, the post-window drain, and the overload probe are
 //! reported (and asserted) independently, so steady-state throughput and
 //! latency are never contaminated by warmup or overload traffic. The
-//! emitted `BENCH_net.json` is schema version 2: each phase object
-//! carries a `"phase"` field, and the run records `mode` and `shards`.
+//! emitted `BENCH_net.json` is schema version 3: each phase object
+//! carries a `"phase"` field, the run records `mode` and `shards`, and
+//! `--scrape` adds a `"scrape"` object cross-checking the server's
+//! `/metrics` request counters against the loadgen's own totals.
 //!
 //! Flags:
 //!
@@ -34,6 +36,11 @@
 //! * `--paced` — deterministic arrival gaps instead of Poisson.
 //! * `--clients <n>` / `--requests <n>` — closed-loop client count and
 //!   per-client request count.
+//! * `--scrape` — scrape the live `/metrics` endpoint twice after the
+//!   traffic drains: asserts counter monotonicity and records the drift
+//!   between server-side and loadgen-side request totals.
+//! * `--no-telemetry` — run the server with the telemetry plane disabled
+//!   (the bare baseline for overhead comparisons).
 //! * `--out <path>` — result file (default `BENCH_net.json`).
 
 use std::collections::VecDeque;
@@ -59,6 +66,8 @@ struct Args {
     scalar: bool,
     open_loop: bool,
     paced: bool,
+    scrape: bool,
+    no_telemetry: bool,
     shards: usize,
     conns: usize,
     rate: f64,
@@ -74,6 +83,8 @@ fn parse_args() -> Args {
         scalar: false,
         open_loop: false,
         paced: false,
+        scrape: false,
+        no_telemetry: false,
         shards: 1,
         conns: 64,
         rate: 8000.0,
@@ -96,6 +107,8 @@ fn parse_args() -> Args {
             "--scalar" => parsed.scalar = true,
             "--open-loop" => parsed.open_loop = true,
             "--paced" => parsed.paced = true,
+            "--scrape" => parsed.scrape = true,
+            "--no-telemetry" => parsed.no_telemetry = true,
             "--shards" => {
                 parsed.shards = args
                     .next()
@@ -139,11 +152,15 @@ fn parse_args() -> Args {
             "--out" => parsed.out = args.next().expect("--out needs a path"),
             other => panic!(
                 "unknown flag {other:?} (expected --smoke, --scalar, --open-loop, --paced, \
-                 --shards <n>, --conns <n>, --rate <rps>, --duration <s>, --clients <n>, \
-                 --requests <n>, --out <path>)"
+                 --scrape, --no-telemetry, --shards <n>, --conns <n>, --rate <rps>, \
+                 --duration <s>, --clients <n>, --requests <n>, --out <path>)"
             ),
         }
     }
+    assert!(
+        !(parsed.scrape && parsed.no_telemetry),
+        "--scrape needs the telemetry plane; drop --no-telemetry"
+    );
     parsed
 }
 
@@ -190,6 +207,25 @@ fn boot<H: CohortHandler + Send + 'static>(
     let flag = Arc::clone(&stop);
     let join = std::thread::spawn(move || server.run(&flag).shards);
     (addr, stop, join)
+}
+
+/// One live `/metrics` scrape: GET the exposition off the still-running
+/// server and sum the per-shard `rhythm_requests_total` samples.
+fn scrape_requests_total(addr: SocketAddr) -> u64 {
+    let mut conn = TcpStream::connect(addr).expect("scrape connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("scrape timeout");
+    let mut carry = Vec::new();
+    send_request(&mut conn, b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n")
+        .expect("scrape send");
+    let resp = read_response(&mut conn, &mut carry).expect("scrape read");
+    assert_eq!(resp.status, 200, "/metrics must answer 200");
+    let body = String::from_utf8(resp.body().to_vec()).expect("metrics body is UTF-8");
+    body.lines()
+        .filter(|l| l.starts_with("rhythm_requests_total{"))
+        .filter_map(|l| l.split_whitespace().last())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
 }
 
 /// One phase's client-side aggregate.
@@ -314,6 +350,9 @@ struct LoadResult {
     per_shard: Vec<NetStats>,
     phases: Vec<PhaseResult>,
     panicked_clients: u64,
+    /// `(first, second)` summed `rhythm_requests_total` from two live
+    /// `/metrics` scrapes taken after the traffic drained (`--scrape`).
+    scrape: Option<(u64, u64)>,
 }
 
 impl LoadResult {
@@ -322,6 +361,12 @@ impl LoadResult {
             .iter()
             .find(|p| p.phase == name)
             .expect("phase present")
+    }
+
+    /// Client-side count of requests the server answered (200s and 503s
+    /// across every phase) — the number `/metrics` must agree with.
+    fn answered(&self) -> u64 {
+        self.phases.iter().map(|p| p.completed + p.shed).sum()
     }
 }
 
@@ -332,6 +377,7 @@ fn run_closed<H: CohortHandler + Send + 'static>(
     shards: usize,
     clients: usize,
     requests: usize,
+    scrape: bool,
 ) -> (LoadResult, Vec<H>) {
     let (addr, stop, server) = boot(mk, config, shards);
     let warmup_start = Instant::now();
@@ -365,6 +411,9 @@ fn run_closed<H: CohortHandler + Send + 'static>(
         }
     }
     let steady_s = steady_start.elapsed().as_secs_f64();
+    // Scrape while the server is still live: the counters are read off
+    // the in-band admin endpoint, not the post-join stats.
+    let scraped = scrape.then(|| (scrape_requests_total(addr), scrape_requests_total(addr)));
     stop.store(true, Ordering::Relaxed);
     let shards_out = server.join().expect("server must not panic");
     let (per_shard, handlers): (Vec<NetStats>, Vec<H>) = shards_out.into_iter().unzip();
@@ -381,6 +430,7 @@ fn run_closed<H: CohortHandler + Send + 'static>(
                 PhaseResult::from_outcome("steady", steady, steady_s),
             ],
             panicked_clients: panicked,
+            scrape: scraped,
         },
         handlers,
     )
@@ -433,6 +483,7 @@ const MAX_INFLIGHT: usize = 64;
 /// rps for `duration_s`, then draining. Latency is measured from the
 /// *scheduled* injection time (coordinated-omission-free); completions
 /// after the window land in the `drain` phase.
+#[allow(clippy::too_many_arguments)]
 fn run_open<H: CohortHandler + Send + 'static>(
     mk: impl Fn() -> H,
     config: NetConfig,
@@ -441,6 +492,7 @@ fn run_open<H: CohortHandler + Send + 'static>(
     rate: f64,
     duration_s: f64,
     paced: bool,
+    scrape: bool,
 ) -> (LoadResult, Vec<H>) {
     let (addr, stop, server) = boot(mk, config, shards);
 
@@ -545,6 +597,7 @@ fn run_open<H: CohortHandler + Send + 'static>(
     }
     let drain_s = (Instant::now() - steady_end).as_secs_f64().max(0.0);
 
+    let scraped = scrape.then(|| (scrape_requests_total(addr), scrape_requests_total(addr)));
     stop.store(true, Ordering::Relaxed);
     let shards_out = server.join().expect("server must not panic");
     let (per_shard, handlers): (Vec<NetStats>, Vec<H>) = shards_out.into_iter().unzip();
@@ -563,6 +616,7 @@ fn run_open<H: CohortHandler + Send + 'static>(
                 PhaseResult::from_outcome("drain", drain, drain_s),
             ],
             panicked_clients: 0,
+            scrape: scraped,
         },
         handlers,
     )
@@ -701,9 +755,9 @@ fn run_overload(scalar: bool, shards: usize) -> LoadResult {
     let clients = shards * 2 + 8;
     let requests = 8;
     let mut result = if scalar {
-        run_closed(scalar_handler, config, shards, clients, requests).0
+        run_closed(scalar_handler, config, shards, clients, requests, false).0
     } else {
-        run_closed(simt_handler, config, shards, clients, requests).0
+        run_closed(simt_handler, config, shards, clients, requests, false).0
     };
     for p in &mut result.phases {
         // Overload traffic is its own phase in the report; the inner
@@ -760,6 +814,7 @@ fn main() {
             args.clients.clamp(2, 32)
         },
         fill_timeout: Duration::from_millis(2),
+        telemetry: !args.no_telemetry,
         ..NetConfig::default()
     };
     if args.open_loop {
@@ -792,6 +847,7 @@ fn main() {
                     args.rate,
                     args.duration_s,
                     args.paced,
+                    args.scrape,
                 )
             } else {
                 run_closed(
@@ -800,6 +856,7 @@ fn main() {
                     args.shards,
                     args.clients,
                     args.requests,
+                    args.scrape,
                 )
             };
             (load, 0.0, 0u64)
@@ -813,6 +870,7 @@ fn main() {
                     args.rate,
                     args.duration_s,
                     args.paced,
+                    args.scrape,
                 )
             } else {
                 run_closed(
@@ -821,6 +879,7 @@ fn main() {
                     args.shards,
                     args.clients,
                     args.requests,
+                    args.scrape,
                 )
             };
             let cohorts: u64 = handlers.iter().map(|h| h.cohorts).sum();
@@ -911,6 +970,39 @@ fn main() {
         );
     }
 
+    // Scrape cross-check: the server's own /metrics counters, read live
+    // over the wire, must agree with what the loadgen observed.
+    let scrape_json = match load.scrape {
+        None => "null".to_string(),
+        Some((first, second)) => {
+            assert!(
+                second >= first,
+                "scrape counters must be monotonic: {first} -> {second}"
+            );
+            assert_eq!(
+                second, load.stats.requests,
+                "live scrape must match the server's final request counter"
+            );
+            let answered = load.answered();
+            let drift = second as i64 - answered as i64;
+            let errors: u64 = load.phases.iter().map(|p| p.errors).sum();
+            if errors == 0 {
+                assert_eq!(
+                    drift, 0,
+                    "error-free run: server requests {second} != loadgen answered {answered}"
+                );
+            }
+            println!(
+                "scrape: server {second} requests vs loadgen {answered} answered \
+                 (drift {drift}), counters monotonic"
+            );
+            format!(
+                "{{\"first_requests\": {first}, \"second_requests\": {second}, \
+                 \"monotonic\": true, \"loadgen_answered\": {answered}, \"drift\": {drift}}}"
+            )
+        }
+    };
+
     // Overload: shed, don't break. Its traffic is a separate phase and
     // never merges into the steady numbers above.
     let overload = if args.smoke {
@@ -943,7 +1035,8 @@ fn main() {
         ),
     };
     let json = format!(
-        "{{\n  \"schema_version\": 2,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema_version\": 3,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
+         \"telemetry\": {},\n  \
          \"shards\": {},\n  \"cohort_size\": {},\n  \"conns\": {},\n  \"rate_rps\": {},\n  \
          \"clients\": {},\n  \"requests_per_client\": {},\n  \"completed\": {},\n  \
          \"wall_s\": {},\n  \"throughput_rps\": {},\n  \"phases\": [\n    {}\n  ],\n  \
@@ -951,7 +1044,9 @@ fn main() {
          \"mean_requests_per_launch\": {},\n  \"mean_cohort_fill\": {},\n  \
          \"device_cohorts\": {device_cohorts},\n  \"mean_cohort_device_s\": {},\n  \
          \"shed_503\": {},\n  \"responses_dropped\": {},\n  \"idle_polls\": {},\n  \
-         \"reads_paused\": {},\n  \"overload\": {overload_json}\n}}\n",
+         \"reads_paused\": {},\n  \"scrape\": {scrape_json},\n  \
+         \"overload\": {overload_json}\n}}\n",
+        !args.no_telemetry,
         args.shards,
         config.cohort_size,
         if args.open_loop { args.conns } else { 0 },

@@ -33,6 +33,15 @@
 //! * Everything is instrumented through `rhythm-obs`: per-cohort execute
 //!   spans, FSM transition instants, `cohort_fill` /
 //!   `net_request_latency_s` histograms, and shed/stall counters.
+//! * A live telemetry plane ([`metrics::Telemetry`]) aggregates one
+//!   lock-free registry per shard (seqlock counter snapshots, per-type
+//!   latency and cohort-fill histograms, an always-on flight recorder)
+//!   and serves it through in-band admin endpoints ([`admin`]):
+//!   `GET /metrics` (Prometheus text), `GET /healthz`, and `GET /trace`
+//!   (Chrome trace of recent events). Admin requests are answered before
+//!   cohort formation and counted separately, so workload accounting
+//!   stays exact under scraping; `NetConfig::telemetry = false` runs the
+//!   reactor bare for overhead baselines.
 //!
 //! The crate is std-only like the rest of the workspace and knows nothing
 //! about the banking workload; `rhythm-banking` provides
@@ -42,13 +51,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admin;
 pub mod client;
 pub mod conn;
+pub mod metrics;
 pub mod responses;
 pub mod server;
 pub mod shard;
 
+pub use admin::{admin_route, AdminRoute};
 pub use client::{read_response, scan_response, send_request, RawResponse};
 pub use conn::RequestAccumulator;
+pub use metrics::{LiveSnapshot, ShardMetrics, StatsCell, Telemetry};
 pub use server::{CohortHandler, NetConfig, NetServer, NetStats, Reactor};
 pub use shard::{ShardedRun, ShardedServer};

@@ -1,0 +1,770 @@
+//! The live telemetry plane: per-shard metric registries and the
+//! cross-shard [`Telemetry`] aggregate behind `GET /metrics`.
+//!
+//! Design rule: **zero cross-shard sharing on the hot path**. Each
+//! reactor owns one [`ShardMetrics`] and is its only writer; the only
+//! cross-thread traffic is a scraper *reading* another shard's atomics at
+//! `/metrics` time. Counter publication goes through a seqlock
+//! ([`StatsCell`]) written once per poll at a consistent point, so a
+//! reader can never observe a torn snapshot — the accounting invariant
+//!
+//! ```text
+//! requests == responses + shed_503 + unclassified + in_cohort
+//! ```
+//!
+//! holds on *every* [`LiveSnapshot`], not just at quiescence. (In the
+//! issue's phrasing `requests = delivered + responses_dropped +
+//! shed_total`: [`NetStats::responses`] already counts delivered and
+//! dropped handler responses together, `shed_total = shed_503 +
+//! unclassified`, and `in_cohort` is the in-flight term that reaches zero
+//! once the pool drains.) Latency/fill distributions use
+//! [`AtomicHistogram`] — the shared-atomic-bucket variant — so they are
+//! readable mid-poll with per-bucket monotonicity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use rhythm_obs::{
+    flight_chrome_json, AtomicHistogram, FlightRecorder, MetricKind, MetricRegistry, MetricValue,
+    PromText, StreamingHistogram,
+};
+
+use crate::server::NetStats;
+
+/// Events each shard's flight recorder retains.
+const FLIGHT_CAPACITY: usize = 4096;
+/// Distinct cohort keys with their own latency histogram; higher keys
+/// share the last slot.
+const LATENCY_SLOTS: usize = 32;
+
+/// A consistent, torn-read-proof snapshot of one shard's live counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveSnapshot {
+    /// The shard's counters as of its last completed poll.
+    pub stats: NetStats,
+    /// Requests currently held in open (PartiallyFull/Full) cohort
+    /// contexts — the in-flight term of the accounting invariant.
+    pub in_cohort: u64,
+    /// Currently admitted connections.
+    pub connections: u64,
+}
+
+impl LiveSnapshot {
+    /// Requests answered without reaching a cohort: `503` sheds plus
+    /// unclassified (`404`) requests.
+    pub fn shed_total(&self) -> u64 {
+        self.stats.shed_503 + self.stats.unclassified
+    }
+
+    /// `requests − responses − shed_total − in_cohort`; zero on every
+    /// consistent snapshot.
+    pub fn accounting_residual(&self) -> i64 {
+        self.stats.requests as i64
+            - self.stats.responses as i64
+            - self.shed_total() as i64
+            - self.in_cohort as i64
+    }
+
+    /// Whether the accounting invariant holds (it must, on any snapshot
+    /// read through [`StatsCell`]).
+    pub fn accounting_balanced(&self) -> bool {
+        self.accounting_residual() == 0
+    }
+
+    /// Fold another shard's snapshot into this one.
+    pub fn merge(&mut self, other: &LiveSnapshot) {
+        self.stats.merge(&other.stats);
+        self.in_cohort += other.in_cohort;
+        self.connections += other.connections;
+    }
+}
+
+/// Seqlock-published [`NetStats`] mirror: the owning reactor stores every
+/// counter between two sequence bumps at the end of each poll; readers
+/// retry until they see a stable, even sequence. Single writer, any
+/// number of readers.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    seq: AtomicU64,
+    accepted: AtomicU64,
+    rejected_over_cap: AtomicU64,
+    peak_connections: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    responses_dropped: AtomicU64,
+    cohorts: AtomicU64,
+    full_launches: AtomicU64,
+    timeout_launches: AtomicU64,
+    fill_sum_bits: AtomicU64,
+    launched_requests: AtomicU64,
+    shed_503: AtomicU64,
+    too_large_413: AtomicU64,
+    bad_request_400: AtomicU64,
+    unclassified: AtomicU64,
+    fsm_rejections: AtomicU64,
+    reaped_idle: AtomicU64,
+    reaped_stalled: AtomicU64,
+    idle_polls: AtomicU64,
+    reads_paused: AtomicU64,
+    peak_queued_bytes: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    admin_requests: AtomicU64,
+    in_cohort: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl StatsCell {
+    /// Publish a consistent snapshot (single writer: the owning reactor,
+    /// at the end of a poll).
+    pub fn publish(&self, stats: &NetStats, in_cohort: u64, connections: u64) {
+        self.seq.fetch_add(1, Ordering::Release); // odd: update in progress
+        self.accepted.store(stats.accepted, Ordering::Relaxed);
+        self.rejected_over_cap
+            .store(stats.rejected_over_cap, Ordering::Relaxed);
+        self.peak_connections
+            .store(stats.peak_connections as u64, Ordering::Relaxed);
+        self.requests.store(stats.requests, Ordering::Relaxed);
+        self.responses.store(stats.responses, Ordering::Relaxed);
+        self.responses_dropped
+            .store(stats.responses_dropped, Ordering::Relaxed);
+        self.cohorts.store(stats.cohorts, Ordering::Relaxed);
+        self.full_launches
+            .store(stats.full_launches, Ordering::Relaxed);
+        self.timeout_launches
+            .store(stats.timeout_launches, Ordering::Relaxed);
+        self.fill_sum_bits
+            .store(stats.fill_sum.to_bits(), Ordering::Relaxed);
+        self.launched_requests
+            .store(stats.launched_requests, Ordering::Relaxed);
+        self.shed_503.store(stats.shed_503, Ordering::Relaxed);
+        self.too_large_413
+            .store(stats.too_large_413, Ordering::Relaxed);
+        self.bad_request_400
+            .store(stats.bad_request_400, Ordering::Relaxed);
+        self.unclassified
+            .store(stats.unclassified, Ordering::Relaxed);
+        self.fsm_rejections
+            .store(stats.fsm_rejections, Ordering::Relaxed);
+        self.reaped_idle.store(stats.reaped_idle, Ordering::Relaxed);
+        self.reaped_stalled
+            .store(stats.reaped_stalled, Ordering::Relaxed);
+        self.idle_polls.store(stats.idle_polls, Ordering::Relaxed);
+        self.reads_paused
+            .store(stats.reads_paused, Ordering::Relaxed);
+        self.peak_queued_bytes
+            .store(stats.peak_queued_bytes, Ordering::Relaxed);
+        self.bytes_in.store(stats.bytes_in, Ordering::Relaxed);
+        self.bytes_out.store(stats.bytes_out, Ordering::Relaxed);
+        self.admin_requests
+            .store(stats.admin_requests, Ordering::Relaxed);
+        self.in_cohort.store(in_cohort, Ordering::Relaxed);
+        self.connections.store(connections, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::Release); // even: stable
+    }
+
+    /// Read a consistent snapshot (spins while a publish is in flight —
+    /// publishes are a few dozen relaxed stores, so the wait is
+    /// nanoseconds).
+    pub fn read(&self) -> LiveSnapshot {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if !s1.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = LiveSnapshot {
+                stats: NetStats {
+                    accepted: self.accepted.load(Ordering::Relaxed),
+                    rejected_over_cap: self.rejected_over_cap.load(Ordering::Relaxed),
+                    peak_connections: self.peak_connections.load(Ordering::Relaxed) as usize,
+                    requests: self.requests.load(Ordering::Relaxed),
+                    responses: self.responses.load(Ordering::Relaxed),
+                    responses_dropped: self.responses_dropped.load(Ordering::Relaxed),
+                    cohorts: self.cohorts.load(Ordering::Relaxed),
+                    full_launches: self.full_launches.load(Ordering::Relaxed),
+                    timeout_launches: self.timeout_launches.load(Ordering::Relaxed),
+                    fill_sum: f64::from_bits(self.fill_sum_bits.load(Ordering::Relaxed)),
+                    launched_requests: self.launched_requests.load(Ordering::Relaxed),
+                    shed_503: self.shed_503.load(Ordering::Relaxed),
+                    too_large_413: self.too_large_413.load(Ordering::Relaxed),
+                    bad_request_400: self.bad_request_400.load(Ordering::Relaxed),
+                    unclassified: self.unclassified.load(Ordering::Relaxed),
+                    fsm_rejections: self.fsm_rejections.load(Ordering::Relaxed),
+                    reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+                    reaped_stalled: self.reaped_stalled.load(Ordering::Relaxed),
+                    idle_polls: self.idle_polls.load(Ordering::Relaxed),
+                    reads_paused: self.reads_paused.load(Ordering::Relaxed),
+                    peak_queued_bytes: self.peak_queued_bytes.load(Ordering::Relaxed),
+                    bytes_in: self.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: self.bytes_out.load(Ordering::Relaxed),
+                    admin_requests: self.admin_requests.load(Ordering::Relaxed),
+                },
+                in_cohort: self.in_cohort.load(Ordering::Relaxed),
+                connections: self.connections.load(Ordering::Relaxed),
+            };
+            if self.seq.load(Ordering::Acquire) == s1 {
+                return snap;
+            }
+        }
+    }
+}
+
+/// Per-cohort-key latency histograms with lazily named slots. Keys at or
+/// beyond [`LATENCY_SLOTS`] share the overflow slot.
+#[derive(Debug)]
+struct KeyedLatency {
+    slots: Vec<(OnceLock<String>, AtomicHistogram)>,
+}
+
+impl KeyedLatency {
+    fn new() -> Self {
+        KeyedLatency {
+            slots: (0..LATENCY_SLOTS)
+                .map(|_| (OnceLock::new(), AtomicHistogram::for_latency_seconds()))
+                .collect(),
+        }
+    }
+
+    fn slot(&self, key: u32) -> &(OnceLock<String>, AtomicHistogram) {
+        &self.slots[(key as usize).min(LATENCY_SLOTS - 1)]
+    }
+
+    fn record(&self, key: u32, name: impl FnOnce() -> String, latency_s: f64) {
+        let (slot_name, hist) = self.slot(key);
+        slot_name.get_or_init(name);
+        hist.record(latency_s);
+    }
+
+    /// Non-empty per-type snapshots as `(type_name, histogram)`.
+    fn views(&self) -> Vec<(String, StreamingHistogram)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, h))| h.count() > 0)
+            .map(|(i, (name, h))| {
+                (
+                    name.get().cloned().unwrap_or_else(|| format!("key_{i}")),
+                    h.snapshot(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// One reactor shard's metric registry: the seqlock counter cell, the
+/// per-type latency histograms, the cohort-fill histogram, and the
+/// shard's flight recorder. Written only by the owning reactor; read by
+/// anyone.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    cell: StatsCell,
+    latency: KeyedLatency,
+    fill: AtomicHistogram,
+    flight: FlightRecorder,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        ShardMetrics::new()
+    }
+}
+
+impl ShardMetrics {
+    /// A fresh, zeroed registry.
+    pub fn new() -> Self {
+        ShardMetrics {
+            cell: StatsCell::default(),
+            latency: KeyedLatency::new(),
+            // Fill is in (0, 1]: 1/256 floor, 4 sub-buckets per octave,
+            // 9 octaves reach just past 1.0.
+            fill: AtomicHistogram::new(1.0 / 256.0, 4, 9),
+            flight: FlightRecorder::new(FLIGHT_CAPACITY),
+        }
+    }
+
+    /// Publish the owning reactor's counters (end of poll).
+    pub fn publish(&self, stats: &NetStats, in_cohort: u64, connections: u64) {
+        self.cell.publish(stats, in_cohort, connections);
+    }
+
+    /// The last published consistent snapshot.
+    pub fn live(&self) -> LiveSnapshot {
+        self.cell.read()
+    }
+
+    /// Record one request's end-to-end latency under its cohort type
+    /// (`name` is only invoked the first time `key` is seen).
+    pub fn record_latency(&self, key: u32, name: impl FnOnce() -> String, latency_s: f64) {
+        self.latency.record(key, name, latency_s);
+    }
+
+    /// Record a cohort's fill ratio at launch.
+    pub fn record_fill(&self, fill: f64) {
+        self.fill.record(fill);
+    }
+
+    /// Per-type latency snapshots as `(type_name, histogram)`.
+    pub fn latency_views(&self) -> Vec<(String, StreamingHistogram)> {
+        self.latency.views()
+    }
+
+    /// Snapshot of the cohort-fill distribution.
+    pub fn fill_snapshot(&self) -> StreamingHistogram {
+        self.fill.snapshot()
+    }
+
+    /// The shard's flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+}
+
+/// Per-shard `u64` counter families exported to Prometheus: `(suffix,
+/// help, extractor)`.
+type CounterFamily = (&'static str, &'static str, fn(&LiveSnapshot) -> u64);
+
+const COUNTER_FAMILIES: &[CounterFamily] = &[
+    ("accepted_total", "Connections admitted", |s| {
+        s.stats.accepted
+    }),
+    (
+        "rejected_over_cap_total",
+        "Connections shed at admission (over the per-reactor cap)",
+        |s| s.stats.rejected_over_cap,
+    ),
+    (
+        "requests_total",
+        "Complete requests parsed off sockets (excludes admin endpoints)",
+        |s| s.stats.requests,
+    ),
+    (
+        "responses_total",
+        "Responses produced by the cohort handler (delivered or dropped)",
+        |s| s.stats.responses,
+    ),
+    (
+        "responses_dropped_total",
+        "Responses whose connection vanished before delivery",
+        |s| s.stats.responses_dropped,
+    ),
+    ("cohorts_total", "Cohorts launched", |s| s.stats.cohorts),
+    ("full_launches_total", "Cohorts launched full", |s| {
+        s.stats.full_launches
+    }),
+    (
+        "timeout_launches_total",
+        "Cohorts launched by the formation timeout",
+        |s| s.stats.timeout_launches,
+    ),
+    (
+        "launched_requests_total",
+        "Requests across all cohort launches",
+        |s| s.stats.launched_requests,
+    ),
+    (
+        "shed_503_total",
+        "Requests shed with 503 (pool exhausted or FSM refusal)",
+        |s| s.stats.shed_503,
+    ),
+    ("too_large_413_total", "Requests rejected with 413", |s| {
+        s.stats.too_large_413
+    }),
+    ("bad_request_400_total", "Requests rejected with 400", |s| {
+        s.stats.bad_request_400
+    }),
+    (
+        "unclassified_total",
+        "Requests the handler refused to classify (404)",
+        |s| s.stats.unclassified,
+    ),
+    (
+        "fsm_rejections_total",
+        "Fallible-FSM refusals survived without panicking",
+        |s| s.stats.fsm_rejections,
+    ),
+    (
+        "reaped_idle_total",
+        "Idle/half-open connections reaped by the read deadline",
+        |s| s.stats.reaped_idle,
+    ),
+    (
+        "reaped_stalled_total",
+        "Stalled readers reaped with queued output",
+        |s| s.stats.reaped_stalled,
+    ),
+    (
+        "idle_polls_total",
+        "No-progress poll iterations that slept",
+        |s| s.stats.idle_polls,
+    ),
+    (
+        "reads_paused_total",
+        "Socket reads skipped under write backpressure",
+        |s| s.stats.reads_paused,
+    ),
+    ("bytes_in_total", "Bytes read off sockets", |s| {
+        s.stats.bytes_in
+    }),
+    ("bytes_out_total", "Bytes written to sockets", |s| {
+        s.stats.bytes_out
+    }),
+    (
+        "admin_requests_total",
+        "Admin-surface requests (/metrics, /healthz, /trace)",
+        |s| s.stats.admin_requests,
+    ),
+];
+
+type GaugeFamily = (&'static str, &'static str, fn(&LiveSnapshot) -> f64);
+
+const GAUGE_FAMILIES: &[GaugeFamily] = &[
+    ("connections", "Currently admitted connections", |s| {
+        s.connections as f64
+    }),
+    (
+        "in_cohort",
+        "Requests held in open cohort contexts (in-flight accounting term)",
+        |s| s.in_cohort as f64,
+    ),
+    (
+        "peak_connections",
+        "Peak simultaneous admitted connections",
+        |s| s.stats.peak_connections as f64,
+    ),
+    (
+        "peak_queued_bytes",
+        "Largest per-connection queued-output backlog observed",
+        |s| s.stats.peak_queued_bytes as f64,
+    ),
+];
+
+/// The cross-shard telemetry plane: every shard's [`ShardMetrics`] plus
+/// one generic [`MetricRegistry`] per device, aggregated **on demand** at
+/// scrape time (shards never read each other on the hot path).
+///
+/// Create one with [`Telemetry::new`] before building handlers (device
+/// handlers take their registry handles from [`Telemetry::device`]), then
+/// hand it to the server; the admin endpoints render from it.
+#[derive(Debug)]
+pub struct Telemetry {
+    shards: Vec<Arc<ShardMetrics>>,
+    devices: Vec<Arc<MetricRegistry>>,
+    started: Instant,
+}
+
+impl Telemetry {
+    /// A telemetry plane for `shards` reactor shards (and as many
+    /// devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize) -> Arc<Telemetry> {
+        assert!(shards > 0, "need at least one shard");
+        Arc::new(Telemetry {
+            shards: (0..shards).map(|_| Arc::new(ShardMetrics::new())).collect(),
+            devices: (0..shards)
+                .map(|_| Arc::new(MetricRegistry::new()))
+                .collect(),
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`'s metric registry.
+    pub fn shard(&self, i: usize) -> &Arc<ShardMetrics> {
+        &self.shards[i]
+    }
+
+    /// Device `i`'s metric registry (device handlers register their
+    /// counters here at construction).
+    pub fn device(&self, i: usize) -> &Arc<MetricRegistry> {
+        &self.devices[i]
+    }
+
+    /// Seconds since the plane was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Cross-shard aggregate of the latest per-shard snapshots. Each
+    /// shard's contribution is individually consistent; the aggregate
+    /// mixes polls that completed within microseconds of each other.
+    pub fn total(&self) -> LiveSnapshot {
+        let mut total = LiveSnapshot::default();
+        for s in &self.shards {
+            total.merge(&s.live());
+        }
+        total
+    }
+
+    /// Per-type latency histograms merged across shards.
+    pub fn latency_merged(&self) -> Vec<(String, StreamingHistogram)> {
+        let mut by_type: Vec<(String, StreamingHistogram)> = Vec::new();
+        for shard in &self.shards {
+            for (name, hist) in shard.latency_views() {
+                match by_type.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, acc)) => acc.merge(&hist),
+                    None => by_type.push((name, hist)),
+                }
+            }
+        }
+        by_type.sort_by(|a, b| a.0.cmp(&b.0));
+        by_type
+    }
+
+    /// Render the whole plane as Prometheus text exposition: process
+    /// gauges, per-shard counter/gauge families (`shard` label), merged
+    /// latency and fill histograms, and every device registry's metrics.
+    pub fn render_metrics(&self) -> String {
+        let snaps: Vec<LiveSnapshot> = self.shards.iter().map(|s| s.live()).collect();
+        let mut t = PromText::new();
+        t.header(
+            "rhythm_uptime_seconds",
+            "Seconds since the telemetry plane was created",
+            MetricKind::Gauge,
+        );
+        t.sample("rhythm_uptime_seconds", &[], self.uptime_s());
+        t.header("rhythm_shards", "Reactor shard count", MetricKind::Gauge);
+        t.sample("rhythm_shards", &[], self.shards.len() as f64);
+        for (suffix, help, get) in COUNTER_FAMILIES {
+            let name = format!("rhythm_{suffix}");
+            t.header(&name, help, MetricKind::Counter);
+            for (i, snap) in snaps.iter().enumerate() {
+                t.sample_u64(&name, &[("shard", &i.to_string())], get(snap));
+            }
+        }
+        for (suffix, help, get) in GAUGE_FAMILIES {
+            let name = format!("rhythm_{suffix}");
+            t.header(&name, help, MetricKind::Gauge);
+            for (i, snap) in snaps.iter().enumerate() {
+                t.sample(&name, &[("shard", &i.to_string())], get(snap));
+            }
+        }
+        t.header(
+            "rhythm_cohort_fill_sum_total",
+            "Sum of cohort fills at launch (mean fill = this / rhythm_cohorts_total)",
+            MetricKind::Counter,
+        );
+        for (i, snap) in snaps.iter().enumerate() {
+            t.sample(
+                "rhythm_cohort_fill_sum_total",
+                &[("shard", &i.to_string())],
+                snap.stats.fill_sum,
+            );
+        }
+        // Distributions are merged across shards at scrape time — this is
+        // exactly StreamingHistogram::merge over AtomicHistogram
+        // snapshots.
+        let mut fill = StreamingHistogram::new(1.0 / 256.0, 4);
+        for shard in &self.shards {
+            fill.merge(&shard.fill_snapshot());
+        }
+        t.header(
+            "rhythm_cohort_fill",
+            "Cohort fill ratio at launch (1.0 = full), merged across shards",
+            MetricKind::Histogram,
+        );
+        t.histogram("rhythm_cohort_fill", &[], &fill);
+        t.header(
+            "rhythm_request_latency_seconds",
+            "End-to-end request latency by request type, merged across shards",
+            MetricKind::Histogram,
+        );
+        for (ty, hist) in self.latency_merged() {
+            t.histogram("rhythm_request_latency_seconds", &[("type", &ty)], &hist);
+        }
+        self.render_devices(&mut t);
+        t.finish()
+    }
+
+    /// Device registries: counters/gauges per shard (labelled), histogram
+    /// families merged across shards.
+    fn render_devices(&self, t: &mut PromText) {
+        use std::collections::BTreeMap;
+        // name -> (help, kind, per-shard values)
+        type Family = (String, MetricKind, Vec<(usize, MetricValue)>);
+        let mut families: BTreeMap<String, Family> = BTreeMap::new();
+        for (i, device) in self.devices.iter().enumerate() {
+            for e in device.export() {
+                let kind = e.value.kind();
+                families
+                    .entry(e.name)
+                    .or_insert_with(|| (e.help, kind, Vec::new()))
+                    .2
+                    .push((i, e.value));
+            }
+        }
+        for (name, (help, kind, values)) in families {
+            t.header(&name, &help, kind);
+            match kind {
+                MetricKind::Histogram => {
+                    let mut merged: Option<StreamingHistogram> = None;
+                    for (_, v) in values {
+                        if let MetricValue::Histogram(h) = v {
+                            match &mut merged {
+                                Some(m) => m.merge(&h),
+                                None => merged = Some(h),
+                            }
+                        }
+                    }
+                    if let Some(m) = merged {
+                        t.histogram(&name, &[], &m);
+                    }
+                }
+                _ => {
+                    for (i, v) in values {
+                        match v {
+                            MetricValue::Counter(c) => {
+                                t.sample_u64(&name, &[("shard", &i.to_string())], c);
+                            }
+                            MetricValue::Gauge(g) => {
+                                t.sample(&name, &[("shard", &i.to_string())], g);
+                            }
+                            MetricValue::Histogram(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the `/healthz` body: a small JSON status document.
+    pub fn render_healthz(&self) -> String {
+        let total = self.total();
+        format!(
+            "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"shards\":{},\"connections\":{},\
+             \"requests\":{},\"responses\":{},\"shed\":{},\"in_cohort\":{},\"balanced\":{}}}\n",
+            self.uptime_s(),
+            self.shards.len(),
+            total.connections,
+            total.stats.requests,
+            total.stats.responses,
+            total.shed_total(),
+            total.in_cohort,
+            total.accounting_balanced(),
+        )
+    }
+
+    /// Render the `/trace` body: every shard's flight-recorder ring as
+    /// one Chrome trace JSON document (one process per shard).
+    pub fn render_trace(&self) -> String {
+        let shards: Vec<(String, &FlightRecorder)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("reactor shard {i}"), s.flight()))
+            .collect();
+        flight_chrome_json(&shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consistent_stats(step: u64) -> (NetStats, u64) {
+        // Build counters that satisfy the invariant for any step:
+        // requests = responses + shed_503 + unclassified + in_cohort.
+        let in_cohort = step % 7;
+        let stats = NetStats {
+            requests: 10 * step + in_cohort,
+            responses: 8 * step,
+            shed_503: step,
+            unclassified: step,
+            responses_dropped: step / 2,
+            ..NetStats::default()
+        };
+        (stats, in_cohort)
+    }
+
+    #[test]
+    fn statscell_snapshot_is_never_torn() {
+        let cell = Arc::new(StatsCell::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut step = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    step += 1;
+                    let (stats, in_cohort) = consistent_stats(step);
+                    cell.publish(&stats, in_cohort, step % 3);
+                }
+                step
+            })
+        };
+        let mut last_requests = 0u64;
+        for _ in 0..100_000 {
+            let snap = cell.read();
+            assert!(
+                snap.accounting_balanced(),
+                "torn snapshot: residual {} at requests {}",
+                snap.accounting_residual(),
+                snap.stats.requests
+            );
+            assert!(
+                snap.stats.requests >= last_requests,
+                "monotonicity violated"
+            );
+            last_requests = snap.stats.requests;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let steps = writer.join().unwrap();
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn telemetry_total_merges_shards() {
+        let t = Telemetry::new(2);
+        let (s0, ic0) = consistent_stats(5);
+        let (s1, ic1) = consistent_stats(9);
+        t.shard(0).publish(&s0, ic0, 1);
+        t.shard(1).publish(&s1, ic1, 2);
+        let total = t.total();
+        assert_eq!(total.stats.requests, s0.requests + s1.requests);
+        assert_eq!(total.connections, 3);
+        assert!(total.accounting_balanced());
+    }
+
+    #[test]
+    fn rendered_metrics_validate_and_carry_per_shard_labels() {
+        let t = Telemetry::new(2);
+        let (s0, ic0) = consistent_stats(3);
+        t.shard(0).publish(&s0, ic0, 1);
+        t.shard(0)
+            .record_latency(1, || "login.php".to_string(), 2e-3);
+        t.shard(1)
+            .record_latency(1, || "login.php".to_string(), 4e-3);
+        t.shard(0).record_fill(0.5);
+        let hits = t.device(0).counter("rhythm_plan_cache_hits_total", "hits");
+        hits.add(7);
+        let kern =
+            t.device(1)
+                .histogram("rhythm_device_kernel_seconds", "kernel time", 1e-9, 8, 64);
+        kern.record(3e-4);
+        let text = t.render_metrics();
+        let check = rhythm_obs::validate_prometheus_text(&text).expect("valid exposition");
+        assert!(check.families > 20, "families: {}", check.families);
+        assert!(text.contains("rhythm_requests_total{shard=\"0\"}"));
+        assert!(text.contains("rhythm_requests_total{shard=\"1\"} 0"));
+        assert!(text.contains("type=\"login.php\""));
+        assert!(text.contains("rhythm_request_latency_seconds_count{type=\"login.php\"} 2"));
+        assert!(text.contains("rhythm_plan_cache_hits_total{shard=\"0\"} 7"));
+        assert!(text.contains("rhythm_device_kernel_seconds_count 1"));
+
+        let health = t.render_healthz();
+        assert!(rhythm_obs::parse_json(&health).is_ok(), "{health}");
+        assert!(health.contains("\"status\":\"ok\""));
+
+        let trace = t.render_trace();
+        rhythm_obs::validate_chrome_trace(&trace).expect("valid chrome trace");
+    }
+}

@@ -12,13 +12,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rhythm_core::{CohortPool, CohortState, ContextId};
 use rhythm_http::{HttpRequest, ParseError};
 use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
 
+use crate::admin;
 use crate::conn::RequestAccumulator;
+use crate::metrics::{ShardMetrics, Telemetry};
 use crate::responses;
 
 /// Executes one uniform-key cohort of parsed requests.
@@ -56,6 +59,12 @@ pub trait CohortHandler {
     /// Response for a request [`CohortHandler::classify`] refused.
     fn reject(&self, _req: &HttpRequest) -> Vec<u8> {
         responses::not_found_404()
+    }
+
+    /// Human-readable name for a cohort key, used as the `type` label on
+    /// live latency histograms. Called at most once per key per shard.
+    fn key_name(&self, key: u32) -> String {
+        format!("key_{key}")
     }
 }
 
@@ -102,6 +111,13 @@ pub struct NetConfig {
     pub max_parse_per_poll: usize,
     /// `Retry-After` seconds advertised on `503` sheds.
     pub retry_after_s: u32,
+    /// Enable the live telemetry plane: seqlock counter publication, live
+    /// latency/fill histograms, the flight recorder, and the in-band
+    /// admin endpoints (`/metrics`, `/healthz`, `/trace`). With `false`
+    /// the reactor runs bare — no publication, no admin interception —
+    /// which is the baseline for the metering-overhead gate. Responses on
+    /// the workload path are byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl Default for NetConfig {
@@ -118,6 +134,7 @@ impl Default for NetConfig {
             max_queued_bytes: 256 * 1024,
             max_parse_per_poll: 256,
             retry_after_s: 1,
+            telemetry: true,
         }
     }
 }
@@ -173,6 +190,10 @@ pub struct NetStats {
     pub bytes_in: u64,
     /// Bytes written to sockets.
     pub bytes_out: u64,
+    /// Admin-surface requests (`/metrics`, `/healthz`, `/trace`) answered
+    /// in-band. Counted separately from [`NetStats::requests`] so
+    /// workload accounting stays exact while a scraper polls.
+    pub admin_requests: u64,
 }
 
 impl NetStats {
@@ -220,6 +241,7 @@ impl NetStats {
         self.peak_queued_bytes = self.peak_queued_bytes.max(other.peak_queued_bytes);
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
+        self.admin_requests += other.admin_requests;
     }
 }
 
@@ -339,6 +361,41 @@ pub struct Reactor<H> {
     shard: Option<usize>,
     /// Contexts marked launchable this poll: `(context, by_timeout)`.
     launchable: Vec<(ContextId, bool)>,
+    /// The cross-shard telemetry plane this reactor publishes into (a
+    /// standalone single-shard plane until
+    /// [`Reactor::attach_telemetry`] rebinds it).
+    telemetry: Arc<Telemetry>,
+    /// This reactor's own shard registry within [`Reactor::telemetry`]
+    /// (cached so the hot path never indexes through the plane).
+    metrics: Arc<ShardMetrics>,
+    /// Interned flight-recorder name ids (see [`FlightNames`]).
+    flight_names: FlightNames,
+}
+
+/// Interned flight-recorder event-name ids, re-interned whenever the
+/// telemetry plane is rebound.
+#[derive(Clone, Copy, Debug)]
+struct FlightNames {
+    /// "cohort batch" span (track 1; arg = requests in the batch).
+    cohorts: u32,
+    /// "shed 503" instant (track 0).
+    shed: u32,
+    /// "admin" instant (track 0).
+    admin: u32,
+    /// Sampled "poll" instant (track 0; arg = 1 when the poll progressed).
+    poll: u32,
+}
+
+impl FlightNames {
+    fn intern(metrics: &ShardMetrics) -> Self {
+        let f = metrics.flight();
+        FlightNames {
+            cohorts: f.intern("cohort batch"),
+            shed: f.intern("shed 503"),
+            admin: f.intern("admin"),
+            poll: f.intern("poll"),
+        }
+    }
 }
 
 impl<H: CohortHandler> Reactor<H> {
@@ -354,6 +411,9 @@ impl<H: CohortHandler> Reactor<H> {
         assert!(config.pool_contexts > 0, "need at least one context");
         assert!(config.max_connections > 0, "need at least one connection");
         let pool = CohortPool::new(config.pool_contexts, config.cohort_size);
+        let telemetry = Telemetry::new(1);
+        let metrics = Arc::clone(telemetry.shard(0));
+        let flight_names = FlightNames::intern(&metrics);
         Reactor {
             config,
             handler,
@@ -364,7 +424,29 @@ impl<H: CohortHandler> Reactor<H> {
             epoch: Instant::now(),
             shard,
             launchable: Vec::new(),
+            telemetry,
+            metrics,
+            flight_names,
         }
+    }
+
+    /// Rebind this reactor to shard `shard` of a shared telemetry plane
+    /// (the sharded server attaches every reactor to one plane so
+    /// `/metrics` on any connection sees all shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for the plane.
+    pub fn attach_telemetry(&mut self, telemetry: &Arc<Telemetry>, shard: usize) {
+        assert!(shard < telemetry.shards(), "shard out of range");
+        self.telemetry = Arc::clone(telemetry);
+        self.metrics = Arc::clone(telemetry.shard(shard));
+        self.flight_names = FlightNames::intern(&self.metrics);
+    }
+
+    /// The telemetry plane this reactor publishes into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Counters so far.
@@ -458,7 +540,51 @@ impl<H: CohortHandler> Reactor<H> {
         progress |= self.flush_launches(rec);
         progress |= self.write_sockets();
         self.reap();
+        self.publish_metrics();
+        if self.config.telemetry {
+            // Sampled heartbeat on the flight recorder's shard track, so
+            // a /trace dump shows the poll cadence without flooding the
+            // ring at megahertz poll rates.
+            let flight = self.metrics.flight();
+            if flight.tick(256) {
+                flight.instant(self.flight_names.poll, 0, flight.now_us(), progress as u64);
+            }
+        }
         progress
+    }
+
+    /// How many requests currently sit in open (PartiallyFull/Full)
+    /// cohort contexts — the in-flight term of the accounting invariant.
+    /// (No context is Busy at the call sites: launches complete within
+    /// `flush_launches`.)
+    fn in_cohort(&self) -> u64 {
+        (0..self.pool.len() as ContextId)
+            .filter(|&id| {
+                matches!(
+                    self.pool.get(id).state(),
+                    CohortState::PartiallyFull | CohortState::Full
+                )
+            })
+            .map(|id| self.pool.get(id).members().len() as u64)
+            .sum()
+    }
+
+    /// Publish a consistent counter snapshot into the shard's seqlock
+    /// cell (end of every poll, and after drain). This is the point at
+    /// which `requests == responses + shed_503 + unclassified +
+    /// in_cohort` must balance.
+    fn publish_metrics(&self) {
+        if !self.config.telemetry {
+            return;
+        }
+        let in_cohort = self.in_cohort();
+        debug_assert_eq!(
+            self.stats.requests,
+            self.stats.responses + self.stats.shed_503 + self.stats.unclassified + in_cohort,
+            "accounting invariant broken at publish"
+        );
+        self.metrics
+            .publish(&self.stats, in_cohort, self.conns.len() as u64);
     }
 
     /// After the stop flag: launch whatever is still partially formed and
@@ -475,6 +601,7 @@ impl<H: CohortHandler> Reactor<H> {
                 break;
             }
         }
+        self.publish_metrics();
     }
 
     /// Read every readable socket and parse complete requests. Requests
@@ -528,6 +655,20 @@ impl<H: CohortHandler> Reactor<H> {
                 match conn.acc.next_request() {
                     Ok(Some(req)) => {
                         taken += 1;
+                        if self.config.telemetry {
+                            if let Some(route) = admin::admin_route(&req) {
+                                // Admin endpoints are answered here,
+                                // before cohort formation: they never
+                                // reach classify/dispatch and are counted
+                                // apart from workload requests.
+                                self.stats.admin_requests += 1;
+                                let flight = self.metrics.flight();
+                                flight.instant(self.flight_names.admin, 0, flight.now_us(), 0);
+                                conn.respond_now(route.respond(&self.telemetry));
+                                *progress = true;
+                                continue;
+                            }
+                        }
                         self.stats.requests += 1;
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
@@ -619,6 +760,10 @@ impl<H: CohortHandler> Reactor<H> {
     /// Answer `503` + `Retry-After` for a request no context can hold.
     fn shed<R: Recorder + ?Sized>(&mut self, p: Pending, rec: &R) {
         self.stats.shed_503 += 1;
+        if self.config.telemetry {
+            let flight = self.metrics.flight();
+            flight.instant(self.flight_names.shed, 0, flight.now_us(), 1);
+        }
         if rec.enabled() {
             rec.counter(
                 Clock::Wall,
@@ -655,8 +800,9 @@ impl<H: CohortHandler> Reactor<H> {
         }
         let marked = std::mem::take(&mut self.launchable);
         let mut batch: Vec<(u32, Vec<HttpRequest>)> = Vec::with_capacity(marked.len());
-        // Per launched cohort: context id, member count, fill at launch.
-        let mut meta: Vec<(ContextId, usize, f64)> = Vec::with_capacity(marked.len());
+        // Per launched cohort: context id, member count, fill at launch,
+        // cohort key.
+        let mut meta: Vec<(ContextId, usize, f64, u32)> = Vec::with_capacity(marked.len());
         for (id, by_timeout) in marked {
             let fill = self.pool.get(id).fill();
             let n = self.pool.get(id).members().len();
@@ -674,6 +820,9 @@ impl<H: CohortHandler> Reactor<H> {
                 self.stats.timeout_launches += 1;
             } else {
                 self.stats.full_launches += 1;
+            }
+            if self.config.telemetry {
+                self.metrics.record_fill(fill);
             }
             if rec.enabled() {
                 let name = if by_timeout {
@@ -698,7 +847,7 @@ impl<H: CohortHandler> Reactor<H> {
                 .map(|m| m.req.clone())
                 .collect();
             batch.push((key, reqs));
-            meta.push((id, n, fill));
+            meta.push((id, n, fill, key));
         }
         if batch.is_empty() {
             return false;
@@ -706,9 +855,19 @@ impl<H: CohortHandler> Reactor<H> {
 
         // The contexts stay Busy for the duration of the batched handler
         // call — the wall-clock analogue of the pipeline's execute phase.
-        let total: usize = meta.iter().map(|&(_, n, _)| n).sum();
+        let total: usize = meta.iter().map(|&(_, n, _, _)| n).sum();
         let t0 = rec.wall_now_us();
+        let ft0 = if self.config.telemetry {
+            self.metrics.flight().now_us()
+        } else {
+            0
+        };
         let mut replies = self.handler.execute_many(&batch);
+        if self.config.telemetry {
+            let flight = self.metrics.flight();
+            let ft1 = flight.now_us();
+            flight.span(self.flight_names.cohorts, 1, ft0, ft1 - ft0, total as u64);
+        }
         if rec.enabled() {
             let t1 = rec.wall_now_us();
             rec.span(
@@ -722,7 +881,7 @@ impl<H: CohortHandler> Reactor<H> {
                     ("requests", ArgValue::U64(total as u64)),
                 ],
             );
-            for &(id, _, _) in &meta {
+            for &(id, _, _, _) in &meta {
                 rec.instant(Clock::Wall, &self.ctx_track(id), "Busy→Free", t1, &[]);
             }
         }
@@ -732,13 +891,21 @@ impl<H: CohortHandler> Reactor<H> {
             replies.resize_with(batch.len(), Vec::new);
         }
 
-        for ((id, n, _), mut cohort_replies) in meta.into_iter().zip(replies) {
+        for ((id, n, _, key), mut cohort_replies) in meta.into_iter().zip(replies) {
             if cohort_replies.len() < n {
                 cohort_replies.resize_with(n, responses::internal_500);
             }
             let members = self.pool.get_mut(id).release().unwrap_or_default();
             for (m, resp) in members.into_iter().zip(cohort_replies) {
                 self.stats.responses += 1;
+                if self.config.telemetry {
+                    let handler = &self.handler;
+                    self.metrics.record_latency(
+                        key,
+                        || handler.key_name(key),
+                        m.arrived.elapsed().as_secs_f64(),
+                    );
+                }
                 self.route(m.conn, m.seq, resp, Some(m.arrived), rec);
             }
         }
@@ -867,6 +1034,26 @@ impl<H: CohortHandler> NetServer<H> {
             listener,
             reactor: Reactor::new(config, handler, None),
         })
+    }
+
+    /// Publish into a caller-created single-shard telemetry plane instead
+    /// of the internal default — lets the caller build device handlers
+    /// against [`Telemetry::device`] before binding, and scrape the plane
+    /// from outside while the server runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the plane has exactly one shard.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        assert_eq!(telemetry.shards(), 1, "single-reactor server, one shard");
+        self.reactor.attach_telemetry(telemetry, 0);
+        self
+    }
+
+    /// The telemetry plane this server publishes into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.reactor.telemetry()
     }
 
     /// The bound address (use with an ephemeral port).

@@ -21,9 +21,11 @@
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 use rhythm_obs::{NoopRecorder, Recorder};
 
+use crate::metrics::Telemetry;
 use crate::server::{CohortHandler, NetConfig, NetStats, Reactor};
 
 /// Result of a sharded run: each shard's counters and handler, in shard
@@ -53,6 +55,7 @@ pub struct ShardedServer<H> {
     listener: TcpListener,
     config: NetConfig,
     handlers: Vec<H>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl<H: CohortHandler + Send> ShardedServer<H> {
@@ -80,11 +83,37 @@ impl<H: CohortHandler + Send> ShardedServer<H> {
         assert!(config.max_connections > 0, "need at least one connection");
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let telemetry = Telemetry::new(handlers.len());
         Ok(ShardedServer {
             listener,
             config,
             handlers,
+            telemetry,
         })
+    }
+
+    /// Publish into a caller-created telemetry plane instead of the one
+    /// [`ShardedServer::bind`] makes — lets the caller build per-shard
+    /// device handlers against [`Telemetry::device`] before binding, and
+    /// scrape the plane from outside while the server runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the plane's shard count matches the handler count.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Arc<Telemetry>) -> Self {
+        assert_eq!(
+            telemetry.shards(),
+            self.handlers.len(),
+            "telemetry shard count must match the handler count"
+        );
+        self.telemetry = Arc::clone(telemetry);
+        self
+    }
+
+    /// The telemetry plane every shard publishes into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Number of reactor shards.
@@ -119,6 +148,7 @@ impl<H: CohortHandler + Send> ShardedServer<H> {
             listener,
             config,
             handlers,
+            telemetry,
         } = self;
         let shards = handlers.len();
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(shards);
@@ -132,7 +162,8 @@ impl<H: CohortHandler + Send> ShardedServer<H> {
         let mut results: Vec<Option<(NetStats, H)>> = std::thread::scope(|scope| {
             let mut joins = Vec::with_capacity(shards);
             for (shard, (handler, rx)) in handlers.into_iter().zip(receivers).enumerate() {
-                let reactor = Reactor::new(config.clone(), handler, Some(shard));
+                let mut reactor = Reactor::new(config.clone(), handler, Some(shard));
+                reactor.attach_telemetry(&telemetry, shard);
                 joins.push(scope.spawn(move || reactor_loop(reactor, rx, stop, rec)));
             }
 

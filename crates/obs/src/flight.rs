@@ -1,0 +1,328 @@
+//! The flight recorder: an always-on, fixed-size ring buffer of recent
+//! spans and transitions, dumpable as a valid Chrome trace at any moment.
+//!
+//! Offline [`TraceRecorder`](crate::TraceRecorder) runs capture a whole
+//! run but grow without bound and are only read at shutdown. The flight
+//! recorder is the live complement: each reactor shard owns one, records
+//! a bounded sample of recent events into preallocated slots (no
+//! allocation, no locks on the hot path — one relaxed `fetch_add` plus a
+//! handful of relaxed stores per event), and overwrites the oldest event
+//! when full. A scraper thread can dump the ring at any time; per-slot
+//! sequence numbers (a seqlock) let the dump detect and skip slots that
+//! were mid-overwrite, so a dump taken under load never shows torn
+//! events.
+//!
+//! Event names are interned up front ([`FlightRecorder::intern`]) so the
+//! record path stores a `u32` id instead of formatting strings.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+const KIND_SPAN: u32 = 0;
+const KIND_INSTANT: u32 = 1;
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// Seqlock: odd while a writer is mid-update; bumped twice per write.
+    seq: AtomicU32,
+    name: AtomicU32,
+    track: AtomicU32,
+    kind: AtomicU32,
+    ts_us: AtomicU64,
+    dur_us: AtomicU64,
+    arg: AtomicU64,
+}
+
+/// One event copied out of the ring by [`FlightRecorder::events`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Interned event name.
+    pub name: String,
+    /// Track (rendered as a Chrome trace `tid`).
+    pub track: u32,
+    /// Microseconds since the recorder's epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// One free-form numeric argument (e.g. a request count).
+    pub arg: u64,
+    /// Whether this is a span (`true`) or an instant (`false`).
+    pub span: bool,
+}
+
+/// A fixed-capacity single-writer ring buffer of recent spans/instants.
+///
+/// One recorder per reactor shard: the owning shard records, any thread
+/// may call [`FlightRecorder::events`] / [`flight_chrome_json`]
+/// concurrently. (With multiple concurrent writers the per-slot seqlock
+/// still prevents torn reads, but two writers that lap each other onto
+/// the same slot may interleave fields; the single-writer-per-shard
+/// topology avoids that by construction.)
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Total events ever recorded; `head % capacity` is the next slot.
+    head: AtomicU64,
+    /// Sampling tick counter (see [`FlightRecorder::tick`]).
+    ticks: AtomicU64,
+    names: RwLock<Vec<String>>,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+            head: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            names: RwLock::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Intern an event name, returning the id to pass to
+    /// [`FlightRecorder::span`] / [`FlightRecorder::instant`]. Call at
+    /// setup time, not on the hot path (takes a write lock; idempotent).
+    pub fn intern(&self, name: &str) -> u32 {
+        let mut names = self.names.write().expect("names poisoned");
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return i as u32;
+        }
+        names.push(name.to_string());
+        (names.len() - 1) as u32
+    }
+
+    /// Microseconds since this recorder's epoch (timestamps for
+    /// [`FlightRecorder::span`]).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Sampling helper: returns `true` on every `every`-th call (always
+    /// `true` for `every ≤ 1`). Lets callers keep high-frequency events
+    /// (per-poll ticks) at a bounded rate while low-frequency events
+    /// (cohort launches) record unconditionally.
+    pub fn tick(&self, every: u64) -> bool {
+        if every <= 1 {
+            return true;
+        }
+        self.ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+    }
+
+    /// Total events recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten (lifetime total minus capacity, floored at 0).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    fn record(&self, name: u32, track: u32, kind: u32, ts_us: u64, dur_us: u64, arg: u64) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        let slot = &self.slots[i];
+        slot.seq.fetch_add(1, Ordering::Release); // odd: in progress
+        slot.name.store(name, Ordering::Relaxed);
+        slot.track.store(track, Ordering::Relaxed);
+        slot.kind.store(kind, Ordering::Relaxed);
+        slot.ts_us.store(ts_us, Ordering::Relaxed);
+        slot.dur_us.store(dur_us, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::Release); // even: stable
+    }
+
+    /// Record a completed span (`ts_us`/`dur_us` from
+    /// [`FlightRecorder::now_us`]).
+    pub fn span(&self, name: u32, track: u32, ts_us: u64, dur_us: u64, arg: u64) {
+        self.record(name, track, KIND_SPAN, ts_us, dur_us, arg);
+    }
+
+    /// Record an instant (a state transition, a shed, an admin hit).
+    pub fn instant(&self, name: u32, track: u32, ts_us: u64, arg: u64) {
+        self.record(name, track, KIND_INSTANT, ts_us, 0, arg);
+    }
+
+    /// Copy the ring's stable events out, oldest first by timestamp.
+    /// Slots that are mid-overwrite at read time are skipped rather than
+    /// returned torn.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let names = self.names.read().expect("names poisoned");
+        let live = (self.recorded() as usize).min(self.slots.len());
+        let mut out = Vec::with_capacity(live);
+        for slot in self.slots.iter().take(live) {
+            // Seqlock read: retry a few times, skip if the writer keeps
+            // lapping us (it can only be mid-write on one slot at once).
+            let mut ok = None;
+            for _ in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 % 2 != 0 {
+                    continue;
+                }
+                let ev = (
+                    slot.name.load(Ordering::Relaxed),
+                    slot.track.load(Ordering::Relaxed),
+                    slot.kind.load(Ordering::Relaxed),
+                    slot.ts_us.load(Ordering::Relaxed),
+                    slot.dur_us.load(Ordering::Relaxed),
+                    slot.arg.load(Ordering::Relaxed),
+                );
+                if slot.seq.load(Ordering::Acquire) == s1 {
+                    ok = Some(ev);
+                    break;
+                }
+            }
+            if let Some((name, track, kind, ts_us, dur_us, arg)) = ok {
+                out.push(FlightEvent {
+                    name: names
+                        .get(name as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("event{name}")),
+                    track,
+                    ts_us,
+                    dur_us,
+                    arg,
+                    span: kind == KIND_SPAN,
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.track, e.ts_us));
+        out
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render one or more shards' flight recorders as a Chrome trace-event
+/// JSON document (loadable in Perfetto, checkable with
+/// [`validate_chrome_trace`](crate::validate_chrome_trace)).
+///
+/// Each `(name, recorder)` pair becomes one trace *process* (pid is the
+/// index plus one, named via metadata); tracks become threads within it.
+/// Events are written sorted per track, so per-track timestamps are
+/// non-decreasing.
+pub fn flight_chrome_json(shards: &[(String, &FlightRecorder)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, (name, rec)) in shards.iter().enumerate() {
+        let pid = i as u64 + 1;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\""
+        ));
+        escape_json(name, &mut out);
+        out.push_str("\"}}");
+        for e in rec.events() {
+            out.push_str(&format!(
+                ",{{\"ph\":\"{}\",\"pid\":{pid},\"tid\":{},\"ts\":{}",
+                if e.span { "X" } else { "i" },
+                e.track,
+                e.ts_us
+            ));
+            if e.span {
+                out.push_str(&format!(",\"dur\":{}", e.dur_us));
+            } else {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(",\"name\":\"");
+            escape_json(&e.name, &mut out);
+            out.push_str(&format!("\",\"args\":{{\"v\":{}}}}}", e.arg));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::validate_chrome_trace;
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let r = FlightRecorder::new(4);
+        let launch = r.intern("launch");
+        assert_eq!(r.intern("launch"), launch, "intern is idempotent");
+        for i in 0..10u64 {
+            r.span(launch, 0, i * 10, 5, i);
+        }
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let events = r.events();
+        assert_eq!(events.len(), 4);
+        let args: Vec<u64> = events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, [6, 7, 8, 9], "oldest overwritten, order by ts");
+    }
+
+    #[test]
+    fn sampling_tick() {
+        let r = FlightRecorder::new(1);
+        assert!(r.tick(0) && r.tick(1), "every<=1 always samples");
+        let hits = (0..100).filter(|_| r.tick(10)).count();
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn dump_is_a_valid_chrome_trace() {
+        let a = FlightRecorder::new(16);
+        let b = FlightRecorder::new(16);
+        let cohort = a.intern("cohorts x2");
+        let shed = a.intern("shed \"503\"");
+        a.span(cohort, 1, 100, 50, 64);
+        a.instant(shed, 0, 120, 1);
+        let poll = b.intern("poll");
+        b.span(poll, 0, 10, 2, 0);
+        let json = flight_chrome_json(&[("shard 0".into(), &a), ("shard 1".into(), &b)]);
+        let check = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(check.events, 3);
+        assert!(check.names.iter().any(|n| n == "cohorts x2"));
+        assert!(check.names.iter().any(|n| n == "shed \"503\""));
+    }
+
+    #[test]
+    fn concurrent_dump_never_sees_torn_slots() {
+        let r = std::sync::Arc::new(FlightRecorder::new(8));
+        let name = r.intern("spin");
+        let writer = {
+            let r = std::sync::Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    // ts and arg move together; a torn read would pair a
+                    // new ts with an old arg.
+                    r.span(name, 0, i, 1, i);
+                }
+            })
+        };
+        for _ in 0..200 {
+            for e in r.events() {
+                assert_eq!(e.ts_us, e.arg, "torn slot escaped the seqlock");
+            }
+        }
+        writer.join().unwrap();
+    }
+}

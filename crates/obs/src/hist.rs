@@ -189,6 +189,50 @@ impl StreamingHistogram {
         self.max
     }
 
+    /// Reassemble a histogram from raw parts — the bridge from
+    /// [`crate::AtomicHistogram::snapshot`], which reads its atomic
+    /// buckets and rebuilds the equivalent single-writer histogram so
+    /// snapshots from different shards can [`StreamingHistogram::merge`].
+    ///
+    /// `min`/`max` follow the internal empty-state convention
+    /// (`+inf`/`-inf` when `count == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`StreamingHistogram::new`])
+    /// or if `counts` exceeds the maximum bucket count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        min_value: f64,
+        sub: u32,
+        counts: Vec<u64>,
+        underflow: u64,
+        rejected: u64,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        let mut h = StreamingHistogram::new(min_value, sub);
+        assert!(
+            counts.len() <= h.max_buckets(),
+            "counts exceed the bucket cap"
+        );
+        h.counts = counts;
+        h.underflow = underflow;
+        h.rejected = rejected;
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        h
+    }
+
+    /// Sum of the recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Fold another histogram into this one.
     ///
     /// # Panics

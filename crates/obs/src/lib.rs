@@ -14,6 +14,15 @@
 //! * **[`StreamingHistogram`]** — HDR-style log-bucketed histograms
 //!   (O(1) per sample, mergeable, bounded relative quantile error) that
 //!   complement `rhythm-core`'s sorted-sample `LatencyStats`.
+//! * **Live metrics** — [`Counter`] / [`Gauge`] / [`AtomicHistogram`]
+//!   (the shared-atomic-bucket variant of [`StreamingHistogram`]) grouped
+//!   in a [`MetricRegistry`], one per reactor shard and one per device:
+//!   lock-free relaxed atomics on the hot path, scrape-time aggregation
+//!   by merging snapshots. [`PromText`] renders a registry as Prometheus
+//!   text exposition (checked by [`validate_prometheus_text`]), and
+//!   [`FlightRecorder`] keeps an always-on fixed-size ring of recent
+//!   spans, dumpable mid-run as a Chrome trace
+//!   ([`flight_chrome_json`]).
 //! * **Exporters** — [`TraceRecorder::chrome_json`] writes Chrome
 //!   trace-event JSON loadable in [Perfetto](https://ui.perfetto.dev) or
 //!   `chrome://tracing` (virtual-time pipeline tracks under pid 1, wall
@@ -43,13 +52,23 @@
 
 mod chrome;
 mod counters;
+mod flight;
 mod hist;
+mod metrics;
+mod prom;
 mod recorder;
 mod summary;
 
 pub use chrome::{parse_json, validate_chrome_trace, Json, TraceCheck, PID_VIRTUAL, PID_WALL};
 pub use counters::{CacheCounters, CacheSnapshot, PoolCounters, PoolSnapshot};
+pub use flight::{flight_chrome_json, FlightEvent, FlightRecorder};
 pub use hist::StreamingHistogram;
+pub use metrics::{
+    AtomicHistogram, Counter, Gauge, MetricExport, MetricKind, MetricRegistry, MetricValue,
+};
+pub use prom::{
+    valid_label_name, valid_metric_name, validate_prometheus_text, PromCheck, PromText,
+};
 pub use recorder::{
     s_to_us, ArgValue, Clock, NoopRecorder, OwnedArg, Phase, Recorder, TraceEvent, TraceRecorder,
 };

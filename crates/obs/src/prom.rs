@@ -1,0 +1,475 @@
+//! Prometheus text exposition (format version 0.0.4): a renderer for
+//! `GET /metrics` bodies and a dependency-free validator used by tests
+//! and CI.
+//!
+//! The renderer writes `# HELP` / `# TYPE` headers followed by sample
+//! lines, escapes label values, and expands a
+//! [`StreamingHistogram`](crate::StreamingHistogram) into the standard
+//! cumulative `_bucket{le=...}` / `_sum` / `_count` series. The validator
+//! re-parses a rendered document and checks name validity, label syntax
+//! and escaping, value syntax, and header placement — the same checks a
+//! scraping Prometheus would apply, minus protocol negotiation.
+
+use std::collections::BTreeMap;
+
+use crate::hist::StreamingHistogram;
+use crate::metrics::MetricKind;
+
+/// Whether `name` is a valid exposition metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a valid label name (`[a-zA-Z_][a-zA-Z0-9_]*`,
+/// `__`-prefixed names are reserved).
+pub fn valid_label_name(name: &str) -> bool {
+    if name.starts_with("__") {
+        return false;
+    }
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape help text: `\` → `\\`, newline → `\n`.
+fn escape_help(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format an f64 sample value (`+Inf` / `-Inf` / `NaN` spellings per the
+/// exposition format).
+fn format_value(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// An in-progress exposition document.
+///
+/// # Example
+///
+/// ```
+/// use rhythm_obs::{MetricKind, PromText, validate_prometheus_text};
+///
+/// let mut t = PromText::new();
+/// t.header("requests_total", "Requests parsed", MetricKind::Counter);
+/// t.sample_u64("requests_total", &[("shard", "0")], 17);
+/// let text = t.finish();
+/// assert!(validate_prometheus_text(&text).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Write the `# HELP` / `# TYPE` header for a metric family. Call
+    /// once per family, before its samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name.
+    pub fn header(&mut self, name: &str, help: &str, kind: MetricKind) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        escape_help(help, &mut self.out);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind.as_str());
+        self.out.push('\n');
+    }
+
+    fn name_and_labels(&mut self, name: &str, labels: &[(&str, &str)]) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                debug_assert!(valid_label_name(k), "invalid label name {k:?}");
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                escape_label_value(v, &mut self.out);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+    }
+
+    /// Write one `f64` sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.name_and_labels(name, labels);
+        format_value(value, &mut self.out);
+        self.out.push('\n');
+    }
+
+    /// Write one integer sample line (counters render without a decimal
+    /// point).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.name_and_labels(name, labels);
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Expand a histogram into cumulative `name_bucket{le=...}` series
+    /// plus `name_sum` and `name_count`, with `labels` on every line.
+    /// The family header must have been written with
+    /// [`MetricKind::Histogram`] for the *base* `name`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &StreamingHistogram) {
+        let bucket = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (_, upper, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let le = format!("{upper}");
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.name_and_labels(&bucket, &with_le);
+            self.out.push_str(&cumulative.to_string());
+            self.out.push('\n');
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.name_and_labels(&bucket, &with_le);
+        self.out.push_str(&h.count().to_string());
+        self.out.push('\n');
+        self.sample(&format!("{name}_sum"), labels, h.sum());
+        self.sample_u64(&format!("{name}_count"), labels, h.count());
+    }
+
+    /// The finished document (always newline-terminated).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Summary of a validated exposition document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PromCheck {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+fn parse_label_set(s: &str) -> Result<Vec<(String, String)>, String> {
+    // `s` is the text between `{` and `}`.
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {s:?}"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value for {name:?} not quoted"));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut closed_at = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {name:?}")),
+                },
+                '"' => {
+                    closed_at = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = closed_at.ok_or_else(|| format!("unterminated label value for {name:?}"))?;
+        labels.push((name.to_string(), value));
+        rest = &rest[end + 1..];
+        if rest.is_empty() {
+            return Ok(labels);
+        }
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            continue;
+        }
+        return Err(format!("expected ',' or end of label set, got {rest:?}"));
+    }
+}
+
+fn parse_sample_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        s => s.parse::<f64>().map_err(|_| format!("bad value {s:?}")),
+    }
+}
+
+/// The base family name a sample belongs to: histogram samples use the
+/// `_bucket` / `_sum` / `_count` suffixes of their declared family.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Validate a Prometheus text exposition document: metric and label name
+/// validity, label escaping, value syntax, `# HELP`/`# TYPE` placement
+/// and uniqueness, every sample belonging to a `# TYPE`-declared family,
+/// and `le` presence on histogram bucket series.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found, prefixed with its
+/// 1-based line number.
+pub fn validate_prometheus_text(text: &str) -> Result<PromCheck, String> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("document must end with a newline".into());
+    }
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: Vec<String> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let err = |msg: String| format!("line {ln}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, Some(h)))
+                .unwrap_or((rest, None));
+            if !valid_metric_name(name) {
+                return Err(err(format!("invalid metric name {name:?} in HELP")));
+            }
+            if helped.contains(&name.to_string()) {
+                return Err(err(format!("duplicate HELP for {name:?}")));
+            }
+            helped.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("TYPE line without kind".into()))?;
+            if !valid_metric_name(name) {
+                return Err(err(format!("invalid metric name {name:?} in TYPE")));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(err(format!("unknown metric type {kind:?}")));
+            }
+            if types.contains_key(name) {
+                return Err(err(format!("duplicate TYPE for {name:?}")));
+            }
+            if sampled.iter().any(|s| s == name) {
+                return Err(err(format!("TYPE for {name:?} after its samples")));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| err("sample line without value".into()))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(err(format!("invalid metric name {name:?}")));
+        }
+        let mut rest = &line[name_end..];
+        let mut labels = Vec::new();
+        if let Some(r) = rest.strip_prefix('{') {
+            let close = r
+                .rfind('}')
+                .ok_or_else(|| err(format!("unterminated label set on {name:?}")))?;
+            labels = parse_label_set(&r[..close]).map_err(err)?;
+            rest = &r[close + 1..];
+        }
+        let mut parts = rest.split_whitespace();
+        let value = parts
+            .next()
+            .ok_or_else(|| err(format!("sample {name:?} without value")))?;
+        parse_sample_value(value).map_err(err)?;
+        if let Some(ts) = parts.next() {
+            ts.parse::<i64>()
+                .map_err(|_| err(format!("bad timestamp {ts:?}")))?;
+        }
+        if parts.next().is_some() {
+            return Err(err(format!("trailing garbage on sample {name:?}")));
+        }
+        let family = family_of(name, &types)
+            .ok_or_else(|| err(format!("sample {name:?} has no TYPE declaration")))?;
+        if name.ends_with("_bucket")
+            && types.get(family).map(String::as_str) == Some("histogram")
+            && !labels.iter().any(|(k, _)| k == "le")
+        {
+            return Err(err(format!("histogram bucket {name:?} without le label")));
+        }
+        sampled.push(family.to_string());
+        samples += 1;
+    }
+    Ok(PromCheck {
+        families: types.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validity() {
+        assert!(valid_metric_name("rhythm_requests_total"));
+        assert!(valid_metric_name(":ns:metric"));
+        assert!(!valid_metric_name("0starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+        assert!(valid_label_name("shard"));
+        assert!(!valid_label_name("__reserved"));
+        assert!(!valid_label_name("le!"));
+    }
+
+    #[test]
+    fn renderer_roundtrips_through_validator() {
+        let mut t = PromText::new();
+        t.header("acme_requests_total", "Requests", MetricKind::Counter);
+        t.sample_u64("acme_requests_total", &[("shard", "0")], 10);
+        t.sample_u64("acme_requests_total", &[("shard", "1")], 11);
+        t.header(
+            "acme_temp",
+            "Temp with \"quotes\" \\ and\nnewline",
+            MetricKind::Gauge,
+        );
+        t.sample("acme_temp", &[("site", "a\"b\\c\nd")], -3.25);
+        let mut h = StreamingHistogram::new(1e-6, 8);
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-4);
+        }
+        t.header("acme_latency_seconds", "Latency", MetricKind::Histogram);
+        t.histogram("acme_latency_seconds", &[("shard", "0")], &h);
+        let text = t.finish();
+        let check = validate_prometheus_text(&text).expect("valid exposition");
+        assert_eq!(check.families, 3);
+        assert!(check.samples > 5);
+        assert!(text.contains("le=\"+Inf\"} 100"));
+        assert!(text.contains("acme_latency_seconds_count{shard=\"0\"} 100"));
+        assert!(text.contains("site=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let mut h = StreamingHistogram::new(1.0, 1);
+        for v in [1.5, 3.0, 3.5, 100.0] {
+            h.record(v);
+        }
+        let mut t = PromText::new();
+        t.header("x_seconds", "x", MetricKind::Histogram);
+        t.histogram("x_seconds", &[], &h);
+        let text = t.finish();
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("x_seconds_bucket"))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 4, "+Inf bucket equals count");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (doc, why) in [
+            ("x_total 1\n", "sample without TYPE"),
+            ("# TYPE x_total counter\nx_total 1", "missing final newline"),
+            ("# TYPE x_total counter\nx_total nope\n", "bad value"),
+            ("# TYPE x_total wat\n", "unknown type"),
+            ("# TYPE x_total counter\n# TYPE x_total counter\n", "dup TYPE"),
+            (
+                "# TYPE x_total counter\nx_total{0bad=\"v\"} 1\n",
+                "bad label name",
+            ),
+            (
+                "# TYPE x_total counter\nx_total{l=\"\\q\"} 1\n",
+                "bad escape",
+            ),
+            (
+                "# TYPE x_total counter\nx_total 1\n# TYPE y_total counter\n# HELP x_total again\n# HELP x_total again\n",
+                "dup HELP",
+            ),
+            (
+                "# TYPE x_seconds histogram\nx_seconds_bucket 1\n",
+                "bucket without le",
+            ),
+        ] {
+            assert!(validate_prometheus_text(doc).is_err(), "{why}: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_timestamps_and_plain_comments() {
+        let doc = "# a comment\n# TYPE up gauge\nup{job=\"x\"} 1 1712000000\n";
+        let check = validate_prometheus_text(doc).expect("valid");
+        assert_eq!(check.samples, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Histogram merge properties and the Prometheus exposition golden file.
+//!
+//! The merge tests pin down the property the sharded `/metrics` endpoint
+//! relies on: merging per-shard histograms is *exactly* the histogram of
+//! the concatenated samples (same buckets, same quantiles), with the
+//! usual bounded relative quantile error against the true sorted-sample
+//! quantiles. The golden test freezes the exposition format byte-for-byte
+//! so accidental format drift (escaping, HELP/TYPE lines, bucket
+//! cumulation) fails CI.
+
+use rhythm_obs::{
+    validate_prometheus_text, AtomicHistogram, MetricKind, PromText, StreamingHistogram,
+};
+
+/// Deterministic pseudo-random stream (xorshift64*), so the tests need no
+/// RNG dependency and the golden file is stable.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn sample_latency(state: &mut u64) -> f64 {
+    // 1 µs .. ~100 ms, roughly log-uniform.
+    let u = (xorshift(state) % 1_000_000) as f64 / 1_000_000.0;
+    1e-6 * 10f64.powf(u * 5.0)
+}
+
+#[test]
+fn merge_of_shard_histograms_equals_concatenated_histogram() {
+    let shards = 4;
+    let per_shard = 10_000;
+    let mut state = 0x5EED_1234_5678_9ABCu64;
+    let mut parts: Vec<StreamingHistogram> = Vec::new();
+    let mut combined = StreamingHistogram::new(1e-6, 8);
+    for _ in 0..shards {
+        let mut h = StreamingHistogram::new(1e-6, 8);
+        for _ in 0..per_shard {
+            let v = sample_latency(&mut state);
+            h.record(v);
+            combined.record(v);
+        }
+        parts.push(h);
+    }
+    let mut merged = StreamingHistogram::new(1e-6, 8);
+    for p in &parts {
+        merged.merge(p);
+    }
+    assert_eq!(merged.count(), combined.count());
+    assert_eq!(merged.min(), combined.min());
+    assert_eq!(merged.max(), combined.max());
+    assert_eq!(merged.nonzero_buckets(), combined.nonzero_buckets());
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+        assert_eq!(merged.quantile(q), combined.quantile(q), "q{q}");
+    }
+    // Sums may differ by float addition order only.
+    let rel = (merged.sum() - combined.sum()).abs() / combined.sum();
+    assert!(rel < 1e-9, "sum drift {rel}");
+}
+
+#[test]
+fn atomic_snapshots_merge_like_their_single_writer_twins() {
+    let mut state = 0xC0FFEEu64;
+    let shards: Vec<AtomicHistogram> = (0..3).map(|_| AtomicHistogram::new(1e-6, 8, 64)).collect();
+    let mut combined = StreamingHistogram::new(1e-6, 8);
+    for i in 0..9_000 {
+        let v = sample_latency(&mut state);
+        shards[i % 3].record(v);
+        combined.record(v);
+    }
+    let mut merged = StreamingHistogram::new(1e-6, 8);
+    for s in &shards {
+        merged.merge(&s.snapshot());
+    }
+    assert_eq!(merged.count(), combined.count());
+    assert_eq!(merged.nonzero_buckets(), combined.nonzero_buckets());
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(merged.quantile(q), combined.quantile(q), "q{q}");
+    }
+}
+
+#[test]
+fn merged_quantiles_stay_within_the_resolution_bound() {
+    let sub = 8u32;
+    let bound = 2f64.powf(1.0 / sub as f64) - 1.0;
+    let mut state = 0xDEAD_BEEFu64;
+    let mut samples: Vec<f64> = Vec::new();
+    let mut parts: Vec<StreamingHistogram> =
+        (0..4).map(|_| StreamingHistogram::new(1e-6, sub)).collect();
+    for i in 0..40_000 {
+        let v = sample_latency(&mut state);
+        parts[i % 4].record(v);
+        samples.push(v);
+    }
+    let mut merged = StreamingHistogram::new(1e-6, sub);
+    for p in &parts {
+        merged.merge(p);
+    }
+    samples.sort_by(f64::total_cmp);
+    for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+        let exact =
+            samples[((q * samples.len() as f64).ceil() as usize - 1).min(samples.len() - 1)];
+        let got = merged.quantile(q);
+        let rel = (got - exact).abs() / exact;
+        assert!(
+            rel <= bound + 1e-9,
+            "q{q}: merged {got} vs exact {exact} (rel {rel} > {bound})"
+        );
+    }
+}
+
+/// Render the frozen document the golden file pins down.
+fn golden_document() -> String {
+    let mut t = PromText::new();
+    t.header(
+        "rhythm_requests_total",
+        "Complete requests parsed off sockets",
+        MetricKind::Counter,
+    );
+    t.sample_u64("rhythm_requests_total", &[("shard", "0")], 1280);
+    t.sample_u64("rhythm_requests_total", &[("shard", "1")], 1275);
+    t.header(
+        "rhythm_connections",
+        "Currently admitted connections",
+        MetricKind::Gauge,
+    );
+    t.sample("rhythm_connections", &[("shard", "0")], 12.0);
+    t.header(
+        "rhythm_escapes",
+        "Label escaping: backslash \\ quote \" newline\nend",
+        MetricKind::Gauge,
+    );
+    t.sample("rhythm_escapes", &[("path", "a\"b\\c\nd")], 1.5);
+    let mut h = StreamingHistogram::new(1e-3, 1);
+    for v in [0.0015, 0.003, 0.003, 0.02, 0.5] {
+        h.record(v);
+    }
+    t.header(
+        "rhythm_request_latency_seconds",
+        "End-to-end request latency",
+        MetricKind::Histogram,
+    );
+    t.histogram(
+        "rhythm_request_latency_seconds",
+        &[("type", "login.php")],
+        &h,
+    );
+    t.finish()
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_file() {
+    let rendered = golden_document();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    assert_eq!(
+        rendered, golden,
+        "exposition format drifted from tests/golden/metrics.prom \
+         (run with UPDATE_GOLDEN=1 to regenerate intentionally)"
+    );
+    let check = validate_prometheus_text(&rendered).expect("golden document is valid");
+    assert_eq!(check.families, 4);
+    // Escaped label value survives a validator round-trip.
+    assert!(rendered.contains("path=\"a\\\"b\\\\c\\nd\""));
+    // HELP escaping: newline folded to \n, backslash doubled.
+    assert!(rendered.contains("backslash \\\\ quote \" newline\\nend"));
+}

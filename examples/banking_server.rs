@@ -6,14 +6,19 @@
 //! spawns a client that logs in, fetches pages over one keep-alive
 //! connection and logs out, then exits. Pass `--serve` to keep listening
 //! so you can drive it with curl, `--simt` to serve cohorts on the
-//! simulated data-parallel device instead of the scalar path, and
+//! simulated data-parallel device instead of the scalar path,
 //! `--shards <n>` to run the multi-reactor front end (each shard owns its
-//! connections, cohort pool, and device):
+//! connections, cohort pool, and device), and `--stats-interval <secs>`
+//! to print a one-line live summary (rps, p99 latency, shed counts) from
+//! the telemetry plane every interval:
 //!
 //! ```sh
-//! cargo run --release --example banking_server -- --serve --simt --shards 4
+//! cargo run --release --example banking_server -- --serve --simt --shards 4 --stats-interval 2
 //! # in another shell (replace PORT):
 //! curl -s -X POST 'http://127.0.0.1:PORT/bank/login.php' -d 'userid=7'
+//! curl -s 'http://127.0.0.1:PORT/metrics'   # Prometheus exposition
+//! curl -s 'http://127.0.0.1:PORT/healthz'   # liveness + accounting
+//! curl -s 'http://127.0.0.1:PORT/trace'     # Chrome trace JSON
 //! ```
 //!
 //! Either way the front end is the same: requests are parsed off
@@ -29,7 +34,9 @@ use std::time::Duration;
 use rhythm_banking::prelude::*;
 use rhythm_net::{
     read_response, send_request, CohortHandler, NetConfig, NetServer, NetStats, ShardedServer,
+    Telemetry,
 };
+use rhythm_obs::StreamingHistogram;
 use rhythm_simt::gpu::{Gpu, GpuConfig};
 
 const NUM_USERS: u32 = 256;
@@ -66,6 +73,37 @@ fn simt_handler() -> SimtHandler {
     )
 }
 
+/// Print a one-line live summary every `interval` from the telemetry
+/// plane: request rate over the interval, p99 latency from the merged
+/// live histograms, and the accounting tail (shed, in-cohort, conns).
+fn spawn_stats_printer(telemetry: Arc<Telemetry>, interval: Duration) {
+    std::thread::spawn(move || {
+        let mut last_requests = 0u64;
+        loop {
+            std::thread::sleep(interval);
+            let total = telemetry.total();
+            let rps = (total.stats.requests - last_requests) as f64 / interval.as_secs_f64();
+            last_requests = total.stats.requests;
+            let mut merged: Option<StreamingHistogram> = None;
+            for (_, hist) in telemetry.latency_merged() {
+                match &mut merged {
+                    Some(m) => m.merge(&hist),
+                    None => merged = Some(hist),
+                }
+            }
+            let p99_ms = merged.map_or(0.0, |m| m.quantile(0.99) * 1e3);
+            println!(
+                "[stats] rps {rps:8.1} | p99 {p99_ms:7.3} ms | requests {} | shed {} | \
+                 in_cohort {} | conns {}",
+                total.stats.requests,
+                total.shed_total(),
+                total.in_cohort,
+                total.connections,
+            );
+        }
+    });
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let serve_forever = args.iter().any(|a| a == "--serve");
@@ -76,45 +114,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let stats_interval: u64 = args
+        .iter()
+        .position(|a| a == "--stats-interval")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     if serve_forever {
         // Serve until killed. The run loop polls; ctrl-C exits the
         // process, so the stop flag never fires here.
         let stop = AtomicBool::new(false);
+        let banner = |addr: std::net::SocketAddr, path: &str| {
+            println!("rhythm banking server ({path} path, {shards} shards) on http://{addr}/bank/");
+            println!("  live endpoints: /metrics /healthz /trace");
+        };
+        let stats = |telemetry: &Arc<Telemetry>| {
+            if stats_interval > 0 {
+                spawn_stats_printer(Arc::clone(telemetry), Duration::from_secs(stats_interval));
+            }
+        };
         if shards > 1 {
             // Multi-reactor front end: each shard owns its connections,
             // cohort pool, and handler (its own device on the SIMT path).
-            let path = if simt { "SIMT cohort" } else { "scalar" };
             if simt {
-                let handlers: Vec<_> = (0..shards).map(|_| simt_handler()).collect();
-                let server = ShardedServer::bind("127.0.0.1:0", config(), handlers)?;
-                println!(
-                    "rhythm banking server ({path} path, {shards} shards) on http://{}/bank/",
-                    server.local_addr()?
-                );
+                // One telemetry plane up front so each handler's device
+                // counters land in its own shard's registry.
+                let telemetry = Arc::new(Telemetry::new(shards));
+                let handlers: Vec<_> = (0..shards)
+                    .map(|i| simt_handler().with_metrics(telemetry.device(i)))
+                    .collect();
+                let server = ShardedServer::bind("127.0.0.1:0", config(), handlers)?
+                    .with_telemetry(&telemetry);
+                banner(server.local_addr()?, "SIMT cohort");
+                stats(server.telemetry());
                 server.run(&stop);
             } else {
                 let handlers: Vec<_> = (0..shards).map(|_| scalar_handler()).collect();
                 let server = ShardedServer::bind("127.0.0.1:0", config(), handlers)?;
-                println!(
-                    "rhythm banking server ({path} path, {shards} shards) on http://{}/bank/",
-                    server.local_addr()?
-                );
+                banner(server.local_addr()?, "scalar");
+                stats(server.telemetry());
                 server.run(&stop);
             }
         } else if simt {
-            let server = NetServer::bind("127.0.0.1:0", config(), simt_handler())?;
-            println!(
-                "rhythm banking server (SIMT cohort path) on http://{}/bank/",
-                server.local_addr()?
-            );
+            let telemetry = Arc::new(Telemetry::new(1));
+            let handler = simt_handler().with_metrics(telemetry.device(0));
+            let server =
+                NetServer::bind("127.0.0.1:0", config(), handler)?.with_telemetry(&telemetry);
+            banner(server.local_addr()?, "SIMT cohort");
+            stats(server.telemetry());
             server.run(&stop);
         } else {
             let server = NetServer::bind("127.0.0.1:0", config(), scalar_handler())?;
-            println!(
-                "rhythm banking server (scalar path) on http://{}/bank/",
-                server.local_addr()?
-            );
+            banner(server.local_addr()?, "scalar");
+            stats(server.telemetry());
             server.run(&stop);
         }
         return Ok(());
