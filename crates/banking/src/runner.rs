@@ -15,7 +15,7 @@ use rhythm_simt::gpu::{Gpu, LaunchResult};
 use rhythm_simt::mem::DeviceMemory;
 use rhythm_simt::streams::execute_streams_on;
 use rhythm_simt::ExecError;
-use rhythm_verify::Verifier;
+use rhythm_verify::{pack_width_cached, LaunchSpec, Verifier};
 
 use crate::backend::BankStore;
 use crate::genreq::GeneratedRequest;
@@ -103,6 +103,15 @@ pub struct CohortOptions {
     /// decode and CFG analysis. Turn off only to measure decode cost;
     /// results are bit-identical either way.
     pub plan_cache: bool,
+    /// Pack sub-warp request groups (default **on**): each kernel launch
+    /// asks the `rhythm-verify` analyzer for the widest legal packing
+    /// width (4 for race-free atomics-free kernels, else 1) and sets
+    /// [`LaunchConfig::pack`] accordingly, so convergent cohorts execute
+    /// up to four warps in fused lockstep. Legality verdicts are memoized
+    /// per (kernel, launch shape). Responses and stats are bit-identical
+    /// either way; this, like `workers`, only changes host simulation
+    /// throughput.
+    pub pack: bool,
 }
 
 impl Default for CohortOptions {
@@ -116,8 +125,32 @@ impl Default for CohortOptions {
             workers: None,
             verify: true,
             plan_cache: true,
+            pack: true,
         }
     }
+}
+
+/// The launch config for one kernel of a cohort: `base` with the packing
+/// width the analyzer endorses for this (kernel, launch environment)
+/// pair — 4 for race-free atomics-free kernels, 1 otherwise or when
+/// packing is disabled. The device and the executor's static plan profile
+/// clamp further; widening never changes results, so this is purely a
+/// host-throughput decision.
+fn kernel_cfg(
+    base: &LaunchConfig,
+    opts: &CohortOptions,
+    program: &rhythm_simt::Program,
+    mem: &DeviceMemory,
+    pool: &rhythm_simt::mem::ConstPool,
+) -> LaunchConfig {
+    let mut cfg = base.clone();
+    cfg.pack = if opts.pack {
+        let spec = LaunchSpec::from_launch(&cfg, mem, pool);
+        pack_width_cached(program, &spec)
+    } else {
+        1
+    };
+    cfg
 }
 
 /// The process-wide verifier shared by every gated cohort launch (one
@@ -280,7 +313,8 @@ pub fn run_cohort_traced<R: Recorder + ?Sized>(
                 &r.raw,
             )?;
         }
-        let res = gpu.launch_traced(&workload.parser, &cfg, &mut mem, &workload.pool, rec)?;
+        let pcfg = kernel_cfg(&cfg, opts, &workload.parser, &mem, &workload.pool);
+        let res = gpu.launch_traced(&workload.parser, &pcfg, &mut mem, &workload.pool, rec)?;
         trace_launch!("parser", &res);
         launches.push(("parser".to_string(), res));
     }
@@ -288,14 +322,16 @@ pub fn run_cohort_traced<R: Recorder + ?Sized>(
     let stages = workload.stages_of(ty);
     let n_backend = stages.len() - 1;
     for (i, stage) in stages.iter().enumerate() {
-        let res = gpu.launch_traced(stage, &cfg, &mut mem, &workload.pool, rec)?;
+        let scfg = kernel_cfg(&cfg, opts, stage, &mem, &workload.pool);
+        let res = gpu.launch_traced(stage, &scfg, &mut mem, &workload.pool, rec)?;
         trace_launch!(stage.name(), &res);
         launches.push((stage.name().to_string(), res));
         if i < n_backend {
             match opts.backend {
                 BackendMode::Device => {
+                    let bcfg = kernel_cfg(&cfg, opts, &workload.backend, &mem, &workload.pool);
                     let res =
-                        gpu.launch_traced(&workload.backend, &cfg, &mut mem, &workload.pool, rec)?;
+                        gpu.launch_traced(&workload.backend, &bcfg, &mut mem, &workload.pool, rec)?;
                     trace_launch!("device_backend", &res);
                     launches.push(("device_backend".to_string(), res));
                 }
@@ -535,15 +571,24 @@ fn build_cohort_stream<'a>(
     };
     let mut kernels = Vec::new();
     let mut names = Vec::new();
-    kernels.push(("parser", &workload.parser, cfg.clone()));
+    kernels.push((
+        "parser",
+        &workload.parser,
+        kernel_cfg(&cfg, opts, &workload.parser, &mem, &workload.pool),
+    ));
     names.push("parser".to_string());
     let stages = workload.stages_of(ty);
     let n_backend = stages.len() - 1;
+    let backend_cfg = kernel_cfg(&cfg, opts, &workload.backend, &mem, &workload.pool);
     for (s, stage) in stages.iter().enumerate() {
-        kernels.push(("stage", stage, cfg.clone()));
+        kernels.push((
+            "stage",
+            stage,
+            kernel_cfg(&cfg, opts, stage, &mem, &workload.pool),
+        ));
         names.push(stage.name().to_string());
         if s < n_backend {
-            kernels.push(("backend", &workload.backend, cfg.clone()));
+            kernels.push(("backend", &workload.backend, backend_cfg.clone()));
             names.push("device_backend".to_string());
         }
     }
@@ -752,6 +797,7 @@ pub fn run_parser_only(
         shared_bytes: 1024,
         ..Default::default()
     };
+    let cfg = kernel_cfg(&cfg, opts, &workload.parser, &mem, &workload.pool);
     let res = gpu.launch(&workload.parser, &cfg, &mut mem, &workload.pool)?;
     let mut parsed = Vec::with_capacity(reqs.len());
     for lane in 0..cohort {

@@ -254,6 +254,11 @@ impl CohortHandler for ScalarHandler {
 /// The SIMT serving path: each cohort becomes one device run through
 /// parse → process → response kernels via [`run_cohort`] — the paper's
 /// end-to-end GPU pipeline behind a real socket front end.
+///
+/// Executor knobs ride on [`CohortOptions`]: with the default options
+/// each kernel launch gets the sub-warp packing width the verifier
+/// endorses for it (see `CohortOptions::pack`), which changes host
+/// simulation throughput and nothing else.
 #[derive(Debug)]
 pub struct SimtHandler {
     workload: Workload,

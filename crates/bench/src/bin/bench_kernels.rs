@@ -13,13 +13,22 @@
 //! plus a convergent-kernel speedup summary (the tentpole claim: the
 //! convergent fast paths at least double interpreter warp throughput).
 //!
+//! The pre-decoded engine runs with sub-warp packing enabled (`--pack`,
+//! default 4): up to four warps fuse into one gang wherever the plan's
+//! static profile allows, on top of the wide-copy block stores. Every
+//! timed launch is still bit-checked against the legacy engine's memory
+//! image and stats, so the packed numbers are semantics-proven, not
+//! trusted.
+//!
 //! Flags:
 //!
 //! * `--smoke` — small CI run (tiny cohort, few iterations) that checks
-//!   the two engines stay bit-identical in every measured environment and
-//!   that the JSON is written; makes no speed assertions (debug builds
-//!   and CI noise make those meaningless).
+//!   the two engines stay bit-identical in every measured environment —
+//!   packing included — and that the JSON is written; makes no speed
+//!   assertions (debug builds and CI noise make those meaningless).
 //! * `--cohort <n>` / `--iters <n>` — launch width and timing repetitions.
+//! * `--pack <k>` — sub-warp packing width for the pre-decoded engine
+//!   (1, 2, or 4; default 4; 1 disables packing).
 //! * `--out <path>` — result file (default `BENCH_simt.json`).
 
 use std::time::{Duration, Instant};
@@ -42,6 +51,7 @@ struct Args {
     smoke: bool,
     cohort: u32,
     iters: u32,
+    pack: u32,
     out: String,
 }
 
@@ -50,6 +60,7 @@ fn parse_args() -> Args {
         smoke: false,
         cohort: 1024,
         iters: 5,
+        pack: 4,
         out: "BENCH_simt.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -72,10 +83,17 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--iters needs a positive integer")
             }
+            "--pack" => {
+                parsed.pack = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|k| [1, 2, 4].contains(k))
+                    .expect("--pack needs 1, 2, or 4")
+            }
             "--out" => parsed.out = args.next().expect("--out needs a path"),
             other => panic!(
                 "unknown flag {other:?} (expected --smoke, --cohort <n>, --iters <n>, \
-                 --out <path>)"
+                 --pack <k>, --out <path>)"
             ),
         }
     }
@@ -144,11 +162,18 @@ fn measure_kernel(
     ty: String,
     kernel: &Program,
     cfg: &LaunchConfig,
+    pack: u32,
     pool: &ConstPool,
     snapshot: &DeviceMemory,
     iters: u32,
     calibrate: bool,
 ) -> KernelRow {
+    // The requested pack width rides on the launch config; only the
+    // pre-decoded engine's gang scheduler reads it (clamped by the plan's
+    // static profile), the legacy engine is unconditionally unpacked.
+    let mut pcfg = cfg.clone();
+    pcfg.pack = pack;
+    let cfg = &pcfg;
     // Reference run fixes the expected output and the stats, and checks
     // the engines agree before any timing happens.
     let mut mem_plan = snapshot.clone();
@@ -258,6 +283,7 @@ fn main() {
             params: layout.params(),
             local_bytes: 64,
             shared_bytes: 1024,
+            pack: args.pack,
             ..Default::default()
         };
 
@@ -284,6 +310,7 @@ fn main() {
                     ty.to_string(),
                     kernel,
                     &cfg,
+                    args.pack,
                     &workload.pool,
                     &mem,
                     args.iters,
@@ -343,13 +370,14 @@ fn main() {
     }
     let json = format!(
         "{{\"bench\":\"bench_kernels\",\"mode\":\"{}\",\"cohort\":{},\"iters\":{},\
-         \"workers\":1,\"kernel_count\":{},\
+         \"workers\":1,\"pack\":{},\"kernel_count\":{},\
          \"plan_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},\
          \"convergent_kernels\":{},\"convergent_min_speedup\":{},\
          \"convergent_mean_speedup\":{},\"mean_speedup_all\":{},\"kernels\":[{}]}}",
         if args.smoke { "smoke" } else { "full" },
         args.cohort,
         args.iters,
+        args.pack,
         rows.len(),
         cache.hits,
         cache.misses,
@@ -363,10 +391,11 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write result json");
 
     println!(
-        "bench_kernels: {} kernels, cohort {}, {} iters (1 worker)",
+        "bench_kernels: {} kernels, cohort {}, {} iters (1 worker, pack {})",
         rows.len(),
         args.cohort,
-        args.iters
+        args.iters,
+        args.pack
     );
     println!(
         "{:<22} {:>6} {:>9} {:>12} {:>12} {:>8}",

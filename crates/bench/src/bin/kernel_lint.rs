@@ -6,6 +6,12 @@
 //! a synthetic context. Exits nonzero if any kernel has an
 //! `Error`-severity finding — this is the CI gate.
 //!
+//! Each kernel also gets the analyzer's sub-warp packing verdict
+//! ([`rhythm_verify::pack_width`]) in the same environments — the width
+//! the cohort runner will actually launch with. The reported width is the
+//! minimum over every environment the kernel can see, so CI gates packing
+//! legality on exactly the analysis production uses.
+//!
 //! Usage: `kernel_lint [--json] [--cohort N] [--verbose]`
 
 use std::collections::BTreeMap;
@@ -15,7 +21,7 @@ use rhythm_banking::backend::BankStore;
 use rhythm_banking::kernels::Workload;
 use rhythm_banking::layout::CohortLayout;
 use rhythm_banking::types::RequestType;
-use rhythm_verify::{verify_program, Diagnostic, LaunchSpec, Report, Severity};
+use rhythm_verify::{pack_width, verify_program, Diagnostic, LaunchSpec, Report, Severity};
 
 const DEFAULT_COHORT: u32 = 1024;
 const SESSION_CAPACITY: u32 = 4096;
@@ -56,6 +62,7 @@ fn main() -> ExitCode {
     // size), merging duplicate findings so shared kernels such as the
     // parser get one row.
     let mut merged: BTreeMap<String, Report> = BTreeMap::new();
+    let mut packs: BTreeMap<String, u32> = BTreeMap::new();
     for ty in RequestType::ALL {
         let layout = CohortLayout::new(
             cohort,
@@ -78,6 +85,11 @@ fn main() -> ExitCode {
             .chain(workload.stages_of(ty).iter());
         for program in programs {
             let report = verify_program(program, &spec);
+            let pack = pack_width(program, &spec);
+            packs
+                .entry(report.program.clone())
+                .and_modify(|p| *p = (*p).min(pack))
+                .or_insert(pack);
             let entry = merged
                 .entry(report.program.clone())
                 .or_insert_with(|| Report {
@@ -94,9 +106,9 @@ fn main() -> ExitCode {
 
     let total_errors: usize = merged.values().map(|r| r.count(Severity::Error)).sum();
     if json {
-        print_json(cohort, &merged, total_errors);
+        print_json(cohort, &merged, &packs, total_errors);
     } else {
-        print_table(cohort, &merged, total_errors, verbose);
+        print_table(cohort, &merged, &packs, total_errors, verbose);
     }
     if total_errors > 0 {
         ExitCode::FAILURE
@@ -105,19 +117,26 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_table(cohort: u32, merged: &BTreeMap<String, Report>, total_errors: usize, verbose: bool) {
+fn print_table(
+    cohort: u32,
+    merged: &BTreeMap<String, Report>,
+    packs: &BTreeMap<String, u32>,
+    total_errors: usize,
+    verbose: bool,
+) {
     println!("kernel lint (cohort={cohort}, {} kernels)", merged.len());
     println!(
-        "{:<24} {:>6} {:>8} {:>6}",
-        "kernel", "errors", "warnings", "infos"
+        "{:<24} {:>6} {:>8} {:>6} {:>5}",
+        "kernel", "errors", "warnings", "infos", "pack"
     );
     for report in merged.values() {
         println!(
-            "{:<24} {:>6} {:>8} {:>6}",
+            "{:<24} {:>6} {:>8} {:>6} {:>5}",
             report.program,
             report.count(Severity::Error),
             report.count(Severity::Warning),
             report.count(Severity::Info),
+            packs.get(&report.program).copied().unwrap_or(1),
         );
         for d in &report.diagnostics {
             if d.severity == Severity::Info && !verbose {
@@ -132,16 +151,23 @@ fn print_table(cohort: u32, merged: &BTreeMap<String, Report>, total_errors: usi
     );
 }
 
-fn print_json(cohort: u32, merged: &BTreeMap<String, Report>, total_errors: usize) {
+fn print_json(
+    cohort: u32,
+    merged: &BTreeMap<String, Report>,
+    packs: &BTreeMap<String, u32>,
+    total_errors: usize,
+) {
     let mut programs = Vec::new();
     for report in merged.values() {
         let diags: Vec<String> = report.diagnostics.iter().map(diag_json).collect();
         programs.push(format!(
-            "{{\"name\":{},\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[{}]}}",
+            "{{\"name\":{},\"errors\":{},\"warnings\":{},\"infos\":{},\"pack\":{},\
+             \"diagnostics\":[{}]}}",
             json_str(&report.program),
             report.count(Severity::Error),
             report.count(Severity::Warning),
             report.count(Severity::Info),
+            packs.get(&report.program).copied().unwrap_or(1),
             diags.join(",")
         ));
     }

@@ -17,8 +17,10 @@
 //! measurement window, the post-window drain, and the overload probe are
 //! reported (and asserted) independently, so steady-state throughput and
 //! latency are never contaminated by warmup or overload traffic. The
-//! emitted `BENCH_net.json` is schema version 3: each phase object
-//! carries a `"phase"` field, the run records `mode` and `shards`, and
+//! emitted `BENCH_net.json` is schema version 4: each phase object
+//! carries a `"phase"` field plus a `"degenerate"` flag (true when the
+//! phase has no wall time or no completions, so its rate/latency
+//! summaries are placeholders), the run records `mode` and `shards`, and
 //! `--scrape` adds a `"scrape"` object cross-checking the server's
 //! `/metrics` request counters against the loadgen's own totals.
 //!
@@ -325,6 +327,11 @@ struct PhaseResult {
     wall_s: f64,
     throughput_rps: f64,
     latency: Option<LatencyStats>,
+    /// True when the phase has no wall time or no completions — e.g. the
+    /// instant phases of a `--smoke` run — so the rate and latency
+    /// summaries are placeholders, not measurements. Consumers should
+    /// skip degenerate phases when aggregating.
+    degenerate: bool,
 }
 
 impl PhaseResult {
@@ -340,6 +347,7 @@ impl PhaseResult {
             } else {
                 0.0
             },
+            degenerate: wall_s <= 0.0 || o.completed == 0,
             latency: (!o.latencies_s.is_empty()).then(|| LatencyStats::from_samples(o.latencies_s)),
         }
     }
@@ -460,6 +468,20 @@ impl XorShift64 {
     }
 }
 
+/// First-injection stagger for one open-loop connection. Paced mode
+/// spreads the starts uniformly over one mean gap; Poisson mode draws the
+/// first exponential arrival. Both *advance* the generator — an earlier
+/// version read the raw xorshift state without stepping it, which (a)
+/// reused the near-affine seed as if it were output and (b) left every
+/// connection's subsequent arrival stream correlated with its offset.
+fn start_offset(rng: &mut XorShift64, per_conn_gap: f64, paced: bool) -> f64 {
+    if paced {
+        per_conn_gap * rng.next_f64()
+    } else {
+        rng.next_exp(per_conn_gap)
+    }
+}
+
 /// One open-loop connection's in-flight state.
 struct OpenConn {
     stream: TcpStream,
@@ -559,11 +581,7 @@ fn run_open<H: CohortHandler + Send + 'static>(
     for c in &mut open_conns {
         // First injections are staggered over one mean gap so shards see
         // a smooth ramp rather than a synchronized burst.
-        let offset = if paced {
-            per_conn_gap * (c.rng.0 % 1024) as f64 / 1024.0
-        } else {
-            c.rng.next_exp(per_conn_gap)
-        };
+        let offset = start_offset(&mut c.rng, per_conn_gap, paced);
         c.next_send = steady_start + Duration::from_secs_f64(offset);
     }
     let mut slices: Vec<Vec<OpenConn>> = (0..workers).map(|_| Vec::new()).collect();
@@ -793,13 +811,14 @@ fn phase_json(p: &PhaseResult) -> String {
     };
     format!(
         "{{\"phase\": \"{}\", \"completed\": {}, \"shed\": {}, \"errors\": {}, \
-         \"wall_s\": {}, \"throughput_rps\": {}, \"latency_ms\": {latency}}}",
+         \"wall_s\": {}, \"throughput_rps\": {}, \"degenerate\": {}, \"latency_ms\": {latency}}}",
         p.phase,
         p.completed,
         p.shed,
         p.errors,
         json_f(p.wall_s),
-        json_f(p.throughput_rps)
+        json_f(p.throughput_rps),
+        p.degenerate
     )
 }
 
@@ -1035,7 +1054,7 @@ fn main() {
         ),
     };
     let json = format!(
-        "{{\n  \"schema_version\": 3,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema_version\": 4,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
          \"telemetry\": {},\n  \
          \"shards\": {},\n  \"cohort_size\": {},\n  \"conns\": {},\n  \"rate_rps\": {},\n  \
          \"clients\": {},\n  \"requests_per_client\": {},\n  \"completed\": {},\n  \
@@ -1074,4 +1093,75 @@ fn main() {
     );
     std::fs::write(&args.out, &json).expect("write result file");
     println!("results written to {}", args.out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paced start stagger must come from RNG *output*, not raw
+    /// state, and must be distinct per connection: with the warmup seed
+    /// schedule, no two of 256 connections may share an offset, every
+    /// offset lies inside one mean gap, and drawing twice from the same
+    /// generator advances it.
+    #[test]
+    fn open_loop_start_offsets_are_distinct_across_connections() {
+        let gap = 0.125;
+        let mut offsets: Vec<f64> = (0..256)
+            .map(|i| {
+                let mut rng = XorShift64(0x9E37_79B9_7F4A_7C15 ^ (i as u64 + 1));
+                start_offset(&mut rng, gap, true)
+            })
+            .collect();
+        for &o in &offsets {
+            assert!((0.0..gap).contains(&o), "offset {o} outside [0, {gap})");
+        }
+        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        offsets.dedup();
+        assert_eq!(offsets.len(), 256, "start offsets collided");
+
+        // Poisson mode draws from the same stream and advances it too.
+        let mut rng = XorShift64(0x9E37_79B9_7F4A_7C15 ^ 1);
+        let a = start_offset(&mut rng, gap, false);
+        let b = start_offset(&mut rng, gap, false);
+        assert_ne!(a, b, "generator did not advance between draws");
+    }
+
+    /// A zero-duration / zero-completion phase (the `--smoke` shape) must
+    /// be flagged `degenerate: true` in the JSON, with the guarded rate
+    /// emitted as a plain 0 rather than a division blow-up; a real phase
+    /// must not carry the flag.
+    #[test]
+    fn degenerate_phase_summary_is_flagged_and_parseable() {
+        let empty = PhaseResult::from_outcome("drain", PhaseOutcome::default(), 0.0);
+        assert!(empty.degenerate);
+        assert_eq!(empty.throughput_rps, 0.0);
+        let j = phase_json(&empty);
+        assert!(j.contains("\"degenerate\": true"), "flag missing in {j}");
+        assert!(
+            j.contains("\"throughput_rps\": 0.000000"),
+            "rate not guarded in {j}"
+        );
+        // Structural sanity without a JSON dependency: balanced braces,
+        // key/value colon per field.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+
+        let live = PhaseResult::from_outcome(
+            "steady",
+            PhaseOutcome {
+                latencies_s: vec![0.001, 0.002],
+                completed: 2,
+                shed: 0,
+                errors: 0,
+            },
+            1.0,
+        );
+        assert!(!live.degenerate);
+        let j = phase_json(&live);
+        assert!(j.contains("\"degenerate\": false"), "flag wrong in {j}");
+    }
 }

@@ -151,6 +151,7 @@ pub fn titan_type_measurement(
         workers: None,
         verify: true,
         plan_cache: true,
+        pack: true,
     };
     let mut s = sessions.clone();
     let result =

@@ -137,6 +137,59 @@ pub struct PlanBlock {
     pub term: DecodedTerm,
 }
 
+/// A byte-copy loop recognized at decode time: the exact header + body
+/// shape [`crate::ir::ProgramBuilder::write_const_str`] emits (a
+/// `for_loop` whose body loads one constant-pool byte and stores it
+/// through a `BufCursor`). The executor may commit the whole loop as one
+/// wide copy — a `memcpy`-style block operation — instead of
+/// interpreting ~12 warp instructions per byte, provided the runtime
+/// preconditions hold (see `exec::simt::try_wide_copy`); otherwise it
+/// falls back to byte-at-a-time interpretation with identical faults.
+///
+/// All register fields are [`RegSlot`]s. Detection requires every one of
+/// the fifteen registers to be pairwise distinct, so the closed-form
+/// register commit at loop exit cannot clobber a reused slot; the
+/// builder always emits fresh registers, and any aliasing simply leaves
+/// the loop un-annotated (correct, just slower).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct WideCopy {
+    /// Loop condition `c = i <u n` (the header's branch register).
+    pub cond: RegSlot,
+    /// Induction variable / constant-pool cursor offset `i`.
+    pub idx: RegSlot,
+    /// Trip-count bound `n` (loop runs while `i <u n`).
+    pub len: RegSlot,
+    /// Constant-pool base offset of the source string.
+    pub src: RegSlot,
+    /// Cursor element stride (distance between consecutive elements of
+    /// one lane's buffer).
+    pub elem_stride: RegSlot,
+    /// Cursor buffer base address.
+    pub base: RegSlot,
+    /// Cursor per-lane term (`lane * lane_stride`).
+    pub lane_term: RegSlot,
+    /// Cursor element position, advanced by one per byte written.
+    pub pos: RegSlot,
+    /// The `for_loop` increment constant (must hold 1 at runtime).
+    pub one: RegSlot,
+    /// Body temp `a = src + i` (constant-pool byte address).
+    pub src_addr: RegSlot,
+    /// Body temp: the loaded byte.
+    pub ch: RegSlot,
+    /// Body temp `scaled = pos * elem_stride`.
+    pub scaled: RegSlot,
+    /// Body temp `t = base + lane_term`.
+    pub lane_base: RegSlot,
+    /// Body temp `addr = t + scaled` (the store address).
+    pub addr: RegSlot,
+    /// Body temp: `cursor_write_byte`'s own `imm(1)`.
+    pub one2: RegSlot,
+    /// The loop body block.
+    pub body: BlockId,
+    /// The loop exit block (the header branch's else target).
+    pub exit: BlockId,
+}
+
 /// A fully pre-decoded, immutable execution plan for one [`Program`].
 ///
 /// Build once with [`ExecPlan::build`] (or fetch a shared cached instance
@@ -149,6 +202,12 @@ pub struct ExecPlan {
     num_regs: u16,
     ops: Vec<DecodedOp>,
     blocks: Vec<PlanBlock>,
+    /// Parallel to `blocks`: the wide-copy annotation for blocks that are
+    /// recognized byte-copy loop headers.
+    wide_copies: Vec<Option<WideCopy>>,
+    /// Static packing profile: the widest sub-warp packing the program's
+    /// op mix admits (1 when it contains atomics, else 4).
+    pack_max: u32,
 }
 
 #[inline]
@@ -191,6 +250,17 @@ impl ExecPlan {
                 term,
             });
         }
+        let wide_copies = (0..blocks.len())
+            .map(|h| detect_wide_copy(&blocks, &ops, h as BlockId))
+            .collect();
+        let pack_max = if ops.iter().any(|o| matches!(o, DecodedOp::AtomicAdd { .. })) {
+            // Atomic return values observe lane/warp execution order, so a
+            // packed gang could legally see different old values than the
+            // unpacked schedule; keep such kernels unpacked.
+            1
+        } else {
+            4
+        };
         ExecPlan {
             name: program.name().to_string(),
             fingerprint: program.fingerprint(),
@@ -198,6 +268,8 @@ impl ExecPlan {
             num_regs: program.num_regs(),
             ops,
             blocks,
+            wide_copies,
+            pack_max,
         }
     }
 
@@ -242,6 +314,188 @@ impl ExecPlan {
     pub fn num_ops(&self) -> usize {
         self.ops.len()
     }
+
+    /// The wide-copy annotation for block `id`, when it is a recognized
+    /// byte-copy loop header.
+    #[inline]
+    pub fn wide_copy(&self, id: BlockId) -> Option<&WideCopy> {
+        self.wide_copies[id as usize].as_ref()
+    }
+
+    /// Number of blocks annotated as wide-copy loop headers.
+    pub fn num_wide_copies(&self) -> usize {
+        self.wide_copies.iter().flatten().count()
+    }
+
+    /// Static packing profile: the widest sub-warp packing width this
+    /// program admits (a power of two ≤ 4). Programs containing atomics
+    /// report 1; everything else reports 4. Dynamic legality (race
+    /// freedom across packed requests) is `rhythm-verify`'s job — see
+    /// `pack_width` there.
+    pub fn pack_max(&self) -> u32 {
+        self.pack_max
+    }
+}
+
+/// Match block `h` (plus its loop body) against the exact byte-copy
+/// template `ProgramBuilder::write_const_str` expands to:
+///
+/// ```text
+/// header h: c = LtU i, n            br c, body, exit (reconv = exit)
+/// body:     a      = Add src, i
+///           ch     = Ld Const Byte [a+0]
+///           scaled = Mul pos, elem_stride
+///           t      = Add base, lane_term
+///           addr   = Add t, scaled
+///                    St Global Byte [addr+0], ch
+///           one2   = Imm 1
+///           pos    = Add pos, one2
+///           i      = Add i, one     jmp h
+/// ```
+///
+/// Only the constant-pool load variant is matched (`write_global_str`
+/// and `write_decimal` load from Global/Local and stay interpreted).
+/// Any structural mismatch — including register aliasing between the
+/// fifteen slots — returns `None`, leaving the loop on the byte-at-a-time
+/// path.
+fn detect_wide_copy(blocks: &[PlanBlock], ops: &[DecodedOp], h: BlockId) -> Option<WideCopy> {
+    let hb = &blocks[h as usize];
+    let DecodedTerm::Br {
+        cond,
+        then_bb: body,
+        else_bb: exit,
+        ..
+    } = hb.term
+    else {
+        return None;
+    };
+    // A self-looping or degenerate branch (body == exit) never matches:
+    // the interpreted loop would not terminate through the header.
+    if body == exit || (body as usize) >= blocks.len() {
+        return None;
+    }
+    let &[DecodedOp::Bin {
+        op: BinOp::LtU,
+        dst: c,
+        a: i,
+        b: n,
+    }] = &ops[hb.start as usize..hb.end as usize]
+    else {
+        return None;
+    };
+    if c != cond {
+        return None;
+    }
+    let bb = &blocks[body as usize];
+    if bb.term != DecodedTerm::Jmp(h) {
+        return None;
+    }
+    let &[DecodedOp::Bin {
+        op: BinOp::Add,
+        dst: src_addr,
+        a: src,
+        b: i2,
+    }, DecodedOp::Ld {
+        width: Width::Byte,
+        space: MemSpace::Const,
+        dst: ch,
+        addr: src_addr2,
+        offset: 0,
+    }, DecodedOp::Bin {
+        op: BinOp::Mul,
+        dst: scaled,
+        a: pos,
+        b: elem_stride,
+    }, DecodedOp::Bin {
+        op: BinOp::Add,
+        dst: lane_base,
+        a: base,
+        b: lane_term,
+    }, DecodedOp::Bin {
+        op: BinOp::Add,
+        dst: addr,
+        a: lane_base2,
+        b: scaled2,
+    }, DecodedOp::St {
+        width: Width::Byte,
+        space: MemSpace::Global,
+        src: ch2,
+        addr: addr2,
+        offset: 0,
+    }, DecodedOp::Imm {
+        dst: one2,
+        value: 1,
+    }, DecodedOp::Bin {
+        op: BinOp::Add,
+        dst: pos2,
+        a: pos3,
+        b: one2b,
+    }, DecodedOp::Bin {
+        op: BinOp::Add,
+        dst: i3,
+        a: i4,
+        b: one,
+    }] = &ops[bb.start as usize..bb.end as usize]
+    else {
+        return None;
+    };
+    // Dataflow consistency: each temp feeds exactly the op the template
+    // expects, and the two `bin_into` updates write their own sources.
+    if i2 != i
+        || src_addr2 != src_addr
+        || lane_base2 != lane_base
+        || scaled2 != scaled
+        || ch2 != ch
+        || addr2 != addr
+        || pos2 != pos
+        || pos3 != pos
+        || one2b != one2
+        || i3 != i
+        || i4 != i
+    {
+        return None;
+    }
+    let regs = [
+        c,
+        i,
+        n,
+        src,
+        elem_stride,
+        base,
+        lane_term,
+        pos,
+        one,
+        src_addr,
+        ch,
+        scaled,
+        lane_base,
+        addr,
+        one2,
+    ];
+    for (k, &r) in regs.iter().enumerate() {
+        if regs[k + 1..].contains(&r) {
+            return None;
+        }
+    }
+    Some(WideCopy {
+        cond: c,
+        idx: i,
+        len: n,
+        src,
+        elem_stride,
+        base,
+        lane_term,
+        pos,
+        one,
+        src_addr,
+        ch,
+        scaled,
+        lane_base,
+        addr,
+        one2,
+        body,
+        exit,
+    })
 }
 
 fn decode_op(op: &Op) -> DecodedOp {
@@ -442,5 +696,101 @@ mod tests {
         let delta = plan_cache_stats().since(&before);
         assert!(delta.misses >= 1, "first fetch of a fresh kernel misses");
         assert!(delta.hits >= 1, "refetch hits");
+    }
+
+    /// A kernel whose whole body is one `write_const_str` copy loop:
+    /// each lane writes `len` bytes at `base + lane * len`.
+    fn const_copy(name: &str, len: u32) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let lane = b.lane_id();
+        let base = b.imm(0);
+        let lane_stride = b.imm(len);
+        let elem_stride = b.imm(1);
+        let cur = b.cursor(base, lane, lane_stride, elem_stride);
+        b.write_const_str(&cur, 0, len);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn wide_copy_detected_on_const_str_loop() {
+        let p = const_copy("plan_wide_copy_detect", 24);
+        let plan = ExecPlan::build(&p);
+        assert_eq!(plan.num_wide_copies(), 1, "exactly one copy-loop header");
+        let (h, wc) = plan
+            .blocks()
+            .iter()
+            .enumerate()
+            .find_map(|(bi, _)| plan.wide_copy(bi as BlockId).map(|w| (bi as BlockId, *w)))
+            .expect("annotated header");
+        // The annotation points back at the real loop structure.
+        assert_eq!(plan.block(wc.body).term, DecodedTerm::Jmp(h));
+        match plan.block(h).term {
+            DecodedTerm::Br {
+                cond,
+                then_bb,
+                else_bb,
+                ..
+            } => {
+                assert_eq!(cond, wc.cond);
+                assert_eq!(then_bb, wc.body);
+                assert_eq!(else_bb, wc.exit);
+            }
+            other => panic!("header must branch, got {other:?}"),
+        }
+        // All fifteen captured registers are pairwise distinct.
+        let regs = [
+            wc.cond,
+            wc.idx,
+            wc.len,
+            wc.src,
+            wc.elem_stride,
+            wc.base,
+            wc.lane_term,
+            wc.pos,
+            wc.one,
+            wc.src_addr,
+            wc.ch,
+            wc.scaled,
+            wc.lane_base,
+            wc.addr,
+            wc.one2,
+        ];
+        for (k, &r) in regs.iter().enumerate() {
+            assert!(!regs[k + 1..].contains(&r), "register aliasing in capture");
+        }
+    }
+
+    #[test]
+    fn wide_copy_rejects_global_source_loop() {
+        // `write_global_str` has the same shape but loads from Global —
+        // its bytes are mutable during the loop, so it must stay on the
+        // interpreted path.
+        let mut b = ProgramBuilder::new("plan_wide_copy_global_miss");
+        let lane = b.lane_id();
+        let base = b.imm(512);
+        let lane_stride = b.imm(16);
+        let elem_stride = b.imm(1);
+        let cur = b.cursor(base, lane, lane_stride, elem_stride);
+        let src = b.imm(0);
+        let n = b.imm(16);
+        b.write_global_str(&cur, src, n);
+        b.halt();
+        let p = b.build().unwrap();
+        let plan = ExecPlan::build(&p);
+        assert_eq!(plan.num_wide_copies(), 0);
+    }
+
+    #[test]
+    fn pack_max_profiles_atomics() {
+        let copy = ExecPlan::build(&const_copy("plan_pack_max_copy", 8));
+        assert_eq!(copy.pack_max(), 4);
+        let mut b = ProgramBuilder::new("plan_pack_max_atomic");
+        let addr = b.imm(0);
+        let one = b.imm(1);
+        let _old = b.atomic_add(MemSpace::Global, addr, 0, one);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(ExecPlan::build(&p).pack_max(), 1);
     }
 }

@@ -76,6 +76,13 @@ pub struct GpuConfig {
     /// (simulation-speed knob only — modelled latencies are unaffected):
     /// `0` = one per available core, `1` = serial execution.
     pub workers: u32,
+    /// Device-side cap on sub-warp request packing (see
+    /// [`LaunchConfig::pack`]): every launch's requested pack width is
+    /// clamped to this value, so a device configured with `pack: 1` runs
+    /// fully unpacked regardless of what callers ask for. Results are
+    /// bit-identical at every width; this is a host-simulation throughput
+    /// knob, like `workers`.
+    pub pack: u32,
 }
 
 impl GpuConfig {
@@ -99,6 +106,7 @@ impl GpuConfig {
             memory_bytes: 6 * (1 << 30),
             hw_queues: 32,
             workers: 0,
+            pack: 4,
         }
     }
 
@@ -117,12 +125,19 @@ impl GpuConfig {
             memory_bytes: 2 * (1 << 30),
             hw_queues: 1,
             workers: 0,
+            pack: 4,
         }
     }
 
     /// Same configuration with the warp-execution worker count replaced.
     pub fn with_workers(mut self, workers: u32) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Same configuration with the sub-warp packing cap replaced.
+    pub fn with_pack(mut self, pack: u32) -> Self {
+        self.pack = pack;
         self
     }
 }
@@ -261,6 +276,9 @@ impl Gpu {
     ) -> Result<LaunchResult, ExecError> {
         let mut cfg = cfg.clone();
         cfg.tx_bytes = self.config.tx_bytes;
+        // The device caps (never raises) the launch's requested pack
+        // width; the executor further clamps to the plan's static profile.
+        cfg.pack = cfg.pack.min(self.config.pack.max(1));
         if let Some(gate) = &self.gate {
             gate.check(program, &cfg, mem, pool)
                 .map_err(ExecError::Rejected)?;
@@ -508,6 +526,52 @@ mod tests {
         assert_eq!(mem.as_bytes()[0], 0);
         // Debug formatting does not try to print the gate itself.
         assert!(format!("{gpu:?}").contains("LaunchGate"));
+    }
+
+    /// Packed launches through the device produce bit-identical results to
+    /// unpacked ones, and the device cap clamps a launch's request.
+    #[test]
+    fn launch_identical_across_pack_widths() {
+        assert_eq!(GpuConfig::gtx_titan().pack, 4);
+        let mut b = ProgramBuilder::new("packed");
+        let g = b.global_id();
+        let three = b.imm(3);
+        let n = b.bin(BinOp::RemU, g, three);
+        let acc = b.imm(0);
+        b.for_loop(n, |b, i| {
+            b.bin_into(acc, BinOp::Add, acc, i);
+        });
+        let four = b.imm(4);
+        let addr = b.bin(BinOp::Mul, g, four);
+        b.st_global_word(addr, 0, acc);
+        b.halt();
+        let p = b.build().unwrap();
+        let pool = ConstPool::new();
+
+        let run = |device_pack: u32, launch_pack: u32| {
+            let gpu = Gpu::new(
+                GpuConfig::gtx_titan()
+                    .with_workers(1)
+                    .with_pack(device_pack),
+            );
+            let mut mem = DeviceMemory::new(256 * 4);
+            let mut cfg = LaunchConfig::new(256, []);
+            cfg.pack = launch_pack;
+            let res = gpu.launch(&p, &cfg, &mut mem, &pool).unwrap();
+            (res, mem)
+        };
+        let (r1, m1) = run(1, 1);
+        for (dp, lp) in [(4, 4), (4, 2), (1, 4), (2, 4)] {
+            let (rn, mn) = run(dp, lp);
+            assert_eq!(
+                rn, r1,
+                "result differs at device pack {dp}, launch pack {lp}"
+            );
+            assert_eq!(
+                mn, m1,
+                "memory differs at device pack {dp}, launch pack {lp}"
+            );
+        }
     }
 
     #[test]

@@ -294,6 +294,20 @@ impl<'a> SharedMem<'a> {
         self.write_word(addr, old.wrapping_add(value))?;
         Ok(old)
     }
+
+    /// Fill `len` bytes starting at `addr` with `value`. Bounds are
+    /// checked once up front; the stores are the same `Relaxed` atomic
+    /// byte stores as [`SharedMem::write_byte`], so a fill is equivalent
+    /// to (and safe to interleave with) per-byte writes from other warps.
+    /// Used by the executor's wide-copy fast path to splat template
+    /// bytes across a contiguous run of lane buffers.
+    pub fn fill(&self, addr: u32, len: u32, value: u8) -> Result<(), MemError> {
+        let a = self.check(addr, len)?;
+        for b in &self.bytes[a..a + len as usize] {
+            b.store(value, Ordering::Relaxed);
+        }
+        Ok(())
+    }
 }
 
 /// Read-only constant memory holding interned template strings.

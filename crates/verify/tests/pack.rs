@@ -1,0 +1,83 @@
+//! Packing-legality analysis: [`pack_width`] endorses full sub-warp
+//! packing only for kernels with no atomics and no cross-lane write
+//! hazards, reusing the race rules as the legality oracle.
+
+use rhythm_simt::ir::{BinOp, MemSpace, Program, ProgramBuilder};
+use rhythm_verify::{pack_width, pack_width_cached, verify_program, LaunchSpec};
+
+fn spec() -> LaunchSpec {
+    LaunchSpec::lanes(64)
+}
+
+/// Lane-distinct stores to disjoint addresses: the cohort shape, fully
+/// packable.
+fn clean_kernel() -> Program {
+    let mut b = ProgramBuilder::new("clean");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let addr = b.bin(BinOp::Mul, gid, four);
+    b.st_global_word(addr, 0, gid);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn clean_kernel_packs_wide() {
+    let p = clean_kernel();
+    assert_eq!(pack_width(&p, &spec()), 4);
+    // Memoized path agrees, twice (second hit comes from the cache).
+    assert_eq!(pack_width_cached(&p, &spec()), 4);
+    assert_eq!(pack_width_cached(&p, &spec()), 4);
+}
+
+#[test]
+fn atomics_block_packing() {
+    let mut b = ProgramBuilder::new("counter");
+    let zero = b.imm(0);
+    let one = b.imm(1);
+    b.atomic_add(MemSpace::Global, zero, 0, one);
+    b.halt();
+    let p = b.build().unwrap();
+    assert_eq!(pack_width(&p, &spec()), 1);
+    assert_eq!(pack_width_cached(&p, &spec()), 1);
+}
+
+#[test]
+fn uniform_store_race_blocks_packing() {
+    // Lane-distinct values through one address: a lost-update race, and
+    // therefore no packing endorsement either.
+    let mut b = ProgramBuilder::new("lost_update");
+    let lane = b.lane_id();
+    let addr = b.imm(0);
+    b.st_global_word(addr, 0, lane);
+    b.halt();
+    let p = b.build().unwrap();
+    let report = verify_program(&p, &spec());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "race-uniform-store"));
+    assert_eq!(pack_width(&p, &spec()), 1);
+}
+
+#[test]
+fn uniform_value_broadcast_still_packs() {
+    // All lanes store the same constant through one address: benign
+    // (value-identical in any order), flagged only as info, and packable.
+    let mut b = ProgramBuilder::new("broadcast");
+    let addr = b.imm(0);
+    let v = b.imm(7);
+    b.st_global_word(addr, 0, v);
+    b.halt();
+    let p = b.build().unwrap();
+    let report = verify_program(&p, &spec());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "race-uniform-store-uniform-value"));
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "race-uniform-store"));
+    assert_eq!(pack_width(&p, &spec()), 4);
+}

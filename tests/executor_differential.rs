@@ -1,12 +1,14 @@
 //! Three-way executor differential: the scalar reference, the legacy
 //! masked SIMT engine, and the pre-decoded warp-vectorized engine must be
 //! bit-identical — memory images and (for the two SIMT engines) every
-//! `KernelStats` counter — at workers {1, 2, 4}, on random lint-clean
-//! kernels and on the real banking kernels.
+//! `KernelStats` counter — at workers {1, 2, 4} and sub-warp packing
+//! widths {1, 2, 4}, on random lint-clean kernels and on the real banking
+//! kernels, including wide-copy-eligible kernels and Budget-fault cases.
 //!
 //! This is the safety net under the interpreter fast paths: any divergence
 //! between the convergent vector loops and the masked per-lane semantics,
-//! or any decode bug in `ExecPlan`, shows up here as a byte or counter
+//! any decode bug in `ExecPlan`, or any fused-gang or wide-copy shortcut
+//! that isn't semantics-preserving, shows up here as a byte or counter
 //! mismatch.
 
 use proptest::prelude::*;
@@ -24,6 +26,7 @@ use rhythm_simt::mem::{ConstPool, DeviceMemory};
 use rhythm_verify::corpus::build_kernel;
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const PACK_WIDTHS: [u32; 3] = [1, 2, 4];
 
 proptest! {
     /// Random structured kernels: scalar lane-at-a-time execution is the
@@ -70,10 +73,103 @@ proptest! {
                 &sp, &sl,
                 "engine stats diverged at {} workers", workers
             );
+            // Sub-warp packing is a scheduling decision, never a semantic
+            // one: every pack width must reproduce the same bytes and the
+            // same counters. (The executor further clamps via the plan's
+            // static profile, e.g. atomics force width 1.)
+            for pack in [2u32, 4] {
+                let mut packed_cfg = cfg.clone();
+                packed_cfg.pack = pack;
+                let mut mem_k = DeviceMemory::new(mem_bytes);
+                let sk =
+                    execute_simt_workers(&program, &packed_cfg, &mut mem_k, &pool, workers).unwrap();
+                prop_assert_eq!(
+                    mem_k.as_bytes(), reference.as_bytes(),
+                    "pack {} diverged from scalar at {} workers", pack, workers
+                );
+                prop_assert_eq!(
+                    &sk, &sl,
+                    "pack {} stats diverged at {} workers", pack, workers
+                );
+            }
             if let Some(first) = &legacy_stats {
                 prop_assert_eq!(first, &sl, "stats not worker-count invariant");
             } else {
                 legacy_stats = Some(sl);
+            }
+        }
+    }
+}
+
+/// Wide-copy-eligible kernels under an instruction budget that trips
+/// mid-copy: the fast path must take the byte-identical fallback, so the
+/// Budget fault itself, the partial memory image, and (on success paths)
+/// every counter agree with the legacy engine at every pack width.
+#[test]
+fn wide_copy_budget_fault_differential() {
+    use rhythm_simt::ir::ProgramBuilder;
+
+    for (lane_stride, elem_stride) in [(1u32, 64u32), (64, 1)] {
+        let mut pool = ConstPool::new();
+        let (off, len) = pool.intern_str("HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n");
+        let mut b = ProgramBuilder::new("wide_copy_budget");
+        let base = b.imm(0);
+        let lane = b.lane_id();
+        let ls = b.imm(lane_stride);
+        let es = b.imm(elem_stride);
+        let cur = b.cursor(base, lane, ls, es);
+        b.write_const_str(&cur, off, len);
+        b.halt();
+        let program = b.build().unwrap();
+
+        let lanes = 90u32;
+        let size = 64 * lanes as usize;
+        // Budgets straddling the copy loop: far below, mid-loop, and ample.
+        for max_instructions in [40u64, 150, 100_000] {
+            let mut cfg = LaunchConfig::new(lanes, []);
+            cfg.max_instructions = max_instructions;
+            let mut mem_legacy = DeviceMemory::new(size);
+            let legacy = execute_simt_legacy_workers(&program, &cfg, &mut mem_legacy, &pool, 1);
+            for workers in WORKER_COUNTS {
+                for pack in PACK_WIDTHS {
+                    let mut pcfg = cfg.clone();
+                    pcfg.pack = pack;
+                    let mut mem_plan = DeviceMemory::new(size);
+                    let plan = execute_simt_workers(&program, &pcfg, &mut mem_plan, &pool, workers);
+                    match (&legacy, &plan) {
+                        (Ok(sl), Ok(sp)) => assert_eq!(
+                            sp, sl,
+                            "stats diverged (stride {lane_stride}/{elem_stride}, \
+                             budget {max_instructions}, workers {workers}, pack {pack})"
+                        ),
+                        (Err(el), Err(ep)) => assert_eq!(
+                            format!("{el}"),
+                            format!("{ep}"),
+                            "fault diverged (stride {lane_stride}/{elem_stride}, \
+                             budget {max_instructions}, workers {workers}, pack {pack})"
+                        ),
+                        _ => panic!(
+                            "fault disagreement (stride {lane_stride}/{elem_stride}, \
+                             budget {max_instructions}, workers {workers}, pack {pack}): \
+                             legacy {legacy:?} vs plan {plan:?}"
+                        ),
+                    }
+                    // The memory image is fully specified on success. On a
+                    // fault, warps *after* the faulting one may or may not
+                    // have run depending on the schedule (parallel workers
+                    // and gangs both run past a sibling's fault before the
+                    // abort lands), so byte identity with the serial legacy
+                    // engine is only contractual for the serial unpacked
+                    // schedule.
+                    if plan.is_ok() || (workers == 1 && pack == 1) {
+                        assert_eq!(
+                            mem_plan.as_bytes(),
+                            mem_legacy.as_bytes(),
+                            "memory diverged (stride {lane_stride}/{elem_stride}, \
+                             budget {max_instructions}, workers {workers}, pack {pack})"
+                        );
+                    }
+                }
             }
         }
     }
@@ -89,6 +185,8 @@ proptest! {
 /// semantically different by design.)
 #[test]
 fn banking_kernels_legacy_vs_predecoded_lockstep() {
+    use rhythm_simt::ir::Op;
+
     const COHORT: u32 = 48; // one full warp + one partial warp
     const CAPACITY: u32 = 1024;
     const SALT: u32 = 0x5EED_0001;
@@ -146,26 +244,52 @@ fn banking_kernels_legacy_vs_predecoded_lockstep() {
             }
 
             let mut mem_legacy = mem.clone();
+            let mut mem_packed = mem.clone();
             let mut mem_plan = mem;
+            let mut packed_cfg = cfg.clone();
+            packed_cfg.pack = 4;
             for (name, kernel) in sequence {
-                let sl = execute_simt_legacy_workers(
-                    kernel,
-                    &cfg,
-                    &mut mem_legacy,
-                    &workload.pool,
-                    workers,
-                )
-                .unwrap_or_else(|e| panic!("{ty:?}/{name} legacy fault: {e}"));
-                let sp = execute_simt_workers(kernel, &cfg, &mut mem_plan, &workload.pool, workers)
+                // Cross-warp `AtomicAdd` old values are schedule-dependent
+                // at workers > 1 (see `execute_simt_workers`): the session
+                // allocator in `login_response` hands out slots in whatever
+                // order the host threads reach the counter, so two
+                // independently scheduled runs can legitimately differ.
+                // Only the serial schedule is contractual for atomic
+                // kernels; every other kernel is compared at full fan-out.
+                let kw = if kernel
+                    .blocks()
+                    .iter()
+                    .any(|b| b.ops.iter().any(|o| matches!(o, Op::AtomicAdd { .. })))
+                {
+                    1
+                } else {
+                    workers
+                };
+                let sl =
+                    execute_simt_legacy_workers(kernel, &cfg, &mut mem_legacy, &workload.pool, kw)
+                        .unwrap_or_else(|e| panic!("{ty:?}/{name} legacy fault: {e}"));
+                let sp = execute_simt_workers(kernel, &cfg, &mut mem_plan, &workload.pool, kw)
                     .unwrap_or_else(|e| panic!("{ty:?}/{name} pre-decoded fault: {e}"));
+                let sk =
+                    execute_simt_workers(kernel, &packed_cfg, &mut mem_packed, &workload.pool, kw)
+                        .unwrap_or_else(|e| panic!("{ty:?}/{name} packed fault: {e}"));
                 assert_eq!(
                     sp, sl,
                     "stats diverged on {ty:?}/{name} at {workers} workers"
                 );
                 assert_eq!(
+                    sk, sl,
+                    "packed stats diverged on {ty:?}/{name} at {workers} workers"
+                );
+                assert_eq!(
                     mem_plan.as_bytes(),
                     mem_legacy.as_bytes(),
                     "memory diverged on {ty:?}/{name} at {workers} workers"
+                );
+                assert_eq!(
+                    mem_packed.as_bytes(),
+                    mem_legacy.as_bytes(),
+                    "packed memory diverged on {ty:?}/{name} at {workers} workers"
                 );
             }
 
