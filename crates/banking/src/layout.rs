@@ -174,6 +174,36 @@ impl CohortLayout {
         }
     }
 
+    /// The declared global-memory spans of this layout, in the form the
+    /// effect-summary engine anchors data-dependent addresses against
+    /// (`rhythm_verify::effects::RegionMap`). One span per region, in
+    /// ascending order; the 128-byte alignment gaps between regions are
+    /// deliberately excluded so a claim never silently bleeds into a
+    /// neighbour.
+    pub fn regions(&self) -> rhythm_verify::effects::RegionMap {
+        let span = |base: u32, bytes: u32| (base as u64, base as u64 + bytes as u64);
+        rhythm_verify::effects::RegionMap::new(vec![
+            span(self.reqbuf_base, self.cohort * REQBUF_BYTES),
+            span(self.struct_base, self.cohort * STRUCT_WORDS * 4),
+            span(self.breq_base, self.cohort * BREQ_BYTES),
+            span(self.bresp_base, self.cohort * BRESP_BYTES),
+            span(self.resp_base, self.cohort * self.resp_size),
+            span(
+                self.session_base,
+                self.session_capacity * crate::session_array::NODE_BYTES,
+            ),
+            span(self.store_base, self.store_bytes),
+        ])
+    }
+
+    /// The session array's `[lo, hi)` byte span in device memory — the
+    /// range whose write footprint decides HyperQ stream independence.
+    pub fn session_span(&self) -> (u64, u64) {
+        let lo = self.session_base as u64;
+        let bytes = self.session_capacity as u64 * crate::session_array::NODE_BYTES as u64;
+        (lo, lo + bytes)
+    }
+
     /// `(lane_stride, elem_stride)` for a buffer of `slot` bytes under
     /// this layout.
     pub fn strides(&self, slot: u32) -> (u32, u32) {

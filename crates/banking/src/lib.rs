@@ -62,8 +62,9 @@ pub mod prelude {
     pub use crate::native::{handle_native, BankingRequest};
     pub use crate::quickpay::{handle_quickpay_native, run_quickpay_cohort, QuickPay};
     pub use crate::runner::{
-        run_cohort, run_cohort_traced, run_parser_only, run_request_scalar, BackendMode,
-        CohortOptions, ScalarRunResult,
+        cohort_writes_sessions, plan_stream_groups, run_cohort, run_cohort_traced,
+        run_cohorts_hyperq, run_parser_only, run_request_scalar, BackendMode, CohortOptions,
+        ScalarRunResult, StreamGroup,
     };
     pub use crate::serve::{banking_request_from_http, DeviceMetrics, ScalarHandler, SimtHandler};
     pub use crate::session_array::SessionArrayHost;

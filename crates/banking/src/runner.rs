@@ -12,6 +12,7 @@ use std::sync::{Arc, OnceLock};
 use rhythm_obs::{s_to_us, ArgValue, Clock, NoopRecorder, Recorder};
 use rhythm_simt::exec::LaunchConfig;
 use rhythm_simt::gpu::{Gpu, LaunchResult};
+use rhythm_simt::ir::MemSpace;
 use rhythm_simt::mem::DeviceMemory;
 use rhythm_simt::streams::execute_streams_on;
 use rhythm_simt::ExecError;
@@ -112,6 +113,16 @@ pub struct CohortOptions {
     /// either way; this, like `workers`, only changes host simulation
     /// throughput.
     pub pack: bool,
+    /// Run every kernel launch under the footprint sanitizer (default
+    /// **off**): each launch carries the effect-summary engine's claimed
+    /// static footprint for its (kernel, launch environment) pair, and the
+    /// executor checks every global access against it, failing the launch
+    /// with [`ExecError::FootprintEscape`] on the first access that
+    /// escapes. This is the runtime discharge obligation for the claimed
+    /// (non-exact) regions the static analysis anchors data-dependent
+    /// addresses to; it is purely a checking mode and never changes
+    /// results.
+    pub sanitize: bool,
 }
 
 impl Default for CohortOptions {
@@ -126,6 +137,7 @@ impl Default for CohortOptions {
             verify: true,
             plan_cache: true,
             pack: true,
+            sanitize: false,
         }
     }
 }
@@ -136,20 +148,30 @@ impl Default for CohortOptions {
 /// packing is disabled. The device and the executor's static plan profile
 /// clamp further; widening never changes results, so this is purely a
 /// host-throughput decision.
+///
+/// With [`CohortOptions::sanitize`] on, the config also carries the
+/// kernel's inferred global footprint (anchored to the cohort layout's
+/// declared regions) so the executor checks every global access against
+/// it.
 fn kernel_cfg(
     base: &LaunchConfig,
     opts: &CohortOptions,
+    layout: &CohortLayout,
     program: &rhythm_simt::Program,
     mem: &DeviceMemory,
     pool: &rhythm_simt::mem::ConstPool,
 ) -> LaunchConfig {
     let mut cfg = base.clone();
-    cfg.pack = if opts.pack {
-        let spec = LaunchSpec::from_launch(&cfg, mem, pool);
-        pack_width_cached(program, &spec)
-    } else {
-        1
+    let spec = (opts.pack || opts.sanitize).then(|| LaunchSpec::from_launch(&cfg, mem, pool));
+    cfg.pack = match &spec {
+        Some(spec) if opts.pack => pack_width_cached(program, spec),
+        _ => 1,
     };
+    if opts.sanitize {
+        let spec = spec.as_ref().expect("spec built when sanitize is on");
+        let cached = shared_verifier().effects(program, spec, &layout.regions());
+        cfg.sanitize = Some(Arc::clone(&cached.footprint));
+    }
     cfg
 }
 
@@ -313,7 +335,7 @@ pub fn run_cohort_traced<R: Recorder + ?Sized>(
                 &r.raw,
             )?;
         }
-        let pcfg = kernel_cfg(&cfg, opts, &workload.parser, &mem, &workload.pool);
+        let pcfg = kernel_cfg(&cfg, opts, &layout, &workload.parser, &mem, &workload.pool);
         let res = gpu.launch_traced(&workload.parser, &pcfg, &mut mem, &workload.pool, rec)?;
         trace_launch!("parser", &res);
         launches.push(("parser".to_string(), res));
@@ -322,14 +344,15 @@ pub fn run_cohort_traced<R: Recorder + ?Sized>(
     let stages = workload.stages_of(ty);
     let n_backend = stages.len() - 1;
     for (i, stage) in stages.iter().enumerate() {
-        let scfg = kernel_cfg(&cfg, opts, stage, &mem, &workload.pool);
+        let scfg = kernel_cfg(&cfg, opts, &layout, stage, &mem, &workload.pool);
         let res = gpu.launch_traced(stage, &scfg, &mut mem, &workload.pool, rec)?;
         trace_launch!(stage.name(), &res);
         launches.push((stage.name().to_string(), res));
         if i < n_backend {
             match opts.backend {
                 BackendMode::Device => {
-                    let bcfg = kernel_cfg(&cfg, opts, &workload.backend, &mem, &workload.pool);
+                    let bcfg =
+                        kernel_cfg(&cfg, opts, &layout, &workload.backend, &mem, &workload.pool);
                     let res =
                         gpu.launch_traced(&workload.backend, &bcfg, &mut mem, &workload.pool, rec)?;
                     trace_launch!("device_backend", &res);
@@ -373,17 +396,152 @@ pub fn run_cohort_traced<R: Recorder + ?Sized>(
     })
 }
 
+/// One scheduling unit of [`plan_stream_groups`]: the half-open cohort
+/// index range `[start, end)`. A `concurrent` group's cohorts are proven
+/// session-independent and launch as concurrent HyperQ streams; a
+/// non-concurrent group is a single cohort run serially, either because
+/// it writes the session array (a barrier) or because the options force
+/// the serial fallback path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StreamGroup {
+    /// First cohort index in the group.
+    pub start: usize,
+    /// One past the last cohort index.
+    pub end: usize,
+    /// Whether the group launches as concurrent streams.
+    pub concurrent: bool,
+}
+
+impl StreamGroup {
+    /// Number of cohorts in the group.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the group is empty (never produced by the planner).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Does any kernel in this cohort's launch sequence (parser, process
+/// stages, backend) write or atomically update the device session array?
+///
+/// The verdict comes from the effect-summary engine: each kernel's
+/// inferred global footprint — anchored to the cohort layout's declared
+/// regions — is checked for mutation of the `[session_base, session_end)`
+/// span under the cohort's concrete launch environment. This is the proof
+/// [`run_cohorts_hyperq`] schedules from; a ⊤ footprint conservatively
+/// counts as a writer.
+pub fn cohort_writes_sessions(
+    workload: &Workload,
+    store_bytes: u32,
+    ty: RequestType,
+    cohort: u32,
+    opts: &CohortOptions,
+) -> bool {
+    let layout = CohortLayout::new(
+        cohort,
+        ty.response_buffer_bytes(),
+        opts.session_capacity,
+        opts.session_salt,
+        store_bytes,
+        opts.transposed,
+    );
+    // Mirror `LaunchSpec::from_launch` for the real launch environment so
+    // these queries share the verifier's effect cache with the sanitizer.
+    let spec = LaunchSpec {
+        lanes: cohort,
+        params: Some(layout.params()),
+        global_bytes: Some(layout.total_bytes as u64),
+        shared_bytes: Some(1024),
+        local_bytes: Some(64),
+        const_bytes: Some(workload.pool.len() as u64),
+    };
+    let regions = layout.regions();
+    let (sess_lo, sess_hi) = layout.session_span();
+    let verifier = shared_verifier();
+    let mut kernels: Vec<&rhythm_simt::Program> = vec![&workload.parser];
+    kernels.extend(workload.stages_of(ty).iter());
+    kernels.push(&workload.backend);
+    let writes = kernels.iter().any(|k| {
+        verifier
+            .effects(k, &spec, &regions)
+            .effects
+            .mutates(MemSpace::Global, sess_lo, sess_hi)
+    });
+    // The proof must never be less safe than the name heuristic it
+    // replaced: every nominal session writer must be classified as one.
+    debug_assert!(
+        writes || !(ty.is_login() || ty.is_logout()),
+        "effect analysis missed the session writes of {ty:?}"
+    );
+    writes
+}
+
+/// Plan the HyperQ stream groups for a batch of uniform-type cohorts —
+/// the shared source of truth for both the execution path
+/// ([`run_cohorts_hyperq`]) and the serving metrics, so telemetry cannot
+/// drift from the real schedule.
+///
+/// `cohorts` gives each cohort as `(type, size)`; `store_bytes` is the
+/// serialized store image size (layout input). Cohorts proven not to
+/// write the session array ([`cohort_writes_sessions`]) coalesce into
+/// maximal concurrent groups; each proven writer becomes a singleton
+/// barrier. Host-backend and skip-parser configurations interleave host
+/// work between kernels, which streams cannot express, so every cohort
+/// degrades to a singleton serial group.
+pub fn plan_stream_groups(
+    workload: &Workload,
+    store_bytes: u32,
+    cohorts: &[(RequestType, usize)],
+    opts: &CohortOptions,
+) -> Vec<StreamGroup> {
+    let streams_ok = opts.backend == BackendMode::Device && !opts.skip_parser;
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < cohorts.len() {
+        let (ty, n) = cohorts[i];
+        if !streams_ok || cohort_writes_sessions(workload, store_bytes, ty, n as u32, opts) {
+            groups.push(StreamGroup {
+                start: i,
+                end: i + 1,
+                concurrent: false,
+            });
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < cohorts.len() {
+            let (t, m) = cohorts[j];
+            if cohort_writes_sessions(workload, store_bytes, t, m as u32, opts) {
+                break;
+            }
+            j += 1;
+        }
+        groups.push(StreamGroup {
+            start: i,
+            end: j,
+            concurrent: true,
+        });
+        i = j;
+    }
+    groups
+}
+
 /// Run a batch of already-formed cohorts with serial semantics but
 /// HyperQ-concurrent execution of independent cohorts.
 ///
 /// The batch is processed in order, exactly as if each cohort went
 /// through [`run_cohort`] back to back — same responses, same final
-/// session state. The speedup comes from a session-mutation analysis:
-/// only Login and Logout cohorts write the device session array (every
-/// other type's `session_lookup` only reads it), so **consecutive
-/// read-only cohorts are launched as concurrent streams** through
-/// [`execute_streams_on`] (the HyperQ path), while each Login/Logout
-/// cohort runs serially as a write barrier. Results are bit-identical to
+/// session state. The speedup comes from the effect-summary engine
+/// ([`rhythm_verify::effects`]): a cohort may share a stream group with
+/// its neighbours iff **none of its kernels' inferred global footprints
+/// write the device session array** ([`cohort_writes_sessions`]), so
+/// **consecutive proven-read-only cohorts are launched as concurrent
+/// streams** through [`execute_streams_on`] (the HyperQ path), while each
+/// proven session writer (in the banking workload: exactly Login and
+/// Logout) runs serially as a write barrier. Results are bit-identical to
 /// the serial order by construction.
 ///
 /// Each cohort gets its own outcome slot, in input order; a faulting
@@ -407,15 +565,12 @@ pub fn run_cohorts_hyperq(
     gpu: &Gpu,
     opts: &CohortOptions,
 ) -> Vec<Result<CohortResult, ExecError>> {
-    if opts.backend != BackendMode::Device || opts.skip_parser {
-        return cohorts
-            .iter()
-            .map(|c| run_cohort(workload, store, sessions, c, gpu, opts))
-            .collect();
-    }
     for c in cohorts {
         assert!(!c.is_empty(), "empty cohort");
     }
+    let store_img = store.serialize_device();
+    let shapes: Vec<(RequestType, usize)> = cohorts.iter().map(|c| (c[0].ty, c.len())).collect();
+    let groups = plan_stream_groups(workload, store_img.len() as u32, &shapes, opts);
 
     let mut gpu_slot = None;
     // Stream-level concurrency already fans out; warp workers would
@@ -425,38 +580,28 @@ pub fn run_cohorts_hyperq(
         ..opts.clone()
     };
     let streams_gpu = effective_gpu(gpu, &stream_opts, &mut gpu_slot);
-    let store_img = store.serialize_device();
 
     let mut out: Vec<Option<Result<CohortResult, ExecError>>> =
         cohorts.iter().map(|_| None).collect();
-    let mut i = 0;
-    while i < cohorts.len() {
-        let ty = cohorts[i][0].ty;
-        if ty.is_login() || ty.is_logout() {
-            // Session writer: a barrier. Runs alone, serially.
-            out[i] = Some(run_cohort(
+    for g in groups {
+        if !g.concurrent {
+            // Proven session writer (or serial fallback): a barrier.
+            // Runs alone, serially.
+            out[g.start] = Some(run_cohort(
                 workload,
                 store,
                 sessions,
-                &cohorts[i],
+                &cohorts[g.start],
                 gpu,
                 opts,
             ));
-            i += 1;
             continue;
         }
-        let mut j = i + 1;
-        while j < cohorts.len() {
-            let t = cohorts[j][0].ty;
-            if t.is_login() || t.is_logout() {
-                break;
-            }
-            j += 1;
-        }
 
-        // Read-only group [i, j): every cohort sees the same session
+        // Proven-read-only group: every cohort sees the same session
         // snapshot (none of them writes it), so they are independent and
         // run as concurrent streams.
+        let (i, j) = (g.start, g.end);
         let snapshot = sessions.to_device_bytes();
         let mut streams = Vec::with_capacity(j - i);
         // Per stream: output slot index, layout, real kernel names.
@@ -504,7 +649,6 @@ pub fn run_cohorts_hyperq(
                 })
             }));
         }
-        i = j;
     }
     out.into_iter()
         .map(|o| o.expect("every cohort slot filled"))
@@ -574,17 +718,17 @@ fn build_cohort_stream<'a>(
     kernels.push((
         "parser",
         &workload.parser,
-        kernel_cfg(&cfg, opts, &workload.parser, &mem, &workload.pool),
+        kernel_cfg(&cfg, opts, &layout, &workload.parser, &mem, &workload.pool),
     ));
     names.push("parser".to_string());
     let stages = workload.stages_of(ty);
     let n_backend = stages.len() - 1;
-    let backend_cfg = kernel_cfg(&cfg, opts, &workload.backend, &mem, &workload.pool);
+    let backend_cfg = kernel_cfg(&cfg, opts, &layout, &workload.backend, &mem, &workload.pool);
     for (s, stage) in stages.iter().enumerate() {
         kernels.push((
             "stage",
             stage,
-            kernel_cfg(&cfg, opts, stage, &mem, &workload.pool),
+            kernel_cfg(&cfg, opts, &layout, stage, &mem, &workload.pool),
         ));
         names.push(stage.name().to_string());
         if s < n_backend {
@@ -797,7 +941,7 @@ pub fn run_parser_only(
         shared_bytes: 1024,
         ..Default::default()
     };
-    let cfg = kernel_cfg(&cfg, opts, &workload.parser, &mem, &workload.pool);
+    let cfg = kernel_cfg(&cfg, opts, &layout, &workload.parser, &mem, &workload.pool);
     let res = gpu.launch(&workload.parser, &cfg, &mut mem, &workload.pool)?;
     let mut parsed = Vec::with_capacity(reqs.len());
     for lane in 0..cohort {

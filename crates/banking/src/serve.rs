@@ -20,7 +20,9 @@ use crate::backend::BankStore;
 use crate::genreq::{raw_http, GeneratedRequest};
 use crate::kernels::Workload;
 use crate::native::{handle_native, BankingRequest};
-use crate::runner::{run_cohort, run_cohorts_hyperq, BackendMode, CohortOptions, CohortResult};
+use crate::runner::{
+    plan_stream_groups, run_cohort, run_cohorts_hyperq, CohortOptions, CohortResult,
+};
 use crate::session_array::SessionArrayHost;
 use crate::templates::SESSION_COOKIE;
 use crate::types::RequestType;
@@ -433,34 +435,21 @@ impl CohortHandler for SimtHandler {
             &self.opts,
         );
         if let Some(m) = &self.metrics {
-            // Mirror `run_cohorts_hyperq`'s grouping: Login/Logout cohorts
-            // are serial barriers (stream group of 1) and consecutive
-            // session-read-only cohorts launch as one concurrent group.
-            // Off the device path the runner degrades to serial cohorts.
-            if self.opts.backend == BackendMode::Device && !self.opts.skip_parser {
-                let mut i = 0;
-                while i < batches.len() {
-                    let ty = batches[i][0].ty;
-                    if ty.is_login() || ty.is_logout() {
-                        m.note_stream_group(1);
-                        i += 1;
-                        continue;
-                    }
-                    let mut j = i + 1;
-                    while j < batches.len() {
-                        let t = batches[j][0].ty;
-                        if t.is_login() || t.is_logout() {
-                            break;
-                        }
-                        j += 1;
-                    }
-                    m.note_stream_group(j - i);
-                    i = j;
-                }
-            } else {
-                for _ in &batches {
-                    m.note_stream_group(1);
-                }
+            // The same planner the runner schedules from, so the metric
+            // can never drift from the real grouping: proven session
+            // writers are serial barriers (stream group of 1), consecutive
+            // proven-read-only cohorts launch as one concurrent group, and
+            // off the device path every cohort degrades to serial.
+            let shapes: Vec<(RequestType, usize)> =
+                batches.iter().map(|b| (b[0].ty, b.len())).collect();
+            let groups = plan_stream_groups(
+                &self.workload,
+                self.store.device_bytes(),
+                &shapes,
+                &self.opts,
+            );
+            for g in &groups {
+                m.note_stream_group(g.len());
             }
         }
         batches

@@ -29,6 +29,7 @@ fn opts(transposed: bool) -> CohortOptions {
         verify: true,
         plan_cache: true,
         pack: true,
+        sanitize: false,
     }
 }
 
@@ -309,4 +310,63 @@ fn divergence_appears_in_variable_row_counts() {
         eff > 0.5,
         "cohorts of one type stay mostly converged ({eff})"
     );
+}
+
+/// Footprint sanitizer differential: every request type, in both memory
+/// layouts, runs its full cohort pipeline with every kernel launch
+/// checked against its inferred static footprint — zero escapes, and
+/// responses, launch stats, and session state bit-identical to the
+/// unsanitized run (the sanitizer is a checking mode, never a semantic
+/// one).
+#[test]
+fn sanitized_cohorts_match_unsanitized_for_every_type() {
+    let (workload, store, gpu) = harness();
+    for transposed in [true, false] {
+        for ty in RequestType::ALL {
+            let mut sessions = SessionArrayHost::new(1024, SALT);
+            let mut generator = RequestGenerator::new(128, 29);
+            let cohort = generator.uniform(ty, 48, &mut sessions);
+
+            let mut plain_sessions = sessions.clone();
+            let plain = run_cohort(
+                &workload,
+                &store,
+                &mut plain_sessions,
+                &cohort,
+                &gpu,
+                &opts(transposed),
+            )
+            .unwrap();
+
+            let sanitized_opts = CohortOptions {
+                sanitize: true,
+                ..opts(transposed)
+            };
+            let mut sanitized_sessions = sessions.clone();
+            let sanitized = run_cohort(
+                &workload,
+                &store,
+                &mut sanitized_sessions,
+                &cohort,
+                &gpu,
+                &sanitized_opts,
+            )
+            .unwrap_or_else(|e| panic!("{ty:?} transposed={transposed}: footprint escape: {e}"));
+
+            assert_eq!(
+                plain.responses, sanitized.responses,
+                "{ty:?} transposed={transposed} responses"
+            );
+            assert_eq!(
+                format!("{:?}", plain.launches),
+                format!("{:?}", sanitized.launches),
+                "{ty:?} transposed={transposed} launch stats"
+            );
+            assert_eq!(
+                plain_sessions.to_device_bytes(),
+                sanitized_sessions.to_device_bytes(),
+                "{ty:?} transposed={transposed} sessions"
+            );
+        }
+    }
 }

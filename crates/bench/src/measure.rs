@@ -152,6 +152,7 @@ pub fn titan_type_measurement(
         verify: true,
         plan_cache: true,
         pack: true,
+        sanitize: false,
     };
     let mut s = sessions.clone();
     let result =

@@ -5,11 +5,112 @@ pub mod scalar;
 pub mod simt;
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::mem::MemError;
 
 /// Number of lanes executing in lockstep per warp, as on NVIDIA hardware.
 pub const WARP_SIZE: u32 = 32;
+
+/// Kind of a memory access, as classified by the footprint sanitizer.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// An `Op::Ld`.
+    Read,
+    /// An `Op::St`.
+    Write,
+    /// An `Op::AtomicAdd` (a read-modify-write).
+    Atomic,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        })
+    }
+}
+
+/// A claimed static footprint for a kernel's **global-memory** accesses:
+/// per access kind, the byte intervals the kernel is allowed to touch.
+///
+/// Produced by lowering a static effect summary (see
+/// `rhythm_verify::effects`) and attached to a launch via
+/// [`LaunchConfig::sanitize`]; the plan executor then checks every
+/// executed global access against it and fails the launch with
+/// [`ExecError::FootprintEscape`] on the first access outside the claim —
+/// a loud soundness failure of the static analysis rather than a silent
+/// wrong answer.
+///
+/// `None` for a kind means the claim is ⊤ (unrestricted) for that kind;
+/// an empty interval list means the kernel claims to perform **no**
+/// accesses of that kind, so any such access escapes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FootprintSpec {
+    reads: Option<Vec<(u64, u64)>>,
+    writes: Option<Vec<(u64, u64)>>,
+    atomics: Option<Vec<(u64, u64)>>,
+}
+
+impl FootprintSpec {
+    /// Build a spec from per-kind `[lo, hi)` byte intervals (`None` = ⊤).
+    /// Intervals are normalized: sorted, with overlapping or adjacent
+    /// intervals merged.
+    pub fn new(
+        reads: Option<Vec<(u64, u64)>>,
+        writes: Option<Vec<(u64, u64)>>,
+        atomics: Option<Vec<(u64, u64)>>,
+    ) -> Self {
+        FootprintSpec {
+            reads: reads.map(Self::normalize),
+            writes: writes.map(Self::normalize),
+            atomics: atomics.map(Self::normalize),
+        }
+    }
+
+    fn normalize(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        v.retain(|&(lo, hi)| hi > lo);
+        v.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+        for (lo, hi) in v {
+            match out.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        out
+    }
+
+    /// The normalized intervals claimed for `kind`, or `None` for ⊤.
+    pub fn intervals(&self, kind: AccessKind) -> Option<&[(u64, u64)]> {
+        match kind {
+            AccessKind::Read => self.reads.as_deref(),
+            AccessKind::Write => self.writes.as_deref(),
+            AccessKind::Atomic => self.atomics.as_deref(),
+        }
+    }
+
+    /// Is the byte range `[lo, hi)` inside the claim for `kind`? Since the
+    /// intervals are merged, a range is covered iff one interval contains
+    /// it whole. Empty ranges are trivially covered.
+    pub fn covers(&self, kind: AccessKind, lo: u64, hi: u64) -> bool {
+        if hi <= lo {
+            return true;
+        }
+        let Some(iv) = self.intervals(kind) else {
+            return true;
+        };
+        let i = iv.partition_point(|&(s, _)| s <= lo);
+        i > 0 && iv[i - 1].1 >= hi
+    }
+
+    /// Is a single access of `width` bytes at `addr` inside the claim?
+    pub fn allows(&self, kind: AccessKind, addr: u32, width: u32) -> bool {
+        self.covers(kind, addr as u64, addr as u64 + width as u64)
+    }
+}
 
 /// Launch-time configuration shared by both executors.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -38,6 +139,13 @@ pub struct LaunchConfig {
     /// kernels whose warps are independent — the same contract parallel
     /// warp workers already rely on.
     pub pack: u32,
+    /// Optional footprint sanitizer: when set, the plan executor checks
+    /// every executed **global** access against this claimed static
+    /// footprint and aborts with [`ExecError::FootprintEscape`] on the
+    /// first access outside it. `None` (the default) disables the check.
+    /// The sanitizer cannot perturb results: a sanitized launch that does
+    /// not escape is bit-identical to an unsanitized one.
+    pub sanitize: Option<Arc<FootprintSpec>>,
 }
 
 impl LaunchConfig {
@@ -78,6 +186,7 @@ impl Default for LaunchConfig {
             tx_bytes: 128,
             max_instructions: 1_000_000_000,
             pack: 1,
+            sanitize: None,
         }
     }
 }
@@ -129,6 +238,14 @@ pub enum ExecError {
     Reconvergence(&'static str),
     /// A pre-launch static check rejected the program before any lane ran.
     Rejected(GateRejection),
+    /// The footprint sanitizer observed a global access outside the
+    /// claimed static footprint — a soundness failure of the static
+    /// effect analysis (or a wrong claim), never of the kernel itself.
+    FootprintEscape {
+        kind: AccessKind,
+        addr: u32,
+        width: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -141,6 +258,11 @@ impl fmt::Display for ExecError {
             ExecError::MissingParam { index } => write!(f, "launch parameter {index} not supplied"),
             ExecError::Reconvergence(msg) => write!(f, "divergence-stack invariant broken: {msg}"),
             ExecError::Rejected(r) => write!(f, "launch rejected by static check: {r}"),
+            ExecError::FootprintEscape { kind, addr, width } => write!(
+                f,
+                "footprint sanitizer: {width}-byte {kind} at global address {addr:#x} \
+                 escapes the claimed static footprint"
+            ),
         }
     }
 }

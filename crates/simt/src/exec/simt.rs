@@ -43,7 +43,7 @@ use crate::stats::{contiguous_segments, DivergenceStats, KernelStats};
 
 use super::plan::{plan_for, DecodedOp, DecodedTerm, ExecPlan, PlanBlock, RegSlot, WideCopy};
 use super::scalar::{read_buf, write_buf};
-use super::{ExecError, LaunchConfig, WARP_SIZE};
+use super::{AccessKind, ExecError, LaunchConfig, WARP_SIZE};
 
 /// DRAM sector granularity for traffic accounting (GDDR5 32-byte sectors).
 pub const SECTOR_BYTES: u32 = 32;
@@ -959,6 +959,17 @@ fn try_wide_copy(
                 bufs.addrs = addrs;
                 return Ok(false);
             }
+            // Footprint sanitizer: prove the lane's whole store walk lies
+            // inside one claimed write interval, else fall back to
+            // interpretation, which checks each access exactly (and
+            // reports the precise escaping address).
+            if let Some(spec) = &launch.sanitize {
+                if !spec.covers(AccessKind::Write, start as u64, end as u64 + 1) {
+                    addrs.clear();
+                    bufs.addrs = addrs;
+                    return Ok(false);
+                }
+            }
             addrs.push((lane, start as u32));
         }
     }
@@ -1680,6 +1691,37 @@ fn store_lanes(
     Ok(())
 }
 
+/// Footprint-sanitizer check for one warp-wide global access: every
+/// gathered lane address must lie inside the launch's claimed static
+/// footprint for this access kind. Non-global spaces and unsanitized
+/// launches pass trivially. Runs before the memory op executes, so the
+/// first escape aborts the launch without committing the offending access.
+#[inline]
+fn sanitize_addrs(
+    launch: &LaunchConfig,
+    space: MemSpace,
+    kind: AccessKind,
+    width: Width,
+    addrs: &[(u32, u32)],
+) -> Result<(), ExecError> {
+    let Some(spec) = &launch.sanitize else {
+        return Ok(());
+    };
+    if space != MemSpace::Global {
+        return Ok(());
+    }
+    for &(_, a) in addrs {
+        if !spec.allows(kind, a, width.bytes()) {
+            return Err(ExecError::FootprintEscape {
+                kind,
+                addr: a,
+                width: width.bytes(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Execute one decoded op for the active lanes.
 ///
 /// When the mask covers the whole warp, ALU/broadcast ops take the dense
@@ -1791,6 +1833,7 @@ fn exec_decoded(
         } => {
             gather_addrs(bufs, mask, addr, offset);
             let addrs = std::mem::take(&mut bufs.addrs);
+            sanitize_addrs(launch, space, AccessKind::Read, width, &addrs)?;
             load_lanes(space, width, dst, &addrs, local_bytes, gmem, pool, bufs)?;
             charge_access(space, width, &addrs, launch, &mut bufs.segs, stats);
             bufs.addrs = addrs;
@@ -1804,6 +1847,7 @@ fn exec_decoded(
         } => {
             gather_addrs(bufs, mask, addr, offset);
             let addrs = std::mem::take(&mut bufs.addrs);
+            sanitize_addrs(launch, space, AccessKind::Write, width, &addrs)?;
             store_lanes(space, width, src, &addrs, local_bytes, gmem, bufs)?;
             charge_access(space, width, &addrs, launch, &mut bufs.segs, stats);
             bufs.addrs = addrs;
@@ -1841,6 +1885,7 @@ fn exec_decoded(
         } => {
             gather_addrs(bufs, mask, addr, offset);
             let addrs = std::mem::take(&mut bufs.addrs);
+            sanitize_addrs(launch, space, AccessKind::Atomic, Width::Word, &addrs)?;
             // Lanes are serviced in lane order; same-address lanes
             // serialize (each sees the previous lane's update). Global
             // adds go through the shared view's locked RMW so cross-warp

@@ -83,6 +83,13 @@ pub struct GpuConfig {
     /// bit-identical at every width; this is a host-simulation throughput
     /// knob, like `workers`.
     pub pack: u32,
+    /// Strict footprint-sanitizer policy: when `true`, every launch must
+    /// carry a claimed static footprint ([`LaunchConfig::sanitize`]) or it
+    /// is rejected before any lane runs. The device cannot compute
+    /// footprints itself (that is the verifier's job); this flag only
+    /// enforces that callers supplied one, turning "forgot to sanitize"
+    /// into a loud rejection instead of a silently unchecked launch.
+    pub sanitize: bool,
 }
 
 impl GpuConfig {
@@ -107,6 +114,7 @@ impl GpuConfig {
             hw_queues: 32,
             workers: 0,
             pack: 4,
+            sanitize: false,
         }
     }
 
@@ -126,6 +134,7 @@ impl GpuConfig {
             hw_queues: 1,
             workers: 0,
             pack: 4,
+            sanitize: false,
         }
     }
 
@@ -138,6 +147,13 @@ impl GpuConfig {
     /// Same configuration with the sub-warp packing cap replaced.
     pub fn with_pack(mut self, pack: u32) -> Self {
         self.pack = pack;
+        self
+    }
+
+    /// Same configuration with the strict footprint-sanitizer policy
+    /// replaced.
+    pub fn with_sanitize(mut self, sanitize: bool) -> Self {
+        self.sanitize = sanitize;
         self
     }
 }
@@ -279,6 +295,17 @@ impl Gpu {
         // The device caps (never raises) the launch's requested pack
         // width; the executor further clamps to the plan's static profile.
         cfg.pack = cfg.pack.min(self.config.pack.max(1));
+        if self.config.sanitize && cfg.sanitize.is_none() {
+            return Err(ExecError::Rejected(GateRejection {
+                rule: "sanitize-missing-footprint".into(),
+                program: program.name().into(),
+                block: None,
+                op_index: None,
+                message: "device requires every launch to carry a claimed static \
+                          footprint (GpuConfig::sanitize), but this launch has none"
+                    .into(),
+            }));
+        }
         if let Some(gate) = &self.gate {
             gate.check(program, &cfg, mem, pool)
                 .map_err(ExecError::Rejected)?;

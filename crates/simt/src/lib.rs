@@ -66,7 +66,7 @@ pub mod transpose;
 
 pub use exec::plan::{plan_cache_stats, plan_for, ExecPlan};
 pub use exec::simt::{execute_plan_workers_traced, execute_simt_legacy_workers, warp_arena_stats};
-pub use exec::{ExecError, GateRejection, LaunchConfig, WARP_SIZE};
+pub use exec::{AccessKind, ExecError, FootprintSpec, GateRejection, LaunchConfig, WARP_SIZE};
 pub use gpu::{Gpu, GpuConfig, LaunchGate, LaunchResult};
 pub use ir::{Program, ProgramBuilder};
 pub use mem::{ConstPool, DeviceMemory, MemError, SharedMem};

@@ -89,6 +89,38 @@ pub fn apply_step(b: &mut ProgramBuilder, acc: Reg, step: u8) {
     }
 }
 
+/// Effect-inference firing kernel: a store whose address is exactly
+/// lane-affine (`global[gid * stride + offset]`), so its summary is a
+/// single exact strided region `[offset, offset + stride·(lanes-1) + 4)`.
+/// With distinct `offset` ranges, two such kernels form the disjoint /
+/// overlapping writer pairs the `interferes` oracle is tested against.
+pub fn strided_writer(name: &str, stride: u32, offset: u32) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let gid = b.global_id();
+    let s = b.imm(stride);
+    let scaled = b.bin(BinOp::Mul, gid, s);
+    let v = b.imm(0xC0FF_EE00 | offset);
+    b.st_global_word(scaled, offset, v);
+    b.halt();
+    b.build().expect("builder emits valid programs")
+}
+
+/// Effect-inference near-miss kernel: the stored-to address is *loaded*
+/// from memory (`global[global[gid * 4]] = gid`), so no static bound
+/// exists. Without a declared-region anchor or a known global extent the
+/// write footprint is forced to ⊤; with an anchor it degrades to a
+/// claimed (sanitizer-checked) region instead.
+pub fn data_dependent_writer() -> Program {
+    let mut b = ProgramBuilder::new("data_dependent_writer");
+    let gid = b.global_id();
+    let four = b.imm(4);
+    let slot = b.bin(BinOp::Mul, gid, four);
+    let target = b.ld_global_word(slot, 0);
+    b.st_global_word(target, 0, gid);
+    b.halt();
+    b.build().expect("builder emits valid programs")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,11 +44,12 @@
 
 pub mod corpus;
 pub mod dataflow;
+pub mod effects;
 pub mod rules;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rhythm_simt::exec::{GateRejection, LaunchConfig};
 use rhythm_simt::gpu::LaunchGate;
@@ -408,12 +409,45 @@ const VERIFIER_CACHE_CAP: usize = 8192;
 #[derive(Debug, Default)]
 pub struct Verifier {
     admitted: Mutex<HashSet<(u64, u64)>>,
+    effects_cache: Mutex<HashMap<(u64, u64, u64), Arc<effects::CachedEffects>>>,
 }
 
 impl Verifier {
     /// A fresh verifier with an empty admission cache.
     pub fn new() -> Self {
         Verifier::default()
+    }
+
+    /// The effect summary of `program` under `spec` with `regions`
+    /// anchoring data-dependent global addresses, inferred once and
+    /// cached by (program, spec, regions) fingerprints — the same
+    /// steady-state contract as the admission cache, so schedulers can
+    /// query footprints per cohort without re-running the analysis.
+    pub fn effects(
+        &self,
+        program: &Program,
+        spec: &LaunchSpec,
+        regions: &effects::RegionMap,
+    ) -> Arc<effects::CachedEffects> {
+        let key = (
+            program.fingerprint(),
+            spec.fingerprint(),
+            regions.fingerprint(),
+        );
+        {
+            let cache = self.effects_cache.lock().expect("effects cache poisoned");
+            if let Some(hit) = cache.get(&key) {
+                return Arc::clone(hit);
+            }
+        }
+        let computed = Arc::new(effects::CachedEffects::new(effects::infer_effects(
+            program, spec, regions,
+        )));
+        let mut cache = self.effects_cache.lock().expect("effects cache poisoned");
+        if cache.len() >= VERIFIER_CACHE_CAP {
+            cache.clear();
+        }
+        Arc::clone(cache.entry(key).or_insert(computed))
     }
 }
 

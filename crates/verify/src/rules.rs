@@ -46,6 +46,11 @@ pub mod rule_id {
     pub const HYGIENE_UNREACHABLE: &str = "hygiene-unreachable-block";
     /// Pure register write that no instruction observes.
     pub const HYGIENE_DEAD_STORE: &str = "hygiene-dead-store";
+    /// Effect summary degraded to ⊤: a data-dependent address with no
+    /// enclosing declared region and no known space extent.
+    pub const EFFECTS_TOP: &str = "effects-top-footprint";
+    /// Exact inferred effect region exceeds the declared space extent.
+    pub const EFFECTS_OOB: &str = "effects-out-of-extent";
 }
 
 fn diag(
