@@ -24,6 +24,7 @@ use crate::runner::{
     plan_stream_groups, run_cohort, run_cohorts_hyperq, CohortOptions, CohortResult,
 };
 use crate::session_array::SessionArrayHost;
+use crate::subkey::{self, ParserFeatures, SubkeyTable};
 use crate::templates::SESSION_COOKIE;
 use crate::types::RequestType;
 
@@ -208,6 +209,8 @@ pub fn banking_request_from_http(req: &HttpRequest) -> Option<BankingRequest> {
 pub struct ScalarHandler {
     store: BankStore,
     sessions: SessionArrayHost,
+    /// Similarity sub-key table (`None` keys cohorts by type alone).
+    subkeys: Option<SubkeyTable>,
     /// Requests served.
     pub served: u64,
 }
@@ -218,8 +221,18 @@ impl ScalarHandler {
         ScalarHandler {
             store,
             sessions,
+            subkeys: None,
             served: 0,
         }
+    }
+
+    /// Key cohorts by `(type, similarity sub-key)` instead of type
+    /// alone (see [`crate::subkey`]). Purely a grouping hint: responses
+    /// are byte-identical with sub-keys on or off.
+    #[must_use]
+    pub fn with_subkeys(mut self) -> Self {
+        self.subkeys = Some(SubkeyTable::BUILTIN);
+        self
     }
 
     /// The live session table (post-traffic state).
@@ -230,11 +243,18 @@ impl ScalarHandler {
 
 impl CohortHandler for ScalarHandler {
     fn classify(&self, req: &HttpRequest) -> Option<u32> {
-        banking_request_from_http(req).map(|b| b.ty.id())
+        let b = banking_request_from_http(req)?;
+        Some(match &self.subkeys {
+            Some(t) => t.composite_key(b.ty, &ParserFeatures::of(req)),
+            None => b.ty.id(),
+        })
     }
 
     fn key_name(&self, key: u32) -> String {
-        banking_key_name(key)
+        match self.subkeys {
+            Some(_) => subkey::key_label(key),
+            None => banking_key_name(key),
+        }
     }
 
     fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {
@@ -278,6 +298,8 @@ pub struct SimtHandler {
     pub faults: u64,
     /// Live device counters (when attached to a telemetry registry).
     metrics: Option<DeviceMetrics>,
+    /// Similarity sub-key table (`None` keys cohorts by type alone).
+    subkeys: Option<SubkeyTable>,
 }
 
 impl SimtHandler {
@@ -310,7 +332,19 @@ impl SimtHandler {
             device_time_s: 0.0,
             faults: 0,
             metrics: None,
+            subkeys: None,
         }
+    }
+
+    /// Key cohorts by `(type, similarity sub-key)` instead of type
+    /// alone (see [`crate::subkey`]): same-shape requests share a warp,
+    /// which lifts SIMD efficiency on the divergent parser/stage0
+    /// kernels. Purely a grouping hint: responses are byte-identical
+    /// with sub-keys on or off.
+    #[must_use]
+    pub fn with_subkeys(mut self) -> Self {
+        self.subkeys = Some(SubkeyTable::BUILTIN);
+        self
     }
 
     /// Publish this handler's device counters into `registry` (one shard's
@@ -340,11 +374,18 @@ impl SimtHandler {
 
 impl CohortHandler for SimtHandler {
     fn classify(&self, req: &HttpRequest) -> Option<u32> {
-        banking_request_from_http(req).map(|b| b.ty.id())
+        let b = banking_request_from_http(req)?;
+        Some(match &self.subkeys {
+            Some(t) => t.composite_key(b.ty, &ParserFeatures::of(req)),
+            None => b.ty.id(),
+        })
     }
 
     fn key_name(&self, key: u32) -> String {
-        banking_key_name(key)
+        match self.subkeys {
+            Some(_) => subkey::key_label(key),
+            None => banking_key_name(key),
+        }
     }
 
     fn execute(&mut self, _key: u32, requests: &[HttpRequest]) -> Vec<Vec<u8>> {

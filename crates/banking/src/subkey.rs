@@ -1,0 +1,228 @@
+//! Similarity sub-keys: split each request type's cohort key by branchy
+//! parser features so cohorts diverge less.
+//!
+//! The paper's Figure 2 premise is that cohorts of *similar* requests
+//! keep SIMD efficiency high. Keying cohorts by request type alone
+//! leaves measurable divergence on the table: within one type, requests
+//! differ in the lengths of their variable fields (user ids, amounts,
+//! session tokens) and in which optional fields are present, and the
+//! parser/stage0 kernels scan those fields in data-dependent loops —
+//! lanes with different field lengths run different trip counts, so a
+//! warp of mixed shapes serializes on the length tail.
+//!
+//! This module sub-divides the type key by three cheap wire-visible
+//! features of exactly those loops:
+//!
+//! * **variable-text length bucket** — total bytes of query/form
+//!   parameters and cookies (the data-dependent scan lengths),
+//! * **query-parameter count** — how many `key=value` pairs the parser
+//!   loop iterates over,
+//! * **cookie presence** — whether the session-cookie scan runs at all.
+//!
+//! The 32 feature combinations are collapsed to at most
+//! [`SUBKEY_SPACE`] sub-keys by a small static table derived offline:
+//! the `subkey_table` bench bin traces one representative request per
+//! (type, combination) on the scalar executor, Myers-merges the traces
+//! pairwise (`rhythm-trace`, the Figure 2 similarity metric), and
+//! greedily clusters combinations whose traces merge with the least
+//! divergence. [`SubkeyTable::BUILTIN`] is that tool's output, checked
+//! in; re-derive with `cargo run --release --bin subkey_table -- --derive`.
+//!
+//! Sub-keying is purely a cohort-formation hint: execution decodes each
+//! request independently, so responses are byte-identical with sub-keys
+//! on or off. Only grouping (and with it SIMD efficiency) changes.
+
+use rhythm_http::HttpRequest;
+
+use crate::types::RequestType;
+
+/// Sub-keys per request type: composite cohort key =
+/// `type_id × SUBKEY_SPACE + subkey`.
+pub const SUBKEY_SPACE: u32 = 8;
+
+/// Distinct [`ParserFeatures`] combinations (4 length buckets × 4
+/// capped parameter counts × cookie presence).
+pub const FEATURE_COMBOS: usize = 32;
+
+/// The wire-visible features of the parser's data-dependent loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParserFeatures {
+    /// Bucketed total length of variable request text (parameter and
+    /// cookie `key=value` bytes): 0 ≤ 9, 1 ≤ 23, 2 ≤ 30, 3 beyond.
+    /// The edges sit *inside* each request population's length range
+    /// (uncookied logins span 8–11 bytes, cookied single-parameter
+    /// requests 22–26, amount-carrying requests 26–33), so every type is
+    /// split by at least one edge — a bucket edge in a gap between
+    /// populations would only restate the type key.
+    pub len_bucket: u8,
+    /// Query/form parameter count, capped at 3.
+    pub param_count: u8,
+    /// Whether a cookie header is present (the session-token scan).
+    pub has_cookie: bool,
+}
+
+impl ParserFeatures {
+    /// Extract the features from a parsed wire request.
+    pub fn of(req: &HttpRequest) -> Self {
+        let var_len: usize = req
+            .params
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 1)
+            .chain(req.cookies.iter().map(|(k, v)| k.len() + v.len() + 1))
+            .sum();
+        let len_bucket = match var_len {
+            0..=9 => 0,
+            10..=23 => 1,
+            24..=30 => 2,
+            _ => 3,
+        };
+        ParserFeatures {
+            len_bucket,
+            param_count: req.params.len().min(3) as u8,
+            has_cookie: !req.cookies.is_empty(),
+        }
+    }
+
+    /// Dense index of this combination in `[0, FEATURE_COMBOS)`.
+    pub fn index(&self) -> usize {
+        (self.len_bucket.min(3) as usize) * 8
+            + (self.param_count.min(3) as usize) * 2
+            + usize::from(self.has_cookie)
+    }
+
+    /// The combination for a dense index (inverse of
+    /// [`ParserFeatures::index`]).
+    pub fn from_index(i: usize) -> Self {
+        ParserFeatures {
+            len_bucket: ((i / 8) % 4) as u8,
+            param_count: ((i / 2) % 4) as u8,
+            has_cookie: i % 2 == 1,
+        }
+    }
+}
+
+/// The static feature-combination → sub-key table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubkeyTable {
+    map: [u8; FEATURE_COMBOS],
+}
+
+impl SubkeyTable {
+    /// The checked-in table derived by the `subkey_table` bench tool
+    /// (`cargo run --release -p rhythm-bench --bin subkey_table -- --derive`)
+    /// from Myers-merge divergence clustering over the generated corpus.
+    /// Five clusters survive: short and long logins split (their userid
+    /// digit loop diverges most), cookied single-parameter requests
+    /// split at the length-bucket edge inside their population, and the
+    /// amount-carrying requests collapse into one sub-key (their traces
+    /// merge with divergence below the tool's 0.001 epsilon — splitting
+    /// them would fragment fill for no SIMD-efficiency gain). Absent
+    /// feature combinations map to the nearest present one.
+    pub const BUILTIN: SubkeyTable = SubkeyTable {
+        map: [
+            0, 0, 0, 0, 0, 0, 0, 0, // len bucket 0: short logins
+            1, 2, 1, 2, 1, 2, 1, 2, // bucket 1: long logins | short cookied
+            3, 3, 3, 3, 4, 4, 4, 4, // bucket 2: long cookied | amounts
+            4, 4, 4, 4, 4, 4, 4, 4, // bucket 3: amounts
+        ],
+    };
+
+    /// A table from an explicit map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is outside `[0, SUBKEY_SPACE)`.
+    pub fn from_map(map: [u8; FEATURE_COMBOS]) -> Self {
+        assert!(
+            map.iter().all(|&s| (s as u32) < SUBKEY_SPACE),
+            "sub-key out of range"
+        );
+        SubkeyTable { map }
+    }
+
+    /// The raw map (feature index → sub-key).
+    pub fn map(&self) -> &[u8; FEATURE_COMBOS] {
+        &self.map
+    }
+
+    /// Sub-key for a feature combination.
+    pub fn subkey(&self, f: &ParserFeatures) -> u32 {
+        self.map[f.index()] as u32
+    }
+
+    /// Composite cohort key for a typed request with features `f`.
+    pub fn composite_key(&self, ty: RequestType, f: &ParserFeatures) -> u32 {
+        ty.id() * SUBKEY_SPACE + self.subkey(f)
+    }
+}
+
+/// Split a composite key back into `(type_id, subkey)`.
+pub fn split_key(key: u32) -> (u32, u32) {
+    (key / SUBKEY_SPACE, key % SUBKEY_SPACE)
+}
+
+/// Label for a composite key: the type's page name with a `#s<n>`
+/// sub-key suffix (used on latency/launch metrics).
+pub fn key_label(key: u32) -> String {
+    let (ty, sub) = split_key(key);
+    match RequestType::from_id(ty) {
+        Some(t) => format!("{}#s{sub}", t.file_name()),
+        None => format!("key_{key}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genreq::RequestGenerator;
+    use crate::session_array::SessionArrayHost;
+
+    #[test]
+    fn builtin_table_is_total_and_in_range() {
+        for i in 0..FEATURE_COMBOS {
+            let f = ParserFeatures::from_index(i);
+            assert_eq!(f.index(), i, "index round-trips");
+            let s = SubkeyTable::BUILTIN.subkey(&f);
+            assert!(s < SUBKEY_SPACE);
+        }
+    }
+
+    #[test]
+    fn composite_keys_split_back() {
+        let t = &SubkeyTable::BUILTIN;
+        for ty in RequestType::ALL {
+            for i in 0..FEATURE_COMBOS {
+                let f = ParserFeatures::from_index(i);
+                let key = t.composite_key(ty, &f);
+                let (tid, sub) = split_key(key);
+                assert_eq!(tid, ty.id());
+                assert_eq!(sub, t.subkey(&f));
+            }
+        }
+        assert_eq!(key_label(RequestType::Login.id() * SUBKEY_SPACE + 3), {
+            format!("{}#s3", RequestType::Login.file_name())
+        });
+        assert_eq!(key_label(14 * SUBKEY_SPACE), "key_112");
+    }
+
+    #[test]
+    fn corpus_spreads_over_multiple_subkeys() {
+        // The generated corpus must actually exercise the split: a
+        // table that maps everything to one sub-key would be a no-op.
+        let mut sessions = SessionArrayHost::new(4096, 7);
+        let corpus = RequestGenerator::new(1024, 11).mixed(512, &mut sessions);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &corpus {
+            let req = rhythm_http::HttpRequest::parse(&r.raw).expect("generated parses");
+            let f = ParserFeatures::of(&req);
+            seen.insert(SubkeyTable::BUILTIN.composite_key(r.ty, &f));
+        }
+        let types: std::collections::BTreeSet<u32> = seen.iter().map(|k| split_key(*k).0).collect();
+        assert!(
+            seen.len() > types.len(),
+            "sub-keys must split at least one type: {} keys over {} types",
+            seen.len(),
+            types.len()
+        );
+    }
+}

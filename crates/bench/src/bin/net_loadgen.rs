@@ -17,12 +17,16 @@
 //! measurement window, the post-window drain, and the overload probe are
 //! reported (and asserted) independently, so steady-state throughput and
 //! latency are never contaminated by warmup or overload traffic. The
-//! emitted `BENCH_net.json` is schema version 4: each phase object
+//! emitted `BENCH_net.json` is schema version 5: each phase object
 //! carries a `"phase"` field plus a `"degenerate"` flag (true when the
 //! phase has no wall time or no completions, so its rate/latency
-//! summaries are placeholders), the run records `mode` and `shards`, and
+//! summaries are placeholders), the run records `mode` and `shards`,
 //! `--scrape` adds a `"scrape"` object cross-checking the server's
-//! `/metrics` request counters against the loadgen's own totals.
+//! `/metrics` request counters against the loadgen's own totals, and the
+//! additive v5 fields record the declared SLO (`slo_ms`), the cohort
+//! `controller` configuration (adaptive batching + similarity sub-keys),
+//! and — under `--ramp` — the per-step latency/throughput `frontier`
+//! with adaptation off vs on.
 //!
 //! Flags:
 //!
@@ -38,6 +42,17 @@
 //! * `--paced` — deterministic arrival gaps instead of Poisson.
 //! * `--clients <n>` / `--requests <n>` — closed-loop client count and
 //!   per-client request count.
+//! * `--adaptive` — enable the SLO-aware adaptive cohort controller
+//!   (per-shard dynamic target depth and fill deadline).
+//! * `--slo-ms <ms>` — declared p99 latency SLO (default 20).
+//! * `--subkeys` — similarity sub-keyed cohort formation (split each
+//!   request type by divergence-clustered parser features).
+//! * `--ramp` — open-loop rate-ramp: sweep offered load at several
+//!   fractions of `--rate` with adaptation off and on, recording the
+//!   latency/throughput frontier before the main measured run.
+//! * `--gate <path>` — regression gate: after the run, compare steady
+//!   throughput and mean cohort fill against the checked-in result at
+//!   `<path>` and fail if either regressed beyond the noise threshold.
 //! * `--scrape` — scrape the live `/metrics` endpoint twice after the
 //!   traffic drains: asserts counter monotonicity and records the drift
 //!   between server-side and loadgen-side request totals.
@@ -70,6 +85,11 @@ struct Args {
     paced: bool,
     scrape: bool,
     no_telemetry: bool,
+    adaptive: bool,
+    subkeys: bool,
+    ramp: bool,
+    slo_ms: f64,
+    gate: Option<String>,
     shards: usize,
     conns: usize,
     rate: f64,
@@ -87,6 +107,11 @@ fn parse_args() -> Args {
         paced: false,
         scrape: false,
         no_telemetry: false,
+        adaptive: false,
+        subkeys: false,
+        ramp: false,
+        slo_ms: 20.0,
+        gate: None,
         shards: 1,
         conns: 64,
         rate: 8000.0,
@@ -111,6 +136,20 @@ fn parse_args() -> Args {
             "--paced" => parsed.paced = true,
             "--scrape" => parsed.scrape = true,
             "--no-telemetry" => parsed.no_telemetry = true,
+            "--adaptive" => parsed.adaptive = true,
+            "--subkeys" => parsed.subkeys = true,
+            "--ramp" => {
+                parsed.ramp = true;
+                parsed.open_loop = true;
+            }
+            "--slo-ms" => {
+                parsed.slo_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &f64| s > 0.0)
+                    .expect("--slo-ms needs a positive number")
+            }
+            "--gate" => parsed.gate = Some(args.next().expect("--gate needs a path")),
             "--shards" => {
                 parsed.shards = args
                     .next()
@@ -154,7 +193,8 @@ fn parse_args() -> Args {
             "--out" => parsed.out = args.next().expect("--out needs a path"),
             other => panic!(
                 "unknown flag {other:?} (expected --smoke, --scalar, --open-loop, --paced, \
-                 --scrape, --no-telemetry, --shards <n>, --conns <n>, --rate <rps>, \
+                 --scrape, --no-telemetry, --adaptive, --subkeys, --ramp, --slo-ms <ms>, \
+                 --gate <path>, --shards <n>, --conns <n>, --rate <rps>, \
                  --duration <s>, --clients <n>, --requests <n>, --out <path>)"
             ),
         }
@@ -163,29 +203,43 @@ fn parse_args() -> Args {
         !(parsed.scrape && parsed.no_telemetry),
         "--scrape needs the telemetry plane; drop --no-telemetry"
     );
+    assert!(
+        !(parsed.adaptive && parsed.no_telemetry),
+        "the adaptive controller observes the telemetry plane; drop --no-telemetry"
+    );
     parsed
 }
 
-fn simt_handler() -> SimtHandler {
+fn simt_handler(subkeys: bool) -> SimtHandler {
     let opts = CohortOptions {
         session_capacity: SESSION_CAPACITY,
         session_salt: SESSION_SALT,
         ..CohortOptions::default()
     };
-    SimtHandler::new(
+    let h = SimtHandler::new(
         Workload::build(),
         BankStore::generate(NUM_USERS, 1),
         SessionArrayHost::new(SESSION_CAPACITY, SESSION_SALT),
         Gpu::new(GpuConfig::gtx_titan()),
         opts,
-    )
+    );
+    if subkeys {
+        h.with_subkeys()
+    } else {
+        h
+    }
 }
 
-fn scalar_handler() -> ScalarHandler {
-    ScalarHandler::new(
+fn scalar_handler(subkeys: bool) -> ScalarHandler {
+    let h = ScalarHandler::new(
         BankStore::generate(NUM_USERS, 1),
         SessionArrayHost::new(SESSION_CAPACITY, SESSION_SALT),
-    )
+    );
+    if subkeys {
+        h.with_subkeys()
+    } else {
+        h
+    }
 }
 
 /// A booted server: bound address, stop flag, and the join handle
@@ -773,9 +827,25 @@ fn run_overload(scalar: bool, shards: usize) -> LoadResult {
     let clients = shards * 2 + 8;
     let requests = 8;
     let mut result = if scalar {
-        run_closed(scalar_handler, config, shards, clients, requests, false).0
+        run_closed(
+            || scalar_handler(false),
+            config,
+            shards,
+            clients,
+            requests,
+            false,
+        )
+        .0
     } else {
-        run_closed(simt_handler, config, shards, clients, requests, false).0
+        run_closed(
+            || simt_handler(false),
+            config,
+            shards,
+            clients,
+            requests,
+            false,
+        )
+        .0
     };
     for p in &mut result.phases {
         // Overload traffic is its own phase in the report; the inner
@@ -787,6 +857,175 @@ fn run_overload(scalar: bool, shards: usize) -> LoadResult {
         };
     }
     result
+}
+
+/// One step of the `--ramp` latency/throughput frontier: the steady
+/// phase of a short open-loop run at one offered rate, with the adaptive
+/// controller off or on.
+struct FrontierStep {
+    rate: f64,
+    adaptive: bool,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_fill: f64,
+    full_launches: u64,
+    timeout_launches: u64,
+}
+
+impl FrontierStep {
+    fn json(&self) -> String {
+        format!(
+            "{{\"rate_rps\": {}, \"adaptive\": {}, \"completed\": {}, \"shed\": {}, \
+             \"errors\": {}, \"throughput_rps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"mean_cohort_fill\": {}, \"full_launches\": {}, \"timeout_launches\": {}}}",
+            json_f(self.rate),
+            self.adaptive,
+            self.completed,
+            self.shed,
+            self.errors,
+            json_f(self.throughput_rps),
+            json_f(self.p50_ms),
+            json_f(self.p99_ms),
+            json_f(self.mean_fill),
+            self.full_launches,
+            self.timeout_launches
+        )
+    }
+}
+
+/// Offered-load fractions of `--rate` swept by the ramp.
+const RAMP_FRACS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// Sweep offered load with adaptation off then on, one short open-loop
+/// run per (rate, mode) point, and return the frontier in sweep order.
+fn run_ramp(args: &Args, base: &NetConfig) -> Vec<FrontierStep> {
+    let fracs: &[f64] = if args.smoke {
+        &RAMP_FRACS[2..]
+    } else {
+        &RAMP_FRACS
+    };
+    let step_s = if args.smoke {
+        0.5
+    } else {
+        args.duration_s.min(1.5)
+    };
+    let mut frontier = Vec::new();
+    for adaptive in [false, true] {
+        for &frac in fracs {
+            let rate = args.rate * frac;
+            let config = NetConfig {
+                adaptive,
+                // The controller observes the telemetry plane, so the
+                // adaptive steps force it on even under --no-telemetry.
+                telemetry: base.telemetry || adaptive,
+                ..base.clone()
+            };
+            let load = if args.scalar {
+                run_open(
+                    || scalar_handler(args.subkeys),
+                    config,
+                    args.shards,
+                    args.conns,
+                    rate,
+                    step_s,
+                    args.paced,
+                    false,
+                )
+                .0
+            } else {
+                run_open(
+                    || simt_handler(args.subkeys),
+                    config,
+                    args.shards,
+                    args.conns,
+                    rate,
+                    step_s,
+                    args.paced,
+                    false,
+                )
+                .0
+            };
+            let steady = load.phase("steady");
+            let (p50_ms, p99_ms) = steady
+                .latency
+                .as_ref()
+                .map_or((0.0, 0.0), |l| (l.p50 * 1e3, l.p99 * 1e3));
+            let step = FrontierStep {
+                rate,
+                adaptive,
+                completed: steady.completed,
+                shed: steady.shed,
+                errors: steady.errors,
+                throughput_rps: steady.throughput_rps,
+                p50_ms,
+                p99_ms,
+                mean_fill: load.stats.mean_fill(),
+                full_launches: load.stats.full_launches,
+                timeout_launches: load.stats.timeout_launches,
+            };
+            eprintln!(
+                "[ramp] rate {:>7.0} adaptive {:<5} -> {:>7.0} rps  p50 {:>6.2} ms  \
+                 p99 {:>6.2} ms  fill {:.3}",
+                step.rate,
+                step.adaptive,
+                step.throughput_rps,
+                step.p50_ms,
+                step.p99_ms,
+                step.mean_fill
+            );
+            frontier.push(step);
+        }
+    }
+    frontier
+}
+
+/// Pull a top-level numeric field out of a previously emitted
+/// `BENCH_net.json` (two-space-indented keys; phase objects are nested
+/// on single lines and can never match).
+fn extract_top_level_f64(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\n  \"{key}\": ");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Fractional noise the regression gate tolerates before failing.
+const GATE_NOISE_FRAC: f64 = 0.2;
+
+/// Regression gate: compare this run's steady throughput and mean cohort
+/// fill against the checked-in baseline; panic if either regressed more
+/// than the noise threshold.
+fn run_gate(path: &str, throughput_rps: f64, mean_fill: f64) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--gate: cannot read baseline {path}: {e}"));
+    let base_tp = extract_top_level_f64(&text, "throughput_rps")
+        .unwrap_or_else(|| panic!("--gate: no top-level throughput_rps in {path}"));
+    let base_fill = extract_top_level_f64(&text, "mean_cohort_fill")
+        .unwrap_or_else(|| panic!("--gate: no top-level mean_cohort_fill in {path}"));
+    let tp_floor = base_tp * (1.0 - GATE_NOISE_FRAC);
+    let fill_floor = base_fill * (1.0 - GATE_NOISE_FRAC);
+    println!(
+        "gate vs {path}: throughput {throughput_rps:.0} rps (floor {tp_floor:.0}, \
+         baseline {base_tp:.0}), fill {mean_fill:.3} (floor {fill_floor:.3}, \
+         baseline {base_fill:.3})"
+    );
+    assert!(
+        throughput_rps >= tp_floor,
+        "regression gate: steady throughput {throughput_rps:.0} rps fell below \
+         {tp_floor:.0} ({}% of baseline {base_tp:.0})",
+        (1.0 - GATE_NOISE_FRAC) * 100.0
+    );
+    assert!(
+        mean_fill >= fill_floor,
+        "regression gate: mean cohort fill {mean_fill:.3} fell below {fill_floor:.3} \
+         ({}% of baseline {base_fill:.3})",
+        (1.0 - GATE_NOISE_FRAC) * 100.0
+    );
 }
 
 fn json_f(v: f64) -> String {
@@ -834,6 +1073,8 @@ fn main() {
         },
         fill_timeout: Duration::from_millis(2),
         telemetry: !args.no_telemetry,
+        adaptive: args.adaptive,
+        slo_p99: Duration::from_secs_f64(args.slo_ms / 1e3),
         ..NetConfig::default()
     };
     if args.open_loop {
@@ -855,11 +1096,15 @@ fn main() {
         );
     }
 
+    // The frontier sweep runs first so its servers are gone before the
+    // measured run boots.
+    let frontier = args.ramp.then(|| run_ramp(&args, &config));
+
     let run = |scalar: bool| -> (LoadResult, f64, u64) {
         if scalar {
             let (load, _h) = if args.open_loop {
                 run_open(
-                    scalar_handler,
+                    || scalar_handler(args.subkeys),
                     config.clone(),
                     args.shards,
                     args.conns,
@@ -870,7 +1115,7 @@ fn main() {
                 )
             } else {
                 run_closed(
-                    scalar_handler,
+                    || scalar_handler(args.subkeys),
                     config.clone(),
                     args.shards,
                     args.clients,
@@ -882,7 +1127,7 @@ fn main() {
         } else {
             let (load, handlers) = if args.open_loop {
                 run_open(
-                    simt_handler,
+                    || simt_handler(args.subkeys),
                     config.clone(),
                     args.shards,
                     args.conns,
@@ -893,7 +1138,7 @@ fn main() {
                 )
             } else {
                 run_closed(
-                    simt_handler,
+                    || simt_handler(args.subkeys),
                     config.clone(),
                     args.shards,
                     args.clients,
@@ -1053,9 +1298,24 @@ fn main() {
             o.phases.iter().map(|p| p.shed).sum::<u64>()
         ),
     };
+    let frontier_json = match &frontier {
+        None => "null".to_string(),
+        Some(steps) => format!(
+            "[\n    {}\n  ]",
+            steps
+                .iter()
+                .map(FrontierStep::json)
+                .collect::<Vec<_>>()
+                .join(",\n    ")
+        ),
+    };
+    let controller_json = format!(
+        "{{\"adaptive\": {}, \"subkeys\": {}}}",
+        args.adaptive, args.subkeys
+    );
     let json = format!(
-        "{{\n  \"schema_version\": 4,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
-         \"telemetry\": {},\n  \
+        "{{\n  \"schema_version\": 5,\n  \"path\": \"{path}\",\n  \"mode\": \"{mode}\",\n  \
+         \"telemetry\": {},\n  \"slo_ms\": {},\n  \"controller\": {controller_json},\n  \
          \"shards\": {},\n  \"cohort_size\": {},\n  \"conns\": {},\n  \"rate_rps\": {},\n  \
          \"clients\": {},\n  \"requests_per_client\": {},\n  \"completed\": {},\n  \
          \"wall_s\": {},\n  \"throughput_rps\": {},\n  \"phases\": [\n    {}\n  ],\n  \
@@ -1064,8 +1324,10 @@ fn main() {
          \"device_cohorts\": {device_cohorts},\n  \"mean_cohort_device_s\": {},\n  \
          \"shed_503\": {},\n  \"responses_dropped\": {},\n  \"idle_polls\": {},\n  \
          \"reads_paused\": {},\n  \"scrape\": {scrape_json},\n  \
+         \"frontier\": {frontier_json},\n  \
          \"overload\": {overload_json}\n}}\n",
         !args.no_telemetry,
+        json_f(args.slo_ms),
         args.shards,
         config.cohort_size,
         if args.open_loop { args.conns } else { 0 },
@@ -1093,6 +1355,12 @@ fn main() {
     );
     std::fs::write(&args.out, &json).expect("write result file");
     println!("results written to {}", args.out);
+
+    // The gate runs last so the freshly written result survives for
+    // inspection even when the gate trips.
+    if let Some(gate_path) = &args.gate {
+        run_gate(gate_path, steady.throughput_rps, load.stats.mean_fill());
+    }
 }
 
 #[cfg(test)]
@@ -1163,5 +1431,65 @@ mod tests {
         assert!(!live.degenerate);
         let j = phase_json(&live);
         assert!(j.contains("\"degenerate\": false"), "flag wrong in {j}");
+    }
+
+    /// The additive schema-v5 fields — frontier steps and the controller
+    /// object — must be well-formed JSON objects carrying every key a
+    /// consumer needs to reconstruct the latency/throughput frontier.
+    #[test]
+    fn frontier_step_json_is_well_formed() {
+        let step = FrontierStep {
+            rate: 3000.0,
+            adaptive: true,
+            completed: 2980,
+            shed: 0,
+            errors: 0,
+            throughput_rps: 2975.5,
+            p50_ms: 1.25,
+            p99_ms: 4.75,
+            mean_fill: 0.61,
+            full_launches: 80,
+            timeout_launches: 11,
+        };
+        let j = step.json();
+        for key in [
+            "\"rate_rps\"",
+            "\"adaptive\": true",
+            "\"completed\": 2980",
+            "\"throughput_rps\"",
+            "\"p50_ms\"",
+            "\"p99_ms\"",
+            "\"mean_cohort_fill\"",
+            "\"full_launches\": 80",
+            "\"timeout_launches\": 11",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+
+    /// The regression gate must read the baseline's *top-level* steady
+    /// numbers, never the per-phase copies nested inside the `phases`
+    /// array (those live on single indented lines).
+    #[test]
+    fn gate_extracts_top_level_fields_only() {
+        let baseline = "{\n  \"schema_version\": 5,\n  \"phases\": [\n    \
+                        {\"phase\": \"steady\", \"throughput_rps\": 999.0, \
+                        \"mean_cohort_fill\": 0.9}\n  ],\n  \
+                        \"throughput_rps\": 11983.333333,\n  \
+                        \"mean_cohort_fill\": 0.235243,\n  \"overload\": null\n}\n";
+        assert_eq!(
+            extract_top_level_f64(baseline, "throughput_rps"),
+            Some(11983.333333)
+        );
+        assert_eq!(
+            extract_top_level_f64(baseline, "mean_cohort_fill"),
+            Some(0.235243)
+        );
+        assert_eq!(extract_top_level_f64(baseline, "absent"), None);
     }
 }

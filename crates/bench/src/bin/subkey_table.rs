@@ -1,0 +1,417 @@
+//! Similarity sub-key table: offline derivation and SIMD-efficiency
+//! measurement (the cohort-formation half of §2.3's similarity premise).
+//!
+//! Two modes:
+//!
+//! * `--derive` — traces one representative request per (type,
+//!   [`ParserFeatures`] combination) on the scalar executor, scores every
+//!   combination pair by Myers-merge divergence over their common types
+//!   (`rhythm-trace`, the Figure 2 metric), greedily clusters the
+//!   combinations into at most `SUBKEY_SPACE` sub-keys, and prints the
+//!   map as a Rust literal. `SubkeyTable::BUILTIN` in `rhythm-banking`
+//!   is this tool's checked-in output; the run diffs the fresh
+//!   derivation against it and exits nonzero on drift.
+//! * default (measure) — generates the mixed corpus, forms same-type
+//!   cohorts of one warp two ways (arrival order per type vs arrival
+//!   order per composite sub-key), runs both populations through the
+//!   real SIMT pipeline, and reports per-kernel SIMD efficiency on the
+//!   divergent parser/stage0 kernels. The section is merged into
+//!   `BENCH_simt.json` under `"subkeys"` (the file's other sections are
+//!   preserved byte-for-byte).
+//!
+//! Flags: `--smoke` (small CI run, standalone out file, no drift gate),
+//! `--corpus <n>`, `--out <path>`, `--derive`.
+
+use std::collections::BTreeMap;
+
+use rhythm_banking::prelude::*;
+use rhythm_banking::subkey::{ParserFeatures, SubkeyTable, FEATURE_COMBOS, SUBKEY_SPACE};
+use rhythm_bench::fmt::render_table;
+use rhythm_bench::measure::{Harness, SALT, USERS};
+use rhythm_simt::WARP_SIZE;
+use rhythm_trace::merge_traces;
+
+const CORPUS_SEED: u64 = 77;
+
+struct Args {
+    smoke: bool,
+    derive: bool,
+    corpus: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        smoke: false,
+        derive: false,
+        corpus: 4096,
+        out: "BENCH_simt.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                parsed.smoke = true;
+                parsed.corpus = 768;
+            }
+            "--derive" => parsed.derive = true,
+            "--corpus" => {
+                parsed.corpus = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--corpus needs a positive integer")
+            }
+            "--out" => parsed.out = args.next().expect("--out needs a path"),
+            other => panic!(
+                "unknown flag {other:?} (expected --smoke, --derive, --corpus <n>, --out <path>)"
+            ),
+        }
+    }
+    parsed
+}
+
+fn features_of(raw: &[u8]) -> ParserFeatures {
+    let req = rhythm_http::HttpRequest::parse(raw).expect("generated request parses");
+    ParserFeatures::of(&req)
+}
+
+/// Derive the combination → sub-key map from scalar-trace similarity.
+fn derive(h: &Harness, corpus: usize) -> [u8; FEATURE_COMBOS] {
+    // One representative request per (type, combination), from the same
+    // generator distribution the server sees.
+    let mut sessions = SessionArrayHost::new(4 * corpus.max(1024) as u32, SALT);
+    let mut generator = RequestGenerator::new(USERS, CORPUS_SEED);
+    let reqs = generator.mixed(corpus, &mut sessions);
+    let mut reps: BTreeMap<(u32, usize), GeneratedRequest> = BTreeMap::new();
+    for r in &reqs {
+        reps.entry((r.ty.id(), features_of(&r.raw).index()))
+            .or_insert_with(|| r.clone());
+    }
+
+    // Trace each representative (parser + process stages, block ids
+    // offset per kernel, so length-dependent loops show as repeated
+    // blocks).
+    let mut traces: BTreeMap<(u32, usize), Vec<u32>> = BTreeMap::new();
+    for ((ty, combo), req) in &reps {
+        let r = run_request_scalar(&h.workload, &h.store, &mut sessions, req, true)
+            .expect("scalar trace run");
+        traces.insert((*ty, *combo), r.trace.expect("trace requested"));
+    }
+
+    eprintln!("[derive] {} (type, combo) representatives", traces.len());
+    let present: Vec<usize> = {
+        let mut combos: Vec<usize> = traces.keys().map(|(_, c)| *c).collect();
+        combos.sort_unstable();
+        combos.dedup();
+        combos
+    };
+
+    // Pairwise divergence: mean (1 − relative-to-ideal) of the Myers
+    // merge over the types both combinations occur in. Pairs with no
+    // common type never merge.
+    let dist = |a: usize, b: usize| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for ty in RequestType::ALL {
+            let (ta, tb) = (traces.get(&(ty.id(), a)), traces.get(&(ty.id(), b)));
+            if let (Some(ta), Some(tb)) = (ta, tb) {
+                let (_, rep) = merge_traces(&[ta.clone(), tb.clone()], 200_000);
+                sum += 1.0 - rep.relative_to_ideal();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            sum / n as f64
+        }
+    };
+
+    // Greedy agglomerative clustering, average linkage over combination
+    // distances, until the table fits SUBKEY_SPACE.
+    let mut clusters: Vec<Vec<usize>> = present.iter().map(|&c| vec![c]).collect();
+    let linkage = |x: &[usize], y: &[usize]| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for &a in x {
+            for &b in y {
+                let d = dist(a, b);
+                if d.is_finite() {
+                    sum += d;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            sum / n as f64
+        }
+    };
+    // Merge until the table fits SUBKEY_SPACE, then keep merging pairs
+    // whose traces are near-identical (divergence < MERGE_EPS): a split
+    // that buys no SIMD efficiency only fragments cohort fill.
+    const MERGE_EPS: f64 = 0.001;
+    eprintln!("[derive] present combos: {present:?}");
+    loop {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let d = linkage(&clusters[i], &clusters[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let over = clusters.len() > SUBKEY_SPACE as usize;
+        if !over && best.2 >= MERGE_EPS {
+            break;
+        }
+        // All remaining pairs share no type: merge the two smallest
+        // clusters so the table still fits.
+        if over && !best.2.is_finite() {
+            clusters.sort_by_key(|c| c.len());
+        }
+        let (i, j, d) = if best.2.is_finite() {
+            best
+        } else if over {
+            (0, 1, f64::INFINITY)
+        } else {
+            break;
+        };
+        let merged = clusters.remove(j);
+        eprintln!("[derive] merge {:?} + {merged:?} (d={d:.5})", clusters[i]);
+        clusters[i].extend(merged);
+        clusters[i].sort_unstable();
+    }
+    // Number clusters by their smallest member so the map is canonical.
+    clusters.sort_by_key(|c| c[0]);
+
+    let mut map = [u8::MAX; FEATURE_COMBOS];
+    for (id, cluster) in clusters.iter().enumerate() {
+        for &combo in cluster {
+            map[combo] = id as u8;
+        }
+    }
+    // Combinations the corpus never produces: nearest present
+    // combination in feature space (length bucket dominates, then the
+    // cookie scan, then parameter count), ties to the lower index.
+    for i in 0..FEATURE_COMBOS {
+        if map[i] != u8::MAX {
+            continue;
+        }
+        let f = ParserFeatures::from_index(i);
+        let nearest = present
+            .iter()
+            .min_by_key(|&&p| {
+                let g = ParserFeatures::from_index(p);
+                let d = (f.len_bucket.abs_diff(g.len_bucket) as usize) * 8
+                    + usize::from(f.has_cookie != g.has_cookie) * 4
+                    + f.param_count.abs_diff(g.param_count) as usize;
+                (d, p)
+            })
+            .expect("corpus produced at least one combination");
+        map[i] = map[*nearest];
+    }
+    map
+}
+
+/// Aggregate (warp, lane) instruction counts per kernel name for the
+/// divergent front kernels over one grouped population.
+///
+/// Only full one-warp cohorts are measured: a partial warp pads its
+/// inactive lanes, and that fill loss (the adaptive batcher's problem,
+/// not the sub-key table's) would swamp the divergence signal this
+/// experiment isolates. Dropped tails are reported alongside.
+fn measure_grouping(
+    h: &Harness,
+    corpus: usize,
+    subkeys: Option<&SubkeyTable>,
+) -> (BTreeMap<String, (u64, u64)>, usize) {
+    let capacity = 4 * corpus.max(1024) as u32;
+    let mut sessions = SessionArrayHost::new(capacity, SALT);
+    let mut generator = RequestGenerator::new(USERS, CORPUS_SEED);
+    let reqs = generator.mixed(corpus, &mut sessions);
+
+    // Cohorts exactly as the reactor forms them: arrival order within
+    // each cohort key, one warp deep.
+    let mut groups: BTreeMap<u32, Vec<GeneratedRequest>> = BTreeMap::new();
+    for r in &reqs {
+        let key = match subkeys {
+            Some(t) => t.composite_key(r.ty, &features_of(&r.raw)),
+            None => r.ty.id(),
+        };
+        groups.entry(key).or_default().push(r.clone());
+    }
+
+    let opts = CohortOptions {
+        session_capacity: capacity,
+        session_salt: SALT,
+        ..Default::default()
+    };
+    let mut stats: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut dropped = 0usize;
+    for cohort in groups.values().flat_map(|g| g.chunks(WARP_SIZE as usize)) {
+        if cohort.len() < WARP_SIZE as usize {
+            dropped += cohort.len();
+            continue;
+        }
+        let res = run_cohort(&h.workload, &h.store, &mut sessions, cohort, &h.gpu, &opts)
+            .expect("cohort run");
+        for (name, launch) in &res.launches {
+            if name != "parser" && !name.ends_with("_stage0") {
+                continue;
+            }
+            let e = stats.entry(name.clone()).or_default();
+            e.0 += launch.stats.warp_instructions;
+            e.1 += launch.stats.lane_instructions;
+        }
+    }
+    (stats, dropped)
+}
+
+fn efficiency(warp: u64, lane: u64) -> f64 {
+    if warp == 0 {
+        return 1.0;
+    }
+    lane as f64 / (warp as f64 * WARP_SIZE as f64)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Merge the `"subkeys"` section into the bench result file, replacing
+/// any previous section and preserving the rest of the file.
+fn merge_out(path: &str, section: &str) {
+    let json = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let trimmed = text.trim_end();
+            assert!(
+                trimmed.ends_with('}'),
+                "{path} does not look like a JSON object"
+            );
+            let base = match trimmed.find(",\"subkeys\":") {
+                Some(i) => &trimmed[..i],
+                None => &trimmed[..trimmed.len() - 1],
+            };
+            format!("{base},\"subkeys\":{section}}}")
+        }
+        Err(_) => format!("{{\"bench\":\"subkey_table\",\"subkeys\":{section}}}"),
+    };
+    std::fs::write(path, &json).expect("write result json");
+}
+
+fn main() {
+    let args = parse_args();
+    let h = Harness::new();
+
+    if args.derive {
+        let map = derive(&h, args.corpus.max(1024));
+        println!("derived feature-combination → sub-key map ({FEATURE_COMBOS} entries):\n");
+        print!("    [");
+        for (i, s) in map.iter().enumerate() {
+            if i % 8 == 0 {
+                print!("\n        ");
+            }
+            print!("{s}, ");
+        }
+        println!("\n    ]\n");
+        let drift = map != *SubkeyTable::BUILTIN.map();
+        if drift {
+            println!("BUILTIN table differs from this derivation:");
+            println!("    derived:  {map:?}");
+            println!("    builtin:  {:?}", SubkeyTable::BUILTIN.map());
+        } else {
+            println!("BUILTIN table matches this derivation.");
+        }
+        if drift && !args.smoke {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    eprintln!(
+        "[subkey] measuring {} requests, warp-deep cohorts, typed vs sub-keyed ...",
+        args.corpus
+    );
+    let (base, base_dropped) = measure_grouping(&h, args.corpus, None);
+    let (sub, sub_dropped) = measure_grouping(&h, args.corpus, Some(&SubkeyTable::BUILTIN));
+    eprintln!(
+        "[subkey] partial-warp tails dropped from measurement: typed {base_dropped},          sub-keyed {sub_dropped} of {} requests",
+        args.corpus
+    );
+
+    let mut rows = Vec::new();
+    let mut kernels_json = Vec::new();
+    let mut tot = [(0u64, 0u64); 2];
+    for (name, &(bw, bl)) in &base {
+        let Some(&(sw, sl)) = sub.get(name) else {
+            // Every sub-keyed cohort of this type fell below one warp
+            // (tiny smoke corpora only).
+            continue;
+        };
+        let (be, se) = (efficiency(bw, bl), efficiency(sw, sl));
+        tot[0].0 += bw;
+        tot[0].1 += bl;
+        tot[1].0 += sw;
+        tot[1].1 += sl;
+        rows.push(vec![
+            name.clone(),
+            format!("{be:.4}"),
+            format!("{se:.4}"),
+            format!("{:+.2}%", (se / be - 1.0) * 100.0),
+        ]);
+        kernels_json.push(format!(
+            "{{\"name\":\"{name}\",\"typed_eff\":{},\"subkeyed_eff\":{}}}",
+            json_f(be),
+            json_f(se)
+        ));
+    }
+    let (be, se) = (
+        efficiency(tot[0].0, tot[0].1),
+        efficiency(tot[1].0, tot[1].1),
+    );
+    rows.push(vec![
+        "TOTAL (parser + stage0)".into(),
+        format!("{be:.4}"),
+        format!("{se:.4}"),
+        format!("{:+.2}%", (se / be - 1.0) * 100.0),
+    ]);
+
+    println!("\nSub-key cohorts: SIMD efficiency on the divergent front kernels\n");
+    println!(
+        "{}",
+        render_table(
+            &["kernel", "typed cohorts", "sub-keyed cohorts", "uplift"],
+            &rows
+        )
+    );
+
+    let section = format!(
+        "{{\"corpus\":{},\"chunk\":{},\"subkey_space\":{},\"dropped_typed\":{base_dropped},\
+         \"dropped_subkeyed\":{sub_dropped},\"typed_eff\":{},\"subkeyed_eff\":{},\
+         \"uplift\":{},\"kernels\":[{}]}}",
+        args.corpus,
+        WARP_SIZE,
+        SUBKEY_SPACE,
+        json_f(be),
+        json_f(se),
+        json_f(se / be - 1.0),
+        kernels_json.join(",")
+    );
+    merge_out(&args.out, &section);
+    println!("wrote \"subkeys\" section to {}", args.out);
+
+    if !args.smoke {
+        assert!(
+            se >= be,
+            "sub-keyed cohorts must not lower front-kernel SIMD efficiency \
+             (typed {be:.4}, sub-keyed {se:.4})"
+        );
+    }
+}

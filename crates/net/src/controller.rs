@@ -1,0 +1,370 @@
+//! The SLO-aware adaptive batching controller.
+//!
+//! The fixed `fill_timeout`/`cohort_size` pair is one point on the
+//! latency/throughput frontier; the right point depends on offered load.
+//! This module replaces the fixed pair with a per-shard feedback
+//! controller that watches the shard's own live telemetry — the
+//! request-latency and cohort-fill histograms plus the request counter,
+//! all already published through [`crate::ShardMetrics`] — against a
+//! declared p99 SLO, and drives two knobs each control tick:
+//!
+//! * **target depth** — how many requests a cohort should gather before
+//!   it launches without waiting for the formation deadline, and
+//! * **fill deadline** — how long a partially formed cohort may age
+//!   before it launches anyway.
+//!
+//! # Control law
+//!
+//! With `base = budget_frac × slo_p99` (the slice of the SLO the
+//! controller may spend on cohort formation), observed EWMA arrival rate
+//! `r` (req/s), windowed p99 latency `l`, and recent cohort-fill hint
+//! `f ∈ [0, 1]`:
+//!
+//! ```text
+//! pressure  p = l / slo_p99
+//! scale  s(p) = clamp(1.5 − p, 0.25, 1.0)
+//! deadline    = clamp(base · s(p), min_deadline, base)
+//! depth       = clamp(max(⌈r · base⌉, ⌈f · max_depth⌉), min_depth, max_depth)
+//! ```
+//!
+//! Under light load `r · base < 1`, so depth collapses to `min_depth`
+//! and requests launch on the next poll — shallow cohorts for latency.
+//! Under heavy load depth grows toward `max_depth` (the configured
+//! cohort capacity) — deep cohorts for throughput — and the latency
+//! term only ever *shrinks* the deadline, so the controller degrades
+//! toward max-depth batching bounded by `base` before the shedding path
+//! engages. The fill hint keeps depth from collapsing under bursty
+//! arrivals that the EWMA rate underestimates: if recent launches were
+//! already gathering `f · max_depth` requests, the target never drops
+//! below that.
+//!
+//! The controller is **purely observational**: it changes *when* cohorts
+//! launch and how many requests they gather, never what any request
+//! computes, so responses are byte-identical at any setting.
+//!
+//! [`decide`] is a pure function of `(config, rate, p99, fill)`; the
+//! monotonicity and bounds properties above are proptested in
+//! `tests/properties.rs`.
+
+use std::time::Duration;
+
+use rhythm_obs::StreamingHistogram;
+
+use crate::metrics::ShardMetrics;
+
+/// Tunables for the adaptive controller, all derived from
+/// [`crate::NetConfig`] by [`ControllerConfig::from_net`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerConfig {
+    /// Declared end-to-end p99 latency SLO, seconds.
+    pub slo_p99: f64,
+    /// Fraction of the SLO the controller may spend on cohort formation
+    /// (`base = budget_frac × slo_p99` is the deadline ceiling).
+    pub budget_frac: f64,
+    /// Floor for the fill deadline, seconds (a deadline of zero would
+    /// launch every request as a cohort of one regardless of depth).
+    pub min_deadline: f64,
+    /// Floor for the target depth (≥ 1).
+    pub min_depth: usize,
+    /// Ceiling for the target depth (the cohort capacity).
+    pub max_depth: usize,
+    /// EWMA smoothing factor for the arrival-rate estimate, in `(0, 1]`
+    /// (1 = no smoothing).
+    pub ewma_alpha: f64,
+    /// Seconds between control-law evaluations.
+    pub tick: f64,
+}
+
+impl ControllerConfig {
+    /// Derive the controller tunables from a front-end config.
+    pub fn from_net(cfg: &crate::NetConfig) -> Self {
+        ControllerConfig {
+            slo_p99: cfg.slo_p99.as_secs_f64(),
+            budget_frac: 0.25,
+            min_deadline: 100e-6,
+            min_depth: 1,
+            max_depth: cfg.cohort_size,
+            ewma_alpha: 0.3,
+            tick: 2e-3,
+        }
+    }
+}
+
+/// One control-law evaluation: the target cohort depth and fill
+/// deadline the reactor should use until the next tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Decision {
+    /// Launch a cohort once it holds this many requests, even if the
+    /// pool capacity is larger.
+    pub depth: usize,
+    /// Launch a partially formed cohort at this age, seconds.
+    pub deadline_s: f64,
+}
+
+/// The pure control law: map observed load to a [`Decision`].
+///
+/// * `rate` — smoothed arrival rate for this shard, requests/second.
+/// * `p99` — p99 of the latency window since the last tick, seconds.
+/// * `fill` — recent mean cohort fill in `[0, 1]` (0 when no cohort has
+///   launched in the window).
+///
+/// Non-finite or negative observations are treated as zero, so a cold
+/// or quiescent shard gets the shallow/light-load decision. Guaranteed
+/// for any config with `min_depth ≤ max_depth`: `depth` is in
+/// `[min_depth, max_depth]` and nondecreasing in `rate` and `fill`;
+/// `deadline_s` is in `[min(min_deadline, base), base]` and
+/// nonincreasing in `p99`.
+pub fn decide(cfg: &ControllerConfig, rate: f64, p99: f64, fill: f64) -> Decision {
+    let sane = |v: f64| if v.is_finite() && v > 0.0 { v } else { 0.0 };
+    let rate = sane(rate);
+    let p99 = sane(p99);
+    let fill = sane(fill).min(1.0);
+    let base = (cfg.budget_frac * cfg.slo_p99).max(0.0);
+
+    let pressure = if cfg.slo_p99 > 0.0 {
+        p99 / cfg.slo_p99
+    } else {
+        0.0
+    };
+    let scale = (1.5 - pressure).clamp(0.25, 1.0);
+    let lo = cfg.min_deadline.min(base);
+    let deadline_s = (base * scale).clamp(lo, base.max(lo));
+
+    let by_rate = (rate * base).ceil() as usize;
+    let by_fill = (fill * cfg.max_depth as f64).ceil() as usize;
+    let depth = by_rate.max(by_fill).clamp(cfg.min_depth, cfg.max_depth);
+
+    Decision { depth, deadline_s }
+}
+
+/// Per-shard controller state: the EWMA rate estimate and the previous
+/// tick's histogram snapshots (the live histograms are cumulative, so
+/// each tick diffs against the last snapshot to observe only the most
+/// recent window).
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    /// Epoch seconds of the last tick.
+    last_tick_s: f64,
+    /// `requests` counter at the last tick.
+    last_requests: u64,
+    /// Smoothed arrival rate, req/s.
+    rate_ewma: f64,
+    /// Cumulative latency histogram (all keys merged) at the last tick.
+    last_latency: Option<StreamingHistogram>,
+    /// Cumulative fill histogram at the last tick.
+    last_fill: Option<StreamingHistogram>,
+    /// The decision currently in force.
+    decision: Decision,
+}
+
+impl Controller {
+    /// A controller that starts from the fixed-config decision
+    /// (`cohort_size` depth, `fill_timeout` deadline) so behavior before
+    /// the first tick matches the non-adaptive server.
+    pub fn new(cfg: ControllerConfig, initial_deadline: Duration) -> Self {
+        let decision = Decision {
+            depth: cfg.max_depth,
+            deadline_s: initial_deadline.as_secs_f64(),
+        };
+        Controller {
+            cfg,
+            last_tick_s: 0.0,
+            last_requests: 0,
+            rate_ewma: 0.0,
+            last_latency: None,
+            last_fill: None,
+            decision,
+        }
+    }
+
+    /// The decision currently in force.
+    pub fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    /// The controller's tunables.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// The smoothed arrival-rate estimate, req/s.
+    pub fn rate(&self) -> f64 {
+        self.rate_ewma
+    }
+
+    /// Re-evaluate the control law if a tick has elapsed; returns the
+    /// (possibly updated) decision. `now_s` is seconds since the
+    /// reactor's epoch; observations come from the shard's own live
+    /// metrics (`requests` counter, latency and fill histograms).
+    pub fn observe(&mut self, now_s: f64, requests: u64, metrics: &ShardMetrics) -> Decision {
+        let dt = now_s - self.last_tick_s;
+        if dt < self.cfg.tick {
+            return self.decision;
+        }
+        // Arrival rate over the window, EWMA-smoothed.
+        let delta = requests.saturating_sub(self.last_requests);
+        let inst = delta as f64 / dt.max(1e-9);
+        self.rate_ewma = if self.last_tick_s == 0.0 {
+            inst
+        } else {
+            self.cfg.ewma_alpha * inst + (1.0 - self.cfg.ewma_alpha) * self.rate_ewma
+        };
+        self.last_tick_s = now_s;
+        self.last_requests = requests;
+
+        // Windowed p99 from the cumulative latency histograms (all
+        // cohort keys merged: the SLO is per request, not per type).
+        // Same bucket config as AtomicHistogram::for_latency_seconds().
+        let mut lat = StreamingHistogram::new(1e-6, 8);
+        for (_, h) in metrics.latency_views() {
+            lat.merge(&h);
+        }
+        let p99 = {
+            let w = match &self.last_latency {
+                Some(prev) => lat.diff(prev),
+                None => lat.clone(),
+            };
+            if w.count() > 0 {
+                w.quantile(0.99)
+            } else {
+                0.0
+            }
+        };
+        self.last_latency = Some(lat);
+
+        // Windowed mean fill from the cumulative fill histogram.
+        let fill_now = metrics.fill_snapshot();
+        let fill = {
+            let w = match &self.last_fill {
+                Some(prev) => fill_now.diff(prev),
+                None => fill_now.clone(),
+            };
+            if w.count() > 0 {
+                w.mean()
+            } else {
+                0.0
+            }
+        };
+        self.last_fill = Some(fill_now);
+
+        self.decision = decide(&self.cfg, self.rate_ewma, p99, fill);
+        self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            slo_p99: 20e-3,
+            budget_frac: 0.25,
+            min_deadline: 100e-6,
+            min_depth: 1,
+            max_depth: 32,
+            ewma_alpha: 0.3,
+            tick: 2e-3,
+        }
+    }
+
+    #[test]
+    fn light_load_collapses_to_shallow_cohorts() {
+        let d = decide(&cfg(), 10.0, 1e-3, 0.0);
+        assert_eq!(d.depth, 1, "10 req/s × 5 ms budget < 1 request");
+        assert!(
+            (d.deadline_s - 5e-3).abs() < 1e-12,
+            "unpressured: full base"
+        );
+    }
+
+    #[test]
+    fn heavy_load_deepens_cohorts() {
+        let d = decide(&cfg(), 10_000.0, 1e-3, 0.0);
+        assert_eq!(d.depth, 32, "10k req/s × 5 ms ≫ capacity: clamp to max");
+    }
+
+    #[test]
+    fn latency_pressure_shrinks_deadline_but_never_below_floor() {
+        let c = cfg();
+        let relaxed = decide(&c, 1000.0, 1e-3, 0.0);
+        let pressured = decide(&c, 1000.0, 19e-3, 0.0);
+        let over = decide(&c, 1000.0, 100e-3, 0.0);
+        assert!(pressured.deadline_s < relaxed.deadline_s);
+        assert!(over.deadline_s <= pressured.deadline_s);
+        assert!(over.deadline_s >= c.min_deadline);
+        // Depth is untouched by pressure: degrade toward max-depth
+        // batching, not toward shedding.
+        assert_eq!(relaxed.depth, pressured.depth);
+        assert_eq!(relaxed.depth, over.depth);
+    }
+
+    #[test]
+    fn fill_hint_holds_depth_up_under_bursts() {
+        let d = decide(&cfg(), 10.0, 1e-3, 0.5);
+        assert_eq!(d.depth, 16, "recent fills at 0.5 × 32 keep depth ≥ 16");
+    }
+
+    #[test]
+    fn pathological_inputs_are_sanitized() {
+        let c = cfg();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0] {
+            let d = decide(&c, bad, bad, bad);
+            assert!(d.depth >= c.min_depth && d.depth <= c.max_depth);
+            assert!(d.deadline_s.is_finite() && d.deadline_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn observe_windows_the_latency_histogram() {
+        // 100 fast samples land before the first tick; 10 slow ones
+        // after. The second tick must see only the slow window, not the
+        // cumulative blend.
+        let c = cfg();
+        let metrics = ShardMetrics::new();
+        let mut ctl = Controller::new(c.clone(), Duration::from_millis(2));
+        for _ in 0..100 {
+            metrics.record_latency(0, || "t".into(), 1e-3);
+        }
+        ctl.observe(5e-3, 100, &metrics);
+        for _ in 0..10 {
+            metrics.record_latency(0, || "t".into(), 100e-3);
+        }
+        let d = ctl.observe(10e-3, 110, &metrics);
+        // Windowed p99 ≈ 100 ms ≫ SLO: the scale bottoms out at 0.25,
+        // pinning the deadline to a quarter of the formation budget. A
+        // cumulative (unwindowed) p99 would still be ≈ 1 ms and leave
+        // the deadline at the full budget.
+        let base = c.budget_frac * c.slo_p99;
+        assert!(
+            (d.deadline_s - 0.25 * base).abs() < 1e-12,
+            "deadline {} with pressured window",
+            d.deadline_s
+        );
+    }
+
+    #[test]
+    fn controller_ticks_and_tracks_rate() {
+        let c = cfg();
+        let metrics = ShardMetrics::new();
+        let mut ctl = Controller::new(c, Duration::from_millis(2));
+        let first = ctl.decision();
+        assert_eq!(first.depth, 32, "pre-tick: fixed-config behavior");
+        // Below the tick interval: no re-evaluation.
+        assert_eq!(ctl.observe(1e-3, 5, &metrics), first);
+        // Past the tick: 1000 requests over ~10 ms → ~100k req/s.
+        let d = ctl.observe(10e-3, 1000, &metrics);
+        assert!(ctl.rate() > 50_000.0, "rate {}", ctl.rate());
+        assert_eq!(d.depth, 32);
+        // Light follow-up window pulls the EWMA (and depth) down.
+        let mut now = 10e-3;
+        let mut d2 = d;
+        for _ in 0..20 {
+            now += 5e-3;
+            d2 = ctl.observe(now, 1000, &metrics);
+        }
+        assert!(ctl.rate() < 100.0, "rate decays: {}", ctl.rate());
+        assert_eq!(d2.depth, 1);
+    }
+}

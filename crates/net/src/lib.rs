@@ -54,6 +54,7 @@
 pub mod admin;
 pub mod client;
 pub mod conn;
+pub mod controller;
 pub mod metrics;
 pub mod responses;
 pub mod server;
@@ -62,6 +63,7 @@ pub mod shard;
 pub use admin::{admin_route, AdminRoute};
 pub use client::{read_response, scan_response, send_request, RawResponse};
 pub use conn::RequestAccumulator;
-pub use metrics::{LiveSnapshot, ShardMetrics, StatsCell, Telemetry};
+pub use controller::{decide, Controller, ControllerConfig, Decision};
+pub use metrics::{LaunchView, LiveSnapshot, ShardMetrics, StatsCell, Telemetry};
 pub use server::{CohortHandler, NetConfig, NetServer, NetStats, Reactor};
 pub use shard::{ShardedRun, ShardedServer};

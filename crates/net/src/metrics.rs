@@ -34,9 +34,11 @@ use crate::server::NetStats;
 
 /// Events each shard's flight recorder retains.
 const FLIGHT_CAPACITY: usize = 4096;
-/// Distinct cohort keys with their own latency histogram; higher keys
-/// share the last slot.
-const LATENCY_SLOTS: usize = 32;
+/// Distinct cohort keys with their own latency histogram and launch
+/// counters; higher keys share the last slot. Sized for the banking
+/// workload's composite similarity keys (14 types × 8 sub-keys) with
+/// headroom.
+const KEY_SLOTS: usize = 128;
 
 /// A consistent, torn-read-proof snapshot of one shard's live counters.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -212,7 +214,7 @@ impl StatsCell {
 }
 
 /// Per-cohort-key latency histograms with lazily named slots. Keys at or
-/// beyond [`LATENCY_SLOTS`] share the overflow slot.
+/// beyond [`KEY_SLOTS`] share the overflow slot.
 #[derive(Debug)]
 struct KeyedLatency {
     slots: Vec<(OnceLock<String>, AtomicHistogram)>,
@@ -221,14 +223,14 @@ struct KeyedLatency {
 impl KeyedLatency {
     fn new() -> Self {
         KeyedLatency {
-            slots: (0..LATENCY_SLOTS)
+            slots: (0..KEY_SLOTS)
                 .map(|_| (OnceLock::new(), AtomicHistogram::for_latency_seconds()))
                 .collect(),
         }
     }
 
     fn slot(&self, key: u32) -> &(OnceLock<String>, AtomicHistogram) {
-        &self.slots[(key as usize).min(LATENCY_SLOTS - 1)]
+        &self.slots[(key as usize).min(KEY_SLOTS - 1)]
     }
 
     fn record(&self, key: u32, name: impl FnOnce() -> String, latency_s: f64) {
@@ -253,14 +255,92 @@ impl KeyedLatency {
     }
 }
 
+/// One cohort key's launch counters, as reported by
+/// [`ShardMetrics::launch_views`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaunchView {
+    /// The cohort key's label (the handler's `key_name`).
+    pub name: String,
+    /// Cohorts of this key launched at target depth ("full").
+    pub full: u64,
+    /// Cohorts of this key launched by the fill deadline.
+    pub timeout: u64,
+    /// Requests across this key's launches.
+    pub requests: u64,
+    /// Sum of launch fill ratios (mean fill = this / (full + timeout)).
+    pub fill_sum: f64,
+}
+
+/// Per-cohort-key launch counters (full vs timeout launch reason, fill
+/// sums) with lazily named slots, sharing the [`KEY_SLOTS`] overflow
+/// convention with [`KeyedLatency`]. These make the adaptive controller's
+/// behavior observable per key from `/metrics`.
+#[derive(Debug)]
+struct KeyedLaunches {
+    /// Per slot: label, full launches, timeout launches, launched
+    /// requests, fill sum (f64 bits; single writer, so load/add/store is
+    /// race-free).
+    slots: Vec<(OnceLock<String>, [AtomicU64; 4])>,
+}
+
+impl KeyedLaunches {
+    fn new() -> Self {
+        KeyedLaunches {
+            slots: (0..KEY_SLOTS)
+                .map(|_| (OnceLock::new(), std::array::from_fn(|_| AtomicU64::new(0))))
+                .collect(),
+        }
+    }
+
+    fn record(
+        &self,
+        key: u32,
+        name: impl FnOnce() -> String,
+        by_timeout: bool,
+        requests: u64,
+        fill: f64,
+    ) {
+        let (slot_name, [full, timeout, reqs, fill_bits]) =
+            &self.slots[(key as usize).min(KEY_SLOTS - 1)];
+        slot_name.get_or_init(name);
+        if by_timeout {
+            timeout.fetch_add(1, Ordering::Relaxed);
+        } else {
+            full.fetch_add(1, Ordering::Relaxed);
+        }
+        reqs.fetch_add(requests, Ordering::Relaxed);
+        let sum = f64::from_bits(fill_bits.load(Ordering::Relaxed)) + fill;
+        fill_bits.store(sum.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Non-empty per-key views (keys that launched at least one cohort).
+    fn views(&self) -> Vec<LaunchView> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, [f, t, _, _]))| {
+                f.load(Ordering::Relaxed) + t.load(Ordering::Relaxed) > 0
+            })
+            .map(|(i, (name, [f, t, r, fill]))| LaunchView {
+                name: name.get().cloned().unwrap_or_else(|| format!("key_{i}")),
+                full: f.load(Ordering::Relaxed),
+                timeout: t.load(Ordering::Relaxed),
+                requests: r.load(Ordering::Relaxed),
+                fill_sum: f64::from_bits(fill.load(Ordering::Relaxed)),
+            })
+            .collect()
+    }
+}
+
 /// One reactor shard's metric registry: the seqlock counter cell, the
-/// per-type latency histograms, the cohort-fill histogram, and the
-/// shard's flight recorder. Written only by the owning reactor; read by
-/// anyone.
+/// per-type latency histograms, per-key launch counters, the cohort-fill
+/// histogram, and the shard's flight recorder. Written only by the
+/// owning reactor; read by anyone.
 #[derive(Debug)]
 pub struct ShardMetrics {
     cell: StatsCell,
     latency: KeyedLatency,
+    launches: KeyedLaunches,
     fill: AtomicHistogram,
     flight: FlightRecorder,
 }
@@ -277,6 +357,7 @@ impl ShardMetrics {
         ShardMetrics {
             cell: StatsCell::default(),
             latency: KeyedLatency::new(),
+            launches: KeyedLaunches::new(),
             // Fill is in (0, 1]: 1/256 floor, 4 sub-buckets per octave,
             // 9 octaves reach just past 1.0.
             fill: AtomicHistogram::new(1.0 / 256.0, 4, 9),
@@ -303,6 +384,25 @@ impl ShardMetrics {
     /// Record a cohort's fill ratio at launch.
     pub fn record_fill(&self, fill: f64) {
         self.fill.record(fill);
+    }
+
+    /// Record one cohort launch under its key: the launch reason (at
+    /// target depth vs fill deadline), the member count, and the fill
+    /// ratio (`name` is only invoked the first time `key` is seen).
+    pub fn record_launch(
+        &self,
+        key: u32,
+        name: impl FnOnce() -> String,
+        by_timeout: bool,
+        requests: u64,
+        fill: f64,
+    ) {
+        self.launches.record(key, name, by_timeout, requests, fill);
+    }
+
+    /// Per-key launch counters for keys that launched at least once.
+    pub fn launch_views(&self) -> Vec<LaunchView> {
+        self.launches.views()
     }
 
     /// Per-type latency snapshots as `(type_name, histogram)`.
@@ -559,6 +659,59 @@ impl Telemetry {
                 snap.stats.fill_sum,
             );
         }
+        // Per-cohort-key launch counters: how each key's cohorts
+        // launched (target depth vs fill deadline) and how full they
+        // were — the observable trace of the adaptive controller.
+        t.header(
+            "rhythm_key_cohorts_total",
+            "Cohorts launched by cohort key and reason (full = target depth, timeout = fill deadline)",
+            MetricKind::Counter,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let si = i.to_string();
+            for v in shard.launch_views() {
+                t.sample_u64(
+                    "rhythm_key_cohorts_total",
+                    &[("shard", &si), ("type", &v.name), ("reason", "full")],
+                    v.full,
+                );
+                t.sample_u64(
+                    "rhythm_key_cohorts_total",
+                    &[("shard", &si), ("type", &v.name), ("reason", "timeout")],
+                    v.timeout,
+                );
+            }
+        }
+        t.header(
+            "rhythm_key_launched_requests_total",
+            "Requests across cohort launches, by cohort key",
+            MetricKind::Counter,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let si = i.to_string();
+            for v in shard.launch_views() {
+                t.sample_u64(
+                    "rhythm_key_launched_requests_total",
+                    &[("shard", &si), ("type", &v.name)],
+                    v.requests,
+                );
+            }
+        }
+        t.header(
+            "rhythm_key_fill_sum_total",
+            "Sum of launch fill ratios by cohort key (mean = this / rhythm_key_cohorts_total)",
+            MetricKind::Counter,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let si = i.to_string();
+            for v in shard.launch_views() {
+                t.sample(
+                    "rhythm_key_fill_sum_total",
+                    &[("shard", &si), ("type", &v.name)],
+                    v.fill_sum,
+                );
+            }
+        }
         // Distributions are merged across shards at scrape time — this is
         // exactly StreamingHistogram::merge over AtomicHistogram
         // snapshots.
@@ -744,6 +897,10 @@ mod tests {
         t.shard(1)
             .record_latency(1, || "login.php".to_string(), 4e-3);
         t.shard(0).record_fill(0.5);
+        t.shard(0)
+            .record_launch(1, || "login.php".to_string(), true, 16, 0.5);
+        t.shard(0)
+            .record_launch(1, || "login.php".to_string(), false, 32, 1.0);
         let hits = t.device(0).counter("rhythm_plan_cache_hits_total", "hits");
         hits.add(7);
         let kern =
@@ -757,6 +914,21 @@ mod tests {
         assert!(text.contains("rhythm_requests_total{shard=\"1\"} 0"));
         assert!(text.contains("type=\"login.php\""));
         assert!(text.contains("rhythm_request_latency_seconds_count{type=\"login.php\"} 2"));
+        assert!(text.contains(
+            "rhythm_key_cohorts_total{shard=\"0\",type=\"login.php\",reason=\"full\"} 1"
+        ));
+        assert!(text.contains(
+            "rhythm_key_cohorts_total{shard=\"0\",type=\"login.php\",reason=\"timeout\"} 1"
+        ));
+        assert!(
+            text.contains("rhythm_key_launched_requests_total{shard=\"0\",type=\"login.php\"} 48")
+        );
+        assert!(text.contains("rhythm_key_fill_sum_total{shard=\"0\",type=\"login.php\"} 1.5"));
+        let views = t.shard(0).launch_views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].full, 1);
+        assert_eq!(views[0].timeout, 1);
+        assert_eq!(views[0].requests, 48);
         assert!(text.contains("rhythm_plan_cache_hits_total{shard=\"0\"} 7"));
         assert!(text.contains("rhythm_device_kernel_seconds_count 1"));
 

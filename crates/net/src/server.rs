@@ -21,6 +21,7 @@ use rhythm_obs::{ArgValue, Clock, NoopRecorder, Recorder};
 
 use crate::admin;
 use crate::conn::RequestAccumulator;
+use crate::controller::{Controller, ControllerConfig};
 use crate::metrics::{ShardMetrics, Telemetry};
 use crate::responses;
 
@@ -118,6 +119,18 @@ pub struct NetConfig {
     /// which is the baseline for the metering-overhead gate. Responses on
     /// the workload path are byte-identical either way.
     pub telemetry: bool,
+    /// Declared end-to-end p99 latency SLO the adaptive controller
+    /// steers against. Ignored unless [`NetConfig::adaptive`] is set.
+    pub slo_p99: Duration,
+    /// Enable SLO-aware adaptive batching: a per-shard
+    /// [`crate::controller::Controller`] observes the live latency/fill
+    /// histograms and drives target cohort depth and fill deadline in
+    /// place of the fixed `cohort_size`/`fill_timeout` pair
+    /// (`cohort_size` stays the capacity ceiling, `fill_timeout` the
+    /// pre-first-tick deadline). Purely observational with respect to
+    /// results: responses are byte-identical at any setting. Requires
+    /// [`NetConfig::telemetry`].
+    pub adaptive: bool,
 }
 
 impl Default for NetConfig {
@@ -135,6 +148,8 @@ impl Default for NetConfig {
             max_parse_per_poll: 256,
             retry_after_s: 1,
             telemetry: true,
+            slo_p99: Duration::from_millis(20),
+            adaptive: false,
         }
     }
 }
@@ -370,6 +385,15 @@ pub struct Reactor<H> {
     metrics: Arc<ShardMetrics>,
     /// Interned flight-recorder name ids (see [`FlightNames`]).
     flight_names: FlightNames,
+    /// The adaptive batching controller (`None` runs the fixed
+    /// `cohort_size`/`fill_timeout` policy).
+    controller: Option<Controller>,
+    /// Cohorts launch without waiting for the deadline once they hold
+    /// this many requests. Fixed mode: `cohort_size` (so only the FSM's
+    /// own Full transition triggers early launch).
+    target_depth: usize,
+    /// Current fill deadline, seconds. Fixed mode: `fill_timeout`.
+    deadline_s: f64,
 }
 
 /// Interned flight-recorder event-name ids, re-interned whenever the
@@ -410,10 +434,19 @@ impl<H: CohortHandler> Reactor<H> {
         assert!(config.cohort_size > 0, "cohort size must be nonzero");
         assert!(config.pool_contexts > 0, "need at least one context");
         assert!(config.max_connections > 0, "need at least one connection");
+        assert!(
+            !config.adaptive || config.telemetry,
+            "adaptive batching observes the live histograms; enable telemetry"
+        );
         let pool = CohortPool::new(config.pool_contexts, config.cohort_size);
         let telemetry = Telemetry::new(1);
         let metrics = Arc::clone(telemetry.shard(0));
         let flight_names = FlightNames::intern(&metrics);
+        let controller = config
+            .adaptive
+            .then(|| Controller::new(ControllerConfig::from_net(&config), config.fill_timeout));
+        let target_depth = config.cohort_size;
+        let deadline_s = config.fill_timeout.as_secs_f64();
         Reactor {
             config,
             handler,
@@ -427,6 +460,9 @@ impl<H: CohortHandler> Reactor<H> {
             telemetry,
             metrics,
             flight_names,
+            controller,
+            target_depth,
+            deadline_s,
         }
     }
 
@@ -536,7 +572,8 @@ impl<H: CohortHandler> Reactor<H> {
             self.dispatch(p, rec);
             progress = true;
         }
-        self.mark_timeouts();
+        self.tick_controller();
+        self.mark_launchable();
         progress |= self.flush_launches(rec);
         progress |= self.write_sockets();
         self.reap();
@@ -710,13 +747,17 @@ impl<H: CohortHandler> Reactor<H> {
         };
         let now_s = self.epoch.elapsed().as_secs_f64();
         let mut ctx = self.pool.open_for(key).or_else(|| self.pool.acquire());
-        if ctx.is_none() && !self.launchable.is_empty() {
-            // Every context is occupied but some are only waiting for
-            // this poll's batched launch: flush the batch to free them
-            // instead of shedding a request the old immediate-launch
-            // server would have taken.
-            self.flush_launches(rec);
-            ctx = self.pool.open_for(key).or_else(|| self.pool.acquire());
+        if ctx.is_none() {
+            // Every context is occupied but some may only be waiting for
+            // this poll's batched launch (already marked Full, past the
+            // deadline, or at the adaptive target depth): flush the
+            // batch to free them instead of shedding a request the old
+            // immediate-launch server would have taken.
+            self.mark_launchable();
+            if !self.launchable.is_empty() {
+                self.flush_launches(rec);
+                ctx = self.pool.open_for(key).or_else(|| self.pool.acquire());
+            }
         }
         let Some(id) = ctx else {
             self.shed(p, rec);
@@ -777,18 +818,56 @@ impl<H: CohortHandler> Reactor<H> {
         self.route(p.conn, p.seq, resp, None, rec);
     }
 
-    /// Mark PartiallyFull cohorts whose formation timeout has expired for
-    /// this poll's launch batch.
-    fn mark_timeouts(&mut self) {
+    /// Re-evaluate the adaptive controller (no-op between ticks and in
+    /// fixed mode), updating the target depth and fill deadline the mark
+    /// pass below launches against.
+    fn tick_controller(&mut self) {
+        let Some(ctl) = &mut self.controller else {
+            return;
+        };
         let now_s = self.epoch.elapsed().as_secs_f64();
-        let deadline = self.config.fill_timeout.as_secs_f64();
+        let d = ctl.observe(now_s, self.stats.requests, &self.metrics);
+        self.target_depth = d.depth.min(self.config.cohort_size).max(1);
+        self.deadline_s = d.deadline_s;
+    }
+
+    /// Mark PartiallyFull cohorts for this poll's launch batch: cohorts
+    /// at or past the controller's target depth launch as "full" (in
+    /// fixed mode depth equals capacity, so only the FSM's own Full
+    /// transition in [`Reactor::dispatch`] fires that reason); cohorts
+    /// older than the fill deadline launch as "timeout".
+    fn mark_launchable(&mut self) {
+        let now_s = self.epoch.elapsed().as_secs_f64();
         for id in 0..self.pool.len() as ContextId {
-            if self.pool.get(id).state() == CohortState::PartiallyFull
-                && now_s - self.pool.get(id).opened_at() >= deadline
-            {
+            if self.pool.get(id).state() != CohortState::PartiallyFull {
+                continue;
+            }
+            if self.pool.get(id).members().len() >= self.target_depth {
+                self.launchable.push((id, false));
+            } else if now_s - self.pool.get(id).opened_at() >= self.deadline_s {
                 self.launchable.push((id, true));
             }
         }
+    }
+
+    /// Time until the earliest PartiallyFull cohort's fill deadline, or
+    /// `None` when no cohort is forming. Idle run loops clamp their
+    /// backoff sleep to this so an exponentially grown idle sleep cannot
+    /// overshoot a pending deadline and silently add queue latency.
+    pub fn next_fill_deadline(&self) -> Option<Duration> {
+        let now_s = self.epoch.elapsed().as_secs_f64();
+        (0..self.pool.len() as ContextId)
+            .filter(|&id| self.pool.get(id).state() == CohortState::PartiallyFull)
+            .map(|id| self.deadline_s - (now_s - self.pool.get(id).opened_at()))
+            .min_by(f64::total_cmp)
+            .map(|s| Duration::from_secs_f64(s.max(0.0)))
+    }
+
+    /// The batching policy currently in force as `(target_depth,
+    /// fill_deadline)` — the fixed config pair, or the adaptive
+    /// controller's latest decision.
+    pub fn batching(&self) -> (usize, Duration) {
+        (self.target_depth, Duration::from_secs_f64(self.deadline_s))
     }
 
     /// Launch every context marked this poll through one
@@ -823,6 +902,14 @@ impl<H: CohortHandler> Reactor<H> {
             }
             if self.config.telemetry {
                 self.metrics.record_fill(fill);
+                let handler = &self.handler;
+                self.metrics.record_launch(
+                    key,
+                    || handler.key_name(key),
+                    by_timeout,
+                    n as u64,
+                    fill,
+                );
             }
             if rec.enabled() {
                 let name = if by_timeout {
@@ -1093,7 +1180,16 @@ impl<H: CohortHandler> NetServer<H> {
                 idle = self.reactor.config.idle_sleep;
             } else {
                 self.reactor.note_idle();
-                std::thread::sleep(idle);
+                // Clamp the backoff to the earliest pending cohort fill
+                // deadline: a grown idle sleep must not overshoot it and
+                // add up to idle_sleep_max of queue latency.
+                let sleep = match self.reactor.next_fill_deadline() {
+                    Some(d) => idle.min(d),
+                    None => idle,
+                };
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
                 idle = (idle * 2).min(self.reactor.config.idle_sleep_max);
             }
         }

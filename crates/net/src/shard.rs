@@ -230,7 +230,15 @@ fn reactor_loop<H: CohortHandler, R: Recorder + ?Sized>(
             idle = idle_start;
         } else {
             reactor.note_idle();
-            std::thread::sleep(idle);
+            // Clamp the backoff to the earliest pending cohort fill
+            // deadline (see `NetServer::run_traced`).
+            let sleep = match reactor.next_fill_deadline() {
+                Some(d) => idle.min(d),
+                None => idle,
+            };
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
             idle = (idle * 2).min(idle_max);
         }
     }

@@ -333,3 +333,55 @@ fn two_connections_interleave_into_shared_cohorts() {
     assert_eq!(stats.full_launches, 1, "cross-connection cohort filled");
     assert_eq!(handler.cohort_sizes, vec![2]);
 }
+
+/// Regression: a grown idle backoff must not overshoot an open cohort's
+/// fill deadline. The request is queued in the socket *before* the run
+/// loop starts, so the very first poll accepts and reads it and the
+/// cohort's fill wait is the only latency left to measure. With
+/// `idle_sleep == idle_sleep_max == 120ms` and a 25ms fill timeout, the
+/// clamped loop launches at ~25ms; an unclamped loop would sleep the
+/// full 120ms past the deadline.
+#[test]
+fn idle_backoff_clamps_to_fill_deadline() {
+    let config = NetConfig {
+        cohort_size: 32,
+        fill_timeout: Duration::from_millis(25),
+        idle_sleep: Duration::from_millis(120),
+        idle_sleep_max: Duration::from_millis(120),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        config,
+        EchoHandler {
+            cohort_sizes: Vec::new(),
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    let mut conn = connect(addr);
+    send_request(&mut conn, &get("/clamp")).expect("send");
+    // Let the bytes land in the accept queue before the loop starts.
+    std::thread::sleep(Duration::from_millis(20));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let start = std::time::Instant::now();
+    let join = std::thread::spawn(move || server.run(&flag));
+
+    let mut carry = Vec::new();
+    let resp = read_response(&mut conn, &mut carry).expect("response");
+    let elapsed = start.elapsed();
+    assert_eq!(resp.body(), b"echo /clamp");
+
+    stop.store(true, Ordering::Relaxed);
+    let (stats, _) = join.join().expect("server thread");
+    assert_eq!(stats.timeout_launches, 1, "cohort must launch on deadline");
+    assert!(
+        elapsed < Duration::from_millis(80),
+        "idle sleep overshot the fill deadline: response took {elapsed:?} \
+         (clamped launch should land at ~25ms, an unclamped idle sleep \
+         at ~120ms)"
+    );
+}

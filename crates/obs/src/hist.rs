@@ -255,6 +255,33 @@ impl StreamingHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The window between two cumulative snapshots: subtract `older`
+    /// (an earlier snapshot of the same growing histogram) from `self`
+    /// bucket by bucket. Counts, sum, underflow, and rejected subtract
+    /// exactly (saturating, so a mismatched pair cannot underflow);
+    /// `min`/`max` keep the newer snapshot's bounds — quantiles clamp to
+    /// them, which only widens the reported range, never the buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms use different bucket configurations.
+    #[must_use]
+    pub fn diff(&self, older: &StreamingHistogram) -> Self {
+        assert_eq!(self.min_value, older.min_value, "mismatched histograms");
+        assert_eq!(self.sub, older.sub, "mismatched histograms");
+        let mut out = self.clone();
+        for (i, &c) in older.counts.iter().enumerate() {
+            if i < out.counts.len() {
+                out.counts[i] = out.counts[i].saturating_sub(c);
+            }
+        }
+        out.underflow = out.underflow.saturating_sub(older.underflow);
+        out.rejected = out.rejected.saturating_sub(older.rejected);
+        out.count = out.count.saturating_sub(older.count);
+        out.sum = (out.sum - older.sum).max(0.0);
+        out
+    }
+
     /// Non-empty buckets as `(lower_edge, upper_edge, count)`, lowest
     /// first; the underflow bucket appears as `(0, min_value, n)`.
     pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
@@ -356,6 +383,34 @@ mod tests {
         let mut a = StreamingHistogram::new(1e-9, 8);
         let b = StreamingHistogram::new(1e-9, 16);
         a.merge(&b);
+    }
+
+    #[test]
+    fn diff_isolates_the_window_between_snapshots() {
+        let mut older = StreamingHistogram::new(1e-6, 8);
+        for _ in 0..100 {
+            older.record(1e-3);
+        }
+        let mut newer = older.clone();
+        for _ in 0..10 {
+            newer.record(50e-3);
+        }
+        let w = newer.diff(&older);
+        assert_eq!(w.count(), 10);
+        assert!((w.sum() - 0.5).abs() < 1e-9, "sum {}", w.sum());
+        assert!(w.quantile(0.5) > 10e-3, "window sees only the slow tail");
+        // Diffing a snapshot against itself is empty.
+        let empty = newer.diff(&newer);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.nonzero_buckets(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched histograms")]
+    fn diff_rejects_mismatched_config() {
+        let a = StreamingHistogram::new(1e-9, 8);
+        let b = StreamingHistogram::new(1e-9, 16);
+        let _ = a.diff(&b);
     }
 
     #[test]
